@@ -1,0 +1,27 @@
+//! Figure 5 bench: regenerates the object-size sweep (max sightseeings
+//! 0/15/30) and times query 2b under each size for the direct models.
+
+mod common;
+
+use criterion::Criterion;
+use std::hint::black_box;
+use starfish_core::ModelKind;
+use starfish_cost::QueryId;
+use starfish_harness::experiments::fig5;
+
+fn main() {
+    let config = common::bench_config();
+    common::show(&fig5::run(&config).expect("fig5"));
+
+    let mut c: Criterion = common::criterion();
+    for max_s in fig5::SIGHTSEEING_MAXIMA {
+        let params = config.dataset().with_max_sightseeing(max_s);
+        for kind in [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm] {
+            let (mut store, runner) = common::loaded_with(kind, &params);
+            c.bench_function(&format!("fig5/{kind}/maxSee={max_s}/q2b"), |b| {
+                b.iter(|| black_box(runner.run(store.as_mut(), QueryId::Q2b).unwrap()))
+            });
+        }
+    }
+    c.final_summary();
+}

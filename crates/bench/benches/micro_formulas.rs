@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the cost-model formulas (Equations 2–8).
+
+mod common;
+
+use criterion::Criterion;
+use std::hint::black_box;
+use starfish_cost::formulas::{
+    bernstein, cluster_run, clustered_groups, distinct_selected, pages_per_tuple,
+    partial_object_pages, yao,
+};
+
+fn main() {
+    let mut c: Criterion = common::criterion();
+
+    c.bench_function("formulas/eq2_pages_per_tuple", |b| {
+        b.iter(|| black_box(pages_per_tuple(black_box(6078), 2012)))
+    });
+    c.bench_function("formulas/eq4_bernstein", |b| {
+        b.iter(|| black_box(bernstein(black_box(16.7), 116.0)))
+    });
+    c.bench_function("formulas/eq4_yao_exact", |b| {
+        b.iter(|| black_box(yao(black_box(17), 116, 13)))
+    });
+    c.bench_function("formulas/eq5_partial_pages", |b| {
+        b.iter(|| black_box(partial_object_pages(1.0, black_box(4066.0), 1060.0, 2012.0)))
+    });
+    c.bench_function("formulas/eq6_cluster_run", |b| {
+        b.iter(|| black_box(cluster_run(black_box(7.5), 2813.0, 4.0)))
+    });
+    c.bench_function("formulas/eq7_clustered_groups", |b| {
+        b.iter(|| black_box(clustered_groups(black_box(16.8), 4.1, 559.0, 11.0)))
+    });
+    c.bench_function("formulas/eq7_recursive_branch", |b| {
+        b.iter(|| black_box(clustered_groups(black_box(120.0), 30.0, 1000.0, 4.0)))
+    });
+    c.bench_function("formulas/eq8_distinct_selected", |b| {
+        b.iter(|| black_box(distinct_selected(1500.0, black_box(6540.0))))
+    });
+
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Table 2 bench: regenerates the size/parameter table and times what
+//! produces it — encoding objects and bulk-loading each storage model.
+
+mod common;
+
+use std::hint::black_box;
+use starfish_core::{make_store, ModelKind, StoreConfig};
+use starfish_harness::experiments::table2;
+use starfish_nf2::{encode_with_layout, station::station_schema};
+use starfish_workload::generate;
+
+fn main() {
+    let config = common::bench_config();
+    common::show(&table2::run(&config).expect("table2"));
+
+    let mut c = common::criterion();
+    let db = generate(&config.dataset());
+    let schema = station_schema();
+
+    c.bench_function("table2/encode_station", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &db[i % db.len()];
+            i += 1;
+            black_box(encode_with_layout(&s.to_tuple(), &schema).unwrap())
+        })
+    });
+
+    for kind in ModelKind::measured_models() {
+        c.bench_function(&format!("table2/bulk_load/{kind}"), |b| {
+            b.iter(|| {
+                let mut store =
+                    make_store(kind, StoreConfig::with_buffer_pages(config.buffer_pages));
+                black_box(store.load(&db).unwrap());
+                store.database_pages()
+            })
+        });
+    }
+
+    c.final_summary();
+}

@@ -1,0 +1,23 @@
+//! Table 3 bench: regenerates the analytical table and times the estimator
+//! (all 8 model variants × 7 queries).
+
+mod common;
+
+use criterion::Criterion;
+use std::hint::black_box;
+use starfish_cost::{table3, BenchProfile, EstimatorInputs};
+use starfish_harness::experiments::table3 as table3_exp;
+
+fn main() {
+    common::show(&table3_exp::run(&common::bench_config()));
+
+    let mut c: Criterion = common::criterion();
+    let inputs = EstimatorInputs::new(BenchProfile::default());
+    c.bench_function("table3/full_estimator_grid", |b| {
+        b.iter(|| black_box(table3(&inputs)))
+    });
+    c.bench_function("table3/derive_profile_table2", |b| {
+        b.iter(|| black_box(BenchProfile::default().table2()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Table 8 bench: regenerates the overall ranking and times the full
+//! grid measurement it derives from (the complete benchmark, all models,
+//! all queries).
+
+mod common;
+
+use criterion::Criterion;
+use std::hint::black_box;
+use starfish_harness::experiments::{grid_models, table8};
+use starfish_harness::runner::measure_grid;
+
+fn main() {
+    let config = common::bench_config();
+    let grid = measure_grid(&config.dataset(), &config, &grid_models()).expect("grid");
+    common::show(&table8::run(&grid));
+
+    let mut c: Criterion = common::criterion();
+    c.bench_function("table8/derive_ranking_from_grid", |b| {
+        b.iter(|| black_box(table8::run(&grid)))
+    });
+    // The full benchmark end-to-end, at a reduced size to keep iterations
+    // affordable: this is "the evaluation" as one measurable unit.
+    let tiny = starfish_harness::runner::HarnessConfig {
+        n_objects: 80,
+        buffer_pages: 64,
+        ..config
+    };
+    c.bench_function("table8/full_benchmark_grid_80_objects", |b| {
+        b.iter(|| {
+            black_box(
+                measure_grid(&tiny.dataset(), &tiny, &grid_models()).expect("grid"),
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for starfish — see the `benches/` directory.
+//! Each bench target regenerates one table or figure of the paper.

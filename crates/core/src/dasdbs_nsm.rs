@@ -1,0 +1,691 @@
+//! The **DASDBS-NSM** storage model (§3.4).
+//!
+//! The flat NSM relations are re-nested on the foreign keys (Figure 4), so
+//! every object has **exactly one tuple per relation**:
+//!
+//! ```text
+//! DASDBS-NSM-Station     [ Key | NoPlatform | NoSeeing | Name ]               (flat)
+//! DASDBS-NSM-Platform    [ RootKey | {( OwnKey, PlatformNr, NoLine, TicketCode, Information )} ]
+//! DASDBS-NSM-Connection  [ RootKey | {( ParentKey, {( LineNr, KeyConnection,
+//!                                                     OidConnection, DepartureTimes )} )} ]
+//! DASDBS-NSM-Sightseeing [ RootKey | {( SeeingNr, Description, Location, History, Remarks )} ]
+//! ```
+//!
+//! Nesting removes the foreign-key replication and makes it "efficient to
+//! keep an additional table (index) with a single entry per object and a
+//! fixed and limited number of addresses": the **transformation table**,
+//! kept memory-resident here exactly as the paper keeps it (its accesses are
+//! not counted — §5.1 excludes the address tables from the I/O counts).
+
+use crate::object_file::ObjectFile;
+use crate::traits::{avg, per_object, ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
+use crate::{CoreError, ModelKind, Result, StoreConfig};
+use starfish_nf2::station::Station;
+use starfish_nf2::{
+    decode, encode, encode_with_layout, AttrDef, AttrType, Key, Oid, Projection, RelSchema,
+    Tuple, Value,
+};
+use starfish_pagestore::{BufferPool, BufferStats, HeapFile, IoSnapshot, Rid, SimDisk};
+use std::collections::HashMap;
+
+/// Schema of the flat `DASDBS-NSM-Station` relation.
+pub fn dnsm_station_schema() -> RelSchema {
+    RelSchema::new(
+        "DASDBS-NSM-Station",
+        vec![
+            AttrDef::new("Key", AttrType::Int),
+            AttrDef::new("NoPlatform", AttrType::Int),
+            AttrDef::new("NoSeeing", AttrType::Int),
+            AttrDef::new("Name", AttrType::Str),
+        ],
+    )
+}
+
+/// Schema of the nested `DASDBS-NSM-Platform` relation.
+pub fn dnsm_platform_schema() -> RelSchema {
+    RelSchema::new(
+        "DASDBS-NSM-Platform",
+        vec![
+            AttrDef::new("RootKey", AttrType::Int),
+            AttrDef::new(
+                "Platforms",
+                AttrType::Rel(Box::new(RelSchema::new(
+                    "PlatformsOfStation",
+                    vec![
+                        AttrDef::new("OwnKey", AttrType::Int),
+                        AttrDef::new("PlatformNr", AttrType::Int),
+                        AttrDef::new("NoLine", AttrType::Int),
+                        AttrDef::new("TicketCode", AttrType::Int),
+                        AttrDef::new("Information", AttrType::Str),
+                    ],
+                ))),
+            ),
+        ],
+    )
+}
+
+/// Schema of the doubly-nested `DASDBS-NSM-Connection` relation.
+pub fn dnsm_connection_schema() -> RelSchema {
+    RelSchema::new(
+        "DASDBS-NSM-Connection",
+        vec![
+            AttrDef::new("RootKey", AttrType::Int),
+            AttrDef::new(
+                "ConnectionsOfStation",
+                AttrType::Rel(Box::new(RelSchema::new(
+                    "ConnectionsOfPlatform",
+                    vec![
+                        AttrDef::new("ParentKey", AttrType::Int),
+                        AttrDef::new(
+                            "Connections",
+                            AttrType::Rel(Box::new(RelSchema::new(
+                                "Connection",
+                                vec![
+                                    AttrDef::new("LineNr", AttrType::Int),
+                                    AttrDef::new("KeyConnection", AttrType::Int),
+                                    AttrDef::new("OidConnection", AttrType::Link),
+                                    AttrDef::new("DepartureTimes", AttrType::Str),
+                                ],
+                            ))),
+                        ),
+                    ],
+                ))),
+            ),
+        ],
+    )
+}
+
+/// Schema of the nested `DASDBS-NSM-Sightseeing` relation.
+pub fn dnsm_sightseeing_schema() -> RelSchema {
+    RelSchema::new(
+        "DASDBS-NSM-Sightseeing",
+        vec![
+            AttrDef::new("RootKey", AttrType::Int),
+            AttrDef::new(
+                "Sightseeings",
+                AttrType::Rel(Box::new(RelSchema::new(
+                    "SightseeingsOfStation",
+                    vec![
+                        AttrDef::new("SeeingNr", AttrType::Int),
+                        AttrDef::new("Description", AttrType::Str),
+                        AttrDef::new("Location", AttrType::Str),
+                        AttrDef::new("History", AttrType::Str),
+                        AttrDef::new("Remarks", AttrType::Str),
+                    ],
+                ))),
+            ),
+        ],
+    )
+}
+
+/// The transformation-table entry: the addresses of the (up to) four tuples
+/// that together store one object. Ordinals index the [`ObjectFile`]s.
+#[derive(Clone, Copy, Debug)]
+struct TransEntry {
+    station: Rid,
+    ordinal: usize,
+}
+
+/// The DASDBS-NSM store.
+pub struct DasdbsNsmStore {
+    pool: BufferPool,
+    station: Option<HeapFile>,
+    platform: Option<ObjectFile>,
+    connection: Option<ObjectFile>,
+    sightseeing: Option<ObjectFile>,
+    /// The transformation table: `key → tuple addresses` (memory-resident,
+    /// uncounted, exactly like the paper's).
+    trans: HashMap<Key, TransEntry>,
+    refs: Vec<ObjRef>,
+    station_bytes: u64,
+}
+
+impl DasdbsNsmStore {
+    /// Creates an empty DASDBS-NSM store.
+    pub fn new(config: StoreConfig) -> Self {
+        DasdbsNsmStore {
+            pool: BufferPool::new(SimDisk::new(), config.buffer_pages),
+            station: None,
+            platform: None,
+            connection: None,
+            sightseeing: None,
+            trans: HashMap::new(),
+            refs: Vec::new(),
+            station_bytes: 0,
+        }
+    }
+
+    fn loaded(&self) -> Result<()> {
+        if self.station.is_some() {
+            Ok(())
+        } else {
+            Err(CoreError::NotFound { what: "empty database".into() })
+        }
+    }
+
+    fn entry(&self, key: Key) -> Result<TransEntry> {
+        self.trans
+            .get(&key)
+            .copied()
+            .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })
+    }
+
+    /// Builds the per-relation nested tuples for one station.
+    fn nested_tuples(s: &Station) -> (Tuple, Tuple, Tuple, Tuple) {
+        let root = Tuple::new(vec![
+            Value::Int(s.key),
+            Value::Int(s.platforms.len() as i32),
+            Value::Int(s.sightseeings.len() as i32),
+            Value::Str(s.name.clone()),
+        ]);
+        let platforms = Tuple::new(vec![
+            Value::Int(s.key),
+            Value::Rel(
+                s.platforms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Tuple::new(vec![
+                            Value::Int(i as i32),
+                            Value::Int(p.platform_nr),
+                            Value::Int(p.no_line),
+                            Value::Int(p.ticket_code),
+                            Value::Str(p.information.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ]);
+        let connections = Tuple::new(vec![
+            Value::Int(s.key),
+            Value::Rel(
+                s.platforms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Tuple::new(vec![
+                            Value::Int(i as i32),
+                            Value::Rel(
+                                p.connections
+                                    .iter()
+                                    .map(|c| {
+                                        Tuple::new(vec![
+                                            Value::Int(c.line_nr),
+                                            Value::Int(c.key_connection),
+                                            Value::Link(c.oid_connection),
+                                            Value::Str(c.departure_times.clone()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ]);
+        let sightseeings = Tuple::new(vec![
+            Value::Int(s.key),
+            Value::Rel(
+                s.sightseeings
+                    .iter()
+                    .map(|g| {
+                        Tuple::new(vec![
+                            Value::Int(g.seeing_nr),
+                            Value::Str(g.description.clone()),
+                            Value::Str(g.location.clone()),
+                            Value::Str(g.history.clone()),
+                            Value::Str(g.remarks.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ]);
+        (root, platforms, connections, sightseeings)
+    }
+
+    /// Reassembles the original nested `Station` tuple from the four
+    /// relation tuples (the join, executed in memory with the addresses from
+    /// the transformation table "to efficiently support the join execution").
+    fn assemble(root: &Tuple, platforms: &Tuple, connections: &Tuple, seeings: &Tuple) -> Tuple {
+        let mut conns_by_parent: HashMap<i32, Vec<Tuple>> = HashMap::new();
+        if let Some(Value::Rel(groups)) = connections.attr(1) {
+            for g in groups {
+                let parent = g.attr(0).and_then(Value::as_int).unwrap_or(0);
+                if let Some(Value::Rel(cs)) = g.attr(1) {
+                    conns_by_parent.entry(parent).or_default().extend(cs.iter().cloned());
+                }
+            }
+        }
+        let platform_tuples: Vec<Tuple> = platforms
+            .attr(1)
+            .and_then(Value::as_rel)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                let own = p.attr(0).and_then(Value::as_int).unwrap_or(0);
+                let mut vals = p.values[1..].to_vec();
+                vals.push(Value::Rel(conns_by_parent.remove(&own).unwrap_or_default()));
+                Tuple::new(vals)
+            })
+            .collect();
+        let seeing_tuples: Vec<Tuple> =
+            seeings.attr(1).and_then(Value::as_rel).unwrap_or(&[]).to_vec();
+        Tuple::new(vec![
+            root.values[0].clone(),
+            root.values[1].clone(),
+            root.values[2].clone(),
+            root.values[3].clone(),
+            Value::Rel(platform_tuples),
+            Value::Rel(seeing_tuples),
+        ])
+    }
+
+    /// Reads and reassembles one full object through the transformation
+    /// table: four addressed tuple reads (the paper's query-1a path).
+    fn materialize(&mut self, key: Key) -> Result<Tuple> {
+        let e = self.entry(key)?;
+        let root_bytes = self.station.as_ref().expect("loaded").read(&mut self.pool, e.station)?;
+        let root = decode(&root_bytes, &dnsm_station_schema())?;
+        let p_bytes =
+            self.platform.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let platforms = decode(&p_bytes, &dnsm_platform_schema())?;
+        let c_bytes =
+            self.connection.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let connections = decode(&c_bytes, &dnsm_connection_schema())?;
+        let s_bytes =
+            self.sightseeing.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let seeings = decode(&s_bytes, &dnsm_sightseeing_schema())?;
+        Ok(Self::assemble(&root, &platforms, &connections, &seeings))
+    }
+}
+
+impl ComplexObjectStore for DasdbsNsmStore {
+    fn model(&self) -> ModelKind {
+        ModelKind::DasdbsNsm
+    }
+
+    fn load(&mut self, stations: &[Station]) -> Result<Vec<ObjRef>> {
+        let mut st_recs = Vec::with_capacity(stations.len());
+        let mut pl_objs = Vec::with_capacity(stations.len());
+        let mut co_objs = Vec::with_capacity(stations.len());
+        let mut se_objs = Vec::with_capacity(stations.len());
+        self.refs.clear();
+        for (i, s) in stations.iter().enumerate() {
+            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            let (root, platforms, connections, seeings) = Self::nested_tuples(s);
+            st_recs.push(encode(&root, &dnsm_station_schema())?);
+            pl_objs.push(encode_with_layout(&platforms, &dnsm_platform_schema())?);
+            co_objs.push(encode_with_layout(&connections, &dnsm_connection_schema())?);
+            se_objs.push(encode_with_layout(&seeings, &dnsm_sightseeing_schema())?);
+        }
+        self.station_bytes = st_recs.iter().map(|r| r.len() as u64).sum();
+        let (st, st_rids) =
+            HeapFile::bulk_load(&mut self.pool, "DASDBS-NSM-Station", &st_recs)?;
+        let pl = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Platform", &pl_objs)?;
+        let co = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Connection", &co_objs)?;
+        let se = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Sightseeing", &se_objs)?;
+        self.trans = stations
+            .iter()
+            .enumerate()
+            .zip(&st_rids)
+            .map(|((i, s), rid)| (s.key, TransEntry { station: *rid, ordinal: i }))
+            .collect();
+        self.station = Some(st);
+        self.platform = Some(pl);
+        self.connection = Some(co);
+        self.sightseeing = Some(se);
+        self.pool.clear_cache()?;
+        self.pool.reset_stats();
+        Ok(self.refs.clone())
+    }
+
+    fn object_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        self.loaded()?;
+        let key = self
+            .refs
+            .get(oid.0 as usize)
+            .map(|r| r.key)
+            .ok_or_else(|| CoreError::NotFound { what: format!("object {oid}") })?;
+        let t = self.materialize(key)?;
+        Ok(if proj.is_all() {
+            t
+        } else {
+            proj.apply(&t, &starfish_nf2::station::station_schema())
+        })
+    }
+
+    fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
+        // "With query 1b, only the root tuple of the object is selected
+        // based on a value selection, whereupon we use the addresses in the
+        // index table to retrieve all other data by address" (§4).
+        self.loaded()?;
+        let mut found = false;
+        let station = self.station.as_ref().expect("loaded");
+        let mut scratch = None;
+        station.scan(&mut self.pool, |_, bytes| {
+            if let Ok(t) = decode(bytes, &dnsm_station_schema()) {
+                if t.attr(0).and_then(Value::as_int) == Some(key) {
+                    found = true;
+                    scratch = Some(t);
+                }
+            }
+        })?;
+        if !found {
+            return Err(CoreError::NotFound { what: format!("key {key}") });
+        }
+        let t = self.materialize(key)?;
+        Ok(if proj.is_all() {
+            t
+        } else {
+            proj.apply(&t, &starfish_nf2::station::station_schema())
+        })
+    }
+
+    fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        self.loaded()?;
+        for r in self.refs.clone() {
+            let t = self.materialize(r.key)?;
+            f(&t);
+        }
+        Ok(())
+    }
+
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        self.loaded()?;
+        let schema = dnsm_connection_schema();
+        let mut out = Vec::new();
+        for r in refs {
+            let e = self.entry(r.key)?;
+            let bytes =
+                self.connection.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+            let t = decode(&bytes, &schema)?;
+            if let Some(Value::Rel(groups)) = t.attr(1) {
+                for g in groups {
+                    if let Some(Value::Rel(cs)) = g.attr(1) {
+                        for c in cs {
+                            out.push(ObjRef {
+                                key: c.attr(1).and_then(Value::as_int).unwrap_or(0),
+                                oid: c.attr(2).and_then(Value::as_link).unwrap_or(Oid(0)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        self.loaded()?;
+        let schema = dnsm_station_schema();
+        refs.iter()
+            .map(|r| {
+                let e = self.entry(r.key)?;
+                let bytes =
+                    self.station.as_ref().expect("loaded").read(&mut self.pool, e.station)?;
+                let t = decode(&bytes, &schema)?;
+                Ok(Tuple::new(vec![
+                    t.values[0].clone(),
+                    t.values[1].clone(),
+                    t.values[2].clone(),
+                    t.values[3].clone(),
+                    Value::Rel(vec![]),
+                    Value::Rel(vec![]),
+                ]))
+            })
+            .collect()
+    }
+
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        // "With DASDBS-NSM only small root tuples in the DASDBS-NSM-Station
+        // relation are updated, of which there are many on a single page"
+        // (§5.3) — the replace-tuple path on the root relation only.
+        self.loaded()?;
+        let schema = dnsm_station_schema();
+        for r in refs {
+            let e = self.entry(r.key)?;
+            let file = self.station.as_ref().expect("loaded");
+            let bytes = file.read(&mut self.pool, e.station)?;
+            let mut t = decode(&bytes, &schema)?;
+            let old = t.values[3].as_str().map(str::len).unwrap_or(0);
+            if old != patch.new_name.len() {
+                return Err(CoreError::Store(starfish_pagestore::StoreError::SizeChanged {
+                    old,
+                    new: patch.new_name.len(),
+                }));
+            }
+            t.values[3] = Value::Str(patch.new_name.clone());
+            file.update(&mut self.pool, e.station, &encode(&t, &schema)?)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.pool.flush_all().map_err(Into::into)
+    }
+
+    fn clear_cache(&mut self) -> Result<()> {
+        self.pool.clear_cache().map_err(Into::into)
+    }
+
+    fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        self.pool.snapshot()
+    }
+
+    fn buffer_stats(&self) -> BufferStats {
+        self.pool.buffer_stats()
+    }
+
+    fn relation_info(&self) -> Vec<RelationInfo> {
+        let objects = self.refs.len();
+        let mut out = Vec::new();
+        if let Some(st) = &self.station {
+            let s_tuple = avg(self.station_bytes, objects as u64)
+                + starfish_pagestore::SLOT_ENTRY_SIZE as f64;
+            out.push(RelationInfo {
+                name: "DASDBS-NSM-Station".into(),
+                tuples_per_object: 1.0,
+                total_tuples: objects as u64,
+                avg_tuple_bytes: s_tuple,
+                k: Some((starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64 / s_tuple) as u32),
+                p: None,
+                m: st.page_count(),
+            });
+        }
+        for file in [&self.platform, &self.connection, &self.sightseeing]
+            .into_iter()
+            .flatten()
+        {
+            out.push(RelationInfo {
+                name: file.name().to_string(),
+                tuples_per_object: per_object(file.len() as u64, objects),
+                total_tuples: file.len() as u64,
+                avg_tuple_bytes: file.avg_stored_bytes(),
+                k: if file.heap_resident_count() == file.len() && !file.is_empty() {
+                    Some(
+                        (starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64
+                            / file.avg_stored_bytes()) as u32,
+                    )
+                } else {
+                    None
+                },
+                p: file.avg_spanned_pages(),
+                m: file.total_pages(),
+            });
+        }
+        out
+    }
+
+    fn database_pages(&self) -> u32 {
+        self.pool.database_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_nf2::station::{attr, Connection, Platform, Sightseeing};
+
+    fn station(key: i32, n_seeing: usize, children: &[(Key, u32)]) -> Station {
+        Station {
+            key,
+            name: format!("{key:0100}"),
+            platforms: children
+                .chunks(2)
+                .enumerate()
+                .map(|(i, chunk)| Platform {
+                    platform_nr: i as i32,
+                    no_line: 2,
+                    ticket_code: 3,
+                    information: "i".repeat(100),
+                    connections: chunk
+                        .iter()
+                        .map(|&(k, o)| Connection {
+                            line_nr: 7,
+                            key_connection: k,
+                            oid_connection: Oid(o),
+                            departure_times: "t".repeat(100),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            sightseeings: (0..n_seeing)
+                .map(|i| Sightseeing {
+                    seeing_nr: i as i32,
+                    description: "d".repeat(100),
+                    location: "l".repeat(100),
+                    history: "h".repeat(100),
+                    remarks: "r".repeat(100),
+                })
+                .collect(),
+        }
+    }
+
+    fn db() -> Vec<Station> {
+        vec![
+            station(20, 12, &[(21, 1), (22, 2), (23, 3)]), // sightseeing spans pages
+            station(21, 0, &[(22, 2)]),
+            station(22, 3, &[(20, 0), (23, 3)]),
+            station(23, 1, &[]),
+        ]
+    }
+
+    fn make() -> DasdbsNsmStore {
+        let mut s = DasdbsNsmStore::new(StoreConfig::default());
+        s.load(&db()).unwrap();
+        s
+    }
+
+    #[test]
+    fn get_by_oid_reassembles_exactly() {
+        let mut s = make();
+        for (i, expect) in db().iter().enumerate() {
+            let t = s.get_by_oid(Oid(i as u32), &Projection::All).unwrap();
+            assert_eq!(&Station::from_tuple(&t).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn get_by_key_scans_root_then_uses_addresses() {
+        let mut s = make();
+        s.clear_cache().unwrap();
+        s.reset_stats();
+        let t = s.get_by_key(22, &Projection::All).unwrap();
+        assert_eq!(Station::from_tuple(&t).unwrap(), db()[2]);
+        let snap = s.snapshot();
+        let root_m = s.station.as_ref().unwrap().page_count() as u64;
+        // Scan of the root relation + a handful of addressed reads.
+        assert!(snap.pages_read >= root_m);
+        assert!(snap.pages_read <= root_m + 8);
+    }
+
+    #[test]
+    fn children_of_reads_connection_tuple_only() {
+        let mut s = make();
+        s.clear_cache().unwrap();
+        s.reset_stats();
+        let out = s.children_of(&[ObjRef { oid: Oid(0), key: 20 }]).unwrap();
+        let expect: Vec<ObjRef> = db()[0]
+            .child_refs()
+            .into_iter()
+            .map(|(key, oid)| ObjRef { oid, key })
+            .collect();
+        assert_eq!(out, expect);
+        // One small nested tuple: a page or two, never a scan.
+        assert!(s.snapshot().pages_read <= 3);
+    }
+
+    #[test]
+    fn root_records_read_one_page_per_object() {
+        let mut s = make();
+        s.clear_cache().unwrap();
+        s.reset_stats();
+        let refs: Vec<ObjRef> = s.refs.clone();
+        let recs = s.root_records(&refs).unwrap();
+        assert_eq!(recs.len(), 4);
+        // All 4 root tuples share the single station page here.
+        assert_eq!(s.snapshot().pages_read, 1);
+        assert_eq!(s.snapshot().fixes, 4);
+    }
+
+    #[test]
+    fn update_roots_touches_only_station_relation() {
+        let mut s = make();
+        let refs = [ObjRef { oid: Oid(1), key: 21 }];
+        s.root_records(&refs).unwrap();
+        s.reset_stats();
+        let new_name = "W".repeat(100);
+        s.update_roots(&refs, &RootPatch { new_name: new_name.clone() }).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.snapshot().pages_written, 1, "one small root page");
+        s.clear_cache().unwrap();
+        let t = s.get_by_key(21, &Projection::All).unwrap();
+        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+        // Structure untouched.
+        assert_eq!(Station::from_tuple(&t).unwrap().platforms, db()[1].platforms);
+    }
+
+    #[test]
+    fn scan_all_materializes_everything() {
+        let mut s = make();
+        let mut seen = Vec::new();
+        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+        assert_eq!(seen, db());
+    }
+
+    #[test]
+    fn relation_info_has_four_relations_one_tuple_per_object() {
+        let s = make();
+        let info = s.relation_info();
+        assert_eq!(info.len(), 4);
+        for ri in &info {
+            assert!((ri.tuples_per_object - 1.0).abs() < 1e-9, "{}", ri.name);
+            assert_eq!(ri.total_tuples, 4);
+        }
+        // The big sightseeing tuple must be page-spanning.
+        let se = &info[3];
+        assert_eq!(se.name, "DASDBS-NSM-Sightseeing");
+        assert!(se.p.is_some(), "spanned sightseeing tuples report p");
+    }
+
+    #[test]
+    fn missing_key_and_oid_error() {
+        let mut s = make();
+        assert!(matches!(
+            s.get_by_key(999, &Projection::All),
+            Err(CoreError::NotFound { .. })
+        ));
+        assert!(matches!(
+            s.get_by_oid(Oid(44), &Projection::All),
+            Err(CoreError::NotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,537 @@
+//! The direct storage models: **DSM** (§3.1) and **DASDBS-DSM** (§3.2).
+//!
+//! Both store each complex object as one contiguous unit: small objects
+//! share slotted pages, large objects get a private extent of header
+//! (structure) pages plus data pages. They differ only in the access path:
+//!
+//! * **DSM** always materializes the *whole* object — every page of the
+//!   extent is read no matter how little of the object a query needs, and
+//!   updates replace the entire nested tuple (all pages dirtied).
+//! * **DASDBS-DSM** first reads the object header, then fetches **only the
+//!   data pages containing the projected attributes** ("from the set of
+//!   pages that stores the object, only those pages are retrieved that are
+//!   actually used in a query"). Its updates use the DASDBS
+//!   `change attribute` operation, which patches the covering page(s) but
+//!   also allocates a one-page *page pool* whose pages are written per
+//!   operation — the write-amplification anomaly of §5.3.
+
+use crate::object_file::{ObjectFile, ReadPayload};
+use crate::traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
+use crate::{CoreError, ModelKind, Result, StoreConfig};
+use starfish_nf2::station::{attr, child_refs, proj_navigation, proj_root_record, Station};
+use starfish_nf2::{
+    decode, decode_projected, encode_with_layout, Key, Oid, Projection, RelSchema, Tuple, Value,
+};
+use starfish_pagestore::{BufferPool, BufferStats, IoSnapshot, PageId, SimDisk};
+use std::collections::HashMap;
+
+/// Shared implementation of the two direct storage models.
+pub struct DirectStore {
+    /// `false` = DSM, `true` = DASDBS-DSM (header-guided partial reads).
+    partial: bool,
+    pool: BufferPool,
+    schema: RelSchema,
+    file: Option<ObjectFile>,
+    refs: Vec<ObjRef>,
+    key_to_ord: HashMap<Key, usize>,
+    /// Scratch extent for DASDBS-DSM's `change attribute` page pool.
+    scratch: Option<PageId>,
+    /// Sub-tuple-aligned data pages (the wasteful DASDBS layout).
+    aligned: bool,
+}
+
+impl DirectStore {
+    /// Creates an empty direct store. `partial` selects DASDBS-DSM.
+    pub fn new(partial: bool, config: StoreConfig) -> Self {
+        DirectStore {
+            partial,
+            pool: BufferPool::new(SimDisk::new(), config.buffer_pages),
+            schema: starfish_nf2::station::station_schema(),
+            file: None,
+            refs: Vec::new(),
+            key_to_ord: HashMap::new(),
+            scratch: None,
+            aligned: config.aligned_subtuples,
+        }
+    }
+
+    fn file(&self) -> Result<&ObjectFile> {
+        self.file.as_ref().ok_or_else(|| CoreError::NotFound { what: "empty database".into() })
+    }
+
+    fn ord_of_oid(&self, oid: Oid) -> Result<usize> {
+        let ord = oid.0 as usize;
+        if ord < self.refs.len() {
+            Ok(ord)
+        } else {
+            Err(CoreError::NotFound { what: format!("object {oid}") })
+        }
+    }
+
+    /// Reads object `ord` under `proj` using the model's access path.
+    fn read_object(&mut self, ord: usize, proj: &Projection) -> Result<Tuple> {
+        let file = self.file.as_ref().expect("checked by callers");
+        if self.partial && !proj.is_all() {
+            match file.read_projected(&mut self.pool, ord, |l| proj.byte_ranges(l))? {
+                ReadPayload::Full(bytes) => {
+                    let t = decode(&bytes, &self.schema)?;
+                    Ok(proj.apply(&t, &self.schema))
+                }
+                ReadPayload::Sparse(bytes, layout) => {
+                    Ok(decode_projected(&bytes, &self.schema, &layout, proj)?)
+                }
+            }
+        } else {
+            // DSM (or a full-projection read): materialize everything.
+            let bytes = file.read_full(&mut self.pool, ord)?;
+            let t = decode(&bytes, &self.schema)?;
+            Ok(if proj.is_all() { t } else { proj.apply(&t, &self.schema) })
+        }
+    }
+
+    /// Replaces the name in an encoded `Str` attribute region. The new name
+    /// must have the old name's byte length.
+    fn encode_name(new_name: &str) -> Vec<u8> {
+        let mut v = Vec::with_capacity(2 + new_name.len());
+        v.extend_from_slice(&(new_name.len() as u16).to_le_bytes());
+        v.extend_from_slice(new_name.as_bytes());
+        v
+    }
+
+    /// DSM update path: replace the entire nested tuple.
+    fn replace_tuple(&mut self, ord: usize, patch: &RootPatch) -> Result<()> {
+        let full = self.read_object(ord, &Projection::All)?;
+        let mut station = Station::from_tuple(&full)?;
+        if station.name.len() != patch.new_name.len() {
+            return Err(CoreError::Store(starfish_pagestore::StoreError::SizeChanged {
+                old: station.name.len(),
+                new: patch.new_name.len(),
+            }));
+        }
+        station.name = patch.new_name.clone();
+        let (bytes, layout) = encode_with_layout(&station.to_tuple(), &self.schema)?;
+        self.file.as_ref().expect("loaded").rewrite_full(&mut self.pool, ord, &bytes, &layout)}
+
+    /// DASDBS-DSM update path: `change attribute` on `Name` + page-pool
+    /// write.
+    fn change_attribute(&mut self, ord: usize, patch: &RootPatch) -> Result<()> {
+        let file = self.file.as_ref().expect("loaded");
+        let name_proj = Projection::Attrs(vec![(attr::NAME, Projection::All)]);
+        let layout = match file.read_projected(&mut self.pool, ord, |l| {
+            name_proj.byte_ranges(l)
+        })? {
+            ReadPayload::Sparse(bytes, layout) => {
+                // Validate length via the stored attribute range.
+                let range = layout.attrs[attr::NAME].range();
+                let old_len = (range.end - range.start) as usize - 2;
+                if old_len != patch.new_name.len() {
+                    return Err(CoreError::Store(
+                        starfish_pagestore::StoreError::SizeChanged {
+                            old: old_len,
+                            new: patch.new_name.len(),
+                        },
+                    ));
+                }
+                let _ = bytes;
+                layout
+            }
+            ReadPayload::Full(bytes) => {
+                // Heap resident: recompute the layout from the decoded tuple.
+                let t = decode(&bytes, &self.schema)?;
+                let name = t.attr(attr::NAME).and_then(Value::as_str).unwrap_or_default();
+                if name.len() != patch.new_name.len() {
+                    return Err(CoreError::Store(
+                        starfish_pagestore::StoreError::SizeChanged {
+                            old: name.len(),
+                            new: patch.new_name.len(),
+                        },
+                    ));
+                }
+                let (_, layout) = encode_with_layout(&t, &self.schema)?;
+                layout
+            }
+        };
+        let range = layout.attrs[attr::NAME].range();
+        file.patch_range(&mut self.pool, ord, range, &Self::encode_name(&patch.new_name))?;
+        // The page pool: every change-attribute operation allocates a pool
+        // "of which all pages are written ... even though the page pool is
+        // only a single page in size" (§5.3).
+        let scratch = self.scratch.expect("allocated at load");
+        self.pool.write_pool_pages(scratch, 1)?;
+        Ok(())
+    }
+}
+
+impl ComplexObjectStore for DirectStore {
+    fn model(&self) -> ModelKind {
+        if self.partial {
+            ModelKind::DasdbsDsm
+        } else {
+            ModelKind::Dsm
+        }
+    }
+
+    fn load(&mut self, stations: &[Station]) -> Result<Vec<ObjRef>> {
+        let mut payloads = Vec::with_capacity(stations.len());
+        self.refs.clear();
+        self.key_to_ord.clear();
+        for (i, s) in stations.iter().enumerate() {
+            payloads.push(encode_with_layout(&s.to_tuple(), &self.schema)?);
+            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            self.key_to_ord.insert(s.key, i);
+        }
+        let name = if self.partial { "DASDBS-DSM-Station" } else { "DSM-Station" };
+        self.file =
+            Some(ObjectFile::bulk_load_opts(&mut self.pool, name, &payloads, self.aligned)?);
+        if self.partial {
+            self.scratch = Some(self.pool.alloc_extent(1));
+        }
+        self.pool.clear_cache()?;
+        self.pool.reset_stats();
+        Ok(self.refs.clone())
+    }
+
+    fn object_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        let ord = self.ord_of_oid(oid)?;
+        self.file()?;
+        self.read_object(ord, proj)
+    }
+
+    fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
+        // Value selection without an index: set-oriented scan materializing
+        // every object (Table 3: query 1b costs the whole relation).
+        self.file()?;
+        let n = self.refs.len();
+        let mut found = None;
+        for ord in 0..n {
+            let t = self.read_object(ord, &Projection::All)?;
+            if t.attr(attr::KEY).and_then(Value::as_int) == Some(key) {
+                found = Some(t);
+            }
+        }
+        let t = found.ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?;
+        Ok(if proj.is_all() { t } else { proj.apply(&t, &self.schema) })
+    }
+
+    fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        self.file()?;
+        for ord in 0..self.refs.len() {
+            let t = self.read_object(ord, &Projection::All)?;
+            f(&t);
+        }
+        Ok(())
+    }
+
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        self.file()?;
+        let proj = proj_navigation();
+        let mut out = Vec::new();
+        for r in refs {
+            let ord = self.ord_of_oid(r.oid)?;
+            let t = self.read_object(ord, &proj)?;
+            out.extend(child_refs(&t).into_iter().map(|(key, oid)| ObjRef { oid, key }));
+        }
+        Ok(out)
+    }
+
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        self.file()?;
+        let proj = proj_root_record();
+        refs.iter()
+            .map(|r| {
+                let ord = self.ord_of_oid(r.oid)?;
+                self.read_object(ord, &proj)
+            })
+            .collect()
+    }
+
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        self.file()?;
+        for r in refs {
+            let ord = self.ord_of_oid(r.oid)?;
+            if self.partial {
+                // "With DASDBS-DSM ... we cannot replace the entire tuple
+                // since for each tuple only those pages are retrieved that
+                // are actually needed. Therefore the update has been
+                // implemented as a 'change attribute' operation" (§5.3).
+                self.change_attribute(ord, patch)?;
+            } else {
+                self.replace_tuple(ord, patch)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.pool.flush_all().map_err(Into::into)
+    }
+
+    fn clear_cache(&mut self) -> Result<()> {
+        self.pool.clear_cache().map_err(Into::into)
+    }
+
+    fn reset_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        self.pool.snapshot()
+    }
+
+    fn buffer_stats(&self) -> BufferStats {
+        self.pool.buffer_stats()
+    }
+
+    fn relation_info(&self) -> Vec<RelationInfo> {
+        let Some(file) = self.file.as_ref() else { return Vec::new() };
+        let total = file.len() as u64;
+        vec![RelationInfo {
+            name: file.name().to_string(),
+            tuples_per_object: 1.0,
+            total_tuples: total,
+            avg_tuple_bytes: file.avg_stored_bytes(),
+            k: if file.heap_resident_count() == file.len() && total > 0 {
+                Some(
+                    (starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64 / file.avg_stored_bytes())
+                        as u32,
+                )
+            } else {
+                None
+            },
+            p: file.avg_spanned_pages(),
+            m: file.total_pages(),
+        }]
+    }
+
+    fn database_pages(&self) -> u32 {
+        self.pool.database_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_nf2::station::{Connection, Platform, Sightseeing};
+
+    fn station(key: i32, n_seeing: usize, children: &[(Key, u32)]) -> Station {
+        Station {
+            key,
+            name: format!("{key:0100}"),
+            platforms: if children.is_empty() {
+                vec![]
+            } else {
+                vec![Platform {
+                    platform_nr: 1,
+                    no_line: 1,
+                    ticket_code: 9,
+                    information: "i".repeat(100),
+                    connections: children
+                        .iter()
+                        .map(|&(k, o)| Connection {
+                            line_nr: 1,
+                            key_connection: k,
+                            oid_connection: Oid(o),
+                            departure_times: "t".repeat(100),
+                        })
+                        .collect(),
+                }]
+            },
+            sightseeings: (0..n_seeing)
+                .map(|i| Sightseeing {
+                    seeing_nr: i as i32,
+                    description: "d".repeat(100),
+                    location: "l".repeat(100),
+                    history: "h".repeat(100),
+                    remarks: "r".repeat(100),
+                })
+                .collect(),
+        }
+    }
+
+    fn db() -> Vec<Station> {
+        vec![
+            station(100, 10, &[(101, 1), (102, 2)]), // large
+            station(101, 0, &[(102, 2)]),            // small
+            station(102, 12, &[(100, 0)]),           // large
+        ]
+    }
+
+    fn make(partial: bool) -> DirectStore {
+        let mut s = DirectStore::new(partial, StoreConfig::default());
+        s.load(&db()).unwrap();
+        s
+    }
+
+    #[test]
+    fn get_by_oid_roundtrips() {
+        for partial in [false, true] {
+            let mut s = make(partial);
+            let t = s.get_by_oid(Oid(0), &Projection::All).unwrap();
+            assert_eq!(Station::from_tuple(&t).unwrap(), db()[0]);
+        }
+    }
+
+    #[test]
+    fn get_by_key_scans_and_finds() {
+        for partial in [false, true] {
+            let mut s = make(partial);
+            let t = s.get_by_key(102, &Projection::All).unwrap();
+            assert_eq!(t.attr(attr::KEY).unwrap().as_int(), Some(102));
+            assert!(matches!(
+                s.get_by_key(999, &Projection::All),
+                Err(CoreError::NotFound { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn scan_all_visits_in_oid_order() {
+        let mut s = make(false);
+        let mut keys = Vec::new();
+        s.scan_all(&mut |t| keys.push(t.attr(attr::KEY).unwrap().as_int().unwrap()))
+            .unwrap();
+        assert_eq!(keys, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn children_of_returns_refs_in_order() {
+        let mut s = make(true);
+        let refs = s
+            .children_of(&[ObjRef { oid: Oid(0), key: 100 }])
+            .unwrap();
+        assert_eq!(
+            refs,
+            vec![
+                ObjRef { oid: Oid(1), key: 101 },
+                ObjRef { oid: Oid(2), key: 102 }
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_navigation_reads_fewer_pages_than_full() {
+        let mut dsm = make(false);
+        let mut ddsm = make(true);
+        let r = [ObjRef { oid: Oid(0), key: 100 }];
+        dsm.clear_cache().unwrap();
+        dsm.reset_stats();
+        dsm.children_of(&r).unwrap();
+        let dsm_pages = dsm.snapshot().pages_read;
+        ddsm.clear_cache().unwrap();
+        ddsm.reset_stats();
+        ddsm.children_of(&r).unwrap();
+        let ddsm_pages = ddsm.snapshot().pages_read;
+        assert!(
+            ddsm_pages < dsm_pages,
+            "DASDBS-DSM ({ddsm_pages}) must beat DSM ({dsm_pages}) on navigation"
+        );
+    }
+
+    #[test]
+    fn root_records_project_atomics() {
+        let mut s = make(true);
+        let recs = s
+            .root_records(&[ObjRef { oid: Oid(2), key: 102 }])
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].attr(attr::KEY).unwrap().as_int(), Some(102));
+        assert!(recs[0].attr(attr::PLATFORM).unwrap().as_rel().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dsm_update_replaces_whole_tuple() {
+        let mut s = make(false);
+        let r = ObjRef { oid: Oid(0), key: 100 };
+        let new_name = "X".repeat(100);
+        s.update_roots(&[r], &RootPatch { new_name: new_name.clone() }).unwrap();
+        s.clear_cache().unwrap();
+        let t = s.get_by_oid(Oid(0), &Projection::All).unwrap();
+        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+        // Structure untouched.
+        assert_eq!(Station::from_tuple(&t).unwrap().sightseeings.len(), 10);
+    }
+
+    #[test]
+    fn dasdbs_dsm_update_patches_and_writes_pool_page() {
+        let mut s = make(true);
+        let r = ObjRef { oid: Oid(0), key: 100 };
+        s.root_records(&[r]).unwrap(); // object partly cached, as in query 3
+        s.reset_stats();
+        let new_name = "Y".repeat(100);
+        s.update_roots(&[r], &RootPatch { new_name: new_name.clone() }).unwrap();
+        let written_now = s.snapshot().pages_written;
+        assert_eq!(written_now, 1, "page-pool page is written immediately");
+        s.flush().unwrap();
+        // The data page carrying Name is flushed too.
+        assert!(s.snapshot().pages_written >= 2);
+        s.clear_cache().unwrap();
+        let t = s.get_by_oid(Oid(0), &Projection::All).unwrap();
+        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+    }
+
+    #[test]
+    fn update_rejects_wrong_length() {
+        for partial in [false, true] {
+            let mut s = make(partial);
+            let err = s
+                .update_roots(
+                    &[ObjRef { oid: Oid(0), key: 100 }],
+                    &RootPatch { new_name: "short".into() },
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Store(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn dsm_writes_more_pages_on_update_than_dasdbs_dsm_reads_less() {
+        // DSM replace-tuple dirties the whole extent; DASDBS-DSM patches one
+        // page (plus its pool page).
+        let r = ObjRef { oid: Oid(0), key: 100 };
+        let patch = RootPatch { new_name: "Z".repeat(100) };
+
+        let mut dsm = make(false);
+        dsm.root_records(&[r]).unwrap();
+        dsm.reset_stats();
+        dsm.update_roots(&[r], &patch).unwrap();
+        dsm.flush().unwrap();
+        let dsm_written = dsm.snapshot().pages_written;
+
+        let mut ddsm = make(true);
+        ddsm.root_records(&[r]).unwrap();
+        ddsm.reset_stats();
+        ddsm.update_roots(&[r], &patch).unwrap();
+        ddsm.flush().unwrap();
+        let ddsm_written = ddsm.snapshot().pages_written;
+
+        assert!(
+            dsm_written > ddsm_written,
+            "whole-tuple replace ({dsm_written}) must write more than \
+             change-attribute ({ddsm_written}) for a large object"
+        );
+    }
+
+    #[test]
+    fn relation_info_reports_station_file() {
+        let s = make(false);
+        let info = s.relation_info();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].name, "DSM-Station");
+        assert_eq!(info[0].total_tuples, 3);
+        assert!(info[0].p.unwrap() > 1.0);
+        assert!(info[0].m > 3);
+    }
+
+    #[test]
+    fn unsupported_and_missing() {
+        let mut s = make(false);
+        assert!(matches!(
+            s.get_by_oid(Oid(99), &Projection::All),
+            Err(CoreError::NotFound { .. })
+        ));
+    }
+}

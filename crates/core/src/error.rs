@@ -1,0 +1,61 @@
+use starfish_nf2::Nf2Error;
+use starfish_pagestore::StoreError;
+use std::fmt;
+
+/// Errors produced by the storage models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Data-model error (encoding, schema, projection).
+    Nf2(Nf2Error),
+    /// Substrate error (pages, slots, buffer).
+    Store(StoreError),
+    /// The operation is not supported by this storage model — e.g. query 1a
+    /// (access by OID/address) under pure NSM: "With NSM we have no
+    /// identifiers, so query 1a is not relevant" (§3.3).
+    Unsupported {
+        /// The model's paper name.
+        model: &'static str,
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// No object with the given OID or key exists.
+    NotFound {
+        /// Human-readable description of the missing object.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nf2(e) => write!(f, "data model: {e}"),
+            CoreError::Store(e) => write!(f, "storage: {e}"),
+            CoreError::Unsupported { model, op } => {
+                write!(f, "{model} does not support {op}")
+            }
+            CoreError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nf2(e) => Some(e),
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Nf2Error> for CoreError {
+    fn from(e: Nf2Error) -> Self {
+        CoreError::Nf2(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}

@@ -1,0 +1,431 @@
+//! Multi-node partitioning: the paper's closing hypothesis, §5.5.
+//!
+//! > "Notice, however, that in a distributed system the data skew might
+//! > cause more effects, which could possibly be distinguishing for the
+//! > storage models as well. For, with data skew the disk I/Os are likely
+//! > to be less equally distributed over the nodes if we store a single
+//! > object on a single node."
+//!
+//! [`PartitionedStore`] implements exactly that setup: a shared-nothing
+//! cluster of `n` nodes, each running its own store of the same model over
+//! its own disk and buffer, with **every object placed whole on one node**.
+//! Navigation routes each object access to its owner; per-node I/O counters
+//! expose the load distribution the paper speculates about (see the
+//! `ext_distributed` harness experiment).
+
+use crate::traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
+use crate::{make_store, CoreError, ModelKind, Result, StoreConfig};
+use starfish_nf2::station::Station;
+use starfish_nf2::{Key, Oid, Projection, Tuple};
+use starfish_pagestore::{BufferStats, IoSnapshot};
+use std::collections::HashMap;
+
+/// Object-to-node placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Object `i` goes to node `i mod n` (the balanced baseline).
+    RoundRobin,
+    /// Object goes to node `hash(key) mod n` (placement by key).
+    HashKey,
+}
+
+impl Placement {
+    fn node_of(&self, ordinal: usize, key: Key, nodes: usize) -> usize {
+        match self {
+            Placement::RoundRobin => ordinal % nodes,
+            Placement::HashKey => {
+                // FNV-1a over the key bytes: deterministic and spread-out.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in key.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                (h % nodes as u64) as usize
+            }
+        }
+    }
+}
+
+/// A shared-nothing cluster of single-model stores with whole-object
+/// placement.
+pub struct PartitionedStore {
+    kind: ModelKind,
+    placement: Placement,
+    nodes: Vec<Box<dyn ComplexObjectStore>>,
+    /// Global ordinal → (node, node-local ref).
+    locate: Vec<(usize, ObjRef)>,
+    key_to_global: HashMap<Key, usize>,
+    refs: Vec<ObjRef>,
+}
+
+impl PartitionedStore {
+    /// Builds an empty cluster of `n_nodes` stores of `kind`. Each node gets
+    /// its own buffer of `config.buffer_pages` pages — pass a per-node
+    /// budget (e.g. total/n) for memory-fair comparisons against a single
+    /// node.
+    pub fn new(kind: ModelKind, n_nodes: usize, placement: Placement, config: StoreConfig) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        PartitionedStore {
+            kind,
+            placement,
+            nodes: (0..n_nodes).map(|_| make_store(kind, config.clone())).collect(),
+            locate: Vec::new(),
+            key_to_global: HashMap::new(),
+            refs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Which node owns global object `oid`.
+    pub fn node_of(&self, oid: Oid) -> Result<usize> {
+        self.locate
+            .get(oid.0 as usize)
+            .map(|(n, _)| *n)
+            .ok_or_else(|| CoreError::NotFound { what: format!("object {oid}") })
+    }
+
+    /// Per-node I/O snapshots — the load-distribution view of §5.5.
+    pub fn node_snapshots(&self) -> Vec<IoSnapshot> {
+        self.nodes.iter().map(|n| n.snapshot()).collect()
+    }
+
+    fn local(&self, r: &ObjRef) -> Result<(usize, ObjRef)> {
+        self.locate
+            .get(r.oid.0 as usize)
+            .copied()
+            .ok_or_else(|| CoreError::NotFound { what: format!("object {}", r.oid) })
+    }
+}
+
+impl ComplexObjectStore for PartitionedStore {
+    fn model(&self) -> ModelKind {
+        self.kind
+    }
+
+    fn load(&mut self, stations: &[Station]) -> Result<Vec<ObjRef>> {
+        let n = self.nodes.len();
+        let mut per_node: Vec<Vec<Station>> = vec![Vec::new(); n];
+        let mut node_and_local_ordinal = Vec::with_capacity(stations.len());
+        self.key_to_global.clear();
+        self.refs.clear();
+        for (i, s) in stations.iter().enumerate() {
+            let node = self.placement.node_of(i, s.key, n);
+            node_and_local_ordinal.push((node, per_node[node].len()));
+            per_node[node].push(s.clone());
+            self.key_to_global.insert(s.key, i);
+            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+        }
+        let mut local_refs: Vec<Vec<ObjRef>> = Vec::with_capacity(n);
+        for (node, store) in self.nodes.iter_mut().enumerate() {
+            local_refs.push(store.load(&per_node[node])?);
+        }
+        self.locate = node_and_local_ordinal
+            .iter()
+            .map(|&(node, ord)| (node, local_refs[node][ord]))
+            .collect();
+        Ok(self.refs.clone())
+    }
+
+    fn object_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        let (node, local) = self.local(&ObjRef { oid, key: 0 })?;
+        self.nodes[node].get_by_oid(local.oid, proj)
+    }
+
+    fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
+        // A global catalog (uncounted, like the paper's address tables)
+        // routes the value selection to the owning node; the node still
+        // pays its model's local lookup cost.
+        let global = *self
+            .key_to_global
+            .get(&key)
+            .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?;
+        let (node, _) = self.locate[global];
+        self.nodes[node].get_by_key(key, proj)
+    }
+
+    fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        // Collect per node (each node scans once), then emit in global
+        // object order.
+        let n = self.nodes.len();
+        let mut per_node: Vec<Vec<Tuple>> = Vec::with_capacity(n);
+        for store in self.nodes.iter_mut() {
+            let mut acc = Vec::new();
+            store.scan_all(&mut |t| acc.push(t.clone()))?;
+            per_node.push(acc);
+        }
+        let mut cursors = vec![0usize; n];
+        for &(node, _) in &self.locate {
+            let t = &per_node[node][cursors[node]];
+            cursors[node] += 1;
+            f(t);
+        }
+        Ok(())
+    }
+
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        // Route each object to its owner, preserving input order — in a
+        // shared-nothing cluster every object access is a per-node request.
+        let mut out = Vec::new();
+        for r in refs {
+            let (node, local) = self.local(r)?;
+            out.extend(self.nodes[node].children_of(&[local])?);
+        }
+        Ok(out)
+    }
+
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        refs.iter()
+            .map(|r| {
+                let (node, local) = self.local(r)?;
+                let mut rec = self.nodes[node].root_records(&[local])?;
+                rec.pop().ok_or_else(|| CoreError::NotFound { what: format!("object {}", r.oid) })
+            })
+            .collect()
+    }
+
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        for r in refs {
+            let (node, local) = self.local(r)?;
+            self.nodes[node].update_roots(&[local], patch)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for n in self.nodes.iter_mut() {
+            n.flush()?;
+        }
+        Ok(())
+    }
+
+    fn clear_cache(&mut self) -> Result<()> {
+        for n in self.nodes.iter_mut() {
+            n.clear_cache()?;
+        }
+        Ok(())
+    }
+
+    fn reset_stats(&mut self) {
+        for n in self.nodes.iter_mut() {
+            n.reset_stats();
+        }
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        self.nodes.iter().map(|n| n.snapshot()).fold(IoSnapshot::default(), |mut acc, s| {
+            acc.read_calls += s.read_calls;
+            acc.pages_read += s.pages_read;
+            acc.write_calls += s.write_calls;
+            acc.pages_written += s.pages_written;
+            acc.fixes += s.fixes;
+            acc.hits += s.hits;
+            acc.misses += s.misses;
+            acc
+        })
+    }
+
+    fn buffer_stats(&self) -> BufferStats {
+        self.nodes.iter().map(|n| n.buffer_stats()).fold(
+            BufferStats::default(),
+            |mut acc, s| {
+                acc.fixes += s.fixes;
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.evictions += s.evictions;
+                acc.dirty_evictions += s.dirty_evictions;
+                acc
+            },
+        )
+    }
+
+    fn relation_info(&self) -> Vec<RelationInfo> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, n)| {
+                n.relation_info().into_iter().map(move |mut ri| {
+                    ri.name = format!("node{i}/{}", ri.name);
+                    ri
+                })
+            })
+            .collect()
+    }
+
+    fn database_pages(&self) -> u32 {
+        self.nodes.iter().map(|n| n.database_pages()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_nf2::station::{Connection, Platform};
+
+    fn station(key: Key, children: &[u32]) -> Station {
+        Station {
+            key,
+            name: format!("{key:0100}"),
+            platforms: vec![Platform {
+                platform_nr: 1,
+                no_line: 1,
+                ticket_code: 0,
+                information: "i".repeat(100),
+                connections: children
+                    .iter()
+                    .map(|&c| Connection {
+                        line_nr: 1,
+                        key_connection: 100 + c as i32,
+                        oid_connection: Oid(c),
+                        departure_times: "t".repeat(100),
+                    })
+                    .collect(),
+            }],
+            sightseeings: vec![],
+        }
+    }
+
+    fn db() -> Vec<Station> {
+        (0..10).map(|i| station(100 + i, &[(i as u32 + 1) % 10, (i as u32 + 5) % 10])).collect()
+    }
+
+    fn cluster(kind: ModelKind, nodes: usize) -> PartitionedStore {
+        let mut s = PartitionedStore::new(
+            kind,
+            nodes,
+            Placement::RoundRobin,
+            StoreConfig::with_buffer_pages(256),
+        );
+        s.load(&db()).unwrap();
+        s
+    }
+
+    #[test]
+    fn round_robin_places_evenly() {
+        let s = cluster(ModelKind::DasdbsNsm, 3);
+        let mut counts = [0usize; 3];
+        for i in 0..10 {
+            counts[s.node_of(Oid(i)).unwrap()] += 1;
+        }
+        assert_eq!(counts, [4, 3, 3]);
+    }
+
+    #[test]
+    fn behaves_like_a_single_store_logically() {
+        for kind in [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm] {
+            let mut part = cluster(kind, 3);
+            let mut single = make_store(kind, StoreConfig::with_buffer_pages(256));
+            let refs = single.load(&db()).unwrap();
+            // Same objects by OID and by key.
+            for r in &refs {
+                let a = part.get_by_oid(r.oid, &Projection::All).unwrap();
+                let b = single.get_by_oid(r.oid, &Projection::All).unwrap();
+                assert_eq!(a, b, "{kind} oid {}", r.oid);
+                let a = part.get_by_key(r.key, &Projection::All).unwrap();
+                assert_eq!(a, b, "{kind} key {}", r.key);
+            }
+            // Same navigation.
+            let a = part.children_of(&refs).unwrap();
+            let b = single.children_of(&refs).unwrap();
+            assert_eq!(a, b, "{kind}");
+            // Same root records.
+            let a = part.root_records(&refs[..4]).unwrap();
+            let b = single.root_records(&refs[..4]).unwrap();
+            assert_eq!(a, b, "{kind}");
+            // Same scan order.
+            let mut sa = Vec::new();
+            part.scan_all(&mut |t| sa.push(t.clone())).unwrap();
+            let mut sb = Vec::new();
+            single.scan_all(&mut |t| sb.push(t.clone())).unwrap();
+            assert_eq!(sa, sb, "{kind}");
+        }
+    }
+
+    #[test]
+    fn updates_route_to_owners_and_persist() {
+        let mut part = cluster(ModelKind::DasdbsNsm, 4);
+        let refs = part.refs.clone();
+        let new_name = "Z".repeat(100);
+        part.update_roots(&refs[..5], &RootPatch { new_name: new_name.clone() }).unwrap();
+        part.clear_cache().unwrap();
+        for r in &refs[..5] {
+            let t = part.get_by_oid(r.oid, &Projection::All).unwrap();
+            assert_eq!(
+                Station::from_tuple(&t).unwrap().name,
+                new_name,
+                "object {}",
+                r.oid
+            );
+        }
+    }
+
+    #[test]
+    fn per_node_counters_sum_to_the_aggregate() {
+        let mut part = cluster(ModelKind::Dsm, 3);
+        let refs = part.refs.clone();
+        part.clear_cache().unwrap();
+        part.reset_stats();
+        part.children_of(&refs).unwrap();
+        let per_node = part.node_snapshots();
+        let total = part.snapshot();
+        assert_eq!(
+            per_node.iter().map(|s| s.pages_read).sum::<u64>(),
+            total.pages_read
+        );
+        assert!(per_node.iter().filter(|s| s.pages_read > 0).count() >= 2);
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_complete() {
+        let mut a = PartitionedStore::new(
+            ModelKind::DasdbsNsm,
+            5,
+            Placement::HashKey,
+            StoreConfig::with_buffer_pages(128),
+        );
+        a.load(&db()).unwrap();
+        let mut b = PartitionedStore::new(
+            ModelKind::DasdbsNsm,
+            5,
+            Placement::HashKey,
+            StoreConfig::with_buffer_pages(128),
+        );
+        b.load(&db()).unwrap();
+        for i in 0..10 {
+            assert_eq!(a.node_of(Oid(i)).unwrap(), b.node_of(Oid(i)).unwrap());
+        }
+        // Every object is reachable.
+        for r in a.refs.clone() {
+            a.get_by_oid(r.oid, &Projection::All).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_cleanly() {
+        let mut part = cluster(ModelKind::DasdbsDsm, 1);
+        assert_eq!(part.node_count(), 1);
+        let refs = part.refs.clone();
+        assert_eq!(part.children_of(&refs[..1]).unwrap().len(), 2);
+        assert!(part.database_pages() > 0);
+    }
+
+    #[test]
+    fn missing_objects_error() {
+        let mut part = cluster(ModelKind::DasdbsNsm, 2);
+        assert!(matches!(
+            part.get_by_oid(Oid(99), &Projection::All),
+            Err(CoreError::NotFound { .. })
+        ));
+        assert!(matches!(
+            part.get_by_key(9999, &Projection::All),
+            Err(CoreError::NotFound { .. })
+        ));
+    }
+}

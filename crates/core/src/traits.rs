@@ -1,0 +1,140 @@
+use crate::{ModelKind, Result};
+use starfish_nf2::station::Station;
+use starfish_nf2::{Key, Oid, Projection, Tuple};
+use starfish_pagestore::{BufferStats, IoSnapshot};
+
+/// A reference to a complex object: its OID (physical handle) and its key
+/// (logical value).
+///
+/// The benchmark's `Connection` sub-tuples carry both (`KeyConnection`,
+/// `OidConnection`), so navigation always has both at hand; each storage
+/// model uses whichever access path it supports (direct models and
+/// DASDBS-NSM resolve OIDs/keys through memory-resident address tables, pure
+/// NSM must select by key value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObjRef {
+    /// Object identifier.
+    pub oid: Oid,
+    /// Logical key (`Station.Key`).
+    pub key: Key,
+}
+
+/// The update applied by queries 3a/3b: overwrite the root record's `Name`
+/// with a same-length string ("We update atomic attributes, that is, the
+/// object structure is not changed", §2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootPatch {
+    /// Replacement for `Name`; must have the same byte length as the stored
+    /// value so the update is structure-preserving.
+    pub new_name: String,
+}
+
+/// Per-relation storage statistics, the raw material of the paper's Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationInfo {
+    /// Relation name, e.g. `"NSM-Connection"`.
+    pub name: String,
+    /// Average tuples per `Station` object.
+    pub tuples_per_object: f64,
+    /// Total stored tuples.
+    pub total_tuples: u64,
+    /// Average stored tuple size in bytes (`S_tuple`), including the 4-byte
+    /// slot entry for page-sharing tuples, mirroring Table 2's accounting.
+    pub avg_tuple_bytes: f64,
+    /// Tuples per page (`k = ⌊2012 / S_tuple⌋`) for page-sharing tuples.
+    pub k: Option<u32>,
+    /// Average pages per tuple (`p`) for page-spanning tuples.
+    pub p: Option<f64>,
+    /// Total pages storing the relation (`m`).
+    pub m: u32,
+}
+
+/// The common interface of the four storage models.
+///
+/// The operations are exactly the benchmark's primitives (§2.2):
+///
+/// * query 1a → [`get_by_oid`](Self::get_by_oid),
+/// * query 1b → [`get_by_key`](Self::get_by_key),
+/// * query 1c → [`scan_all`](Self::scan_all),
+/// * queries 2/3 navigation steps → [`children_of`](Self::children_of) and
+///   [`root_records`](Self::root_records) (set-oriented, so the normalized
+///   models can use one relation scan per step),
+/// * queries 3a/3b updates → [`update_roots`](Self::update_roots)
+///   (set-oriented `replace set of tuples` where the model supports it).
+pub trait ComplexObjectStore {
+    /// Which storage model this is.
+    fn model(&self) -> ModelKind;
+
+    /// Bulk-loads the database. Object `i` of `stations` gets OID `i`.
+    /// Resets I/O statistics afterwards, so loading is never part of a
+    /// measurement.
+    fn load(&mut self, stations: &[Station]) -> Result<Vec<ObjRef>>;
+
+    /// Number of loaded objects.
+    fn object_count(&self) -> usize;
+
+    /// Query 1a: retrieve one object by OID (address access). Errors with
+    /// [`crate::CoreError::Unsupported`] under pure NSM.
+    fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple>;
+
+    /// Query 1b: retrieve one object by key (value selection — scans where
+    /// the model has no better path; the paper's selections are
+    /// set-oriented, so scans always read the whole relation).
+    fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple>;
+
+    /// Query 1c: materialize every object, in OID order where the model has
+    /// OIDs (key order otherwise).
+    fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()>;
+
+    /// Navigation step: the children references
+    /// (`Platform.Connection.{KeyConnection, OidConnection}`) of each of
+    /// `refs`, concatenated. Duplicates are preserved (an object referenced
+    /// twice counts twice, as in the paper's child counts).
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>>;
+
+    /// Navigation step: the root records (atomic attributes) of `refs`.
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>>;
+
+    /// Queries 3a/3b: update the root records of `refs` with `patch`.
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()>;
+
+    /// Writes all deferred (dirty) pages — the paper's "database
+    /// disconnect", the point where deferred writes hit the disk.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Flushes and empties the buffer: a cold restart between measurements.
+    fn clear_cache(&mut self) -> Result<()>;
+
+    /// Resets all I/O counters (cache content is kept).
+    fn reset_stats(&mut self);
+
+    /// Current combined I/O counters.
+    fn snapshot(&self) -> IoSnapshot;
+
+    /// Current buffer counters.
+    fn buffer_stats(&self) -> BufferStats;
+
+    /// Per-relation storage statistics (Table 2).
+    fn relation_info(&self) -> Vec<RelationInfo>;
+
+    /// Total pages allocated for the database.
+    fn database_pages(&self) -> u32;
+}
+
+/// Computes `tuples_per_object`, guarding the empty database.
+pub(crate) fn per_object(total: u64, objects: usize) -> f64 {
+    if objects == 0 {
+        0.0
+    } else {
+        total as f64 / objects as f64
+    }
+}
+
+/// Computes the average of `total_bytes` over `count` items, 0 when empty.
+pub(crate) fn avg(total_bytes: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total_bytes as f64 / count as f64
+    }
+}

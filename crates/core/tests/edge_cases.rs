@@ -1,0 +1,171 @@
+//! Edge-case tests for the storage models: degenerate databases, degenerate
+//! objects, duplicate references, tiny buffers.
+
+use starfish_core::{make_store, CoreError, ModelKind, ObjRef, RootPatch, StoreConfig};
+use starfish_nf2::station::{Connection, Platform, Station};
+use starfish_nf2::{Oid, Projection};
+
+fn bare_station(key: i32) -> Station {
+    Station { key, name: format!("{key:0100}"), platforms: vec![], sightseeings: vec![] }
+}
+
+fn with_self_loop(key: i32, oid: u32) -> Station {
+    Station {
+        key,
+        name: format!("{key:0100}"),
+        platforms: vec![Platform {
+            platform_nr: 1,
+            no_line: 1,
+            ticket_code: 0,
+            information: "i".repeat(100),
+            connections: vec![Connection {
+                line_nr: 1,
+                key_connection: key,
+                oid_connection: Oid(oid),
+                departure_times: "t".repeat(100),
+            }],
+        }],
+        sightseeings: vec![],
+    }
+}
+
+#[test]
+fn empty_database_errors_cleanly_everywhere() {
+    for kind in ModelKind::all() {
+        let mut store = make_store(kind, StoreConfig::default());
+        store.load(&[]).unwrap();
+        assert_eq!(store.object_count(), 0);
+        assert!(store.get_by_key(1, &Projection::All).is_err(), "{kind}");
+        let mut n = 0;
+        store.scan_all(&mut |_| n += 1).unwrap();
+        assert_eq!(n, 0, "{kind}");
+        assert!(store.children_of(&[]).unwrap().is_empty());
+        assert!(store.root_records(&[]).unwrap().is_empty());
+        store.update_roots(&[], &RootPatch { new_name: "x".into() }).unwrap();
+        store.flush().unwrap();
+    }
+}
+
+#[test]
+fn single_object_database_works() {
+    for kind in ModelKind::all() {
+        let db = vec![bare_station(42)];
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        assert_eq!(refs.len(), 1);
+        let t = store.get_by_key(42, &Projection::All).unwrap();
+        assert_eq!(Station::from_tuple(&t).unwrap(), db[0], "{kind}");
+        assert!(store.children_of(&refs).unwrap().is_empty(), "{kind}");
+    }
+}
+
+#[test]
+fn objects_without_platforms_or_sightseeings_roundtrip() {
+    for kind in ModelKind::all() {
+        let db = vec![bare_station(1), bare_station(2), bare_station(3)];
+        let mut store = make_store(kind, StoreConfig::default());
+        store.load(&db).unwrap();
+        let mut seen = Vec::new();
+        store.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+        assert_eq!(seen, db, "{kind}");
+    }
+}
+
+#[test]
+fn self_referencing_objects_navigate_to_themselves() {
+    for kind in ModelKind::all() {
+        let db = vec![with_self_loop(7, 0)];
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let children = store.children_of(&refs).unwrap();
+        assert_eq!(children, vec![ObjRef { oid: Oid(0), key: 7 }], "{kind}");
+        // Grand-children of a self-loop are the object again.
+        let grand = store.children_of(&children).unwrap();
+        assert_eq!(grand, children, "{kind}");
+    }
+}
+
+#[test]
+fn duplicate_update_refs_are_idempotent() {
+    for kind in ModelKind::all() {
+        let db = vec![bare_station(5), bare_station(6)];
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let r = refs[1];
+        let patch = RootPatch { new_name: "N".repeat(100) };
+        store.update_roots(&[r, r, r], &patch).unwrap();
+        store.clear_cache().unwrap();
+        let t = store.get_by_key(6, &Projection::All).unwrap();
+        assert_eq!(Station::from_tuple(&t).unwrap().name, patch.new_name, "{kind}");
+    }
+}
+
+#[test]
+fn update_of_missing_object_errors() {
+    for kind in ModelKind::all() {
+        let mut store = make_store(kind, StoreConfig::default());
+        store.load(&[bare_station(1)]).unwrap();
+        let bogus = ObjRef { oid: Oid(99), key: 99 };
+        assert!(
+            matches!(
+                store.update_roots(&[bogus], &RootPatch { new_name: "x".repeat(100) }),
+                Err(CoreError::NotFound { .. })
+            ),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn tiny_buffer_still_produces_correct_answers() {
+    // Correctness must be independent of the cache size; only the I/O
+    // counts change.
+    let db: Vec<Station> = (0..30).map(|i| with_self_loop(100 + i, i as u32)).collect();
+    for kind in ModelKind::all() {
+        let mut tiny = make_store(kind, StoreConfig::with_buffer_pages(2));
+        let refs = tiny.load(&db).unwrap();
+        let mut big = make_store(kind, StoreConfig::with_buffer_pages(10_000));
+        big.load(&db).unwrap();
+        let a = tiny.children_of(&refs).unwrap();
+        let b = big.children_of(&refs).unwrap();
+        assert_eq!(a, b, "{kind}");
+        let ta = tiny.get_by_key(105, &Projection::All).unwrap();
+        let tb = big.get_by_key(105, &Projection::All).unwrap();
+        assert_eq!(ta, tb, "{kind}");
+        assert!(
+            tiny.snapshot().pages_read >= big.snapshot().pages_read,
+            "{kind}: a smaller cache can only read more"
+        );
+    }
+}
+
+#[test]
+fn projections_are_honoured_by_every_oid_capable_model() {
+    let db = vec![with_self_loop(9, 0)];
+    let proj = starfish_nf2::station::proj_root_record();
+    for kind in ModelKind::all() {
+        if kind == ModelKind::Nsm {
+            continue;
+        }
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let t = store.get_by_oid(refs[0].oid, &proj).unwrap();
+        assert_eq!(t.attr(0).unwrap().as_int(), Some(9), "{kind}");
+        assert!(
+            t.attr(4).unwrap().as_rel().unwrap().is_empty(),
+            "{kind}: platforms must be projected away"
+        );
+    }
+}
+
+#[test]
+fn reload_replaces_the_database() {
+    for kind in ModelKind::all() {
+        let mut store = make_store(kind, StoreConfig::default());
+        store.load(&[bare_station(1), bare_station(2)]).unwrap();
+        store.load(&[bare_station(10)]).unwrap();
+        assert_eq!(store.object_count(), 1, "{kind}");
+        assert!(store.get_by_key(10, &Projection::All).is_ok(), "{kind}");
+        assert!(store.get_by_key(1, &Projection::All).is_err(), "{kind}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-model equivalence: all five storage-model variants must expose
+//! exactly the same logical database — identical objects from every access
+//! path, identical navigation, identical update results. The models may only
+//! differ in *which pages they touch*, never in *what they return*.
+
+use proptest::prelude::*;
+use starfish_core::{
+    make_store, ComplexObjectStore, ModelKind, ObjRef, RootPatch, StoreConfig,
+};
+use starfish_nf2::station::{Connection, Platform, Sightseeing, Station};
+use starfish_nf2::{Oid, Projection};
+
+/// Builds a consistent random database of `n` stations whose connections
+/// reference stations in the same database.
+fn arb_db(max_n: usize) -> impl Strategy<Value = Vec<Station>> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        
+        (0..n).map(move |i| arb_station(i as i32, n as u32)).collect::<Vec<_>>()
+    })
+}
+
+fn arb_station(idx: i32, n: u32) -> impl Strategy<Value = Station> {
+    let key = 1000 + idx;
+    (
+        proptest::collection::vec(
+            (
+                0u32..n,
+                proptest::collection::vec((0u32..n, any::<u8>()), 0..4),
+            ),
+            0..3,
+        ),
+        0usize..6,
+        any::<u8>(),
+    )
+        .prop_map(move |(platform_specs, n_seeing, salt)| Station {
+            key,
+            name: format!("{key:08}-{salt:03}-{}", "n".repeat(88)),
+            platforms: platform_specs
+                .iter()
+                .enumerate()
+                .map(|(pi, (_, conns))| Platform {
+                    platform_nr: pi as i32,
+                    no_line: (pi as i32) + 1,
+                    ticket_code: idx,
+                    information: "i".repeat(100),
+                    connections: conns
+                        .iter()
+                        .map(|&(target, line)| Connection {
+                            line_nr: line as i32,
+                            key_connection: 1000 + target as i32,
+                            oid_connection: Oid(target),
+                            departure_times: "t".repeat(100),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            sightseeings: (0..n_seeing)
+                .map(|i| Sightseeing {
+                    seeing_nr: i as i32,
+                    description: "d".repeat(100),
+                    location: "l".repeat(100),
+                    history: "h".repeat(100),
+                    remarks: "r".repeat(100),
+                })
+                .collect(),
+        })
+}
+
+fn all_stores(db: &[Station]) -> Vec<Box<dyn ComplexObjectStore>> {
+    ModelKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut s = make_store(kind, StoreConfig::default());
+            s.load(db).unwrap();
+            s
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_models_return_identical_objects(db in arb_db(6)) {
+        let mut stores = all_stores(&db);
+        for (i, expect) in db.iter().enumerate() {
+            let mut answers = Vec::new();
+            for s in &mut stores {
+                let t = s.get_by_key(expect.key, &Projection::All).unwrap();
+                answers.push((s.model(), Station::from_tuple(&t).unwrap()));
+            }
+            for (model, got) in &answers {
+                prop_assert_eq!(got, &db[i], "model {} object {}", model, i);
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_navigate_identically(db in arb_db(6)) {
+        let mut stores = all_stores(&db);
+        let refs: Vec<ObjRef> = db
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ObjRef { oid: Oid(i as u32), key: s.key })
+            .collect();
+        let expected: Vec<Vec<ObjRef>> = stores
+            .iter_mut()
+            .map(|s| s.children_of(&refs).unwrap())
+            .collect();
+        for w in expected.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+        // And the root records agree (key + name fields).
+        let roots: Vec<Vec<(Option<i32>, String)>> = stores
+            .iter_mut()
+            .map(|s| {
+                s.root_records(&refs)
+                    .unwrap()
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.attr(0).and_then(starfish_nf2::Value::as_int),
+                            t.attr(3)
+                                .and_then(starfish_nf2::Value::as_str)
+                                .unwrap_or_default()
+                                .to_string(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for w in roots.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    #[test]
+    fn updates_converge_across_models(db in arb_db(5), victim in 0usize..5) {
+        let victim = victim % db.len();
+        let mut stores = all_stores(&db);
+        let r = ObjRef { oid: Oid(victim as u32), key: db[victim].key };
+        let new_name = format!("{:07}", victim + 7)
+            + &"X".repeat(db[victim].name.len().saturating_sub(7));
+        for s in &mut stores {
+            s.update_roots(&[r], &RootPatch { new_name: new_name.clone() }).unwrap();
+            s.clear_cache().unwrap();
+            let t = s.get_by_key(r.key, &Projection::All).unwrap();
+            let got = Station::from_tuple(&t).unwrap();
+            prop_assert_eq!(&got.name, &new_name, "model {}", s.model());
+            // Everything else unchanged.
+            let mut expect = db[victim].clone();
+            expect.name = new_name.clone();
+            prop_assert_eq!(got, expect, "model {}", s.model());
+        }
+    }
+
+    #[test]
+    fn scan_all_agrees_with_point_lookups(db in arb_db(5)) {
+        for kind in ModelKind::all() {
+            let mut s = make_store(kind, StoreConfig::default());
+            s.load(&db).unwrap();
+            let mut seen = Vec::new();
+            s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+            prop_assert_eq!(&seen, &db, "model {}", kind);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Monte-Carlo cross-validation of the page-access formulas.
+//!
+//! The paper validates its analytical model against DASDBS measurements; we
+//! additionally validate each formula against direct stochastic simulation
+//! of the placement process it models. This pins down the two OCR-garbled
+//! equations (5 and 7) far more tightly than the surviving table cells can.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use starfish_cost::formulas::{bernstein, cluster_run, clustered_groups, distinct_selected, yao};
+use std::collections::HashSet;
+
+const TRIALS: usize = 4000;
+
+/// Simulates Eq. 4's process: `t` tuples drawn uniformly (with replacement,
+/// like Bernstein's approximation assumes) over `m` pages; returns the mean
+/// number of distinct pages.
+fn simulate_random_tuples(t: usize, m: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..TRIALS {
+        let mut pages = HashSet::new();
+        for _ in 0..t {
+            pages.insert(rng.random_range(0..m));
+        }
+        total += pages.len();
+    }
+    total as f64 / TRIALS as f64
+}
+
+/// Simulates Yao's process exactly: `t` *distinct* tuples sampled without
+/// replacement from `m·k` tuples stored `k` per page.
+fn simulate_yao(t: usize, m: usize, k: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = m * k;
+    let mut total = 0usize;
+    let mut ids: Vec<usize> = (0..n).collect();
+    for _ in 0..TRIALS {
+        // Partial Fisher-Yates: first t entries are a uniform sample.
+        for i in 0..t {
+            let j = rng.random_range(i..n);
+            ids.swap(i, j);
+        }
+        let pages: HashSet<usize> = ids[..t].iter().map(|&id| id / k).collect();
+        total += pages.len();
+    }
+    total as f64 / TRIALS as f64
+}
+
+/// Simulates Eq. 6's process: one run of `t` consecutive tuples starting at
+/// a uniformly random offset within a page, `k` tuples per page.
+fn simulate_cluster_run(t: usize, k: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..TRIALS {
+        let offset = rng.random_range(0..k);
+        total += (offset + t).div_ceil(k);
+    }
+    total as f64 / TRIALS as f64
+}
+
+/// Simulates Eq. 7's process: `i` clusters of `g` consecutive tuples, each
+/// cluster placed at an independently random tuple position in a relation
+/// of `m` pages × `k` tuples; counts distinct pages touched.
+fn simulate_clustered_groups(i: usize, g: usize, m: usize, k: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = m * k;
+    let mut total = 0usize;
+    for _ in 0..TRIALS {
+        let mut pages = HashSet::new();
+        for _ in 0..i {
+            let start = rng.random_range(0..n - g);
+            for p in (start / k)..=((start + g - 1) / k) {
+                pages.insert(p);
+            }
+        }
+        total += pages.len();
+    }
+    total as f64 / TRIALS as f64
+}
+
+/// Simulates Eq. 8's process: `n_num` draws with replacement from `n_tot`
+/// objects; counts distinct objects.
+fn simulate_distinct(n_tot: usize, n_num: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trials = 400;
+    let mut total = 0usize;
+    for _ in 0..trials {
+        let mut seen = HashSet::new();
+        for _ in 0..n_num {
+            seen.insert(rng.random_range(0..n_tot));
+        }
+        total += seen.len();
+    }
+    total as f64 / trials as f64
+}
+
+fn assert_close(formula: f64, simulated: f64, rel_tol: f64, what: &str) {
+    let rel = (formula - simulated).abs() / simulated.max(1e-9);
+    assert!(
+        rel <= rel_tol,
+        "{what}: formula {formula:.3} vs simulation {simulated:.3} (rel err {rel:.3})"
+    );
+}
+
+#[test]
+fn eq4_bernstein_matches_simulation() {
+    for (t, m) in [(5, 50), (17, 116), (100, 116), (40, 559), (300, 116)] {
+        let sim = simulate_random_tuples(t, m, 42 + t as u64);
+        assert_close(bernstein(t as f64, m as f64), sim, 0.01, &format!("bernstein({t},{m})"));
+    }
+}
+
+#[test]
+fn yao_matches_without_replacement_simulation() {
+    for (t, m, k) in [(17, 116, 13), (50, 116, 13), (30, 559, 11), (8, 20, 4)] {
+        let sim = simulate_yao(t, m, k, 7 + t as u64);
+        assert_close(yao(t as u64, m as u64, k as u64), sim, 0.01, &format!("yao({t},{m},{k})"));
+    }
+}
+
+#[test]
+fn yao_exceeds_bernstein_slightly() {
+    // Sampling without replacement spreads over more pages than with
+    // replacement, so Yao ≥ Bernstein with equality in the limit.
+    for (t, m, k) in [(17, 116, 13), (100, 559, 11)] {
+        let y = yao(t, m, k);
+        let b = bernstein(t as f64, m as f64);
+        assert!(y >= b - 1e-9, "yao {y} < bernstein {b}");
+        assert!(y - b < 1.0, "approximation gap too large: {y} vs {b}");
+    }
+}
+
+#[test]
+fn eq6_cluster_run_matches_simulation_exactly() {
+    // Eq. 6 is an exact expectation; simulation converges to it.
+    for (t, k) in [(1, 13), (7, 4), (13, 13), (25, 11), (100, 4)] {
+        let sim = simulate_cluster_run(t, k, 99 + t as u64);
+        assert_close(
+            cluster_run(t as f64, 1e9, k as f64),
+            sim,
+            0.01,
+            &format!("cluster_run({t},k={k})"),
+        );
+    }
+}
+
+#[test]
+fn eq7_clustered_groups_matches_simulation_small_g() {
+    // g ≤ 2k−2 branch (the Bernstein-corrected branch).
+    for (i, g, m, k) in [(4, 4, 559, 11), (17, 4, 116, 13), (10, 2, 50, 4), (40, 6, 219, 11)] {
+        let sim = simulate_clustered_groups(i, g, m, k, 1234 + (i * g) as u64);
+        let formula = clustered_groups((i * g) as f64, g as f64, m as f64, k as f64);
+        assert_close(formula, sim, 0.06, &format!("clustered_groups(i={i},g={g},m={m},k={k})"));
+    }
+}
+
+#[test]
+fn eq7_clustered_groups_matches_simulation_recursive_branch() {
+    // g > 2k−2 triggers the reconstructed recursion.
+    for (i, g, m, k) in [(3, 30, 1000, 4), (5, 12, 400, 4), (2, 40, 800, 11)] {
+        let sim = simulate_clustered_groups(i, g, m, k, 777 + (i * g) as u64);
+        let formula = clustered_groups((i * g) as f64, g as f64, m as f64, k as f64);
+        assert_close(
+            formula,
+            sim,
+            0.08,
+            &format!("clustered_groups recursive(i={i},g={g},m={m},k={k})"),
+        );
+    }
+}
+
+#[test]
+fn eq8_distinct_matches_simulation() {
+    for (n_tot, n_num) in [(1500, 300), (1500, 6540), (100, 50), (250, 4000)] {
+        let sim = simulate_distinct(n_tot, n_num, 3 + n_num as u64);
+        assert_close(
+            distinct_selected(n_tot as f64, n_num as f64),
+            sim,
+            0.01,
+            &format!("distinct({n_tot},{n_num})"),
+        );
+    }
+}

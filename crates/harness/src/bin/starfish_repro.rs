@@ -1,0 +1,121 @@
+//! `starfish-repro` — regenerate every table and figure of the ICDE 1993
+//! evaluation.
+//!
+//! ```text
+//! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--seed N]
+//!
+//!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
+//!   --only       run a subset: table2,table3,table4,table5,table6,
+//!                fig5,fig6,table7,table8,ext-timing,ext-buffer,
+//!                ext-distributed,ext-clustering,ext-alignment
+//!   --markdown   emit GitHub-flavoured markdown instead of plain text
+//!   --json       emit one JSON object per experiment (one per line)
+//!   --seed N     dataset seed (default 4242)
+//! ```
+
+use starfish_harness::experiments;
+use starfish_harness::runner::{measure_grid, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "starfish-repro [--fast] [--only <ids>] [--markdown] [--seed N]\n\
+             regenerates the tables/figures of 'An Evaluation of Physical Disk \
+             I/Os for Complex Object Processing' (ICDE 1993)"
+        );
+        return;
+    }
+    let mut config =
+        if args.iter().any(|a| a == "--fast") { HarnessConfig::fast() } else { HarnessConfig::default() };
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            config.dataset_seed = seed;
+        }
+    }
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let json = args.iter().any(|a| a == "--json");
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
+
+    eprintln!(
+        "starfish-repro: {} objects, {}-page buffer, dataset seed {}",
+        config.n_objects, config.buffer_pages, config.dataset_seed
+    );
+
+    let reports = match &only {
+        None => experiments::run_all(&config).unwrap_or_else(die),
+        Some(ids) => {
+            let mut out = Vec::new();
+            // Tables 4–6 and 8 share one measured grid; build it lazily.
+            let mut grid = None;
+            let mut ensure_grid = || {
+                measure_grid(&config.dataset(), &config, &experiments::grid_models())
+                    .unwrap_or_else(die)
+            };
+            for id in ids {
+                let report = match id.as_str() {
+                    "table2" => experiments::table2::run(&config).unwrap_or_else(die),
+                    "table3" => experiments::table3::run(&config),
+                    "table4" => {
+                        let g = grid.get_or_insert_with(&mut ensure_grid);
+                        experiments::table4::run(g)
+                    }
+                    "table5" => {
+                        let g = grid.get_or_insert_with(&mut ensure_grid);
+                        experiments::table5::run(g)
+                    }
+                    "table6" => {
+                        let g = grid.get_or_insert_with(&mut ensure_grid);
+                        experiments::table6::run(g)
+                    }
+                    "table8" => {
+                        let g = grid.get_or_insert_with(&mut ensure_grid);
+                        experiments::table8::run(g)
+                    }
+                    "fig5" => experiments::fig5::run(&config).unwrap_or_else(die),
+                    "fig6" => experiments::fig6::run(&config).unwrap_or_else(die),
+                    "table7" => experiments::table7::run(&config).unwrap_or_else(die),
+                    "ext-timing" => {
+                        let g = grid.get_or_insert_with(&mut ensure_grid);
+                        experiments::ext_timing::run(g)
+                    }
+                    "ext-alignment" => {
+                        experiments::ext_alignment::run(&config).unwrap_or_else(die)
+                    }
+                    "ext-buffer" => experiments::ext_buffer::run(&config).unwrap_or_else(die),
+                    "ext-clustering" => {
+                        experiments::ext_clustering::run(&config).unwrap_or_else(die)
+                    }
+                    "ext-distributed" => {
+                        experiments::ext_distributed::run(&config).unwrap_or_else(die)
+                    }
+                    other => {
+                        eprintln!("unknown experiment id: {other}");
+                        std::process::exit(2);
+                    }
+                };
+                out.push(report);
+            }
+            out
+        }
+    };
+
+    for report in &reports {
+        if json {
+            println!("{}", report.render_json());
+        } else if markdown {
+            println!("{}", report.render_markdown());
+        } else {
+            println!("{}", report.render());
+        }
+    }
+}
+
+fn die<T>(err: starfish_core::CoreError) -> T {
+    eprintln!("starfish-repro failed: {err}");
+    std::process::exit(1);
+}

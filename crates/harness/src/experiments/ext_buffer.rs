@@ -1,0 +1,125 @@
+//! Extension experiment: buffer-size ablation.
+//!
+//! Figure 6 varies the database under a fixed 1200-page buffer; this is the
+//! dual sweep — fixed database, varying buffer — which pins down each
+//! model's working set directly. The crossover points quantify §5.4: DSM
+//! needs a buffer on the order of the whole database, DASDBS-DSM of its
+//! header+prefix pages, DASDBS-NSM only of its root+connection relations.
+
+use crate::report::{fmt_pages, ExperimentReport, Table};
+use crate::runner::{load_store, HarnessConfig};
+use crate::Result;
+use starfish_core::ModelKind;
+use starfish_cost::QueryId;
+use starfish_workload::{generate, QueryOutcome};
+
+/// Models swept.
+pub const MODELS: [ModelKind; 3] =
+    [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
+
+/// Buffer sizes as fractions of the default (1200 pages at paper scale).
+pub const FRACTIONS: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Runs the sweep: query 2b pages/loop for each (model, buffer size).
+pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
+    let db = generate(&config.dataset());
+    let mut table = Table::new(vec![
+        "MODEL",
+        "buffer",
+        "2b pages/loop",
+        "hit rate",
+        "evictions/loop",
+    ]);
+    let mut summary: Vec<(ModelKind, f64, f64)> = Vec::new();
+    for &kind in &MODELS {
+        let mut smallest = f64::NAN;
+        let mut largest = f64::NAN;
+        for &frac in &FRACTIONS {
+            let buffer = ((config.buffer_pages as f64 * frac) as usize).max(16);
+            let cfg = HarnessConfig { buffer_pages: buffer, ..*config };
+            let (mut store, runner) = load_store(kind, &db, &cfg)?;
+            let QueryOutcome::Measured(m) = runner.run(store.as_mut(), QueryId::Q2b)? else {
+                continue;
+            };
+            let bs = store.buffer_stats();
+            let hit_rate = bs.hits as f64 / (bs.fixes.max(1)) as f64;
+            table.push_row(vec![
+                kind.paper_name().to_string(),
+                buffer.to_string(),
+                fmt_pages(m.pages_per_unit()),
+                format!("{:.1}%", 100.0 * hit_rate),
+                fmt_pages(bs.evictions as f64 / m.units.max(1) as f64),
+            ]);
+            if frac == FRACTIONS[0] {
+                smallest = m.pages_per_unit();
+            }
+            if frac == FRACTIONS[FRACTIONS.len() - 1] {
+                largest = m.pages_per_unit();
+            }
+        }
+        summary.push((kind, smallest, largest));
+    }
+
+    let mut notes = vec![format!(
+        "database: {} objects; buffer swept from {}×⅛ to {}×4 pages",
+        config.n_objects, config.buffer_pages, config.buffer_pages
+    )];
+    for (kind, small, large) in &summary {
+        notes.push(format!(
+            "{}: {:.2} pages/loop with the starved buffer → {:.2} with the \
+             oversized one (×{:.1} sensitivity)",
+            kind.paper_name(),
+            small,
+            large,
+            small / large.max(1e-9)
+        ));
+    }
+    notes.push(
+        "shape: DSM's curve keeps falling across the whole sweep (working set ≈ \
+         whole database), DASDBS-DSM saturates once headers+prefixes fit, \
+         DASDBS-NSM is already saturated at the smallest buffer — the §5.4 \
+         sensitivity ordering, seen from the memory side"
+            .into(),
+    );
+
+    Ok(ExperimentReport {
+        id: "ext-buffer".into(),
+        title: "Extension — buffer-size ablation (query 2b, fixed database)".into(),
+        table,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_sweep_orders_models_by_sensitivity() {
+        let report = run(&HarnessConfig::fast()).unwrap();
+        assert_eq!(report.table.rows.len(), MODELS.len() * FRACTIONS.len());
+        // Extract the (model, buffer) -> pages mapping back from the rows.
+        let pages = |model: &str, idx: usize| -> f64 {
+            report
+                .table
+                .rows
+                .iter()
+                .filter(|r| r[0] == model)
+                .nth(idx)
+                .map(|r| r[2].parse().unwrap())
+                .unwrap()
+        };
+        // More buffer never hurts (weak monotonicity with small tolerance).
+        for m in ["DSM", "DASDBS-DSM", "DASDBS-NSM"] {
+            for i in 1..FRACTIONS.len() {
+                assert!(
+                    pages(m, i) <= pages(m, i - 1) * 1.10 + 0.3,
+                    "{m}: pages/loop should not grow with buffer (step {i})"
+                );
+            }
+        }
+        // DSM gains the most from extra memory; DASDBS-NSM the least.
+        let gain = |m: &str| pages(m, 0) / pages(m, FRACTIONS.len() - 1).max(1e-9);
+        assert!(gain("DSM") > gain("DASDBS-NSM"));
+    }
+}

@@ -1,0 +1,57 @@
+//! One module per table/figure of the paper's evaluation, plus extension
+//! experiments (`ext_*`) that go beyond the paper: response-time estimates
+//! under Equation 1, the buffer-size ablation, and the §5.5 shared-nothing
+//! distribution study.
+
+pub mod ext_alignment;
+pub mod ext_buffer;
+pub mod ext_clustering;
+pub mod ext_distributed;
+pub mod ext_timing;
+pub mod fig5;
+pub mod fig6;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use crate::report::ExperimentReport;
+use crate::runner::{measure_grid, HarnessConfig};
+use crate::Result;
+use starfish_core::ModelKind;
+
+/// The models measured in Tables 4–6: the paper's four plus (extra, marked)
+/// NSM+index.
+pub fn grid_models() -> Vec<ModelKind> {
+    vec![
+        ModelKind::Dsm,
+        ModelKind::DasdbsDsm,
+        ModelKind::Nsm,
+        ModelKind::NsmIndexed,
+        ModelKind::DasdbsNsm,
+    ]
+}
+
+/// Runs every experiment at the given scale, in paper order.
+pub fn run_all(config: &HarnessConfig) -> Result<Vec<ExperimentReport>> {
+    let grid = measure_grid(&config.dataset(), config, &grid_models())?;
+    Ok(vec![
+        table2::run(config)?,
+        table3::run(config),
+        table4::run(&grid),
+        table5::run(&grid),
+        table6::run(&grid),
+        fig5::run(config)?,
+        fig6::run(config)?,
+        table7::run(config)?,
+        table8::run(&grid),
+        ext_timing::run(&grid),
+        ext_buffer::run(config)?,
+        ext_distributed::run(config)?,
+        ext_clustering::run(config)?,
+        ext_alignment::run(config)?,
+    ])
+}

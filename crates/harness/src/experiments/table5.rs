@@ -1,0 +1,109 @@
+//! Table 5 — measured I/O calls.
+
+use crate::paper::{compare, TABLE5_ANCHORS};
+use crate::report::{fmt_pages, ExperimentReport, Table};
+use crate::runner::MeasuredGrid;
+use starfish_core::ModelKind;
+use starfish_cost::QueryId;
+
+/// Renders Table 5 (I/O calls per object / per loop) from a measured grid.
+pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
+    let mut table = Table::new(vec![
+        "MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b",
+    ]);
+    for (model, cells) in &grid.rows {
+        let mut row = vec![super::table4::label(*model)];
+        for c in cells {
+            row.push(match c {
+                Some(c) => fmt_pages(c.calls),
+                None => "-".into(),
+            });
+        }
+        table.push_row(row);
+    }
+
+    let mut notes = vec![
+        "one call transfers a contiguous page run: the direct models read a large \
+         object as root-page call + header calls + data-run call (≈2 pages/call); \
+         the normalized models' scans read one page per call; flush-time writes \
+         are grouped (≤32 pages per call), as DASDBS's deferred writes were"
+            .into(),
+    ];
+    // Pages-per-call ratios, the §5.2 discussion.
+    for model in [ModelKind::Dsm, ModelKind::Nsm] {
+        if let (Some(p), Some(c)) =
+            (grid.cell(model, QueryId::Q1c), grid.cell(model, QueryId::Q1c))
+        {
+            if c.calls > 0.0 {
+                notes.push(format!(
+                    "{}: {:.2} pages per read call on the full scan (paper: ≈2 for \
+                     DSM, 1 for NSM)",
+                    model.paper_name(),
+                    p.pages / c.calls
+                ));
+            }
+        }
+    }
+    if grid.config.n_objects == 1500 {
+        for anchor in TABLE5_ANCHORS {
+            if let Some(ours) = lookup(grid, anchor.what) {
+                notes.push(compare(anchor, ours));
+            }
+        }
+    }
+
+    ExperimentReport {
+        id: "table5".into(),
+        title: "Measured I/O calls (X_IO_calls)".into(),
+        table,
+        notes,
+    }
+}
+
+fn lookup(grid: &MeasuredGrid, what: &str) -> Option<f64> {
+    // Longest-prefix match guards against "DASDBS-DSM" vs "DSM" etc.
+    let model = ModelKind::all()
+        .into_iter()
+        .filter(|m| {
+            what.starts_with(m.paper_name())
+                && what.as_bytes().get(m.paper_name().len()) == Some(&b' ')
+        })
+        .max_by_key(|m| m.paper_name().len())?;
+    let q = QueryId::all()
+        .into_iter()
+        .find(|q| what.contains(&format!("q{q} ")))?;
+    grid.cell(model, q).map(|c| c.calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::grid_models;
+    use crate::runner::{measure_grid, HarnessConfig};
+
+    #[test]
+    fn calls_never_exceed_pages() {
+        let config = HarnessConfig::fast();
+        let grid =
+            measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
+        let report = run(&grid);
+        assert_eq!(report.table.rows.len(), 5);
+        for (_, cells) in &grid.rows {
+            for c in cells.iter().flatten() {
+                assert!(c.calls <= c.pages + 1e-9, "a call moves ≥ 1 page");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_models_move_multiple_pages_per_call() {
+        let config = HarnessConfig::fast();
+        let grid = measure_grid(&config.dataset(), &config, &[ModelKind::Dsm]).unwrap();
+        let c = grid.cell(ModelKind::Dsm, QueryId::Q1a).unwrap();
+        assert!(
+            c.pages / c.calls > 1.2,
+            "DSM reads ≈2 pages per call, got {}",
+            c.pages / c.calls
+        );
+    }
+}

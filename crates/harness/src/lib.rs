@@ -1,0 +1,34 @@
+//! # starfish-harness — regenerating the paper's evaluation
+//!
+//! One experiment module per table/figure of the ICDE 1993 paper:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`experiments::table2`] | Table 2 — average tuple sizes, `k`, `p`, `m` |
+//! | [`experiments::table3`] | Table 3 — analytical page-I/O estimates |
+//! | [`experiments::table4`] | Table 4 — measured physical page I/Os |
+//! | [`experiments::table5`] | Table 5 — measured I/O calls |
+//! | [`experiments::table6`] | Table 6 — buffer fixes |
+//! | [`experiments::fig5`] | Figure 5 — object-size sweep (max sightseeings 0/15/30) |
+//! | [`experiments::fig6`] | Figure 6 — caching vs database size |
+//! | [`experiments::table7`] | Table 7 — data skew |
+//! | [`experiments::table8`] | Table 8 — overall qualitative ranking |
+//!
+//! Each module produces an [`report::ExperimentReport`] (a rendered table
+//! plus notes comparing against the paper values that are recoverable from
+//! our source text). The `starfish-repro` binary runs them all and emits the
+//! material behind `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod runner;
+
+pub use report::{ExperimentReport, Table};
+pub use runner::{HarnessConfig, MeasuredCell, MeasuredGrid};
+
+/// Result alias (errors bubble up from the storage models).
+pub type Result<T> = std::result::Result<T, starfish_core::CoreError>;

@@ -1,0 +1,202 @@
+//! Shared measurement machinery: build a dataset, load it into the stores,
+//! run all queries, collect the grid that Tables 4–6 render.
+
+use crate::Result;
+use serde::Serialize;
+use starfish_core::{make_store, ComplexObjectStore, ModelKind, StoreConfig};
+use starfish_cost::QueryId;
+use starfish_nf2::station::Station;
+use starfish_workload::{generate, DatasetParams, DatasetStats, QueryOutcome, QueryRunner};
+
+/// Configuration for the experiment harness.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HarnessConfig {
+    /// Objects in the default dataset (paper: 1500).
+    pub n_objects: usize,
+    /// Buffer capacity in pages (paper: 1200).
+    pub buffer_pages: usize,
+    /// Dataset seed.
+    pub dataset_seed: u64,
+    /// Query-sequence seed.
+    pub query_seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            n_objects: 1500,
+            buffer_pages: 1200,
+            dataset_seed: 4242,
+            query_seed: 1993,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A scaled-down configuration for quick runs and tests (same buffer /
+    /// database *ratio* as the paper, so cache-overflow behaviour is
+    /// preserved qualitatively).
+    pub fn fast() -> Self {
+        HarnessConfig {
+            n_objects: 300,
+            buffer_pages: 240,
+            ..Default::default()
+        }
+    }
+
+    /// Dataset parameters at this scale.
+    pub fn dataset(&self) -> DatasetParams {
+        DatasetParams {
+            n_objects: self.n_objects,
+            seed: self.dataset_seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One measured cell: per-unit pages/calls/fixes, or `None` where the model
+/// does not support the query.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MeasuredCell {
+    /// Pages read per unit.
+    pub reads: f64,
+    /// Pages written per unit.
+    pub writes: f64,
+    /// Pages read+written per unit (Table 4).
+    pub pages: f64,
+    /// I/O calls per unit (Table 5).
+    pub calls: f64,
+    /// Buffer fixes per unit (Table 6).
+    pub fixes: f64,
+}
+
+/// The measured model × query grid behind Tables 4–6.
+#[derive(Clone, Debug)]
+pub struct MeasuredGrid {
+    /// Configuration used.
+    pub config: HarnessConfig,
+    /// Observed dataset statistics.
+    pub stats: DatasetStats,
+    /// Rows: one per model, cells in [`QueryId::all`] order.
+    pub rows: Vec<(ModelKind, [Option<MeasuredCell>; 7])>,
+}
+
+impl MeasuredGrid {
+    /// The cell for `(model, query)`, if present.
+    pub fn cell(&self, model: ModelKind, query: QueryId) -> Option<MeasuredCell> {
+        let qi = QueryId::all().iter().position(|q| *q == query)?;
+        self.rows.iter().find(|(m, _)| *m == model).and_then(|(_, cells)| cells[qi])
+    }
+}
+
+/// Builds a store of `kind`, loads `db`, and returns it with its runner.
+pub fn load_store(
+    kind: ModelKind,
+    db: &[Station],
+    config: &HarnessConfig,
+) -> Result<(Box<dyn ComplexObjectStore>, QueryRunner)> {
+    let mut store = make_store(kind, StoreConfig::with_buffer_pages(config.buffer_pages));
+    let refs = store.load(db)?;
+    let runner = QueryRunner::new(refs, config.query_seed);
+    Ok((store, runner))
+}
+
+/// Runs every query of the benchmark against every model in `models` on the
+/// dataset described by `params`.
+pub fn measure_grid(
+    params: &DatasetParams,
+    config: &HarnessConfig,
+    models: &[ModelKind],
+) -> Result<MeasuredGrid> {
+    let db = generate(params);
+    let stats = DatasetStats::compute(&db);
+    let mut rows = Vec::with_capacity(models.len());
+    for &kind in models {
+        let (mut store, runner) = load_store(kind, &db, config)?;
+        let mut cells: [Option<MeasuredCell>; 7] = Default::default();
+        for (i, q) in QueryId::all().into_iter().enumerate() {
+            cells[i] = match runner.run(store.as_mut(), q)? {
+                QueryOutcome::Measured(m) => Some(MeasuredCell {
+                    reads: m.reads_per_unit(),
+                    writes: m.writes_per_unit(),
+                    pages: m.pages_per_unit(),
+                    calls: m.calls_per_unit(),
+                    fixes: m.fixes_per_unit(),
+                }),
+                QueryOutcome::Unsupported => None,
+            };
+        }
+        rows.push((kind, cells));
+    }
+    Ok(MeasuredGrid { config: *config, stats, rows })
+}
+
+/// Runs a single query for a set of models (used by the sweeps of Figures
+/// 5/6 and Table 7). Returns per-unit cells in `models` order.
+pub fn measure_query(
+    params: &DatasetParams,
+    config: &HarnessConfig,
+    models: &[ModelKind],
+    query: QueryId,
+) -> Result<Vec<(ModelKind, Option<MeasuredCell>)>> {
+    let db = generate(params);
+    let mut out = Vec::with_capacity(models.len());
+    for &kind in models {
+        let (mut store, runner) = load_store(kind, &db, config)?;
+        let cell = match runner.run(store.as_mut(), query)? {
+            QueryOutcome::Measured(m) => Some(MeasuredCell {
+                reads: m.reads_per_unit(),
+                writes: m.writes_per_unit(),
+                pages: m.pages_per_unit(),
+                calls: m.calls_per_unit(),
+                fixes: m.fixes_per_unit(),
+            }),
+            QueryOutcome::Unsupported => None,
+        };
+        out.push((kind, cell));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_grid_measures_all_models() {
+        let config = HarnessConfig::fast();
+        let grid = measure_grid(
+            &config.dataset(),
+            &config,
+            &ModelKind::measured_models(),
+        )
+        .unwrap();
+        assert_eq!(grid.rows.len(), 4);
+        // NSM has no q1a; everything else is measured.
+        let missing: usize = grid
+            .rows
+            .iter()
+            .flat_map(|(_, cells)| cells.iter())
+            .filter(|c| c.is_none())
+            .count();
+        assert_eq!(missing, 1);
+        // DSM must read more pages than DASDBS-NSM on navigation (2a).
+        let dsm = grid.cell(ModelKind::Dsm, QueryId::Q2a).unwrap();
+        let dnsm = grid.cell(ModelKind::DasdbsNsm, QueryId::Q2a).unwrap();
+        assert!(dsm.pages > dnsm.pages, "{} vs {}", dsm.pages, dnsm.pages);
+    }
+
+    #[test]
+    fn measure_query_single() {
+        let config = HarnessConfig::fast();
+        let out = measure_query(
+            &config.dataset(),
+            &config,
+            &[ModelKind::DasdbsNsm],
+            QueryId::Q2b,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.unwrap().pages > 0.0);
+    }
+}

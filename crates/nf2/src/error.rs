@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors produced by the NF² data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Nf2Error {
+    /// A tuple did not match the schema it was validated or encoded against.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The byte buffer being decoded is malformed or truncated.
+    Corrupt {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// Human-readable description of the corruption.
+        detail: String,
+    },
+    /// A projection referenced an attribute index that does not exist.
+    BadProjection {
+        /// The offending attribute index.
+        attr: usize,
+        /// Number of attributes actually available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for Nf2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nf2Error::SchemaMismatch { detail } => {
+                write!(f, "tuple does not match schema: {detail}")
+            }
+            Nf2Error::Corrupt { offset, detail } => {
+                write!(f, "corrupt encoding at byte {offset}: {detail}")
+            }
+            Nf2Error::BadProjection { attr, available } => {
+                write!(
+                    f,
+                    "projection references attribute {attr}, but only {available} exist"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Nf2Error {}

@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// A logical object identifier.
+///
+/// In the paper, the `OidConnection` attribute of a `Connection` sub-tuple
+/// holds "the address of the referred `Station`" — a 4-byte physical
+/// reference. We keep OIDs logical (`u32`, still 4 bytes on disk, matching
+/// Figure 1's `LINK, % 4 bytes`) and let each storage model map an OID to a
+/// physical address through its own (memory-resident) table. The paper does
+/// the same and explicitly excludes those table accesses from the I/O counts
+/// (§5.1: "we did not account for additional I/Os needed ... to retrieve the
+/// tables with addresses").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u32);
+
+impl Oid {
+    /// Size of an encoded OID in bytes (Figure 1: `LINK, % 4 bytes`).
+    pub const ENCODED_LEN: usize = 4;
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({})", self.0)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A logical key value (the benchmark's `Key: INT` root attribute).
+///
+/// Key-based access (query 1b) is a *value* selection: without an index it
+/// must scan; with the DASDBS-NSM transformation table it resolves to tuple
+/// addresses.
+pub type Key = i32;

@@ -1,0 +1,194 @@
+use crate::oid::Oid;
+use std::fmt;
+
+/// A single NF² attribute value.
+///
+/// The constructors mirror the paper's model: tuples with atomic (`INT`,
+/// `STR`), reference (`LINK`) and relation-valued attributes. Lists and other
+/// constructors from general complex-object models are not needed by the
+/// benchmark and are intentionally omitted (paper §1: "we restricted
+/// ourselves to tuples with relation-valued attributes").
+#[derive(Clone, PartialEq, Eq)]
+pub enum Value {
+    /// 4-byte integer.
+    Int(i32),
+    /// Variable-length string (the benchmark uses 100-byte strings).
+    Str(String),
+    /// 4-byte reference to another complex object.
+    Link(Oid),
+    /// Relation-valued attribute: an ordered set of sub-tuples.
+    Rel(Vec<Tuple>),
+}
+
+impl Value {
+    /// Returns the sub-tuples if this is a relation-valued attribute.
+    pub fn as_rel(&self) -> Option<&[Tuple]> {
+        match self {
+            Value::Rel(ts) => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the OID if this is a `Link`.
+    pub fn as_link(&self) -> Option<Oid> {
+        match self {
+            Value::Link(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Short type tag used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "INT",
+            Value::Str(_) => "STR",
+            Value::Link(_) => "LINK",
+            Value::Rel(_) => "REL",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => {
+                if s.len() > 12 {
+                    write!(f, "{:?}…({}B)", &s[..12], s.len())
+                } else {
+                    write!(f, "{s:?}")
+                }
+            }
+            Value::Link(o) => write!(f, "{o}"),
+            Value::Rel(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t:?}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// An NF² tuple: an ordered list of attribute values.
+///
+/// Attribute names live in the schema ([`crate::RelSchema`]); tuples are
+/// positional, as in the DASDBS storage representation.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Tuple {
+    /// The attribute values, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from attribute values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow attribute `i`, if present.
+    pub fn attr(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Counts all tuples in this tree, including `self` and every sub-tuple
+    /// at any nesting depth. Used for dataset statistics.
+    pub fn tuple_count(&self) -> usize {
+        1 + self
+            .values
+            .iter()
+            .filter_map(Value::as_rel)
+            .flat_map(|ts| ts.iter())
+            .map(Tuple::tuple_count)
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![
+            Value::Int(7),
+            Value::Str("x".into()),
+            Value::Rel(vec![
+                Tuple::new(vec![Value::Int(1), Value::Link(Oid(9))]),
+                Tuple::new(vec![Value::Int(2), Value::Link(Oid(10))]),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.attr(0).unwrap().as_int(), Some(7));
+        assert_eq!(t.attr(1).unwrap().as_str(), Some("x"));
+        assert_eq!(t.attr(2).unwrap().as_rel().unwrap().len(), 2);
+        assert!(t.attr(3).is_none());
+        assert_eq!(
+            t.attr(2).unwrap().as_rel().unwrap()[1].attr(1).unwrap().as_link(),
+            Some(Oid(10))
+        );
+    }
+
+    #[test]
+    fn tuple_count_counts_nested() {
+        assert_eq!(sample().tuple_count(), 3);
+        assert_eq!(Tuple::new(vec![Value::Int(0)]).tuple_count(), 1);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(0).type_name(), "INT");
+        assert_eq!(Value::Str(String::new()).type_name(), "STR");
+        assert_eq!(Value::Link(Oid(0)).type_name(), "LINK");
+        assert_eq!(Value::Rel(vec![]).type_name(), "REL");
+    }
+
+    #[test]
+    fn debug_truncates_long_strings() {
+        let v = Value::Str("a".repeat(50));
+        let s = format!("{v:?}");
+        assert!(s.contains("50B"), "{s}");
+    }
+}

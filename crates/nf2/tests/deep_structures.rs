@@ -1,0 +1,164 @@
+//! Stress tests for the NF² model beyond the benchmark's shape: deep
+//! nesting, unicode payloads, wide tuples, exotic projections.
+
+use starfish_nf2::{
+    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrType, Oid,
+    Projection, RelSchema, Tuple, Value,
+};
+
+/// Builds a schema nested `depth` levels deep: each level is
+/// `(tag: INT, inner: {…})` with a leaf of `(x: INT, s: STR)`.
+fn deep_schema(depth: usize) -> RelSchema {
+    let mut schema = RelSchema::new(
+        "Leaf",
+        vec![AttrDef::new("x", AttrType::Int), AttrDef::new("s", AttrType::Str)],
+    );
+    for level in 0..depth {
+        schema = RelSchema::new(
+            format!("L{level}"),
+            vec![
+                AttrDef::new("tag", AttrType::Int),
+                AttrDef::new("inner", AttrType::Rel(Box::new(schema))),
+            ],
+        );
+    }
+    schema
+}
+
+/// Builds a tuple matching `deep_schema(depth)` with `width` children per
+/// level.
+fn deep_tuple(depth: usize, width: usize) -> Tuple {
+    if depth == 0 {
+        // A fat leaf payload so that structure overhead does not dominate.
+        return Tuple::new(vec![Value::Int(7), Value::Str("leaf".repeat(32))]);
+    }
+    Tuple::new(vec![
+        Value::Int(depth as i32),
+        Value::Rel((0..width).map(|_| deep_tuple(depth - 1, width)).collect()),
+    ])
+}
+
+#[test]
+fn ten_levels_of_nesting_roundtrip() {
+    let schema = deep_schema(10);
+    assert_eq!(schema.depth(), 11);
+    let t = deep_tuple(10, 1);
+    let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+    assert_eq!(bytes.len(), encoded_len(&t));
+    assert_eq!(decode(&bytes, &schema).unwrap(), t);
+    assert_eq!(layout.len as usize, bytes.len());
+}
+
+#[test]
+fn wide_fanout_roundtrips() {
+    let schema = deep_schema(2);
+    let t = deep_tuple(2, 9); // 81 leaves
+    assert_eq!(t.tuple_count(), 1 + 9 + 81);
+    let (bytes, _) = encode_with_layout(&t, &schema).unwrap();
+    assert_eq!(decode(&bytes, &schema).unwrap(), t);
+}
+
+#[test]
+fn unicode_strings_survive_the_codec() {
+    let schema = RelSchema::new(
+        "U",
+        vec![AttrDef::new("s", AttrType::Str), AttrDef::new("t", AttrType::Str)],
+    );
+    let t = Tuple::new(vec![
+        Value::Str("zürich — 駅 — вокзал — 🚂".into()),
+        Value::Str(String::new()),
+    ]);
+    let (bytes, _) = encode_with_layout(&t, &schema).unwrap();
+    assert_eq!(decode(&bytes, &schema).unwrap(), t);
+}
+
+#[test]
+fn wide_flat_tuple_roundtrips() {
+    let attrs: Vec<AttrDef> = (0..64)
+        .map(|i| {
+            AttrDef::new(
+                format!("a{i}"),
+                if i % 3 == 0 { AttrType::Int } else if i % 3 == 1 { AttrType::Link } else { AttrType::Str },
+            )
+        })
+        .collect();
+    let schema = RelSchema::new("Wide", attrs);
+    let t = Tuple::new(
+        (0..64)
+            .map(|i| match i % 3 {
+                0 => Value::Int(i),
+                1 => Value::Link(Oid(i as u32)),
+                _ => Value::Str(format!("v{i}")),
+            })
+            .collect(),
+    );
+    let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+    assert_eq!(decode(&bytes, &schema).unwrap(), t);
+    assert_eq!(layout.attrs.len(), 64);
+}
+
+#[test]
+fn projection_at_depth_touches_only_its_path() {
+    let schema = deep_schema(3);
+    let t = deep_tuple(3, 2);
+    let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+    // Project tag at every level, never the leaf payload strings.
+    let proj = Projection::Attrs(vec![
+        (0, Projection::All),
+        (
+            1,
+            Projection::Attrs(vec![
+                (0, Projection::All),
+                (
+                    1,
+                    Projection::Attrs(vec![(0, Projection::All), (
+                        1,
+                        Projection::Attrs(vec![(0, Projection::All)]),
+                    )]),
+                ),
+            ]),
+        ),
+    ]);
+    proj.validate(&schema).unwrap();
+    let ranges = proj.byte_ranges(&layout);
+    let covered: u32 = ranges.iter().map(|r| r.end - r.start).sum();
+    assert!(
+        (covered as usize) < bytes.len() / 2,
+        "deep tag projection covers {covered} of {} bytes",
+        bytes.len()
+    );
+    // Sparse decode agrees with Projection::apply on the full tuple.
+    let mut sparse = vec![0u8; bytes.len()];
+    for r in &ranges {
+        sparse[r.start as usize..r.end as usize]
+            .copy_from_slice(&bytes[r.start as usize..r.end as usize]);
+    }
+    let got = decode_projected(&sparse, &schema, &layout, &proj).unwrap();
+    assert_eq!(got, proj.apply(&t, &schema));
+}
+
+#[test]
+fn empty_relations_at_every_level() {
+    let schema = deep_schema(4);
+    let t = Tuple::new(vec![Value::Int(4), Value::Rel(vec![])]);
+    let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+    assert_eq!(decode(&bytes, &schema).unwrap(), t);
+    assert!(layout.attrs[1].tuples.is_empty());
+}
+
+#[test]
+fn tuple_count_scales_with_fanout() {
+    assert_eq!(deep_tuple(3, 3).tuple_count(), 1 + 3 + 9 + 27);
+    assert_eq!(deep_tuple(0, 5).tuple_count(), 1);
+}
+
+#[test]
+fn corrupted_subtuple_magic_is_detected_at_depth() {
+    let schema = deep_schema(2);
+    let t = deep_tuple(2, 2);
+    let (mut bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+    // Smash the magic of the first level-1 sub-tuple.
+    let sub_start = layout.attrs[1].tuples[0].start as usize;
+    bytes[sub_start] ^= 0xFF;
+    assert!(decode(&bytes, &schema).is_err());
+}

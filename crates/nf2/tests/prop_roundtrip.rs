@@ -1,0 +1,173 @@
+//! Property-based tests for the NF² encoding: arbitrary well-typed objects
+//! must round-trip through encode/decode, sizes must be exact, layouts must
+//! tile the encoding, and projected decodes must agree with full decodes.
+
+use proptest::prelude::*;
+use starfish_nf2::{
+    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrLayout, AttrType,
+    Oid, Projection, RelSchema, Tuple, TupleLayout, Value,
+};
+
+/// A small fixed nested schema family used for generation: a root relation
+/// with ints/strings/links and up to two levels of nesting, structurally
+/// similar to the benchmark's `Station`.
+fn test_schema() -> RelSchema {
+    let leaf = RelSchema::new(
+        "Leaf",
+        vec![
+            AttrDef::new("l0", AttrType::Int),
+            AttrDef::new("l1", AttrType::Link),
+            AttrDef::new("l2", AttrType::Str),
+        ],
+    );
+    let mid = RelSchema::new(
+        "Mid",
+        vec![
+            AttrDef::new("m0", AttrType::Int),
+            AttrDef::new("m1", AttrType::Str),
+            AttrDef::new("m2", AttrType::Rel(Box::new(leaf))),
+        ],
+    );
+    RelSchema::new(
+        "Root",
+        vec![
+            AttrDef::new("r0", AttrType::Int),
+            AttrDef::new("r1", AttrType::Str),
+            AttrDef::new("r2", AttrType::Rel(Box::new(mid))),
+            AttrDef::new("r3", AttrType::Int),
+        ],
+    )
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::char::range('a', 'z'), 0..64)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_leaf() -> impl Strategy<Value = Tuple> {
+    (any::<i32>(), any::<u32>(), arb_string()).prop_map(|(i, o, s)| {
+        Tuple::new(vec![Value::Int(i), Value::Link(Oid(o)), Value::Str(s)])
+    })
+}
+
+fn arb_mid() -> impl Strategy<Value = Tuple> {
+    (
+        any::<i32>(),
+        arb_string(),
+        proptest::collection::vec(arb_leaf(), 0..5),
+    )
+        .prop_map(|(i, s, leaves)| {
+            Tuple::new(vec![Value::Int(i), Value::Str(s), Value::Rel(leaves)])
+        })
+}
+
+fn arb_root() -> impl Strategy<Value = Tuple> {
+    (
+        any::<i32>(),
+        arb_string(),
+        proptest::collection::vec(arb_mid(), 0..4),
+        any::<i32>(),
+    )
+        .prop_map(|(a, s, mids, b)| {
+            Tuple::new(vec![Value::Int(a), Value::Str(s), Value::Rel(mids), Value::Int(b)])
+        })
+}
+
+fn check_layout_tiles(layout: &TupleLayout) {
+    let mut prev_end = layout.header_range().end;
+    for a in &layout.attrs {
+        assert_eq!(a.start, prev_end, "attributes must be contiguous");
+        prev_end = a.start + a.len;
+        check_attr_tiles(a);
+    }
+    assert_eq!(prev_end, layout.start + layout.len, "attrs must fill the tuple");
+}
+
+fn check_attr_tiles(a: &AttrLayout) {
+    if a.tuples.is_empty() {
+        return;
+    }
+    let first = a.tuples.first().expect("nonempty");
+    assert!(first.start >= a.start, "sub-tuples start after the address table");
+    let mut prev_end = first.start;
+    for t in &a.tuples {
+        assert_eq!(t.start, prev_end, "sub-tuples must be contiguous");
+        prev_end = t.start + t.len;
+        check_layout_tiles(t);
+    }
+    assert_eq!(prev_end, a.start + a.len, "sub-tuples must fill the attribute");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip(t in arb_root()) {
+        let schema = test_schema();
+        let (bytes, _) = encode_with_layout(&t, &schema).unwrap();
+        prop_assert_eq!(bytes.len(), encoded_len(&t));
+        prop_assert_eq!(decode(&bytes, &schema).unwrap(), t);
+    }
+
+    #[test]
+    fn layout_tiles_encoding_exactly(t in arb_root()) {
+        let schema = test_schema();
+        let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+        prop_assert_eq!(layout.len as usize, bytes.len());
+        check_layout_tiles(&layout);
+    }
+
+    #[test]
+    fn layout_serialization_roundtrips(t in arb_root()) {
+        let schema = test_schema();
+        let (_, layout) = encode_with_layout(&t, &schema).unwrap();
+        let bytes = layout.to_bytes();
+        prop_assert_eq!(bytes.len(), layout.serialized_len());
+        prop_assert_eq!(TupleLayout::from_bytes(&bytes).unwrap(), layout);
+    }
+
+    #[test]
+    fn projected_decode_agrees_with_full_decode(t in arb_root(), which in 0usize..4) {
+        let schema = test_schema();
+        let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+        // A family of projections including nested ones.
+        let proj = match which {
+            0 => Projection::All,
+            1 => Projection::atomics(&schema),
+            2 => Projection::Attrs(vec![(2, Projection::All)]),
+            _ => Projection::Attrs(vec![
+                (0, Projection::All),
+                (2, Projection::Attrs(vec![
+                    (2, Projection::Attrs(vec![(1, Projection::All)])),
+                ])),
+            ]),
+        };
+        proj.validate(&schema).unwrap();
+        // Sparse buffer: only the projected ranges are materialized.
+        let mut sparse = vec![0u8; bytes.len()];
+        for r in proj.byte_ranges(&layout) {
+            sparse[r.start as usize..r.end as usize]
+                .copy_from_slice(&bytes[r.start as usize..r.end as usize]);
+        }
+        let got = decode_projected(&sparse, &schema, &layout, &proj).unwrap();
+        let expect = proj.apply(&t, &schema);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn byte_ranges_are_sorted_disjoint_and_bounded(t in arb_root()) {
+        let schema = test_schema();
+        let (bytes, layout) = encode_with_layout(&t, &schema).unwrap();
+        let proj = Projection::Attrs(vec![
+            (1, Projection::All),
+            (2, Projection::Attrs(vec![(0, Projection::All)])),
+        ]);
+        let ranges = proj.byte_ranges(&layout);
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "ranges must be disjoint and sorted");
+        }
+        for r in &ranges {
+            prop_assert!(r.end as usize <= bytes.len());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+use crate::PageId;
+use std::fmt;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A page id beyond the allocated disk size was accessed.
+    PageOutOfBounds {
+        /// The offending page.
+        page: PageId,
+        /// Number of allocated pages.
+        allocated: u32,
+    },
+    /// A record did not fit where it was asked to go.
+    RecordTooLarge {
+        /// Encoded record length.
+        len: usize,
+        /// Space that was available.
+        available: usize,
+    },
+    /// A slot id that does not exist (or is deleted) on the page.
+    BadSlot {
+        /// The offending slot index.
+        slot: u16,
+    },
+    /// An in-place update changed the record size, which the benchmark's
+    /// update queries never do ("we update atomic attributes, that is, the
+    /// object structure is not changed", §2.2).
+    SizeChanged {
+        /// Old record length.
+        old: usize,
+        /// New record length.
+        new: usize,
+    },
+    /// Malformed on-page data.
+    Corrupt {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::PageOutOfBounds { page, allocated } => {
+                write!(f, "page {page} out of bounds ({allocated} allocated)")
+            }
+            StoreError::RecordTooLarge { len, available } => {
+                write!(f, "record of {len} bytes does not fit in {available} bytes")
+            }
+            StoreError::BadSlot { slot } => write!(f, "no live slot {slot} on page"),
+            StoreError::SizeChanged { old, new } => {
+                write!(f, "in-place update changed record size: {old} -> {new}")
+            }
+            StoreError::Corrupt { detail } => write!(f, "corrupt page: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,166 @@
+use std::ops::Sub;
+
+/// Physical-disk I/O counters (the paper's `X_IO_calls` and `X_IO_pages`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of read calls issued (each transfers ≥ 1 contiguous pages).
+    pub read_calls: u64,
+    /// Total pages transferred by read calls.
+    pub pages_read: u64,
+    /// Number of write calls issued.
+    pub write_calls: u64,
+    /// Total pages transferred by write calls.
+    pub pages_written: u64,
+}
+
+/// Buffer-manager counters (the paper's Table 6 "page fixes in buffer",
+/// used as an indicator of CPU load).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page fixes: every page access through the buffer, hit or miss.
+    pub fixes: u64,
+    /// Fixes satisfied from the cache.
+    pub hits: u64,
+    /// Fixes that required a physical read.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Evicted pages that were dirty (each costs a physical write).
+    pub dirty_evictions: u64,
+}
+
+/// A combined snapshot of disk and buffer counters.
+///
+/// Take a snapshot before and after a query and subtract to get the query's
+/// logical measurement, e.g. `after - before`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Read calls issued.
+    pub read_calls: u64,
+    /// Pages read.
+    pub pages_read: u64,
+    /// Write calls issued.
+    pub write_calls: u64,
+    /// Pages written.
+    pub pages_written: u64,
+    /// Buffer fixes.
+    pub fixes: u64,
+    /// Buffer hits.
+    pub hits: u64,
+    /// Buffer misses.
+    pub misses: u64,
+}
+
+impl IoSnapshot {
+    /// Combines raw disk and buffer counters.
+    pub fn combine(disk: DiskStats, buf: BufferStats) -> IoSnapshot {
+        IoSnapshot {
+            read_calls: disk.read_calls,
+            pages_read: disk.pages_read,
+            write_calls: disk.write_calls,
+            pages_written: disk.pages_written,
+            fixes: buf.fixes,
+            hits: buf.hits,
+            misses: buf.misses,
+        }
+    }
+
+    /// Total pages transferred (read + written) — the paper's headline
+    /// `X_IO_pages` metric counts page *reads and writes* per query.
+    pub fn pages_io(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+
+    /// Total I/O calls (read + write) — the paper's `X_IO_calls`.
+    pub fn io_calls(&self) -> u64 {
+        self.read_calls + self.write_calls
+    }
+
+    /// Per-loop normalization, e.g. for queries 2b/3b ("normalizing the
+    /// results to a value per loop").
+    pub fn per_loop(&self, loops: u64) -> PerLoop {
+        let l = loops.max(1) as f64;
+        PerLoop {
+            pages_read: self.pages_read as f64 / l,
+            pages_written: self.pages_written as f64 / l,
+            pages_io: self.pages_io() as f64 / l,
+            io_calls: self.io_calls() as f64 / l,
+            fixes: self.fixes as f64 / l,
+        }
+    }
+}
+
+impl Sub for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            read_calls: self.read_calls - rhs.read_calls,
+            pages_read: self.pages_read - rhs.pages_read,
+            write_calls: self.write_calls - rhs.write_calls,
+            pages_written: self.pages_written - rhs.pages_written,
+            fixes: self.fixes - rhs.fixes,
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+        }
+    }
+}
+
+/// Per-loop normalized measurements (floating point).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PerLoop {
+    /// Pages read per loop.
+    pub pages_read: f64,
+    /// Pages written per loop.
+    pub pages_written: f64,
+    /// Pages read+written per loop.
+    pub pages_io: f64,
+    /// I/O calls per loop.
+    pub io_calls: f64,
+    /// Buffer fixes per loop.
+    pub fixes: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_and_totals() {
+        let before = IoSnapshot {
+            read_calls: 10,
+            pages_read: 25,
+            write_calls: 2,
+            pages_written: 8,
+            fixes: 100,
+            hits: 80,
+            misses: 20,
+        };
+        let after = IoSnapshot {
+            read_calls: 15,
+            pages_read: 40,
+            write_calls: 3,
+            pages_written: 10,
+            fixes: 160,
+            hits: 130,
+            misses: 30,
+        };
+        let d = after - before;
+        assert_eq!(d.read_calls, 5);
+        assert_eq!(d.pages_read, 15);
+        assert_eq!(d.pages_io(), 17);
+        assert_eq!(d.io_calls(), 6);
+        assert_eq!(d.fixes, 60);
+    }
+
+    #[test]
+    fn per_loop_normalizes() {
+        let s = IoSnapshot { pages_read: 300, fixes: 900, ..Default::default() };
+        let p = s.per_loop(300);
+        assert_eq!(p.pages_read, 1.0);
+        assert_eq!(p.fixes, 3.0);
+        // Guard against division by zero.
+        let p0 = s.per_loop(0);
+        assert_eq!(p0.pages_read, 300.0);
+    }
+}

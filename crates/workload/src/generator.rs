@@ -1,0 +1,231 @@
+//! Deterministic generator for the benchmark database (paper §2.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use starfish_cost::BenchProfile;
+use starfish_nf2::station::{Connection, Platform, Sightseeing, Station};
+use starfish_nf2::{Key, Oid};
+
+/// Generation parameters.
+///
+/// The defaults reproduce the paper's database: 1500 stations; at each of
+/// the three generation levels (platforms, railroads, connections per
+/// railroad) `fanout` slots are materialized independently with probability
+/// `prob`; 0–`max_sightseeing` sightseeings uniformly; every connection
+/// references a uniformly random station.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetParams {
+    /// Number of stations (paper default: 1500).
+    pub n_objects: usize,
+    /// Sub-object slots per level (paper default: 2).
+    pub fanout: u32,
+    /// Materialization probability per slot (paper default: 0.8).
+    pub prob: f64,
+    /// Maximum sightseeings (paper default: 15; §5.3 varies 0/15/30).
+    pub max_sightseeing: u32,
+    /// RNG seed for reproducible datasets.
+    pub seed: u64,
+}
+
+impl Default for DatasetParams {
+    fn default() -> Self {
+        DatasetParams { n_objects: 1500, fanout: 2, prob: 0.8, max_sightseeing: 15, seed: 4242 }
+    }
+}
+
+impl DatasetParams {
+    /// The paper's data-skew variant (§5.5): probability 20%, fanout 8.
+    pub fn skewed() -> Self {
+        DatasetParams { prob: 0.2, fanout: 8, ..Default::default() }
+    }
+
+    /// Same parameters with a different object count (Figure 6 sweep).
+    pub fn with_objects(self, n_objects: usize) -> Self {
+        DatasetParams { n_objects, ..self }
+    }
+
+    /// Same parameters with a different sightseeing maximum (Figure 5
+    /// sweep: 0 / 15 / 30).
+    pub fn with_max_sightseeing(self, max_sightseeing: u32) -> Self {
+        DatasetParams { max_sightseeing, ..self }
+    }
+
+    /// The matching analytical profile for the cost model.
+    pub fn profile(&self) -> BenchProfile {
+        BenchProfile {
+            n_objects: self.n_objects as u64,
+            fanout: self.fanout,
+            prob: self.prob,
+            max_sightseeing: self.max_sightseeing,
+        }
+    }
+
+    /// The logical key of station ordinal `i`. Keys are deliberately offset
+    /// from OIDs so that key/OID confusion cannot go unnoticed.
+    pub fn key_of(&self, i: usize) -> Key {
+        10_000 + i as Key
+    }
+}
+
+/// A fixed-width 100-byte string with a recognizable prefix, as the
+/// benchmark's `STR % 100 bytes` attributes.
+fn str100(prefix: &str, a: usize, b: usize) -> String {
+    let head = format!("{prefix}-{a}-{b}-");
+    let mut s = head;
+    while s.len() < 100 {
+        s.push('x');
+    }
+    s.truncate(100);
+    s
+}
+
+/// Generates the benchmark database.
+pub fn generate(params: &DatasetParams) -> Vec<Station> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.n_objects;
+    (0..n)
+        .map(|i| {
+            let key = params.key_of(i);
+            let mut platforms = Vec::new();
+            for slot in 0..params.fanout {
+                if !rng.random_bool(params.prob) {
+                    continue; // platform slot not materialized
+                }
+                let mut connections = Vec::new();
+                let mut line_nr = 0;
+                for _railroad in 0..params.fanout {
+                    if !rng.random_bool(params.prob) {
+                        continue; // railroad not materialized
+                    }
+                    line_nr += 1;
+                    for _conn in 0..params.fanout {
+                        if !rng.random_bool(params.prob) {
+                            continue; // connection not materialized
+                        }
+                        let target = rng.random_range(0..n);
+                        connections.push(Connection {
+                            line_nr,
+                            key_connection: params.key_of(target),
+                            oid_connection: Oid(target as u32),
+                            departure_times: str100("times", i, target),
+                        });
+                    }
+                }
+                platforms.push(Platform {
+                    platform_nr: slot as i32 + 1,
+                    no_line: line_nr,
+                    ticket_code: (i % 97) as i32,
+                    information: str100("info", i, slot as usize),
+                    connections,
+                });
+            }
+            let n_seeing = if params.max_sightseeing == 0 {
+                0
+            } else {
+                rng.random_range(0..=params.max_sightseeing)
+            };
+            let sightseeings = (0..n_seeing)
+                .map(|s| Sightseeing {
+                    seeing_nr: s as i32 + 1,
+                    description: str100("descr", i, s as usize),
+                    location: str100("loc", i, s as usize),
+                    history: str100("hist", i, s as usize),
+                    remarks: str100("rem", i, s as usize),
+                })
+                .collect();
+            Station { key, name: str100("station", i, 0), platforms, sightseeings }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetStats;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = DatasetParams { n_objects: 50, ..Default::default() };
+        assert_eq!(generate(&p), generate(&p));
+        let other = DatasetParams { seed: 7, ..p };
+        assert_ne!(generate(&p), generate(&other));
+    }
+
+    #[test]
+    fn strings_are_100_bytes() {
+        let db = generate(&DatasetParams { n_objects: 20, ..Default::default() });
+        for s in &db {
+            assert_eq!(s.name.len(), 100);
+            for p in &s.platforms {
+                assert_eq!(p.information.len(), 100);
+                for c in &p.connections {
+                    assert_eq!(c.departure_times.len(), 100);
+                }
+            }
+            for g in &s.sightseeings {
+                assert_eq!(g.description.len(), 100);
+                assert_eq!(g.remarks.len(), 100);
+            }
+        }
+    }
+
+    #[test]
+    fn structure_respects_bounds() {
+        let p = DatasetParams { n_objects: 300, ..Default::default() };
+        let db = generate(&p);
+        for s in &db {
+            assert!(s.platforms.len() <= 2, "at most fanout platforms");
+            assert!(s.sightseeings.len() <= 15);
+            for pf in &s.platforms {
+                assert!(pf.connections.len() <= 4, "≤ fanout² connections");
+            }
+            for (k, oid) in s.child_refs() {
+                assert!((oid.0 as usize) < db.len());
+                assert_eq!(db[oid.0 as usize].key, k, "KeyConnection matches target");
+            }
+        }
+    }
+
+    #[test]
+    fn default_averages_match_paper() {
+        // Paper §5.1 observed 1.59 platforms, 4.04 connections, 7.64
+        // sightseeings per station on its generated extension; expectations
+        // are 1.6 / 4.096 / 7.5.
+        let db = generate(&DatasetParams::default());
+        let st = DatasetStats::compute(&db);
+        assert!((st.avg_platforms - 1.6).abs() < 0.08, "{}", st.avg_platforms);
+        assert!((st.avg_connections - 4.096).abs() < 0.25, "{}", st.avg_connections);
+        assert!((st.avg_sightseeings - 7.5).abs() < 0.35, "{}", st.avg_sightseeings);
+        assert!((st.avg_grandchildren - 16.78).abs() < 2.0, "{}", st.avg_grandchildren);
+    }
+
+    #[test]
+    fn skewed_averages_match_default_but_spread_wider() {
+        // §5.5: "The average number of sub-objects appeared to be about the
+        // same ... The maximum number of Platforms appeared to be 6, and the
+        // maximum number of Connections 34."
+        let db = generate(&DatasetParams::skewed());
+        let st = DatasetStats::compute(&db);
+        assert!((st.avg_platforms - 1.6).abs() < 0.15, "{}", st.avg_platforms);
+        assert!((st.avg_connections - 4.1).abs() < 0.4, "{}", st.avg_connections);
+        assert!(st.max_platforms >= 4, "skew widens platform counts: {}", st.max_platforms);
+        assert!(st.max_connections >= 15, "skew widens connections: {}", st.max_connections);
+        let default_stats = DatasetStats::compute(&generate(&DatasetParams::default()));
+        assert!(st.max_connections > default_stats.max_connections);
+    }
+
+    #[test]
+    fn zero_sightseeing_variant() {
+        let db = generate(&DatasetParams::default().with_max_sightseeing(0));
+        assert!(db.iter().all(|s| s.sightseeings.is_empty()));
+    }
+
+    #[test]
+    fn keys_are_offset_from_oids() {
+        let p = DatasetParams { n_objects: 5, ..Default::default() };
+        let db = generate(&p);
+        for (i, s) in db.iter().enumerate() {
+            assert_eq!(s.key, 10_000 + i as i32);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # starfish-workload — the benchmark generator and queries
+//!
+//! Implements §2 of the ICDE 1993 paper: the revised Altair complex-object
+//! benchmark. [`DatasetParams`]/[`generate`] build the `Station` database
+//! (1500 objects by default, ≤2 platforms @80%, ≤4 connections @64%, ≤15
+//! sightseeings uniform, random inter-object references);
+//! [`QueryRunner`] executes the seven benchmark queries (1a–3b) against any
+//! [`starfish_core::ComplexObjectStore`] under the paper's measurement
+//! protocol (cold start, deferred writes flushed at "database disconnect",
+//! per-object / per-loop normalization).
+//!
+//! Randomness is fully deterministic: the dataset comes from
+//! [`DatasetParams::seed`], and each query's random object sequence comes
+//! from a per-query seed — so **every storage model sees the identical
+//! access sequence**, as on the paper's shared DASDBS database.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod generator;
+mod queries;
+pub mod reorder;
+mod stats;
+
+pub use generator::{generate, DatasetParams};
+pub use queries::{Measurement, QueryOutcome, QueryRunner};
+pub use stats::DatasetStats;
+
+/// Result alias (errors come from the storage models).
+pub type Result<T> = std::result::Result<T, starfish_core::CoreError>;

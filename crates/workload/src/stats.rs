@@ -1,0 +1,127 @@
+//! Observed statistics of a generated database (the numbers §5.1 and §5.5
+//! of the paper report about its extensions).
+
+use starfish_nf2::station::Station;
+
+/// Observed structure statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DatasetStats {
+    /// Number of stations.
+    pub n_objects: usize,
+    /// Average platforms per station (paper: 1.59 default, 1.57 skew).
+    pub avg_platforms: f64,
+    /// Average connections (= children) per station (paper: 4.04 / 3.99).
+    pub avg_connections: f64,
+    /// Average sightseeings per station (paper: 7.64 default).
+    pub avg_sightseeings: f64,
+    /// Average grand-children per station (expectation ≈ 16.7).
+    pub avg_grandchildren: f64,
+    /// Maximum platforms on any station (paper skew: 6).
+    pub max_platforms: usize,
+    /// Maximum connections on any station (paper skew: 34).
+    pub max_connections: usize,
+    /// Maximum sightseeings on any station.
+    pub max_sightseeings: usize,
+    /// Total sub-tuples of each kind (platforms, connections, sightseeings).
+    pub totals: (usize, usize, usize),
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `db`. Grand-children are counted exactly
+    /// by following each connection to its target station.
+    pub fn compute(db: &[Station]) -> DatasetStats {
+        let n = db.len();
+        if n == 0 {
+            return DatasetStats::default();
+        }
+        let mut platforms = 0usize;
+        let mut connections = 0usize;
+        let mut sightseeings = 0usize;
+        let mut grandchildren = 0usize;
+        let mut max_p = 0usize;
+        let mut max_c = 0usize;
+        let mut max_s = 0usize;
+        let children_of = |s: &Station| -> usize {
+            s.platforms.iter().map(|p| p.connections.len()).sum()
+        };
+        for s in db {
+            let c = children_of(s);
+            platforms += s.platforms.len();
+            connections += c;
+            sightseeings += s.sightseeings.len();
+            max_p = max_p.max(s.platforms.len());
+            max_c = max_c.max(c);
+            max_s = max_s.max(s.sightseeings.len());
+            for (_, oid) in s.child_refs() {
+                if let Some(child) = db.get(oid.0 as usize) {
+                    grandchildren += children_of(child);
+                }
+            }
+        }
+        DatasetStats {
+            n_objects: n,
+            avg_platforms: platforms as f64 / n as f64,
+            avg_connections: connections as f64 / n as f64,
+            avg_sightseeings: sightseeings as f64 / n as f64,
+            avg_grandchildren: grandchildren as f64 / n as f64,
+            max_platforms: max_p,
+            max_connections: max_c,
+            max_sightseeings: max_s,
+            totals: (platforms, connections, sightseeings),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_nf2::station::{Connection, Platform};
+    use starfish_nf2::Oid;
+
+    fn tiny_db() -> Vec<Station> {
+        let conn = |t: u32| Connection {
+            line_nr: 1,
+            key_connection: t as i32,
+            oid_connection: Oid(t),
+            departure_times: "t".into(),
+        };
+        let platform = |cs: Vec<Connection>| Platform {
+            platform_nr: 1,
+            no_line: 1,
+            ticket_code: 0,
+            information: "i".into(),
+            connections: cs,
+        };
+        vec![
+            Station {
+                key: 0,
+                name: "a".into(),
+                platforms: vec![platform(vec![conn(1), conn(1)])],
+                sightseeings: vec![],
+            },
+            Station {
+                key: 1,
+                name: "b".into(),
+                platforms: vec![platform(vec![conn(0)])],
+                sightseeings: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn counts_and_averages() {
+        let st = DatasetStats::compute(&tiny_db());
+        assert_eq!(st.n_objects, 2);
+        assert_eq!(st.totals, (2, 3, 0));
+        assert!((st.avg_connections - 1.5).abs() < 1e-12);
+        assert_eq!(st.max_connections, 2);
+        // Station 0 has children [1, 1] each with 1 child => 2 grandchildren;
+        // station 1 has child [0] with 2 children => 2.
+        assert!((st.avg_grandchildren - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_db_is_zeroes() {
+        assert_eq!(DatasetStats::compute(&[]), DatasetStats::default());
+    }
+}

@@ -1,0 +1,84 @@
+//! Railway navigation: the paper's query-2 workload on a generated network.
+//!
+//! Generates the benchmark database (a railway network of stations whose
+//! connections reference each other), then navigates two hops out of a root
+//! station under each storage model and reports the physical I/O of every
+//! step — the per-step decomposition behind the paper's Table 4 numbers.
+//!
+//! ```sh
+//! cargo run --release --example railway_navigation
+//! ```
+
+use starfish::core::make_store;
+use starfish::prelude::*;
+use starfish::workload::generate;
+
+fn main() {
+    let params = DatasetParams { n_objects: 500, ..Default::default() };
+    let db = generate(&params);
+    println!(
+        "generated {} stations (avg {:.2} connections each)\n",
+        db.len(),
+        db.iter().map(|s| s.child_refs().len()).sum::<usize>() as f64 / db.len() as f64
+    );
+
+    for kind in ModelKind::measured_models() {
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).expect("load");
+        let root = refs[42];
+
+        store.clear_cache().unwrap();
+        store.reset_stats();
+        let children = store.children_of(&[root]).expect("hop 1");
+        let hop1 = store.snapshot();
+
+        let grandchildren = store.children_of(&children).expect("hop 2");
+        let hop2 = store.snapshot() - hop1;
+
+        let records = store.root_records(&grandchildren).expect("root records");
+        let hop3 = store.snapshot() - hop2 - hop1;
+
+        println!("{} — navigating from station {}:", kind.paper_name(), root.oid);
+        println!(
+            "  hop 1: {:2} children       -> {:4} pages, {:3} I/O calls, {:4} fixes",
+            children.len(),
+            hop1.pages_io(),
+            hop1.io_calls(),
+            hop1.fixes
+        );
+        println!(
+            "  hop 2: {:2} grand-children -> {:4} pages, {:3} I/O calls, {:4} fixes",
+            grandchildren.len(),
+            hop2.pages_io(),
+            hop2.io_calls(),
+            hop2.fixes
+        );
+        println!(
+            "  roots: {:2} records        -> {:4} pages, {:3} I/O calls, {:4} fixes",
+            records.len(),
+            hop3.pages_io(),
+            hop3.io_calls(),
+            hop3.fixes
+        );
+        // Every model returns the same logical records.
+        let names: Vec<String> = records
+            .iter()
+            .take(2)
+            .map(|t| {
+                t.attr(3)
+                    .and_then(starfish::nf2::Value::as_str)
+                    .unwrap_or("?")
+                    .trim_end_matches('x')
+                    .trim_end_matches('-')
+                    .to_string()
+            })
+            .collect();
+        println!("  first grand-children: {names:?}\n");
+    }
+
+    println!(
+        "Same navigation, same answers — but pure NSM scanned whole relations for\n\
+         every hop while DASDBS-NSM resolved each hop with a page or two through\n\
+         its transformation table. That is the paper's §5.2 story."
+    );
+}

@@ -1,0 +1,31 @@
+//! # starfish — facade crate
+//!
+//! Re-exports the full starfish stack. See the README for the architecture
+//! overview; the individual crates are:
+//!
+//! * [`nf2`] — the NF² complex-object model (values, schemas, encoding,
+//!   projections, the benchmark `Station` schema);
+//! * [`pagestore`] — the page-based storage substrate (simulated disk,
+//!   slotted pages, spanned records, LRU buffer pool, I/O accounting);
+//! * [`core`] — the four storage models of the paper (DSM, DASDBS-DSM,
+//!   NSM(+index), DASDBS-NSM) behind one [`core::ComplexObjectStore`] trait;
+//! * [`cost`] — the analytical disk-I/O cost model (Equations 1–8);
+//! * [`workload`] — the benchmark generator and queries 1a–3b;
+//! * [`harness`] — experiment drivers regenerating every table and figure of
+//!   the paper's evaluation.
+
+pub use starfish_core as core;
+pub use starfish_cost as cost;
+pub use starfish_harness as harness;
+pub use starfish_nf2 as nf2;
+pub use starfish_pagestore as pagestore;
+pub use starfish_workload as workload;
+
+/// Commonly used items, for examples and quick experiments.
+pub mod prelude {
+    pub use starfish_core::{ComplexObjectStore, ModelKind, StoreConfig};
+    pub use starfish_nf2::station::{Station, station_schema};
+    pub use starfish_nf2::{Oid, Projection, Tuple, Value};
+    pub use starfish_pagestore::IoSnapshot;
+    pub use starfish_workload::{DatasetParams, QueryRunner};
+}
