@@ -34,7 +34,10 @@ pub fn loaded(kind: ModelKind) -> (Box<dyn ComplexObjectStore>, QueryRunner) {
 }
 
 /// Builds a loaded store + runner for explicit dataset parameters.
-pub fn loaded_with(kind: ModelKind, params: &DatasetParams) -> (Box<dyn ComplexObjectStore>, QueryRunner) {
+pub fn loaded_with(
+    kind: ModelKind,
+    params: &DatasetParams,
+) -> (Box<dyn ComplexObjectStore>, QueryRunner) {
     let config = bench_config();
     let db = generate(params);
     let mut store = make_store(kind, StoreConfig::with_buffer_pages(config.buffer_pages));

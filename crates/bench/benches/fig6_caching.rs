@@ -4,10 +4,10 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_core::ModelKind;
 use starfish_cost::QueryId;
 use starfish_harness::experiments::fig6;
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();

@@ -3,11 +3,11 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_cost::formulas::{
     bernstein, cluster_run, clustered_groups, distinct_selected, pages_per_tuple,
     partial_object_pages, yao,
 };
+use std::hint::black_box;
 
 fn main() {
     let mut c: Criterion = common::criterion();

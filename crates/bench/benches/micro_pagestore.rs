@@ -3,10 +3,10 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_nf2::station::{station_schema, Sightseeing, Station};
 use starfish_nf2::{decode, encode_with_layout, Projection};
 use starfish_pagestore::{slotted, BufferPool, PageId, SimDisk, PAGE_SIZE};
+use std::hint::black_box;
 
 fn sample_station() -> Station {
     Station {

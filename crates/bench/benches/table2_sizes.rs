@@ -3,11 +3,11 @@
 
 mod common;
 
-use std::hint::black_box;
 use starfish_core::{make_store, ModelKind, StoreConfig};
 use starfish_harness::experiments::table2;
 use starfish_nf2::{encode_with_layout, station::station_schema};
 use starfish_workload::generate;
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();

@@ -4,9 +4,9 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_cost::{table3, BenchProfile, EstimatorInputs};
 use starfish_harness::experiments::table3 as table3_exp;
+use std::hint::black_box;
 
 fn main() {
     common::show(&table3_exp::run(&common::bench_config()));

@@ -4,11 +4,11 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_core::ModelKind;
 use starfish_cost::QueryId;
 use starfish_harness::experiments::{grid_models, table4};
 use starfish_harness::runner::measure_grid;
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();

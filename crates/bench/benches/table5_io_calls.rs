@@ -4,10 +4,10 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_harness::experiments::{grid_models, table5};
 use starfish_harness::runner::measure_grid;
 use starfish_pagestore::{BufferPool, HeapFile, PageId, SimDisk, SpannedStore};
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();
@@ -36,7 +36,8 @@ fn main() {
         b.iter(|| {
             pool.clear_cache().unwrap();
             let mut n = 0u64;
-            file.scan(&mut pool, |_, bytes| n += bytes.len() as u64).unwrap();
+            file.scan(&mut pool, |_, bytes| n += bytes.len() as u64)
+                .unwrap();
             black_box(n)
         })
     });

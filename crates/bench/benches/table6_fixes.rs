@@ -5,10 +5,10 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_harness::experiments::{grid_models, table6};
 use starfish_harness::runner::measure_grid;
 use starfish_pagestore::{BufferPool, PageId, SimDisk};
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();

@@ -4,10 +4,10 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_cost::QueryId;
 use starfish_harness::experiments::table7;
 use starfish_workload::DatasetParams;
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();

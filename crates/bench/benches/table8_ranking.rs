@@ -5,9 +5,9 @@
 mod common;
 
 use criterion::Criterion;
-use std::hint::black_box;
 use starfish_harness::experiments::{grid_models, table8};
 use starfish_harness::runner::measure_grid;
+use std::hint::black_box;
 
 fn main() {
     let config = common::bench_config();
@@ -26,11 +26,7 @@ fn main() {
         ..config
     };
     c.bench_function("table8/full_benchmark_grid_80_objects", |b| {
-        b.iter(|| {
-            black_box(
-                measure_grid(&tiny.dataset(), &tiny, &grid_models()).expect("grid"),
-            )
-        })
+        b.iter(|| black_box(measure_grid(&tiny.dataset(), &tiny, &grid_models()).expect("grid")))
     });
     c.final_summary();
 }

@@ -22,8 +22,8 @@ use crate::traits::{avg, per_object, ComplexObjectStore, ObjRef, RelationInfo, R
 use crate::{CoreError, ModelKind, Result, StoreConfig};
 use starfish_nf2::station::Station;
 use starfish_nf2::{
-    decode, encode, encode_with_layout, AttrDef, AttrType, Key, Oid, Projection, RelSchema,
-    Tuple, Value,
+    decode, encode, encode_with_layout, AttrDef, AttrType, Key, Oid, Projection, RelSchema, Tuple,
+    Value,
 };
 use starfish_pagestore::{BufferPool, BufferStats, HeapFile, IoSnapshot, Rid, SimDisk};
 use std::collections::HashMap;
@@ -159,7 +159,9 @@ impl DasdbsNsmStore {
         if self.station.is_some() {
             Ok(())
         } else {
-            Err(CoreError::NotFound { what: "empty database".into() })
+            Err(CoreError::NotFound {
+                what: "empty database".into(),
+            })
         }
     }
 
@@ -167,7 +169,9 @@ impl DasdbsNsmStore {
         self.trans
             .get(&key)
             .copied()
-            .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {key}"),
+            })
     }
 
     /// Builds the per-relation nested tuples for one station.
@@ -252,7 +256,10 @@ impl DasdbsNsmStore {
             for g in groups {
                 let parent = g.attr(0).and_then(Value::as_int).unwrap_or(0);
                 if let Some(Value::Rel(cs)) = g.attr(1) {
-                    conns_by_parent.entry(parent).or_default().extend(cs.iter().cloned());
+                    conns_by_parent
+                        .entry(parent)
+                        .or_default()
+                        .extend(cs.iter().cloned());
                 }
             }
         }
@@ -268,8 +275,11 @@ impl DasdbsNsmStore {
                 Tuple::new(vals)
             })
             .collect();
-        let seeing_tuples: Vec<Tuple> =
-            seeings.attr(1).and_then(Value::as_rel).unwrap_or(&[]).to_vec();
+        let seeing_tuples: Vec<Tuple> = seeings
+            .attr(1)
+            .and_then(Value::as_rel)
+            .unwrap_or(&[])
+            .to_vec();
         Tuple::new(vec![
             root.values[0].clone(),
             root.values[1].clone(),
@@ -284,16 +294,29 @@ impl DasdbsNsmStore {
     /// table: four addressed tuple reads (the paper's query-1a path).
     fn materialize(&mut self, key: Key) -> Result<Tuple> {
         let e = self.entry(key)?;
-        let root_bytes = self.station.as_ref().expect("loaded").read(&mut self.pool, e.station)?;
+        let root_bytes = self
+            .station
+            .as_ref()
+            .expect("loaded")
+            .read(&mut self.pool, e.station)?;
         let root = decode(&root_bytes, &dnsm_station_schema())?;
-        let p_bytes =
-            self.platform.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let p_bytes = self
+            .platform
+            .as_ref()
+            .expect("loaded")
+            .read_full(&mut self.pool, e.ordinal)?;
         let platforms = decode(&p_bytes, &dnsm_platform_schema())?;
-        let c_bytes =
-            self.connection.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let c_bytes = self
+            .connection
+            .as_ref()
+            .expect("loaded")
+            .read_full(&mut self.pool, e.ordinal)?;
         let connections = decode(&c_bytes, &dnsm_connection_schema())?;
-        let s_bytes =
-            self.sightseeing.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+        let s_bytes = self
+            .sightseeing
+            .as_ref()
+            .expect("loaded")
+            .read_full(&mut self.pool, e.ordinal)?;
         let seeings = decode(&s_bytes, &dnsm_sightseeing_schema())?;
         Ok(Self::assemble(&root, &platforms, &connections, &seeings))
     }
@@ -311,7 +334,10 @@ impl ComplexObjectStore for DasdbsNsmStore {
         let mut se_objs = Vec::with_capacity(stations.len());
         self.refs.clear();
         for (i, s) in stations.iter().enumerate() {
-            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            self.refs.push(ObjRef {
+                oid: Oid(i as u32),
+                key: s.key,
+            });
             let (root, platforms, connections, seeings) = Self::nested_tuples(s);
             st_recs.push(encode(&root, &dnsm_station_schema())?);
             pl_objs.push(encode_with_layout(&platforms, &dnsm_platform_schema())?);
@@ -319,8 +345,7 @@ impl ComplexObjectStore for DasdbsNsmStore {
             se_objs.push(encode_with_layout(&seeings, &dnsm_sightseeing_schema())?);
         }
         self.station_bytes = st_recs.iter().map(|r| r.len() as u64).sum();
-        let (st, st_rids) =
-            HeapFile::bulk_load(&mut self.pool, "DASDBS-NSM-Station", &st_recs)?;
+        let (st, st_rids) = HeapFile::bulk_load(&mut self.pool, "DASDBS-NSM-Station", &st_recs)?;
         let pl = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Platform", &pl_objs)?;
         let co = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Connection", &co_objs)?;
         let se = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Sightseeing", &se_objs)?;
@@ -328,7 +353,15 @@ impl ComplexObjectStore for DasdbsNsmStore {
             .iter()
             .enumerate()
             .zip(&st_rids)
-            .map(|((i, s), rid)| (s.key, TransEntry { station: *rid, ordinal: i }))
+            .map(|((i, s), rid)| {
+                (
+                    s.key,
+                    TransEntry {
+                        station: *rid,
+                        ordinal: i,
+                    },
+                )
+            })
             .collect();
         self.station = Some(st);
         self.platform = Some(pl);
@@ -349,7 +382,9 @@ impl ComplexObjectStore for DasdbsNsmStore {
             .refs
             .get(oid.0 as usize)
             .map(|r| r.key)
-            .ok_or_else(|| CoreError::NotFound { what: format!("object {oid}") })?;
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("object {oid}"),
+            })?;
         let t = self.materialize(key)?;
         Ok(if proj.is_all() {
             t
@@ -375,7 +410,9 @@ impl ComplexObjectStore for DasdbsNsmStore {
             }
         })?;
         if !found {
-            return Err(CoreError::NotFound { what: format!("key {key}") });
+            return Err(CoreError::NotFound {
+                what: format!("key {key}"),
+            });
         }
         let t = self.materialize(key)?;
         Ok(if proj.is_all() {
@@ -400,8 +437,11 @@ impl ComplexObjectStore for DasdbsNsmStore {
         let mut out = Vec::new();
         for r in refs {
             let e = self.entry(r.key)?;
-            let bytes =
-                self.connection.as_ref().expect("loaded").read_full(&mut self.pool, e.ordinal)?;
+            let bytes = self
+                .connection
+                .as_ref()
+                .expect("loaded")
+                .read_full(&mut self.pool, e.ordinal)?;
             let t = decode(&bytes, &schema)?;
             if let Some(Value::Rel(groups)) = t.attr(1) {
                 for g in groups {
@@ -425,8 +465,11 @@ impl ComplexObjectStore for DasdbsNsmStore {
         refs.iter()
             .map(|r| {
                 let e = self.entry(r.key)?;
-                let bytes =
-                    self.station.as_ref().expect("loaded").read(&mut self.pool, e.station)?;
+                let bytes = self
+                    .station
+                    .as_ref()
+                    .expect("loaded")
+                    .read(&mut self.pool, e.station)?;
                 let t = decode(&bytes, &schema)?;
                 Ok(Tuple::new(vec![
                     t.values[0].clone(),
@@ -453,10 +496,12 @@ impl ComplexObjectStore for DasdbsNsmStore {
             let mut t = decode(&bytes, &schema)?;
             let old = t.values[3].as_str().map(str::len).unwrap_or(0);
             if old != patch.new_name.len() {
-                return Err(CoreError::Store(starfish_pagestore::StoreError::SizeChanged {
-                    old,
-                    new: patch.new_name.len(),
-                }));
+                return Err(CoreError::Store(
+                    starfish_pagestore::StoreError::SizeChanged {
+                        old,
+                        new: patch.new_name.len(),
+                    },
+                ));
             }
             t.values[3] = Value::Str(patch.new_name.clone());
             file.update(&mut self.pool, e.station, &encode(&t, &schema)?)?;
@@ -511,8 +556,8 @@ impl ComplexObjectStore for DasdbsNsmStore {
                 avg_tuple_bytes: file.avg_stored_bytes(),
                 k: if file.heap_resident_count() == file.len() && !file.is_empty() {
                     Some(
-                        (starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64
-                            / file.avg_stored_bytes()) as u32,
+                        (starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64 / file.avg_stored_bytes())
+                            as u32,
                     )
                 } else {
                     None
@@ -612,7 +657,12 @@ mod tests {
         let mut s = make();
         s.clear_cache().unwrap();
         s.reset_stats();
-        let out = s.children_of(&[ObjRef { oid: Oid(0), key: 20 }]).unwrap();
+        let out = s
+            .children_of(&[ObjRef {
+                oid: Oid(0),
+                key: 20,
+            }])
+            .unwrap();
         let expect: Vec<ObjRef> = db()[0]
             .child_refs()
             .into_iter()
@@ -639,25 +689,41 @@ mod tests {
     #[test]
     fn update_roots_touches_only_station_relation() {
         let mut s = make();
-        let refs = [ObjRef { oid: Oid(1), key: 21 }];
+        let refs = [ObjRef {
+            oid: Oid(1),
+            key: 21,
+        }];
         s.root_records(&refs).unwrap();
         s.reset_stats();
         let new_name = "W".repeat(100);
-        s.update_roots(&refs, &RootPatch { new_name: new_name.clone() }).unwrap();
+        s.update_roots(
+            &refs,
+            &RootPatch {
+                new_name: new_name.clone(),
+            },
+        )
+        .unwrap();
         s.flush().unwrap();
         assert_eq!(s.snapshot().pages_written, 1, "one small root page");
         s.clear_cache().unwrap();
         let t = s.get_by_key(21, &Projection::All).unwrap();
-        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+        assert_eq!(
+            t.attr(attr::NAME).unwrap().as_str(),
+            Some(new_name.as_str())
+        );
         // Structure untouched.
-        assert_eq!(Station::from_tuple(&t).unwrap().platforms, db()[1].platforms);
+        assert_eq!(
+            Station::from_tuple(&t).unwrap().platforms,
+            db()[1].platforms
+        );
     }
 
     #[test]
     fn scan_all_materializes_everything() {
         let mut s = make();
         let mut seen = Vec::new();
-        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+            .unwrap();
         assert_eq!(seen, db());
     }
 

@@ -56,7 +56,9 @@ impl DirectStore {
     }
 
     fn file(&self) -> Result<&ObjectFile> {
-        self.file.as_ref().ok_or_else(|| CoreError::NotFound { what: "empty database".into() })
+        self.file.as_ref().ok_or_else(|| CoreError::NotFound {
+            what: "empty database".into(),
+        })
     }
 
     fn ord_of_oid(&self, oid: Oid) -> Result<usize> {
@@ -64,7 +66,9 @@ impl DirectStore {
         if ord < self.refs.len() {
             Ok(ord)
         } else {
-            Err(CoreError::NotFound { what: format!("object {oid}") })
+            Err(CoreError::NotFound {
+                what: format!("object {oid}"),
+            })
         }
     }
 
@@ -85,7 +89,11 @@ impl DirectStore {
             // DSM (or a full-projection read): materialize everything.
             let bytes = file.read_full(&mut self.pool, ord)?;
             let t = decode(&bytes, &self.schema)?;
-            Ok(if proj.is_all() { t } else { proj.apply(&t, &self.schema) })
+            Ok(if proj.is_all() {
+                t
+            } else {
+                proj.apply(&t, &self.schema)
+            })
         }
     }
 
@@ -103,23 +111,27 @@ impl DirectStore {
         let full = self.read_object(ord, &Projection::All)?;
         let mut station = Station::from_tuple(&full)?;
         if station.name.len() != patch.new_name.len() {
-            return Err(CoreError::Store(starfish_pagestore::StoreError::SizeChanged {
-                old: station.name.len(),
-                new: patch.new_name.len(),
-            }));
+            return Err(CoreError::Store(
+                starfish_pagestore::StoreError::SizeChanged {
+                    old: station.name.len(),
+                    new: patch.new_name.len(),
+                },
+            ));
         }
         station.name = patch.new_name.clone();
         let (bytes, layout) = encode_with_layout(&station.to_tuple(), &self.schema)?;
-        self.file.as_ref().expect("loaded").rewrite_full(&mut self.pool, ord, &bytes, &layout)}
+        self.file
+            .as_ref()
+            .expect("loaded")
+            .rewrite_full(&mut self.pool, ord, &bytes, &layout)
+    }
 
     /// DASDBS-DSM update path: `change attribute` on `Name` + page-pool
     /// write.
     fn change_attribute(&mut self, ord: usize, patch: &RootPatch) -> Result<()> {
         let file = self.file.as_ref().expect("loaded");
         let name_proj = Projection::Attrs(vec![(attr::NAME, Projection::All)]);
-        let layout = match file.read_projected(&mut self.pool, ord, |l| {
-            name_proj.byte_ranges(l)
-        })? {
+        let layout = match file.read_projected(&mut self.pool, ord, |l| name_proj.byte_ranges(l))? {
             ReadPayload::Sparse(bytes, layout) => {
                 // Validate length via the stored attribute range.
                 let range = layout.attrs[attr::NAME].range();
@@ -138,7 +150,10 @@ impl DirectStore {
             ReadPayload::Full(bytes) => {
                 // Heap resident: recompute the layout from the decoded tuple.
                 let t = decode(&bytes, &self.schema)?;
-                let name = t.attr(attr::NAME).and_then(Value::as_str).unwrap_or_default();
+                let name = t
+                    .attr(attr::NAME)
+                    .and_then(Value::as_str)
+                    .unwrap_or_default();
                 if name.len() != patch.new_name.len() {
                     return Err(CoreError::Store(
                         starfish_pagestore::StoreError::SizeChanged {
@@ -152,7 +167,12 @@ impl DirectStore {
             }
         };
         let range = layout.attrs[attr::NAME].range();
-        file.patch_range(&mut self.pool, ord, range, &Self::encode_name(&patch.new_name))?;
+        file.patch_range(
+            &mut self.pool,
+            ord,
+            range,
+            &Self::encode_name(&patch.new_name),
+        )?;
         // The page pool: every change-attribute operation allocates a pool
         // "of which all pages are written ... even though the page pool is
         // only a single page in size" (§5.3).
@@ -177,12 +197,23 @@ impl ComplexObjectStore for DirectStore {
         self.key_to_ord.clear();
         for (i, s) in stations.iter().enumerate() {
             payloads.push(encode_with_layout(&s.to_tuple(), &self.schema)?);
-            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            self.refs.push(ObjRef {
+                oid: Oid(i as u32),
+                key: s.key,
+            });
             self.key_to_ord.insert(s.key, i);
         }
-        let name = if self.partial { "DASDBS-DSM-Station" } else { "DSM-Station" };
-        self.file =
-            Some(ObjectFile::bulk_load_opts(&mut self.pool, name, &payloads, self.aligned)?);
+        let name = if self.partial {
+            "DASDBS-DSM-Station"
+        } else {
+            "DSM-Station"
+        };
+        self.file = Some(ObjectFile::bulk_load_opts(
+            &mut self.pool,
+            name,
+            &payloads,
+            self.aligned,
+        )?);
         if self.partial {
             self.scratch = Some(self.pool.alloc_extent(1));
         }
@@ -213,8 +244,14 @@ impl ComplexObjectStore for DirectStore {
                 found = Some(t);
             }
         }
-        let t = found.ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?;
-        Ok(if proj.is_all() { t } else { proj.apply(&t, &self.schema) })
+        let t = found.ok_or_else(|| CoreError::NotFound {
+            what: format!("key {key}"),
+        })?;
+        Ok(if proj.is_all() {
+            t
+        } else {
+            proj.apply(&t, &self.schema)
+        })
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
@@ -233,7 +270,11 @@ impl ComplexObjectStore for DirectStore {
         for r in refs {
             let ord = self.ord_of_oid(r.oid)?;
             let t = self.read_object(ord, &proj)?;
-            out.extend(child_refs(&t).into_iter().map(|(key, oid)| ObjRef { oid, key }));
+            out.extend(
+                child_refs(&t)
+                    .into_iter()
+                    .map(|(key, oid)| ObjRef { oid, key }),
+            );
         }
         Ok(out)
     }
@@ -287,7 +328,9 @@ impl ComplexObjectStore for DirectStore {
     }
 
     fn relation_info(&self) -> Vec<RelationInfo> {
-        let Some(file) = self.file.as_ref() else { return Vec::new() };
+        let Some(file) = self.file.as_ref() else {
+            return Vec::new();
+        };
         let total = file.len() as u64;
         vec![RelationInfo {
             name: file.name().to_string(),
@@ -401,13 +444,22 @@ mod tests {
     fn children_of_returns_refs_in_order() {
         let mut s = make(true);
         let refs = s
-            .children_of(&[ObjRef { oid: Oid(0), key: 100 }])
+            .children_of(&[ObjRef {
+                oid: Oid(0),
+                key: 100,
+            }])
             .unwrap();
         assert_eq!(
             refs,
             vec![
-                ObjRef { oid: Oid(1), key: 101 },
-                ObjRef { oid: Oid(2), key: 102 }
+                ObjRef {
+                    oid: Oid(1),
+                    key: 101
+                },
+                ObjRef {
+                    oid: Oid(2),
+                    key: 102
+                }
             ]
         );
     }
@@ -416,7 +468,10 @@ mod tests {
     fn partial_navigation_reads_fewer_pages_than_full() {
         let mut dsm = make(false);
         let mut ddsm = make(true);
-        let r = [ObjRef { oid: Oid(0), key: 100 }];
+        let r = [ObjRef {
+            oid: Oid(0),
+            key: 100,
+        }];
         dsm.clear_cache().unwrap();
         dsm.reset_stats();
         dsm.children_of(&r).unwrap();
@@ -435,22 +490,42 @@ mod tests {
     fn root_records_project_atomics() {
         let mut s = make(true);
         let recs = s
-            .root_records(&[ObjRef { oid: Oid(2), key: 102 }])
+            .root_records(&[ObjRef {
+                oid: Oid(2),
+                key: 102,
+            }])
             .unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].attr(attr::KEY).unwrap().as_int(), Some(102));
-        assert!(recs[0].attr(attr::PLATFORM).unwrap().as_rel().unwrap().is_empty());
+        assert!(recs[0]
+            .attr(attr::PLATFORM)
+            .unwrap()
+            .as_rel()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn dsm_update_replaces_whole_tuple() {
         let mut s = make(false);
-        let r = ObjRef { oid: Oid(0), key: 100 };
+        let r = ObjRef {
+            oid: Oid(0),
+            key: 100,
+        };
         let new_name = "X".repeat(100);
-        s.update_roots(&[r], &RootPatch { new_name: new_name.clone() }).unwrap();
+        s.update_roots(
+            &[r],
+            &RootPatch {
+                new_name: new_name.clone(),
+            },
+        )
+        .unwrap();
         s.clear_cache().unwrap();
         let t = s.get_by_oid(Oid(0), &Projection::All).unwrap();
-        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+        assert_eq!(
+            t.attr(attr::NAME).unwrap().as_str(),
+            Some(new_name.as_str())
+        );
         // Structure untouched.
         assert_eq!(Station::from_tuple(&t).unwrap().sightseeings.len(), 10);
     }
@@ -458,11 +533,20 @@ mod tests {
     #[test]
     fn dasdbs_dsm_update_patches_and_writes_pool_page() {
         let mut s = make(true);
-        let r = ObjRef { oid: Oid(0), key: 100 };
+        let r = ObjRef {
+            oid: Oid(0),
+            key: 100,
+        };
         s.root_records(&[r]).unwrap(); // object partly cached, as in query 3
         s.reset_stats();
         let new_name = "Y".repeat(100);
-        s.update_roots(&[r], &RootPatch { new_name: new_name.clone() }).unwrap();
+        s.update_roots(
+            &[r],
+            &RootPatch {
+                new_name: new_name.clone(),
+            },
+        )
+        .unwrap();
         let written_now = s.snapshot().pages_written;
         assert_eq!(written_now, 1, "page-pool page is written immediately");
         s.flush().unwrap();
@@ -470,7 +554,10 @@ mod tests {
         assert!(s.snapshot().pages_written >= 2);
         s.clear_cache().unwrap();
         let t = s.get_by_oid(Oid(0), &Projection::All).unwrap();
-        assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+        assert_eq!(
+            t.attr(attr::NAME).unwrap().as_str(),
+            Some(new_name.as_str())
+        );
     }
 
     #[test]
@@ -479,8 +566,13 @@ mod tests {
             let mut s = make(partial);
             let err = s
                 .update_roots(
-                    &[ObjRef { oid: Oid(0), key: 100 }],
-                    &RootPatch { new_name: "short".into() },
+                    &[ObjRef {
+                        oid: Oid(0),
+                        key: 100,
+                    }],
+                    &RootPatch {
+                        new_name: "short".into(),
+                    },
                 )
                 .unwrap_err();
             assert!(matches!(err, CoreError::Store(_)), "{err}");
@@ -491,8 +583,13 @@ mod tests {
     fn dsm_writes_more_pages_on_update_than_dasdbs_dsm_reads_less() {
         // DSM replace-tuple dirties the whole extent; DASDBS-DSM patches one
         // page (plus its pool page).
-        let r = ObjRef { oid: Oid(0), key: 100 };
-        let patch = RootPatch { new_name: "Z".repeat(100) };
+        let r = ObjRef {
+            oid: Oid(0),
+            key: 100,
+        };
+        let patch = RootPatch {
+            new_name: "Z".repeat(100),
+        };
 
         let mut dsm = make(false);
         dsm.root_records(&[r]).unwrap();

@@ -71,7 +71,12 @@ impl ModelKind {
     /// The four models measured in the paper's Tables 4–6 (NSM+index only
     /// appears in the analytical Table 3).
     pub fn measured_models() -> [ModelKind; 4] {
-        [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::Nsm, ModelKind::DasdbsNsm]
+        [
+            ModelKind::Dsm,
+            ModelKind::DasdbsDsm,
+            ModelKind::Nsm,
+            ModelKind::DasdbsNsm,
+        ]
     }
 
     /// All five model variants.
@@ -106,14 +111,20 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { buffer_pages: DEFAULT_BUFFER_PAGES, aligned_subtuples: false }
+        StoreConfig {
+            buffer_pages: DEFAULT_BUFFER_PAGES,
+            aligned_subtuples: false,
+        }
     }
 }
 
 impl StoreConfig {
     /// Config with a specific buffer capacity.
     pub fn with_buffer_pages(buffer_pages: usize) -> Self {
-        StoreConfig { buffer_pages, ..Default::default() }
+        StoreConfig {
+            buffer_pages,
+            ..Default::default()
+        }
     }
 
     /// Enables the sub-tuple-aligned (wasteful, DASDBS-faithful) layout.

@@ -138,7 +138,9 @@ impl NsmStore {
         if self.station.is_some() {
             Ok(())
         } else {
-            Err(CoreError::NotFound { what: "empty database".into() })
+            Err(CoreError::NotFound {
+                what: "empty database".into(),
+            })
         }
     }
 
@@ -247,14 +249,22 @@ impl NsmStore {
                 .get(&key)
                 .and_then(|v| v.first())
                 .cloned()
-                .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?
+                .ok_or_else(|| CoreError::NotFound {
+                    what: format!("key {key}"),
+                })?
         } else {
             let rid = self
                 .index
                 .get(&key)
                 .and_then(|r| r.station)
-                .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?;
-            let bytes = self.station.as_ref().expect("loaded").read(&mut self.pool, rid)?;
+                .ok_or_else(|| CoreError::NotFound {
+                    what: format!("key {key}"),
+                })?;
+            let bytes = self
+                .station
+                .as_ref()
+                .expect("loaded")
+                .read(&mut self.pool, rid)?;
             decode(&bytes, &station_schema)?
         };
         let (platforms, connections, sightseeings) = if self.indexed {
@@ -305,18 +315,20 @@ impl NsmStore {
                 s.remove(&key).unwrap_or_default(),
             )
         };
-        Ok(Self::assemble(key, &root, &platforms, &connections, &sightseeings))
+        Ok(Self::assemble(
+            key,
+            &root,
+            &platforms,
+            &connections,
+            &sightseeings,
+        ))
     }
 }
 
 /// Decodes attribute 0 (`Key`/`RootKey`, always an INT at a fixed offset) of
 /// a flat NSM tuple without decoding the rest.
 fn peek_root_key(bytes: &[u8]) -> Result<Key> {
-    match starfish_nf2::decode_attr(
-        bytes,
-        &AttrType::Int,
-        root_key_offset(bytes)?,
-    )? {
+    match starfish_nf2::decode_attr(bytes, &AttrType::Int, root_key_offset(bytes)?)? {
         Value::Int(k) => Ok(k),
         _ => unreachable!("decode_attr(Int) yields Int"),
     }
@@ -325,10 +337,12 @@ fn peek_root_key(bytes: &[u8]) -> Result<Key> {
 fn root_key_offset(bytes: &[u8]) -> Result<usize> {
     // Attribute offsets start right after the 20-byte tuple header; offset 0
     // entry is little-endian u32 relative to the tuple start.
-    let raw = bytes.get(20..24).ok_or(CoreError::Nf2(starfish_nf2::Nf2Error::Corrupt {
-        offset: 20,
-        detail: "flat tuple too short".into(),
-    }))?;
+    let raw = bytes
+        .get(20..24)
+        .ok_or(CoreError::Nf2(starfish_nf2::Nf2Error::Corrupt {
+            offset: 20,
+            detail: "flat tuple too short".into(),
+        }))?;
     Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
 }
 
@@ -352,7 +366,10 @@ impl ComplexObjectStore for NsmStore {
         let mut se_owner: Vec<Key> = Vec::new();
         self.refs.clear();
         for (i, s) in stations.iter().enumerate() {
-            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            self.refs.push(ObjRef {
+                oid: Oid(i as u32),
+                key: s.key,
+            });
             st_recs.push(encode(
                 &Tuple::new(vec![
                     Value::Int(s.key),
@@ -409,8 +426,11 @@ impl ComplexObjectStore for NsmStore {
         let (pl, pl_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Platform", &pl_recs)?;
         let (co, co_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Connection", &co_recs)?;
         let (se, se_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Sightseeing", &se_recs)?;
-        self.station_rids =
-            stations.iter().zip(&st_rids).map(|(s, r)| (s.key, *r)).collect();
+        self.station_rids = stations
+            .iter()
+            .zip(&st_rids)
+            .map(|(s, r)| (s.key, *r))
+            .collect();
         self.index.clear();
         if self.indexed {
             for (s, rid) in stations.iter().zip(&st_rids) {
@@ -449,13 +469,18 @@ impl ComplexObjectStore for NsmStore {
     fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
         if !self.indexed {
             // "With NSM we have no identifiers, so query 1a is not relevant."
-            return Err(CoreError::Unsupported { model: "NSM", op: "access by OID (query 1a)" });
+            return Err(CoreError::Unsupported {
+                model: "NSM",
+                op: "access by OID (query 1a)",
+            });
         }
         let key = self
             .refs
             .get(oid.0 as usize)
             .map(|r| r.key)
-            .ok_or_else(|| CoreError::NotFound { what: format!("object {oid}") })?;
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("object {oid}"),
+            })?;
         let t = self.materialize(key, false)?;
         Ok(if proj.is_all() {
             t
@@ -503,10 +528,13 @@ impl ComplexObjectStore for NsmStore {
             &keys,
         )?;
         for r in &self.refs {
-            let root = roots
-                .get(&r.key)
-                .and_then(|v| v.first())
-                .ok_or_else(|| CoreError::NotFound { what: format!("key {}", r.key) })?;
+            let root =
+                roots
+                    .get(&r.key)
+                    .and_then(|v| v.first())
+                    .ok_or_else(|| CoreError::NotFound {
+                        what: format!("key {}", r.key),
+                    })?;
             let t = Self::assemble(
                 r.key,
                 root,
@@ -529,8 +557,11 @@ impl ComplexObjectStore for NsmStore {
         if self.indexed {
             let mut out = Vec::new();
             for r in refs {
-                let rids =
-                    self.index.get(&r.key).map(|x| x.connections.clone()).unwrap_or_default();
+                let rids = self
+                    .index
+                    .get(&r.key)
+                    .map(|x| x.connections.clone())
+                    .unwrap_or_default();
                 let tuples = Self::read_rids(
                     &mut self.pool,
                     self.connection.as_ref().expect("loaded"),
@@ -581,9 +612,14 @@ impl ComplexObjectStore for NsmStore {
                         .index
                         .get(&r.key)
                         .and_then(|x| x.station)
-                        .ok_or_else(|| CoreError::NotFound { what: format!("key {}", r.key) })?;
-                    let bytes =
-                        self.station.as_ref().expect("loaded").read(&mut self.pool, rid)?;
+                        .ok_or_else(|| CoreError::NotFound {
+                            what: format!("key {}", r.key),
+                        })?;
+                    let bytes = self
+                        .station
+                        .as_ref()
+                        .expect("loaded")
+                        .read(&mut self.pool, rid)?;
                     Ok(to_root(&decode(&bytes, &schema)?))
                 })
                 .collect()
@@ -601,7 +637,9 @@ impl ComplexObjectStore for NsmStore {
                         .get(&r.key)
                         .and_then(|v| v.first())
                         .map(to_root)
-                        .ok_or_else(|| CoreError::NotFound { what: format!("key {}", r.key) })
+                        .ok_or_else(|| CoreError::NotFound {
+                            what: format!("key {}", r.key),
+                        })
                 })
                 .collect()
         }
@@ -614,16 +652,20 @@ impl ComplexObjectStore for NsmStore {
             let rid = *self
                 .station_rids
                 .get(&r.key)
-                .ok_or_else(|| CoreError::NotFound { what: format!("key {}", r.key) })?;
+                .ok_or_else(|| CoreError::NotFound {
+                    what: format!("key {}", r.key),
+                })?;
             let file = self.station.as_ref().expect("loaded");
             let bytes = file.read(&mut self.pool, rid)?;
             let mut t = decode(&bytes, &schema)?;
             let old = t.values[3].as_str().map(str::len).unwrap_or(0);
             if old != patch.new_name.len() {
-                return Err(CoreError::Store(starfish_pagestore::StoreError::SizeChanged {
-                    old,
-                    new: patch.new_name.len(),
-                }));
+                return Err(CoreError::Store(
+                    starfish_pagestore::StoreError::SizeChanged {
+                        old,
+                        new: patch.new_name.len(),
+                    },
+                ));
             }
             t.values[3] = Value::Str(patch.new_name.clone());
             file.update(&mut self.pool, rid, &encode(&t, &schema)?)?;
@@ -773,7 +815,8 @@ mod tests {
     fn scan_all_rebuilds_every_object_in_oid_order() {
         let mut s = make(false);
         let mut seen = Vec::new();
-        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+            .unwrap();
         assert_eq!(seen, db());
     }
 
@@ -782,7 +825,16 @@ mod tests {
         for indexed in [false, true] {
             let mut s = make(indexed);
             let out = s
-                .children_of(&[ObjRef { oid: Oid(0), key: 10 }, ObjRef { oid: Oid(1), key: 11 }])
+                .children_of(&[
+                    ObjRef {
+                        oid: Oid(0),
+                        key: 10,
+                    },
+                    ObjRef {
+                        oid: Oid(1),
+                        key: 11,
+                    },
+                ])
                 .unwrap();
             let expect: Vec<ObjRef> = db()[0]
                 .child_refs()
@@ -797,7 +849,10 @@ mod tests {
     #[test]
     fn duplicate_refs_duplicate_children() {
         let mut s = make(false);
-        let r = ObjRef { oid: Oid(1), key: 11 };
+        let r = ObjRef {
+            oid: Oid(1),
+            key: 11,
+        };
         let out = s.children_of(&[r, r]).unwrap();
         assert_eq!(out.len(), 2 * db()[1].child_refs().len());
     }
@@ -807,7 +862,11 @@ mod tests {
         let mut s = make(false);
         s.clear_cache().unwrap();
         s.reset_stats();
-        s.children_of(&[ObjRef { oid: Oid(0), key: 10 }]).unwrap();
+        s.children_of(&[ObjRef {
+            oid: Oid(0),
+            key: 10,
+        }])
+        .unwrap();
         let m = s.connection.as_ref().unwrap().page_count() as u64;
         let snap = s.snapshot();
         assert_eq!(snap.pages_read, m, "whole connection relation scanned");
@@ -819,7 +878,11 @@ mod tests {
         let mut s = make(true);
         s.clear_cache().unwrap();
         s.reset_stats();
-        s.children_of(&[ObjRef { oid: Oid(0), key: 10 }]).unwrap();
+        s.children_of(&[ObjRef {
+            oid: Oid(0),
+            key: 10,
+        }])
+        .unwrap();
         let m = s.connection.as_ref().unwrap().page_count() as u64;
         let snap = s.snapshot();
         assert!(snap.pages_read <= m);
@@ -831,14 +894,26 @@ mod tests {
     fn root_records_and_update() {
         for indexed in [false, true] {
             let mut s = make(indexed);
-            let refs = [ObjRef { oid: Oid(3), key: 13 }];
+            let refs = [ObjRef {
+                oid: Oid(3),
+                key: 13,
+            }];
             let recs = s.root_records(&refs).unwrap();
             assert_eq!(recs[0].attr(attr::KEY).unwrap().as_int(), Some(13));
             let new_name = "Q".repeat(100);
-            s.update_roots(&refs, &RootPatch { new_name: new_name.clone() }).unwrap();
+            s.update_roots(
+                &refs,
+                &RootPatch {
+                    new_name: new_name.clone(),
+                },
+            )
+            .unwrap();
             s.clear_cache().unwrap();
             let t = s.get_by_key(13, &Projection::All).unwrap();
-            assert_eq!(t.attr(attr::NAME).unwrap().as_str(), Some(new_name.as_str()));
+            assert_eq!(
+                t.attr(attr::NAME).unwrap().as_str(),
+                Some(new_name.as_str())
+            );
         }
     }
 
@@ -846,9 +921,15 @@ mod tests {
     fn update_rejects_wrong_length() {
         let mut s = make(false);
         assert!(s
-            .update_roots(&[ObjRef { oid: Oid(0), key: 10 }], &RootPatch {
-                new_name: "tiny".into()
-            })
+            .update_roots(
+                &[ObjRef {
+                    oid: Oid(0),
+                    key: 10
+                }],
+                &RootPatch {
+                    new_name: "tiny".into()
+                }
+            )
             .is_err());
     }
 

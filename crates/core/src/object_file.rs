@@ -155,14 +155,21 @@ impl ObjectFile {
 
     /// Address of object `ord`.
     pub fn addr(&self, ord: usize) -> Result<ObjAddr> {
-        self.addrs.get(ord).copied().ok_or_else(|| CoreError::NotFound {
-            what: format!("{} object #{ord}", self.name),
-        })
+        self.addrs
+            .get(ord)
+            .copied()
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("{} object #{ord}", self.name),
+            })
     }
 
     /// Total pages used by the file (heap pages + all spanned extents).
     pub fn total_pages(&self) -> u32 {
-        let heap = if self.heap_resident_count() > 0 { self.heap.page_count() } else { 0 };
+        let heap = if self.heap_resident_count() > 0 {
+            self.heap.page_count()
+        } else {
+            0
+        };
         heap + self
             .addrs
             .iter()
@@ -175,7 +182,10 @@ impl ObjectFile {
 
     /// Number of heap-resident (small) objects.
     pub fn heap_resident_count(&self) -> usize {
-        self.addrs.iter().filter(|a| matches!(a, ObjAddr::Heap(_))).count()
+        self.addrs
+            .iter()
+            .filter(|a| matches!(a, ObjAddr::Heap(_)))
+            .count()
     }
 
     /// Average encoded size. For Table 2 parity, spanned objects also count
@@ -243,9 +253,7 @@ impl ObjectFile {
                 let layout = TupleLayout::from_bytes(&header)?;
                 let ranges = ranges_of(&layout);
                 let sparse = match self.plan_of(ord) {
-                    Some(plan) => {
-                        SpannedStore::read_data_ranges_mapped(pool, &rec, plan, &ranges)?
-                    }
+                    Some(plan) => SpannedStore::read_data_ranges_mapped(pool, &rec, plan, &ranges)?,
                     None => SpannedStore::read_data_ranges(pool, &rec, &ranges)?,
                 };
                 Ok(ReadPayload::Sparse(sparse, layout))
@@ -355,7 +363,9 @@ pub fn subtuple_page_plan(layout: &TupleLayout, data_len: usize) -> Vec<u32> {
             page_start = brk;
         }
     }
-    debug_assert!(units.last().map(|&(s, l)| (s + l) as usize) == Some(data_len) || units.is_empty());
+    debug_assert!(
+        units.last().map(|&(s, l)| (s + l) as usize) == Some(data_len) || units.is_empty()
+    );
     let _ = data_len;
     starts
 }
@@ -396,7 +406,12 @@ mod tests {
     }
 
     fn small_station(key: i32) -> Station {
-        Station { key, name: "n".repeat(100), platforms: vec![], sightseeings: vec![] }
+        Station {
+            key,
+            name: "n".repeat(100),
+            platforms: vec![],
+            sightseeings: vec![],
+        }
     }
 
     fn big_station(key: i32) -> Station {
@@ -492,7 +507,9 @@ mod tests {
         let mut p = pool();
         let objs = encode_all(&[big_station(5)]);
         let f = ObjectFile::bulk_load(&mut p, "x", &objs).unwrap();
-        let ObjAddr::Spanned(rec) = f.addr(0).unwrap() else { panic!("spanned") };
+        let ObjAddr::Spanned(rec) = f.addr(0).unwrap() else {
+            panic!("spanned")
+        };
         p.clear_cache().unwrap();
         f.read_full(&mut p, 0).unwrap();
         p.reset_stats();

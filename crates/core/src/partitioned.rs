@@ -68,7 +68,9 @@ impl PartitionedStore {
         PartitionedStore {
             kind,
             placement,
-            nodes: (0..n_nodes).map(|_| make_store(kind, config.clone())).collect(),
+            nodes: (0..n_nodes)
+                .map(|_| make_store(kind, config.clone()))
+                .collect(),
             locate: Vec::new(),
             key_to_global: HashMap::new(),
             refs: Vec::new(),
@@ -85,7 +87,9 @@ impl PartitionedStore {
         self.locate
             .get(oid.0 as usize)
             .map(|(n, _)| *n)
-            .ok_or_else(|| CoreError::NotFound { what: format!("object {oid}") })
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("object {oid}"),
+            })
     }
 
     /// Per-node I/O snapshots — the load-distribution view of §5.5.
@@ -97,7 +101,9 @@ impl PartitionedStore {
         self.locate
             .get(r.oid.0 as usize)
             .copied()
-            .ok_or_else(|| CoreError::NotFound { what: format!("object {}", r.oid) })
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("object {}", r.oid),
+            })
     }
 }
 
@@ -117,7 +123,10 @@ impl ComplexObjectStore for PartitionedStore {
             node_and_local_ordinal.push((node, per_node[node].len()));
             per_node[node].push(s.clone());
             self.key_to_global.insert(s.key, i);
-            self.refs.push(ObjRef { oid: Oid(i as u32), key: s.key });
+            self.refs.push(ObjRef {
+                oid: Oid(i as u32),
+                key: s.key,
+            });
         }
         let mut local_refs: Vec<Vec<ObjRef>> = Vec::with_capacity(n);
         for (node, store) in self.nodes.iter_mut().enumerate() {
@@ -146,7 +155,9 @@ impl ComplexObjectStore for PartitionedStore {
         let global = *self
             .key_to_global
             .get(&key)
-            .ok_or_else(|| CoreError::NotFound { what: format!("key {key}") })?;
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {key}"),
+            })?;
         let (node, _) = self.locate[global];
         self.nodes[node].get_by_key(key, proj)
     }
@@ -186,7 +197,9 @@ impl ComplexObjectStore for PartitionedStore {
             .map(|r| {
                 let (node, local) = self.local(r)?;
                 let mut rec = self.nodes[node].root_records(&[local])?;
-                rec.pop().ok_or_else(|| CoreError::NotFound { what: format!("object {}", r.oid) })
+                rec.pop().ok_or_else(|| CoreError::NotFound {
+                    what: format!("object {}", r.oid),
+                })
             })
             .collect()
     }
@@ -220,30 +233,33 @@ impl ComplexObjectStore for PartitionedStore {
     }
 
     fn snapshot(&self) -> IoSnapshot {
-        self.nodes.iter().map(|n| n.snapshot()).fold(IoSnapshot::default(), |mut acc, s| {
-            acc.read_calls += s.read_calls;
-            acc.pages_read += s.pages_read;
-            acc.write_calls += s.write_calls;
-            acc.pages_written += s.pages_written;
-            acc.fixes += s.fixes;
-            acc.hits += s.hits;
-            acc.misses += s.misses;
-            acc
-        })
+        self.nodes
+            .iter()
+            .map(|n| n.snapshot())
+            .fold(IoSnapshot::default(), |mut acc, s| {
+                acc.read_calls += s.read_calls;
+                acc.pages_read += s.pages_read;
+                acc.write_calls += s.write_calls;
+                acc.pages_written += s.pages_written;
+                acc.fixes += s.fixes;
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc
+            })
     }
 
     fn buffer_stats(&self) -> BufferStats {
-        self.nodes.iter().map(|n| n.buffer_stats()).fold(
-            BufferStats::default(),
-            |mut acc, s| {
+        self.nodes
+            .iter()
+            .map(|n| n.buffer_stats())
+            .fold(BufferStats::default(), |mut acc, s| {
                 acc.fixes += s.fixes;
                 acc.hits += s.hits;
                 acc.misses += s.misses;
                 acc.evictions += s.evictions;
                 acc.dirty_evictions += s.dirty_evictions;
                 acc
-            },
-        )
+            })
     }
 
     fn relation_info(&self) -> Vec<RelationInfo> {
@@ -293,7 +309,9 @@ mod tests {
     }
 
     fn db() -> Vec<Station> {
-        (0..10).map(|i| station(100 + i, &[(i as u32 + 1) % 10, (i as u32 + 5) % 10])).collect()
+        (0..10)
+            .map(|i| station(100 + i, &[(i as u32 + 1) % 10, (i as u32 + 5) % 10]))
+            .collect()
     }
 
     fn cluster(kind: ModelKind, nodes: usize) -> PartitionedStore {
@@ -353,7 +371,13 @@ mod tests {
         let mut part = cluster(ModelKind::DasdbsNsm, 4);
         let refs = part.refs.clone();
         let new_name = "Z".repeat(100);
-        part.update_roots(&refs[..5], &RootPatch { new_name: new_name.clone() }).unwrap();
+        part.update_roots(
+            &refs[..5],
+            &RootPatch {
+                new_name: new_name.clone(),
+            },
+        )
+        .unwrap();
         part.clear_cache().unwrap();
         for r in &refs[..5] {
             let t = part.get_by_oid(r.oid, &Projection::All).unwrap();

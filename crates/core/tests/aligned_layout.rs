@@ -5,9 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use starfish_core::{make_store, subtuple_page_plan, ModelKind, StoreConfig};
-use starfish_nf2::station::{
-    station_schema, Connection, Platform, Sightseeing, Station,
-};
+use starfish_nf2::station::{station_schema, Connection, Platform, Sightseeing, Station};
 use starfish_nf2::{encode_with_layout, Oid, Projection};
 use starfish_pagestore::EFFECTIVE_PAGE_SIZE;
 
@@ -184,7 +182,14 @@ fn updates_work_under_alignment() {
         let refs = store.load(&db).unwrap();
         let victims: Vec<ObjRef> = refs.iter().copied().step_by(5).collect();
         let new_name = "A".repeat(100);
-        store.update_roots(&victims, &RootPatch { new_name: new_name.clone() }).unwrap();
+        store
+            .update_roots(
+                &victims,
+                &RootPatch {
+                    new_name: new_name.clone(),
+                },
+            )
+            .unwrap();
         store.clear_cache().unwrap();
         for v in &victims {
             let t = store.get_by_oid(v.oid, &Projection::All).unwrap();

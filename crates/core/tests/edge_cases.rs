@@ -6,7 +6,12 @@ use starfish_nf2::station::{Connection, Platform, Station};
 use starfish_nf2::{Oid, Projection};
 
 fn bare_station(key: i32) -> Station {
-    Station { key, name: format!("{key:0100}"), platforms: vec![], sightseeings: vec![] }
+    Station {
+        key,
+        name: format!("{key:0100}"),
+        platforms: vec![],
+        sightseeings: vec![],
+    }
 }
 
 fn with_self_loop(key: i32, oid: u32) -> Station {
@@ -41,7 +46,14 @@ fn empty_database_errors_cleanly_everywhere() {
         assert_eq!(n, 0, "{kind}");
         assert!(store.children_of(&[]).unwrap().is_empty());
         assert!(store.root_records(&[]).unwrap().is_empty());
-        store.update_roots(&[], &RootPatch { new_name: "x".into() }).unwrap();
+        store
+            .update_roots(
+                &[],
+                &RootPatch {
+                    new_name: "x".into(),
+                },
+            )
+            .unwrap();
         store.flush().unwrap();
     }
 }
@@ -66,7 +78,9 @@ fn objects_without_platforms_or_sightseeings_roundtrip() {
         let mut store = make_store(kind, StoreConfig::default());
         store.load(&db).unwrap();
         let mut seen = Vec::new();
-        store.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap())).unwrap();
+        store
+            .scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+            .unwrap();
         assert_eq!(seen, db, "{kind}");
     }
 }
@@ -78,7 +92,14 @@ fn self_referencing_objects_navigate_to_themselves() {
         let mut store = make_store(kind, StoreConfig::default());
         let refs = store.load(&db).unwrap();
         let children = store.children_of(&refs).unwrap();
-        assert_eq!(children, vec![ObjRef { oid: Oid(0), key: 7 }], "{kind}");
+        assert_eq!(
+            children,
+            vec![ObjRef {
+                oid: Oid(0),
+                key: 7
+            }],
+            "{kind}"
+        );
         // Grand-children of a self-loop are the object again.
         let grand = store.children_of(&children).unwrap();
         assert_eq!(grand, children, "{kind}");
@@ -92,11 +113,17 @@ fn duplicate_update_refs_are_idempotent() {
         let mut store = make_store(kind, StoreConfig::default());
         let refs = store.load(&db).unwrap();
         let r = refs[1];
-        let patch = RootPatch { new_name: "N".repeat(100) };
+        let patch = RootPatch {
+            new_name: "N".repeat(100),
+        };
         store.update_roots(&[r, r, r], &patch).unwrap();
         store.clear_cache().unwrap();
         let t = store.get_by_key(6, &Projection::All).unwrap();
-        assert_eq!(Station::from_tuple(&t).unwrap().name, patch.new_name, "{kind}");
+        assert_eq!(
+            Station::from_tuple(&t).unwrap().name,
+            patch.new_name,
+            "{kind}"
+        );
     }
 }
 
@@ -105,10 +132,18 @@ fn update_of_missing_object_errors() {
     for kind in ModelKind::all() {
         let mut store = make_store(kind, StoreConfig::default());
         store.load(&[bare_station(1)]).unwrap();
-        let bogus = ObjRef { oid: Oid(99), key: 99 };
+        let bogus = ObjRef {
+            oid: Oid(99),
+            key: 99,
+        };
         assert!(
             matches!(
-                store.update_roots(&[bogus], &RootPatch { new_name: "x".repeat(100) }),
+                store.update_roots(
+                    &[bogus],
+                    &RootPatch {
+                        new_name: "x".repeat(100)
+                    }
+                ),
                 Err(CoreError::NotFound { .. })
             ),
             "{kind}"

@@ -4,9 +4,7 @@
 //! differ in *which pages they touch*, never in *what they return*.
 
 use proptest::prelude::*;
-use starfish_core::{
-    make_store, ComplexObjectStore, ModelKind, ObjRef, RootPatch, StoreConfig,
-};
+use starfish_core::{make_store, ComplexObjectStore, ModelKind, ObjRef, RootPatch, StoreConfig};
 use starfish_nf2::station::{Connection, Platform, Sightseeing, Station};
 use starfish_nf2::{Oid, Projection};
 
@@ -14,8 +12,9 @@ use starfish_nf2::{Oid, Projection};
 /// reference stations in the same database.
 fn arb_db(max_n: usize) -> impl Strategy<Value = Vec<Station>> {
     (2usize..=max_n).prop_flat_map(|n| {
-        
-        (0..n).map(move |i| arb_station(i as i32, n as u32)).collect::<Vec<_>>()
+        (0..n)
+            .map(move |i| arb_station(i as i32, n as u32))
+            .collect::<Vec<_>>()
     })
 }
 

@@ -35,7 +35,10 @@ pub fn fig6_curves(variant: ModelVariant, sizes: &[u64]) -> Vec<CacheCurve> {
     sizes
         .iter()
         .map(|&n| {
-            let profile = BenchProfile { n_objects: n, ..Default::default() };
+            let profile = BenchProfile {
+                n_objects: n,
+                ..Default::default()
+            };
             let inputs = EstimatorInputs::new(profile);
             let best = estimate(variant, QueryId::Q2b, &inputs)
                 .expect("2b defined for all models")
@@ -63,7 +66,11 @@ mod tests {
 
     #[test]
     fn best_case_below_worst_case_everywhere() {
-        for v in [ModelVariant::Dsm, ModelVariant::DasdbsDsm, ModelVariant::DasdbsNsm] {
+        for v in [
+            ModelVariant::Dsm,
+            ModelVariant::DasdbsDsm,
+            ModelVariant::DasdbsNsm,
+        ] {
             for c in fig6_curves(v, &FIG6_SIZES) {
                 assert!(
                     c.best_case <= c.worst_case + 1e-9,

@@ -83,7 +83,10 @@ pub struct QueryCost {
 
 impl QueryCost {
     fn read(pages: f64) -> QueryCost {
-        QueryCost { pages_read: pages, pages_written: 0.0 }
+        QueryCost {
+            pages_read: pages,
+            pages_written: 0.0,
+        }
     }
 
     /// Total page I/Os (the paper's Table 3 reports reads + writes).
@@ -152,9 +155,13 @@ pub fn estimate(
         ModelVariant::Dsm
         | ModelVariant::DsmPrime
         | ModelVariant::DasdbsDsm
-        | ModelVariant::DasdbsDsmPrime => {
-            Some(direct_estimate(variant, query, inputs, draws, dist_per_loop))
-        }
+        | ModelVariant::DasdbsDsmPrime => Some(direct_estimate(
+            variant,
+            query,
+            inputs,
+            draws,
+            dist_per_loop,
+        )),
         ModelVariant::Nsm => nsm_estimate(false, query, inputs),
         ModelVariant::NsmIndexed => nsm_estimate(true, query, inputs),
         ModelVariant::DasdbsNsm => Some(dasdbs_nsm_estimate(false, query, inputs)),
@@ -174,8 +181,14 @@ fn direct_estimate(
     let rel = &inputs.table2.dsm;
     let n = p.n_objects as f64;
     let c2 = p.avg_grandchildren();
-    let partial = matches!(variant, ModelVariant::DasdbsDsm | ModelVariant::DasdbsDsmPrime);
-    let prime = matches!(variant, ModelVariant::DsmPrime | ModelVariant::DasdbsDsmPrime);
+    let partial = matches!(
+        variant,
+        ModelVariant::DasdbsDsm | ModelVariant::DasdbsDsmPrime
+    );
+    let prime = matches!(
+        variant,
+        ModelVariant::DsmPrime | ModelVariant::DasdbsDsmPrime
+    );
 
     if let Some(k) = rel.k {
         // Small objects share pages; the direct models coincide (§5.3) and
@@ -242,8 +255,7 @@ fn direct_estimate(
         QueryId::Q2b => QueryCost::read(dist_per_loop(draws) * per_object_q2),
         QueryId::Q3a => QueryCost {
             pages_read: q2a_read,
-            pages_written: distinct_selected(inputs.profile.n_objects as f64, c2)
-                * write_per_obj
+            pages_written: distinct_selected(inputs.profile.n_objects as f64, c2) * write_per_obj
                 + pool,
         },
         QueryId::Q3b => QueryCost {
@@ -418,7 +430,7 @@ mod tests {
         assert!(close(total(ModelVariant::Dsm, QueryId::Q1a), 4.0, 1e-9)); // 4.00
         assert!(close(total(ModelVariant::Dsm, QueryId::Q1b), 6000.0, 1e-6)); // 6000
         assert!(close(total(ModelVariant::Dsm, QueryId::Q1c), 4.0, 1e-9)); // 4.00
-        // q2a: paper 86.9 (with 4.10/16.7 rounded); ours (1+4.096+16.78)·4.
+                                                                           // q2a: paper 86.9 (with 4.10/16.7 rounded); ours (1+4.096+16.78)·4.
         assert!(close(total(ModelVariant::Dsm, QueryId::Q2a), 87.5, 0.5));
         assert!(close(total(ModelVariant::Dsm, QueryId::Q2b), 19.7, 0.2)); // 19.7
         assert!(close(total(ModelVariant::Dsm, QueryId::Q3a), 154.0, 1.0)); // 154
@@ -428,9 +440,21 @@ mod tests {
     #[test]
     fn dsm_prime_row_matches_paper() {
         // DSM': p' = 3 ⇒ 3.00 / 4500 / 3.00 / 65.2-ish.
-        assert!(close(total(ModelVariant::DsmPrime, QueryId::Q1a), 3.0, 1e-9));
-        assert!(close(total(ModelVariant::DsmPrime, QueryId::Q1b), 4500.0, 1e-6));
-        assert!(close(total(ModelVariant::DsmPrime, QueryId::Q2a), 65.6, 0.6)); // paper 65.2
+        assert!(close(
+            total(ModelVariant::DsmPrime, QueryId::Q1a),
+            3.0,
+            1e-9
+        ));
+        assert!(close(
+            total(ModelVariant::DsmPrime, QueryId::Q1b),
+            4500.0,
+            1e-6
+        ));
+        assert!(close(
+            total(ModelVariant::DsmPrime, QueryId::Q2a),
+            65.6,
+            0.6
+        )); // paper 65.2
     }
 
     #[test]
@@ -473,7 +497,11 @@ mod tests {
         let q1b = total(ModelVariant::NsmIndexed, QueryId::Q1b);
         assert!(close(q1b, 121.0, 0.2), "{q1b}");
         // q1c = 2.47 (paper 2.47).
-        assert!(close(total(ModelVariant::NsmIndexed, QueryId::Q1c), 2.47, 0.05));
+        assert!(close(
+            total(ModelVariant::NsmIndexed, QueryId::Q1c),
+            2.47,
+            0.05
+        ));
         // q2a ≈ 22.2 (paper 23.2).
         let q2a = total(ModelVariant::NsmIndexed, QueryId::Q2a);
         assert!(close(q2a, 22.2, 0.4), "{q2a}");
@@ -483,10 +511,22 @@ mod tests {
     fn dasdbs_nsm_rows_match_paper() {
         // Primed q1a = 1 root + 1 platform + 1 connection + 2 sightseeing
         // = 5.00 (paper, exact); unprimed carries the header page: 6.00.
-        assert!(close(total(ModelVariant::DasdbsNsmPrime, QueryId::Q1a), 5.0, 1e-9));
-        assert!(close(total(ModelVariant::DasdbsNsm, QueryId::Q1a), 6.0, 1e-9));
+        assert!(close(
+            total(ModelVariant::DasdbsNsmPrime, QueryId::Q1a),
+            5.0,
+            1e-9
+        ));
+        assert!(close(
+            total(ModelVariant::DasdbsNsm, QueryId::Q1a),
+            6.0,
+            1e-9
+        ));
         // q1b = m_station + (q1a − 1) = 116 + 4 = 120 (paper 120, exact).
-        assert!(close(total(ModelVariant::DasdbsNsmPrime, QueryId::Q1b), 120.0, 1e-9));
+        assert!(close(
+            total(ModelVariant::DasdbsNsmPrime, QueryId::Q1b),
+            120.0,
+            1e-9
+        ));
         // q2a ≈ 20.7 (paper 21.8).
         let q2a = total(ModelVariant::DasdbsNsm, QueryId::Q2a);
         assert!(close(q2a, 20.7, 0.5), "{q2a}");
@@ -531,7 +571,11 @@ mod tests {
         // analytic 2b (2.25) is its unrealistic in-memory-join best case, as
         // the paper notes — measured, NSM is far worse (Table 6).
         let dn = total(ModelVariant::DasdbsNsm, QueryId::Q2a);
-        for v in [ModelVariant::Dsm, ModelVariant::DasdbsDsm, ModelVariant::Nsm] {
+        for v in [
+            ModelVariant::Dsm,
+            ModelVariant::DasdbsDsm,
+            ModelVariant::Nsm,
+        ] {
             assert!(dn <= total(v, QueryId::Q2a) + 1e-9, "query 2a vs {v}");
         }
         let dn = total(ModelVariant::DasdbsNsm, QueryId::Q2b);
@@ -540,7 +584,10 @@ mod tests {
         }
         // (iii) NSM's value lookup is orders of magnitude worse than
         // DASDBS-NSM's.
-        assert!(total(ModelVariant::Nsm, QueryId::Q1b) > 25.0 * total(ModelVariant::DasdbsNsm, QueryId::Q1b));
+        assert!(
+            total(ModelVariant::Nsm, QueryId::Q1b)
+                > 25.0 * total(ModelVariant::DasdbsNsm, QueryId::Q1b)
+        );
         // (iv) DASDBS-DSM is the worst updater per loop (the page-pool
         // anomaly) among the non-NSM models on 3b writes.
         let ddsm_w = estimate(ModelVariant::DasdbsDsm, QueryId::Q3b, &inputs())
@@ -556,10 +603,15 @@ mod tests {
     fn small_object_profile_collapses_direct_models() {
         // §5.3: with 0 sightseeings the direct models' objects share pages
         // and DSM == DASDBS-DSM on reads.
-        let small = EstimatorInputs::new(BenchProfile { max_sightseeing: 0, ..Default::default() });
+        let small = EstimatorInputs::new(BenchProfile {
+            max_sightseeing: 0,
+            ..Default::default()
+        });
         for q in [QueryId::Q1a, QueryId::Q1c, QueryId::Q2a, QueryId::Q2b] {
             let a = estimate(ModelVariant::Dsm, q, &small).unwrap().pages_read;
-            let b = estimate(ModelVariant::DasdbsDsm, q, &small).unwrap().pages_read;
+            let b = estimate(ModelVariant::DasdbsDsm, q, &small)
+                .unwrap()
+                .pages_read;
             assert!(close(a, b, 1e-9), "query {q}: {a} vs {b}");
         }
     }

@@ -234,14 +234,21 @@ mod tests {
         assert_eq!(partial_object_pages(1.0, 4066.0, 0.0, 2012.0), 1.0);
         // Used bytes can never fetch more than the data pages that exist.
         let a = partial_object_pages(1.0, 1000.0, 1000.0, 2012.0);
-        assert!(close(a, 2.0, 1e-9), "small object: header + its single data page, {a}");
+        assert!(
+            close(a, 2.0, 1e-9),
+            "small object: header + its single data page, {a}"
+        );
     }
 
     #[test]
     fn eq6_cluster_run() {
         // One tuple: one page. k tuples from a random offset: 1 + (k-1)/k.
         assert_eq!(cluster_run(1.0, 100.0, 13.0), 1.0);
-        assert!(close(cluster_run(13.0, 100.0, 13.0), 1.0 + 12.0 / 13.0, 1e-12));
+        assert!(close(
+            cluster_run(13.0, 100.0, 13.0),
+            1.0 + 12.0 / 13.0,
+            1e-12
+        ));
         // The paper's NSM+index query 1a decomposition (see estimator):
         // a 7.5-tuple sightseeing cluster at k = 4 ⇒ 1 + 6.5/4 = 2.625.
         assert!(close(cluster_run(7.5, 2813.0, 4.0), 2.625, 1e-12));
@@ -279,9 +286,11 @@ mod tests {
 
     #[test]
     fn eq7_never_exceeds_m() {
-        for &(t, g, m, k) in
-            &[(5000.0, 50.0, 100.0, 4.0), (100.0, 10.0, 5.0, 2.0), (64.0, 8.0, 8.0, 3.0)]
-        {
+        for &(t, g, m, k) in &[
+            (5000.0, 50.0, 100.0, 4.0),
+            (100.0, 10.0, 5.0, 2.0),
+            (64.0, 8.0, 8.0, 3.0),
+        ] {
             let a = clustered_groups(t, g, m, k);
             assert!(a <= m + 1e-9, "A({t},{g},{m},{k}) = {a} > m");
         }

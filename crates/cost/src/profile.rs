@@ -38,14 +38,23 @@ pub struct BenchProfile {
 
 impl Default for BenchProfile {
     fn default() -> Self {
-        BenchProfile { n_objects: 1500, fanout: 2, prob: 0.8, max_sightseeing: 15 }
+        BenchProfile {
+            n_objects: 1500,
+            fanout: 2,
+            prob: 0.8,
+            max_sightseeing: 15,
+        }
     }
 }
 
 impl BenchProfile {
     /// The paper's data-skew variant (§5.5): probability 20%, fanout 8.
     pub fn skewed() -> Self {
-        BenchProfile { prob: 0.2, fanout: 8, ..Default::default() }
+        BenchProfile {
+            prob: 0.2,
+            fanout: 8,
+            ..Default::default()
+        }
     }
 
     /// Expected platforms per station: `fanout · prob` (default 1.6).
@@ -79,7 +88,8 @@ impl BenchProfile {
     /// Encoded bytes of one `Connection` sub-tuple (exact: 150).
     pub fn connection_encoded(&self) -> f64 {
         tuple_base(4) + 3.0 * INT + STR // LineNr, KeyConnection, Oid, Times
-            - INT + LINK // one of the ints is the 4-byte LINK (same size)
+            - INT
+            + LINK // one of the ints is the 4-byte LINK (same size)
     }
 
     /// Expected encoded bytes of one `Platform` sub-tuple including its
@@ -88,7 +98,10 @@ impl BenchProfile {
         tuple_base(5)
             + 3.0 * INT
             + STR
-            + subrel(self.avg_connections_per_platform(), self.connection_encoded())
+            + subrel(
+                self.avg_connections_per_platform(),
+                self.connection_encoded(),
+            )
     }
 
     /// Encoded bytes of one `Sightseeing` sub-tuple (exact: 452).
@@ -140,7 +153,12 @@ impl BenchProfile {
         };
 
         // --- NSM: four flat relations ----------------------------------
-        let nsm_station = RelParams::small("NSM-Station", 1.0, n, tuple_base(4) + 3.0 * INT + STR + SLOT);
+        let nsm_station = RelParams::small(
+            "NSM-Station",
+            1.0,
+            n,
+            tuple_base(4) + 3.0 * INT + STR + SLOT,
+        );
         let nsm_platform = RelParams::small(
             "NSM-Platform",
             pl,
@@ -161,8 +179,12 @@ impl BenchProfile {
         );
 
         // --- DASDBS-NSM: one (possibly nested) tuple per object --------
-        let dn_station =
-            RelParams::small("DASDBS-NSM-Station", 1.0, n, tuple_base(4) + 3.0 * INT + STR + SLOT);
+        let dn_station = RelParams::small(
+            "DASDBS-NSM-Station",
+            1.0,
+            n,
+            tuple_base(4) + 3.0 * INT + STR + SLOT,
+        );
         let dn_platform_inner = tuple_base(5) + 4.0 * INT + STR;
         let dn_platform = RelParams::small(
             "DASDBS-NSM-Platform",
@@ -170,8 +192,12 @@ impl BenchProfile {
             n,
             tuple_base(2) + INT + subrel(pl, dn_platform_inner) + SLOT,
         );
-        let dn_conn_mid =
-            tuple_base(2) + INT + subrel(self.avg_connections_per_platform(), self.connection_encoded());
+        let dn_conn_mid = tuple_base(2)
+            + INT
+            + subrel(
+                self.avg_connections_per_platform(),
+                self.connection_encoded(),
+            );
         let dn_connection = RelParams::small(
             "DASDBS-NSM-Connection",
             1.0,
@@ -242,7 +268,13 @@ impl RelParams {
         }
     }
 
-    fn spanned(name: &str, per_obj: f64, total: f64, data_bytes: f64, header_pages: f64) -> RelParams {
+    fn spanned(
+        name: &str,
+        per_obj: f64,
+        total: f64,
+        data_bytes: f64,
+        header_pages: f64,
+    ) -> RelParams {
         let p = header_pages + (data_bytes / S_PAGE).ceil();
         RelParams {
             name: name.into(),
@@ -301,7 +333,10 @@ mod tests {
         // "each Platform has at most four Connections, which are each
         // generated with a probability of 0.64" ⇒ 2.56 per platform.
         assert!(close(p.avg_children(), 4.096, 1e-12), "4.10 children");
-        assert!(close(p.avg_grandchildren(), 16.78, 0.01), "16.7 grand-children");
+        assert!(
+            close(p.avg_grandchildren(), 16.78, 0.01),
+            "16.7 grand-children"
+        );
         assert!(close(p.avg_sightseeings(), 7.5, 1e-12));
     }
 
@@ -369,7 +404,10 @@ mod tests {
     #[test]
     fn zero_sightseeing_profile_shrinks_objects_below_a_page() {
         // §5.3: with 0 sightseeings DSM stations become smaller than a page.
-        let p = BenchProfile { max_sightseeing: 0, ..Default::default() };
+        let p = BenchProfile {
+            max_sightseeing: 0,
+            ..Default::default()
+        };
         assert!(p.station_encoded() + SLOT < S_PAGE);
         let t2 = p.table2();
         // The analytic table models them as page-sharing in that regime

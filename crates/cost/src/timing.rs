@@ -26,14 +26,22 @@ impl CostWeights {
     /// paper's own anecdote: 2.5 h / 370 k fixes ≈ 20 ms of processing per
     /// fixed page (decode + join work included).
     pub fn sun_3_60_era() -> CostWeights {
-        CostWeights { ms_per_io_call: 30.0, ms_per_page: 2.0, ms_per_fix: 20.0 }
+        CostWeights {
+            ms_per_io_call: 30.0,
+            ms_per_page: 2.0,
+            ms_per_fix: 20.0,
+        }
     }
 
     /// A 2020s NVMe drive and CPU: calls are nearly free, fixes are
     /// sub-microsecond. Used as an ablation: which of the paper's 1993
     /// conclusions survive modern hardware?
     pub fn modern_nvme() -> CostWeights {
-        CostWeights { ms_per_io_call: 0.02, ms_per_page: 0.002, ms_per_fix: 0.0005 }
+        CostWeights {
+            ms_per_io_call: 0.02,
+            ms_per_page: 0.002,
+            ms_per_fix: 0.0005,
+        }
     }
 
     /// Estimated time for a measured (calls, pages, fixes) triple, in ms.
@@ -61,7 +69,11 @@ mod tests {
 
     #[test]
     fn eq1_weighting() {
-        let w = CostWeights { ms_per_io_call: 10.0, ms_per_page: 1.0, ms_per_fix: 0.0 };
+        let w = CostWeights {
+            ms_per_io_call: 10.0,
+            ms_per_page: 1.0,
+            ms_per_fix: 0.0,
+        };
         assert_eq!(w.cost_ms(3.0, 7.0, 100.0), 37.0);
     }
 

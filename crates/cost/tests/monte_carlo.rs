@@ -107,7 +107,12 @@ fn assert_close(formula: f64, simulated: f64, rel_tol: f64, what: &str) {
 fn eq4_bernstein_matches_simulation() {
     for (t, m) in [(5, 50), (17, 116), (100, 116), (40, 559), (300, 116)] {
         let sim = simulate_random_tuples(t, m, 42 + t as u64);
-        assert_close(bernstein(t as f64, m as f64), sim, 0.01, &format!("bernstein({t},{m})"));
+        assert_close(
+            bernstein(t as f64, m as f64),
+            sim,
+            0.01,
+            &format!("bernstein({t},{m})"),
+        );
     }
 }
 
@@ -115,7 +120,12 @@ fn eq4_bernstein_matches_simulation() {
 fn yao_matches_without_replacement_simulation() {
     for (t, m, k) in [(17, 116, 13), (50, 116, 13), (30, 559, 11), (8, 20, 4)] {
         let sim = simulate_yao(t, m, k, 7 + t as u64);
-        assert_close(yao(t as u64, m as u64, k as u64), sim, 0.01, &format!("yao({t},{m},{k})"));
+        assert_close(
+            yao(t as u64, m as u64, k as u64),
+            sim,
+            0.01,
+            &format!("yao({t},{m},{k})"),
+        );
     }
 }
 
@@ -148,10 +158,20 @@ fn eq6_cluster_run_matches_simulation_exactly() {
 #[test]
 fn eq7_clustered_groups_matches_simulation_small_g() {
     // g ≤ 2k−2 branch (the Bernstein-corrected branch).
-    for (i, g, m, k) in [(4, 4, 559, 11), (17, 4, 116, 13), (10, 2, 50, 4), (40, 6, 219, 11)] {
+    for (i, g, m, k) in [
+        (4, 4, 559, 11),
+        (17, 4, 116, 13),
+        (10, 2, 50, 4),
+        (40, 6, 219, 11),
+    ] {
         let sim = simulate_clustered_groups(i, g, m, k, 1234 + (i * g) as u64);
         let formula = clustered_groups((i * g) as f64, g as f64, m as f64, k as f64);
-        assert_close(formula, sim, 0.06, &format!("clustered_groups(i={i},g={g},m={m},k={k})"));
+        assert_close(
+            formula,
+            sim,
+            0.06,
+            &format!("clustered_groups(i={i},g={g},m={m},k={k})"),
+        );
     }
 }
 

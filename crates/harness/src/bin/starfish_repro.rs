@@ -26,8 +26,11 @@ fn main() {
         );
         return;
     }
-    let mut config =
-        if args.iter().any(|a| a == "--fast") { HarnessConfig::fast() } else { HarnessConfig::default() };
+    let mut config = if args.iter().any(|a| a == "--fast") {
+        HarnessConfig::fast()
+    } else {
+        HarnessConfig::default()
+    };
     if let Some(i) = args.iter().position(|a| a == "--seed") {
         if let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) {
             config.dataset_seed = seed;
@@ -83,9 +86,7 @@ fn main() {
                         let g = grid.get_or_insert_with(&mut ensure_grid);
                         experiments::ext_timing::run(g)
                     }
-                    "ext-alignment" => {
-                        experiments::ext_alignment::run(&config).unwrap_or_else(die)
-                    }
+                    "ext-alignment" => experiments::ext_alignment::run(&config).unwrap_or_else(die),
                     "ext-buffer" => experiments::ext_buffer::run(&config).unwrap_or_else(die),
                     "ext-clustering" => {
                         experiments::ext_clustering::run(&config).unwrap_or_else(die)

@@ -25,13 +25,7 @@ pub const QUERIES: [QueryId; 3] = [QueryId::Q1a, QueryId::Q1c, QueryId::Q2b];
 pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
     let db = generate(&config.dataset());
     let mut table = Table::new(vec![
-        "MODEL",
-        "layout",
-        "DB pages",
-        "p (avg)",
-        "1a",
-        "1c",
-        "2b",
+        "MODEL", "layout", "DB pages", "p (avg)", "1a", "1c", "2b",
     ]);
     let mut q1a = [[0.0f64; 2]; 2]; // [model][layout]
     for (mi, &kind) in MODELS.iter().enumerate() {
@@ -55,7 +49,11 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
             let p = store.relation_info()[0].p.unwrap_or(1.0);
             table.push_row(vec![
                 kind.paper_name().to_string(),
-                if aligned { "aligned".into() } else { "packed".to_string() },
+                if aligned {
+                    "aligned".into()
+                } else {
+                    "packed".to_string()
+                },
                 store.database_pages().to_string(),
                 format!("{p:.2}"),
                 fmt_pages(cells[0]),

@@ -14,8 +14,7 @@ use starfish_cost::QueryId;
 use starfish_workload::{generate, QueryOutcome};
 
 /// Models swept.
-pub const MODELS: [ModelKind; 3] =
-    [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
+pub const MODELS: [ModelKind; 3] = [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
 
 /// Buffer sizes as fractions of the default (1200 pages at paper scale).
 pub const FRACTIONS: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
@@ -36,7 +35,10 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
         let mut largest = f64::NAN;
         for &frac in &FRACTIONS {
             let buffer = ((config.buffer_pages as f64 * frac) as usize).max(16);
-            let cfg = HarnessConfig { buffer_pages: buffer, ..*config };
+            let cfg = HarnessConfig {
+                buffer_pages: buffer,
+                ..*config
+            };
             let (mut store, runner) = load_store(kind, &db, &cfg)?;
             let QueryOutcome::Measured(m) = runner.run(store.as_mut(), QueryId::Q2b)? else {
                 continue;

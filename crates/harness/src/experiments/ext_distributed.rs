@@ -21,8 +21,7 @@ use starfish_workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
 pub const NODES: usize = 8;
 
 /// Models compared (as in Figure 5 / Table 7).
-pub const MODELS: [ModelKind; 3] =
-    [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
+pub const MODELS: [ModelKind; 3] = [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
 
 /// Per-node imbalance of a load vector: max/mean (1.0 = perfectly even).
 fn imbalance(loads: &[u64]) -> f64 {
@@ -41,7 +40,11 @@ fn cv(loads: &[u64]) -> f64 {
     if mean <= 0.0 {
         return 0.0;
     }
-    let var = loads.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 
@@ -64,8 +67,11 @@ fn run_clustered(
     let QueryOutcome::Measured(m) = runner.run(&mut store, QueryId::Q2b)? else {
         unreachable!("query 2b is supported everywhere");
     };
-    let per_node: Vec<u64> =
-        store.node_snapshots().iter().map(|s| s.pages_read + s.pages_written).collect();
+    let per_node: Vec<u64> = store
+        .node_snapshots()
+        .iter()
+        .map(|s| s.pages_read + s.pages_written)
+        .collect();
     Ok((m.pages_per_unit(), per_node))
 }
 
@@ -108,8 +114,12 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
         config.buffer_pages, NODES
     )];
     for &kind in &MODELS {
-        let d = imbalances.iter().find(|(k, l, ..)| *k == kind && *l == "default");
-        let s = imbalances.iter().find(|(k, l, ..)| *k == kind && *l == "skew");
+        let d = imbalances
+            .iter()
+            .find(|(k, l, ..)| *k == kind && *l == "default");
+        let s = imbalances
+            .iter()
+            .find(|(k, l, ..)| *k == kind && *l == "skew");
         if let (Some((.., d_imb, d_cv)), Some((.., s_imb, s_cv))) = (d, s) {
             notes.push(format!(
                 "{}: node-load cv {:.3} (default) → {:.3} (skew), max/mean {:.2} → {:.2}{}",
@@ -118,7 +128,11 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
                 s_cv,
                 d_imb,
                 s_imb,
-                if s_cv > d_cv { " — skew concentrates the I/O, as §5.5 predicted" } else { "" }
+                if s_cv > d_cv {
+                    " — skew concentrates the I/O, as §5.5 predicted"
+                } else {
+                    ""
+                }
             ));
         }
     }

@@ -54,19 +54,17 @@ pub fn sweep(config: &HarnessConfig) -> Result<Fig5Data> {
             }
         }
     }
-    Ok(Fig5Data { avg_sightseeings: avg, cells })
+    Ok(Fig5Data {
+        avg_sightseeings: avg,
+        cells,
+    })
 }
 
 /// Regenerates Figure 5 as a table (query × model rows, one column per
 /// sightseeing maximum).
 pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
     let data = sweep(config)?;
-    let mut table = Table::new(vec![
-        "QUERY / MODEL",
-        "maxSee=0",
-        "maxSee=15",
-        "maxSee=30",
-    ]);
+    let mut table = Table::new(vec!["QUERY / MODEL", "maxSee=0", "maxSee=15", "maxSee=30"]);
     for (qi, &q) in FIG5_QUERIES.iter().enumerate() {
         for (mi, &model) in FIG5_MODELS.iter().enumerate() {
             let mut row = vec![format!("{q}  {}", model.paper_name())];
@@ -85,8 +83,9 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
         let ddsm = data.cells[qi][1][si].map(|c| c.pages).unwrap_or(f64::NAN);
         dsm - ddsm
     };
-    let dnsm_2b: Vec<f64> =
-        (0..3).map(|si| data.cells[1][2][si].map(|c| c.pages).unwrap_or(f64::NAN)).collect();
+    let dnsm_2b: Vec<f64> = (0..3)
+        .map(|si| data.cells[1][2][si].map(|c| c.pages).unwrap_or(f64::NAN))
+        .collect();
     let notes = vec![
         format!(
             "observed sightseeings per station: {:.2} / {:.2} / {:.2} \
@@ -128,7 +127,9 @@ mod tests {
         let config = HarnessConfig::fast();
         let data = sweep(&config).unwrap();
         // DASDBS-NSM 2b flat across sightseeing sizes (within noise).
-        let v: Vec<f64> = (0..3).map(|si| data.cells[1][2][si].unwrap().pages).collect();
+        let v: Vec<f64> = (0..3)
+            .map(|si| data.cells[1][2][si].unwrap().pages)
+            .collect();
         assert!(
             (v[0] - v[2]).abs() < 0.8,
             "DASDBS-NSM q2b should not depend on sightseeings: {v:?}"

@@ -55,9 +55,18 @@ pub fn sweep(config: &HarnessConfig) -> Result<Vec<(ModelKind, Vec<Fig6Point>)>>
                 QueryOutcome::Unsupported => f64::NAN,
             };
             let inputs = EstimatorInputs::new(params.profile());
-            let best = estimate(variant, QueryId::Q2b, &inputs).expect("2b").total();
-            let worst = estimate(variant, QueryId::Q2a, &inputs).expect("2a").total();
-            points.push(Fig6Point { n_objects: n, measured, best, worst });
+            let best = estimate(variant, QueryId::Q2b, &inputs)
+                .expect("2b")
+                .total();
+            let worst = estimate(variant, QueryId::Q2a, &inputs)
+                .expect("2a")
+                .total();
+            points.push(Fig6Point {
+                n_objects: n,
+                measured,
+                best,
+                worst,
+            });
         }
         out.push((kind, points));
     }
@@ -68,7 +77,12 @@ pub fn sweep(config: &HarnessConfig) -> Result<Vec<(ModelKind, Vec<Fig6Point>)>>
 pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
     let data = sweep(config)?;
     let mut table = Table::new(vec![
-        "MODEL", "objects", "loops", "measured", "best-case", "worst-case",
+        "MODEL",
+        "objects",
+        "loops",
+        "measured",
+        "best-case",
+        "worst-case",
     ]);
     for (kind, points) in &data {
         for p in points {
@@ -128,9 +142,8 @@ mod tests {
     fn cache_sensitivity_ordering_matches_paper() {
         let config = HarnessConfig::fast();
         let data = sweep(&config).unwrap();
-        let by_kind = |k: ModelKind| -> &Vec<Fig6Point> {
-            &data.iter().find(|(m, _)| *m == k).unwrap().1
-        };
+        let by_kind =
+            |k: ModelKind| -> &Vec<Fig6Point> { &data.iter().find(|(m, _)| *m == k).unwrap().1 };
         let dsm = by_kind(ModelKind::Dsm);
         let dnsm = by_kind(ModelKind::DasdbsNsm);
         // DSM is the most cache-sensitive: its measured value grows much

@@ -23,16 +23,7 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
     }
 
     let mut table = Table::new(vec![
-        "RELATION",
-        "TUP/OBJ",
-        "TUPLES",
-        "S_tuple",
-        "S_anal",
-        "k",
-        "k_anal",
-        "p",
-        "p_anal",
-        "m",
+        "RELATION", "TUP/OBJ", "TUPLES", "S_tuple", "S_anal", "k", "k_anal", "p", "p_anal", "m",
         "m_anal",
     ]);
     for ri in &measured {
@@ -44,9 +35,14 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
             format!("{:.0}", ri.avg_tuple_bytes),
             a.map(|a| format!("{:.0}", a.s_tuple)).unwrap_or_default(),
             ri.k.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
-            a.and_then(|a| a.k).map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
-            ri.p.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
-            a.and_then(|a| a.p).map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            a.and_then(|a| a.k)
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".into()),
+            ri.p.map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            a.and_then(|a| a.p)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             ri.m.to_string(),
             a.map(|a| format!("{:.0}", a.m)).unwrap_or_default(),
         ]);
@@ -88,7 +84,11 @@ fn lookup_anchor(t2: &Table2Analytic, what: &str) -> Option<f64> {
     let (rel, field) = what.split_once(' ')?;
     let r = t2.rows().into_iter().find(|r| r.name == rel)?;
     match field {
-        "S_tuple [B]" => Some(if r.p.is_some() { r.s_tuple + 2012.0 } else { r.s_tuple }),
+        "S_tuple [B]" => Some(if r.p.is_some() {
+            r.s_tuple + 2012.0
+        } else {
+            r.s_tuple
+        }),
         "k" => r.k.map(|k| k as f64),
         "p" => r.p.map(|p| p as f64),
         "m" => Some(r.m),

@@ -9,9 +9,7 @@ use starfish_cost::{estimate, table3, EstimatorInputs, ModelVariant, QueryId};
 pub fn run(config: &HarnessConfig) -> ExperimentReport {
     let inputs = EstimatorInputs::new(config.dataset().profile());
     let rows = table3(&inputs);
-    let mut table = Table::new(vec![
-        "MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b",
-    ]);
+    let mut table = Table::new(vec!["MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b"]);
     for row in &rows {
         let mut cells = vec![row.variant.label().to_string()];
         for cell in &row.cells {
@@ -44,8 +42,12 @@ pub fn run(config: &HarnessConfig) -> ExperimentReport {
 
 fn lookup(what: &str, inputs: &EstimatorInputs) -> Option<f64> {
     let (model, query) = what.rsplit_once(' ')?;
-    let variant = ModelVariant::all().into_iter().find(|v| v.label() == model)?;
-    let q = QueryId::all().into_iter().find(|q| format!("q{q}") == query)?;
+    let variant = ModelVariant::all()
+        .into_iter()
+        .find(|v| v.label() == model)?;
+    let q = QueryId::all()
+        .into_iter()
+        .find(|q| format!("q{q}") == query)?;
     estimate(variant, q, inputs).map(|c| c.total())
 }
 

@@ -8,9 +8,7 @@ use starfish_cost::QueryId;
 /// Renders Table 4 (pages read + written per object / per loop) from a
 /// measured grid.
 pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
-    let mut table = Table::new(vec![
-        "MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b",
-    ]);
+    let mut table = Table::new(vec!["MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b"]);
     for (model, cells) in &grid.rows {
         let mut row = vec![label(*model)];
         for c in cells {
@@ -35,7 +33,12 @@ pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
             .into(),
     ];
     // Spell out the query-3 write components (the paper discusses them).
-    for model in [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::Nsm, ModelKind::DasdbsNsm] {
+    for model in [
+        ModelKind::Dsm,
+        ModelKind::DasdbsDsm,
+        ModelKind::Nsm,
+        ModelKind::DasdbsNsm,
+    ] {
         if let Some(c) = grid.cell(model, QueryId::Q3b) {
             notes.push(format!(
                 "{}: query 3b = {:.2} reads + {:.2} writes per loop",
@@ -70,8 +73,7 @@ mod tests {
     #[test]
     fn renders_grid_with_paper_shapes() {
         let config = HarnessConfig::fast();
-        let grid =
-            measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
+        let grid = measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
         let report = run(&grid);
         assert_eq!(report.table.rows.len(), 5);
 

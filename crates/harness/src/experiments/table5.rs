@@ -8,9 +8,7 @@ use starfish_cost::QueryId;
 
 /// Renders Table 5 (I/O calls per object / per loop) from a measured grid.
 pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
-    let mut table = Table::new(vec![
-        "MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b",
-    ]);
+    let mut table = Table::new(vec!["MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b"]);
     for (model, cells) in &grid.rows {
         let mut row = vec![super::table4::label(*model)];
         for c in cells {
@@ -31,9 +29,10 @@ pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
     ];
     // Pages-per-call ratios, the §5.2 discussion.
     for model in [ModelKind::Dsm, ModelKind::Nsm] {
-        if let (Some(p), Some(c)) =
-            (grid.cell(model, QueryId::Q1c), grid.cell(model, QueryId::Q1c))
-        {
+        if let (Some(p), Some(c)) = (
+            grid.cell(model, QueryId::Q1c),
+            grid.cell(model, QueryId::Q1c),
+        ) {
             if c.calls > 0.0 {
                 notes.push(format!(
                     "{}: {:.2} pages per read call on the full scan (paper: ≈2 for \
@@ -84,8 +83,7 @@ mod tests {
     #[test]
     fn calls_never_exceed_pages() {
         let config = HarnessConfig::fast();
-        let grid =
-            measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
+        let grid = measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
         let report = run(&grid);
         assert_eq!(report.table.rows.len(), 5);
         for (_, cells) in &grid.rows {

@@ -8,9 +8,7 @@ use starfish_cost::QueryId;
 
 /// Renders Table 6 (page fixes in buffer per object / per loop).
 pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
-    let mut table = Table::new(vec![
-        "MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b",
-    ]);
+    let mut table = Table::new(vec!["MODEL", "1a", "1b", "1c", "2a", "2b", "3a", "3b"]);
     for (model, cells) in &grid.rows {
         let mut row = vec![super::table4::label(*model)];
         for c in cells {
@@ -81,19 +79,24 @@ mod tests {
     #[test]
     fn nsm_burns_the_most_fixes_on_navigation() {
         let config = HarnessConfig::fast();
-        let grid =
-            measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
+        let grid = measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
         let report = run(&grid);
         assert_eq!(report.table.rows.len(), 5);
         let nsm = grid.cell(ModelKind::Nsm, QueryId::Q2b).unwrap().fixes;
         for m in [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm] {
             let other = grid.cell(m, QueryId::Q2b).unwrap().fixes;
-            assert!(nsm > other, "NSM ({nsm}) must exceed {m} ({other}) on fixes");
+            assert!(
+                nsm > other,
+                "NSM ({nsm}) must exceed {m} ({other}) on fixes"
+            );
         }
         // The ×50+ blowup vs DASDBS-NSM in the paper scales with relation
         // size; at this reduced scale it is still an order of magnitude.
         let dnsm = grid.cell(ModelKind::DasdbsNsm, QueryId::Q2b).unwrap().fixes;
-        assert!(nsm > 8.0 * dnsm, "NSM ({nsm}) must dwarf DASDBS-NSM ({dnsm})");
+        assert!(
+            nsm > 8.0 * dnsm,
+            "NSM ({nsm}) must dwarf DASDBS-NSM ({dnsm})"
+        );
         // Fixes ≥ misses ≥ 0 and fixes ≥ pages read per unit.
         for (_, cells) in &grid.rows {
             for c in cells.iter().flatten() {

@@ -41,11 +41,9 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
         for &kind in &TABLE7_MODELS {
             let (mut store, runner) = load_store(kind, &db, config)?;
             match runner.run(store.as_mut(), QueryId::Q2b)? {
-                QueryOutcome::Measured(m) => per_model.push((
-                    m.pages_per_unit(),
-                    m.calls_per_unit(),
-                    m.fixes_per_unit(),
-                )),
+                QueryOutcome::Measured(m) => {
+                    per_model.push((m.pages_per_unit(), m.calls_per_unit(), m.fixes_per_unit()))
+                }
                 QueryOutcome::Unsupported => per_model.push((f64::NAN, f64::NAN, f64::NAN)),
             }
         }

@@ -9,8 +9,12 @@ use starfish_core::ModelKind;
 use starfish_cost::QueryId;
 
 /// The four ranked models (paper Table 8 order).
-pub const RANKED: [ModelKind; 4] =
-    [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::Nsm, ModelKind::DasdbsNsm];
+pub const RANKED: [ModelKind; 4] = [
+    ModelKind::Dsm,
+    ModelKind::DasdbsDsm,
+    ModelKind::Nsm,
+    ModelKind::DasdbsNsm,
+];
 
 const SYMBOLS: [&str; 4] = ["++", "+", "-", "--"];
 
@@ -75,9 +79,7 @@ pub fn run(grid: &MeasuredGrid) -> ExperimentReport {
     // Overall: geometric mean over CPU (fixes, join) and disk I/O (calls,
     // pages), as the paper's C_total aggregates C_processing and C_disk_IO.
     let overall: Vec<f64> = (0..RANKED.len())
-        .map(|i| {
-            ((fixes[i].ln() + join[i].ln() + calls[i].ln() + pages[i].ln()) / 4.0).exp()
-        })
+        .map(|i| ((fixes[i].ln() + join[i].ln() + calls[i].ln() + pages[i].ln()) / 4.0).exp())
         .collect();
 
     let fixes_sym = symbols(&fixes);
@@ -147,8 +149,7 @@ mod tests {
     #[test]
     fn overall_ranking_matches_paper_conclusion() {
         let config = HarnessConfig::fast();
-        let grid =
-            measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
+        let grid = measure_grid(&config.dataset(), &config, &grid_models()).unwrap();
         let report = run(&grid);
         assert_eq!(report.table.rows.len(), 4);
         // The paper's headline conclusions:
@@ -161,7 +162,11 @@ mod tests {
                 .expect("row")
                 .clone()
         };
-        assert_eq!(row(ModelKind::DasdbsNsm)[5], "++", "DASDBS-NSM best overall");
+        assert_eq!(
+            row(ModelKind::DasdbsNsm)[5],
+            "++",
+            "DASDBS-NSM best overall"
+        );
         assert_eq!(row(ModelKind::Nsm)[5], "--", "NSM worst overall");
         // DASDBS-DSM better than DSM overall.
         let sym_rank = |s: &str| SYMBOLS.iter().position(|&x| x == s).unwrap();

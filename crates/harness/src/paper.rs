@@ -16,83 +16,251 @@ pub struct Anchor {
 
 /// Recoverable cells of Table 2 (average DASDBS sizes).
 pub const TABLE2_ANCHORS: &[Anchor] = &[
-    Anchor { what: "DSM-Station S_tuple [B]", paper: 6078.0 },
-    Anchor { what: "DSM-Station p", paper: 4.0 },
-    Anchor { what: "DSM-Station m", paper: 6000.0 },
-    Anchor { what: "NSM-Station k", paper: 13.0 },
-    Anchor { what: "NSM-Station m", paper: 116.0 },
-    Anchor { what: "NSM-Connection S_tuple [B]", paper: 170.0 },
-    Anchor { what: "NSM-Connection k", paper: 11.0 },
-    Anchor { what: "NSM-Connection m", paper: 559.0 },
-    Anchor { what: "NSM-Sightseeing S_tuple [B]", paper: 456.0 },
-    Anchor { what: "NSM-Sightseeing k", paper: 4.0 },
-    Anchor { what: "NSM-Sightseeing m", paper: 2813.0 },
+    Anchor {
+        what: "DSM-Station S_tuple [B]",
+        paper: 6078.0,
+    },
+    Anchor {
+        what: "DSM-Station p",
+        paper: 4.0,
+    },
+    Anchor {
+        what: "DSM-Station m",
+        paper: 6000.0,
+    },
+    Anchor {
+        what: "NSM-Station k",
+        paper: 13.0,
+    },
+    Anchor {
+        what: "NSM-Station m",
+        paper: 116.0,
+    },
+    Anchor {
+        what: "NSM-Connection S_tuple [B]",
+        paper: 170.0,
+    },
+    Anchor {
+        what: "NSM-Connection k",
+        paper: 11.0,
+    },
+    Anchor {
+        what: "NSM-Connection m",
+        paper: 559.0,
+    },
+    Anchor {
+        what: "NSM-Sightseeing S_tuple [B]",
+        paper: 456.0,
+    },
+    Anchor {
+        what: "NSM-Sightseeing k",
+        paper: 4.0,
+    },
+    Anchor {
+        what: "NSM-Sightseeing m",
+        paper: 2813.0,
+    },
 ];
 
 /// Recoverable cells of Table 3 (analytical estimates, pages per
 /// object/loop).
 pub const TABLE3_ANCHORS: &[Anchor] = &[
-    Anchor { what: "DSM q1a", paper: 4.0 },
-    Anchor { what: "DSM q1b", paper: 6000.0 },
-    Anchor { what: "DSM q1c", paper: 4.0 },
-    Anchor { what: "DSM q2a", paper: 86.9 },
-    Anchor { what: "DSM q2b", paper: 19.7 },
-    Anchor { what: "DSM q3a", paper: 154.0 },
-    Anchor { what: "DSM q3b", paper: 39.1 },
-    Anchor { what: "DSM' q1a", paper: 3.0 },
-    Anchor { what: "DSM' q1b", paper: 4500.0 },
-    Anchor { what: "DSM' q2a", paper: 65.2 },
-    Anchor { what: "NSM q2b", paper: 2.25 },
-    Anchor { what: "NSM q3a", paper: 692.0 },
-    Anchor { what: "NSM q3b", paper: 2.64 },
-    Anchor { what: "NSM+index q1a", paper: 5.96 },
-    Anchor { what: "NSM+index q1b", paper: 121.0 },
-    Anchor { what: "NSM+index q1c", paper: 2.47 },
-    Anchor { what: "NSM+index q2a", paper: 23.2 },
-    Anchor { what: "DASDBS-NSM' q1a", paper: 5.0 },
-    Anchor { what: "DASDBS-NSM' q1b", paper: 120.0 },
-    Anchor { what: "DASDBS-NSM q1c", paper: 2.55 },
-    Anchor { what: "DASDBS-NSM q2a", paper: 21.8 },
+    Anchor {
+        what: "DSM q1a",
+        paper: 4.0,
+    },
+    Anchor {
+        what: "DSM q1b",
+        paper: 6000.0,
+    },
+    Anchor {
+        what: "DSM q1c",
+        paper: 4.0,
+    },
+    Anchor {
+        what: "DSM q2a",
+        paper: 86.9,
+    },
+    Anchor {
+        what: "DSM q2b",
+        paper: 19.7,
+    },
+    Anchor {
+        what: "DSM q3a",
+        paper: 154.0,
+    },
+    Anchor {
+        what: "DSM q3b",
+        paper: 39.1,
+    },
+    Anchor {
+        what: "DSM' q1a",
+        paper: 3.0,
+    },
+    Anchor {
+        what: "DSM' q1b",
+        paper: 4500.0,
+    },
+    Anchor {
+        what: "DSM' q2a",
+        paper: 65.2,
+    },
+    Anchor {
+        what: "NSM q2b",
+        paper: 2.25,
+    },
+    Anchor {
+        what: "NSM q3a",
+        paper: 692.0,
+    },
+    Anchor {
+        what: "NSM q3b",
+        paper: 2.64,
+    },
+    Anchor {
+        what: "NSM+index q1a",
+        paper: 5.96,
+    },
+    Anchor {
+        what: "NSM+index q1b",
+        paper: 121.0,
+    },
+    Anchor {
+        what: "NSM+index q1c",
+        paper: 2.47,
+    },
+    Anchor {
+        what: "NSM+index q2a",
+        paper: 23.2,
+    },
+    Anchor {
+        what: "DASDBS-NSM' q1a",
+        paper: 5.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM' q1b",
+        paper: 120.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM q1c",
+        paper: 2.55,
+    },
+    Anchor {
+        what: "DASDBS-NSM q2a",
+        paper: 21.8,
+    },
 ];
 
 /// Recoverable cells of Table 5 (measured I/O calls).
 pub const TABLE5_ANCHORS: &[Anchor] = &[
-    Anchor { what: "DASDBS-DSM q1a calls", paper: 3.0 },
-    Anchor { what: "DASDBS-DSM q2a calls", paper: 34.0 },
-    Anchor { what: "NSM q1b calls", paper: 3820.0 },
-    Anchor { what: "NSM q2a calls", paper: 700.0 },
-    Anchor { what: "NSM q2b calls/loop", paper: 2.33 },
-    Anchor { what: "DASDBS-NSM q1a calls", paper: 9.0 },
-    Anchor { what: "DASDBS-NSM q1b calls", paper: 144.0 },
-    Anchor { what: "DASDBS-NSM q2a calls", paper: 18.0 },
-    Anchor { what: "DASDBS-NSM q2b calls/loop", paper: 2.05 },
+    Anchor {
+        what: "DASDBS-DSM q1a calls",
+        paper: 3.0,
+    },
+    Anchor {
+        what: "DASDBS-DSM q2a calls",
+        paper: 34.0,
+    },
+    Anchor {
+        what: "NSM q1b calls",
+        paper: 3820.0,
+    },
+    Anchor {
+        what: "NSM q2a calls",
+        paper: 700.0,
+    },
+    Anchor {
+        what: "NSM q2b calls/loop",
+        paper: 2.33,
+    },
+    Anchor {
+        what: "DASDBS-NSM q1a calls",
+        paper: 9.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM q1b calls",
+        paper: 144.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM q2a calls",
+        paper: 18.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM q2b calls/loop",
+        paper: 2.05,
+    },
 ];
 
 /// Recoverable cells of Table 6 (buffer fixes).
 pub const TABLE6_ANCHORS: &[Anchor] = &[
-    Anchor { what: "NSM q2b fixes/loop", paper: 1240.0 },
-    Anchor { what: "NSM q3b fixes/loop", paper: 1260.0 },
-    Anchor { what: "DASDBS-NSM q2b fixes/loop", paper: 21.6 },
-    Anchor { what: "DASDBS-DSM q2b fixes/loop", paper: 39.9 },
+    Anchor {
+        what: "NSM q2b fixes/loop",
+        paper: 1240.0,
+    },
+    Anchor {
+        what: "NSM q3b fixes/loop",
+        paper: 1260.0,
+    },
+    Anchor {
+        what: "DASDBS-NSM q2b fixes/loop",
+        paper: 21.6,
+    },
+    Anchor {
+        what: "DASDBS-DSM q2b fixes/loop",
+        paper: 39.9,
+    },
 ];
 
 /// §5.4 narrative values for Figure 6 (pages per loop at 1500 objects).
 pub const FIG6_ANCHORS: &[Anchor] = &[
-    Anchor { what: "DASDBS-NSM q2b, no overflow", paper: 2.0 },
-    Anchor { what: "DASDBS-DSM q2b, overflow", paper: 8.5 },
-    Anchor { what: "DSM q2b, overflow", paper: 16.5 },
-    Anchor { what: "DSM q2b worst case (3 pages/object)", paper: 65.2 },
+    Anchor {
+        what: "DASDBS-NSM q2b, no overflow",
+        paper: 2.0,
+    },
+    Anchor {
+        what: "DASDBS-DSM q2b, overflow",
+        paper: 8.5,
+    },
+    Anchor {
+        what: "DSM q2b, overflow",
+        paper: 16.5,
+    },
+    Anchor {
+        what: "DSM q2b worst case (3 pages/object)",
+        paper: 65.2,
+    },
 ];
 
 /// §5.1/§5.5 dataset statistics.
 pub const DATASET_ANCHORS: &[Anchor] = &[
-    Anchor { what: "avg platforms/station (default)", paper: 1.59 },
-    Anchor { what: "avg connections/station (default)", paper: 4.04 },
-    Anchor { what: "avg sightseeings/station (default)", paper: 7.64 },
-    Anchor { what: "avg platforms/station (skew)", paper: 1.57 },
-    Anchor { what: "avg connections/station (skew)", paper: 3.99 },
-    Anchor { what: "max platforms/station (skew)", paper: 6.0 },
-    Anchor { what: "max connections/station (skew)", paper: 34.0 },
+    Anchor {
+        what: "avg platforms/station (default)",
+        paper: 1.59,
+    },
+    Anchor {
+        what: "avg connections/station (default)",
+        paper: 4.04,
+    },
+    Anchor {
+        what: "avg sightseeings/station (default)",
+        paper: 7.64,
+    },
+    Anchor {
+        what: "avg platforms/station (skew)",
+        paper: 1.57,
+    },
+    Anchor {
+        what: "avg connections/station (skew)",
+        paper: 3.99,
+    },
+    Anchor {
+        what: "max platforms/station (skew)",
+        paper: 6.0,
+    },
+    Anchor {
+        what: "max connections/station (skew)",
+        paper: 34.0,
+    },
 ];
 
 /// Formats an anchor comparison line.
@@ -102,7 +270,10 @@ pub fn compare(anchor: &Anchor, ours: f64) -> String {
     } else {
         String::new()
     };
-    format!("{}: paper {} vs ours {:.2}{}", anchor.what, anchor.paper, ours, rel)
+    format!(
+        "{}: paper {} vs ours {:.2}{}",
+        anchor.what, anchor.paper, ours, rel
+    )
 }
 
 #[cfg(test)]
@@ -128,7 +299,10 @@ mod tests {
 
     #[test]
     fn compare_formats() {
-        let a = Anchor { what: "x", paper: 10.0 };
+        let a = Anchor {
+            what: "x",
+            paper: 10.0,
+        };
         let s = compare(&a, 11.0);
         assert!(s.contains("paper 10"));
         assert!(s.contains("11.00"));

@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Builds a table from headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -132,16 +135,23 @@ impl ExperimentReport {
 }
 
 impl ExperimentReport {
-    /// Renders the report as a self-contained JSON object (hand-rolled so
-    /// the harness stays free of a JSON dependency; `serde` derives remain
-    /// available for downstream serializers).
+    /// Renders the report as a self-contained JSON object. The structure is
+    /// emitted by hand (it is one flat object); string escaping is shared
+    /// with [`serde_json::escape_str`], and the `serde` derives remain
+    /// available for downstream serializers.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":{},", json_str(&self.id)));
         out.push_str(&format!("\"title\":{},", json_str(&self.title)));
         out.push_str("\"headers\":[");
         out.push_str(
-            &self.table.headers.iter().map(|h| json_str(h)).collect::<Vec<_>>().join(","),
+            &self
+                .table
+                .headers
+                .iter()
+                .map(|h| json_str(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push_str("],\"rows\":[");
         out.push_str(
@@ -152,36 +162,33 @@ impl ExperimentReport {
                 .map(|row| {
                     format!(
                         "[{}]",
-                        row.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(",")
+                        row.iter()
+                            .map(|c| json_str(c))
+                            .collect::<Vec<_>>()
+                            .join(",")
                     )
                 })
                 .collect::<Vec<_>>()
                 .join(","),
         );
         out.push_str("],\"notes\":[");
-        out.push_str(&self.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .notes
+                .iter()
+                .map(|n| json_str(n))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push_str("]}");
         out
     }
 }
 
-/// Escapes a string as a JSON string literal.
+/// Escapes a string as a JSON string literal (delegates to the shared
+/// escaper so the rules live in one place).
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    serde_json::escape_str(s)
 }
 
 /// Formats a float the way the paper's tables do: up to three significant

@@ -85,7 +85,10 @@ impl MeasuredGrid {
     /// The cell for `(model, query)`, if present.
     pub fn cell(&self, model: ModelKind, query: QueryId) -> Option<MeasuredCell> {
         let qi = QueryId::all().iter().position(|q| *q == query)?;
-        self.rows.iter().find(|(m, _)| *m == model).and_then(|(_, cells)| cells[qi])
+        self.rows
+            .iter()
+            .find(|(m, _)| *m == model)
+            .and_then(|(_, cells)| cells[qi])
     }
 }
 
@@ -128,7 +131,11 @@ pub fn measure_grid(
         }
         rows.push((kind, cells));
     }
-    Ok(MeasuredGrid { config: *config, stats, rows })
+    Ok(MeasuredGrid {
+        config: *config,
+        stats,
+        rows,
+    })
 }
 
 /// Runs a single query for a set of models (used by the sweeps of Figures
@@ -165,12 +172,7 @@ mod tests {
     #[test]
     fn fast_grid_measures_all_models() {
         let config = HarnessConfig::fast();
-        let grid = measure_grid(
-            &config.dataset(),
-            &config,
-            &ModelKind::measured_models(),
-        )
-        .unwrap();
+        let grid = measure_grid(&config.dataset(), &config, &ModelKind::measured_models()).unwrap();
         assert_eq!(grid.rows.len(), 4);
         // NSM has no q1a; everything else is measured.
         let missing: usize = grid

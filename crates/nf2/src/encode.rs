@@ -87,8 +87,7 @@ fn encode_tuple(tuple: &Tuple, out: &mut Vec<u8>) -> TupleLayout {
     for (i, v) in tuple.values.iter().enumerate() {
         let attr_start = out.len();
         let rel_off = (attr_start - start) as u32;
-        out[offset_table + 4 * i..offset_table + 4 * i + 4]
-            .copy_from_slice(&rel_off.to_le_bytes());
+        out[offset_table + 4 * i..offset_table + 4 * i + 4].copy_from_slice(&rel_off.to_le_bytes());
         let tuples = encode_value(v, out);
         attrs.push(AttrLayout {
             start: attr_start as u32,
@@ -99,7 +98,11 @@ fn encode_tuple(tuple: &Tuple, out: &mut Vec<u8>) -> TupleLayout {
 
     let total = (out.len() - start) as u32;
     out[start + 8..start + 12].copy_from_slice(&total.to_le_bytes());
-    TupleLayout { start: start as u32, len: total, attrs }
+    TupleLayout {
+        start: start as u32,
+        len: total,
+        attrs,
+    }
 }
 
 fn encode_value(v: &Value, out: &mut Vec<u8>) -> Vec<TupleLayout> {
@@ -203,8 +206,7 @@ pub fn decode_attr(bytes: &[u8], ty: &AttrType, start: usize) -> Result<Value> {
             let count = get_u32(bytes, start)? as usize;
             let mut ts = Vec::with_capacity(count);
             for i in 0..count {
-                let off =
-                    get_u32(bytes, start + overhead::SUBREL_HEADER + 4 * i)? as usize;
+                let off = get_u32(bytes, start + overhead::SUBREL_HEADER + 4 * i)? as usize;
                 ts.push(decode_tuple_at(bytes, sub, start + off)?);
             }
             Ok(Value::Rel(ts))
@@ -238,8 +240,7 @@ pub fn decode_projected(
                 })
                 .collect();
             for (i, sub) in attrs {
-                let (Some(def), Some(al)) = (schema.attrs.get(*i), layout.attrs.get(*i))
-                else {
+                let (Some(def), Some(al)) = (schema.attrs.get(*i), layout.attrs.get(*i)) else {
                     return Err(Nf2Error::BadProjection {
                         attr: *i,
                         available: schema.arity().min(layout.attrs.len()),
@@ -265,14 +266,20 @@ fn get_u16(bytes: &[u8], at: usize) -> Result<u16> {
     bytes
         .get(at..at + 2)
         .map(|s| u16::from_le_bytes(s.try_into().expect("2-byte slice")))
-        .ok_or(Nf2Error::Corrupt { offset: at, detail: "truncated (u16)".into() })
+        .ok_or(Nf2Error::Corrupt {
+            offset: at,
+            detail: "truncated (u16)".into(),
+        })
 }
 
 fn get_u32(bytes: &[u8], at: usize) -> Result<u32> {
     bytes
         .get(at..at + 4)
         .map(|s| u32::from_le_bytes(s.try_into().expect("4-byte slice")))
-        .ok_or(Nf2Error::Corrupt { offset: at, detail: "truncated (u32)".into() })
+        .ok_or(Nf2Error::Corrupt {
+            offset: at,
+            detail: "truncated (u32)".into(),
+        })
 }
 
 #[cfg(test)]
@@ -321,7 +328,11 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_subrelation() {
-        let t = Tuple::new(vec![Value::Int(1), Value::Str("s".into()), Value::Rel(vec![])]);
+        let t = Tuple::new(vec![
+            Value::Int(1),
+            Value::Str("s".into()),
+            Value::Rel(vec![]),
+        ]);
         let bytes = encode(&t, &schema()).unwrap();
         assert_eq!(decode(&bytes, &schema()).unwrap(), t);
     }

@@ -104,7 +104,11 @@ impl TupleLayout {
             for _ in 0..ntuples {
                 tuples.push(Self::read(bytes, pos)?);
             }
-            attrs.push(AttrLayout { start: a_start, len: a_len, tuples });
+            attrs.push(AttrLayout {
+                start: a_start,
+                len: a_len,
+                tuples,
+            });
         }
         Ok(TupleLayout { start, len, attrs })
     }
@@ -162,14 +166,22 @@ mod tests {
             start: 0,
             len: 100,
             attrs: vec![
-                AttrLayout { start: 28, len: 4, tuples: vec![] },
+                AttrLayout {
+                    start: 28,
+                    len: 4,
+                    tuples: vec![],
+                },
                 AttrLayout {
                     start: 32,
                     len: 68,
                     tuples: vec![TupleLayout {
                         start: 44,
                         len: 56,
-                        attrs: vec![AttrLayout { start: 72, len: 28, tuples: vec![] }],
+                        attrs: vec![AttrLayout {
+                            start: 72,
+                            len: 28,
+                            tuples: vec![],
+                        }],
                     }],
                 },
             ],
@@ -196,7 +208,11 @@ mod tests {
     fn header_range_ends_at_first_attr() {
         let l = sample_layout();
         assert_eq!(l.header_range(), 0..28);
-        let empty = TupleLayout { start: 4, len: 20, attrs: vec![] };
+        let empty = TupleLayout {
+            start: 4,
+            len: 20,
+            attrs: vec![],
+        };
         assert_eq!(empty.header_range(), 4..24);
     }
 

@@ -52,8 +52,7 @@ pub mod station;
 mod value;
 
 pub use encode::{
-    decode, decode_attr, decode_projected, decode_tuple_at, encode, encode_with_layout,
-    encoded_len,
+    decode, decode_attr, decode_projected, decode_tuple_at, encode, encode_with_layout, encoded_len,
 };
 pub use error::Nf2Error;
 pub use layout::{AttrLayout, TupleLayout};

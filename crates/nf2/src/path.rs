@@ -82,7 +82,9 @@ impl Projection {
             Projection::Attrs(attrs) => {
                 out.push(layout.header_range());
                 for (i, sub) in attrs {
-                    let Some(a) = layout.attrs.get(*i) else { continue };
+                    let Some(a) = layout.attrs.get(*i) else {
+                        continue;
+                    };
                     if sub.is_all() || a.tuples.is_empty() {
                         out.push(a.range());
                     } else {
@@ -110,11 +112,8 @@ impl Projection {
         match self {
             Projection::All => tuple.clone(),
             Projection::Attrs(attrs) => {
-                let mut values: Vec<Value> = schema
-                    .attrs
-                    .iter()
-                    .map(|a| neutral_value(&a.ty))
-                    .collect();
+                let mut values: Vec<Value> =
+                    schema.attrs.iter().map(|a| neutral_value(&a.ty)).collect();
                 for (i, sub) in attrs {
                     let (Some(v), Some(def)) = (tuple.attr(*i), schema.attrs.get(*i)) else {
                         continue;
@@ -188,10 +187,7 @@ mod tests {
 
     #[test]
     fn nested_projection_applies_recursively() {
-        let p = Projection::Attrs(vec![(
-            2,
-            Projection::Attrs(vec![(0, Projection::All)]),
-        )]);
+        let p = Projection::Attrs(vec![(2, Projection::Attrs(vec![(0, Projection::All)]))]);
         p.validate(&schema()).unwrap();
         let out = p.apply(&tuple(), &schema());
         assert_eq!(out.attr(0).unwrap().as_int(), Some(0)); // placeholder
@@ -206,7 +202,10 @@ mod tests {
         let p = Projection::Attrs(vec![(5, Projection::All)]);
         assert!(matches!(
             p.validate(&schema()),
-            Err(Nf2Error::BadProjection { attr: 5, available: 3 })
+            Err(Nf2Error::BadProjection {
+                attr: 5,
+                available: 3
+            })
         ));
     }
 
@@ -242,13 +241,18 @@ mod tests {
     #[test]
     fn byte_ranges_nested_skips_unprojected_sub_attr() {
         let (_, layout) = encode_with_layout(&tuple(), &schema()).unwrap();
-        let narrow = Projection::Attrs(vec![(
-            2,
-            Projection::Attrs(vec![(0, Projection::All)]),
-        )]);
+        let narrow = Projection::Attrs(vec![(2, Projection::Attrs(vec![(0, Projection::All)]))]);
         let wide = Projection::Attrs(vec![(2, Projection::All)]);
-        let n: u32 = narrow.byte_ranges(&layout).iter().map(|r| r.end - r.start).sum();
-        let w: u32 = wide.byte_ranges(&layout).iter().map(|r| r.end - r.start).sum();
+        let n: u32 = narrow
+            .byte_ranges(&layout)
+            .iter()
+            .map(|r| r.end - r.start)
+            .sum();
+        let w: u32 = wide
+            .byte_ranges(&layout)
+            .iter()
+            .map(|r| r.end - r.start)
+            .sum();
         assert!(n < w, "narrow {n} should cover fewer bytes than wide {w}");
     }
 }

@@ -32,7 +32,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        AttrDef { name: name.into(), ty }
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ pub struct RelSchema {
 impl RelSchema {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, attrs: Vec<AttrDef>) -> Self {
-        RelSchema { name: name.into(), attrs }
+        RelSchema {
+            name: name.into(),
+            attrs,
+        }
     }
 
     /// Number of attributes.
@@ -184,7 +190,9 @@ mod tests {
 
     #[test]
     fn validate_rejects_wrong_arity() {
-        let err = schema().validate(&Tuple::new(vec![Value::Int(1)])).unwrap_err();
+        let err = schema()
+            .validate(&Tuple::new(vec![Value::Int(1)]))
+            .unwrap_err();
         assert!(matches!(err, Nf2Error::SchemaMismatch { .. }));
     }
 

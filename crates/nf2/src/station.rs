@@ -294,8 +294,13 @@ impl Station {
 
     /// Parses a generic tuple (full, unprojected) back into the typed view.
     pub fn from_tuple(t: &Tuple) -> Result<Station> {
-        let err = |what: &str| Nf2Error::SchemaMismatch { detail: format!("Station::{what}") };
-        let key = t.attr(attr::KEY).and_then(Value::as_int).ok_or_else(|| err("Key"))?;
+        let err = |what: &str| Nf2Error::SchemaMismatch {
+            detail: format!("Station::{what}"),
+        };
+        let key = t
+            .attr(attr::KEY)
+            .and_then(Value::as_int)
+            .ok_or_else(|| err("Key"))?;
         let name = t
             .attr(attr::NAME)
             .and_then(Value::as_str)
@@ -309,10 +314,23 @@ impl Station {
             .map(|p| {
                 use attr::platform as pa;
                 Ok(Platform {
-                    platform_nr: p.attr(pa::PLATFORM_NR).and_then(Value::as_int).ok_or_else(|| err("PlatformNr"))?,
-                    no_line: p.attr(pa::NO_LINE).and_then(Value::as_int).ok_or_else(|| err("NoLine"))?,
-                    ticket_code: p.attr(pa::TICKET_CODE).and_then(Value::as_int).ok_or_else(|| err("TicketCode"))?,
-                    information: p.attr(pa::INFORMATION).and_then(Value::as_str).ok_or_else(|| err("Information"))?.to_owned(),
+                    platform_nr: p
+                        .attr(pa::PLATFORM_NR)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| err("PlatformNr"))?,
+                    no_line: p
+                        .attr(pa::NO_LINE)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| err("NoLine"))?,
+                    ticket_code: p
+                        .attr(pa::TICKET_CODE)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| err("TicketCode"))?,
+                    information: p
+                        .attr(pa::INFORMATION)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("Information"))?
+                        .to_owned(),
                     connections: p
                         .attr(pa::CONNECTION)
                         .and_then(Value::as_rel)
@@ -321,10 +339,23 @@ impl Station {
                         .map(|c| {
                             use attr::connection as ca;
                             Ok(Connection {
-                                line_nr: c.attr(ca::LINE_NR).and_then(Value::as_int).ok_or_else(|| err("LineNr"))?,
-                                key_connection: c.attr(ca::KEY_CONNECTION).and_then(Value::as_int).ok_or_else(|| err("KeyConnection"))?,
-                                oid_connection: c.attr(ca::OID_CONNECTION).and_then(Value::as_link).ok_or_else(|| err("OidConnection"))?,
-                                departure_times: c.attr(ca::DEPARTURE_TIMES).and_then(Value::as_str).ok_or_else(|| err("DepartureTimes"))?.to_owned(),
+                                line_nr: c
+                                    .attr(ca::LINE_NR)
+                                    .and_then(Value::as_int)
+                                    .ok_or_else(|| err("LineNr"))?,
+                                key_connection: c
+                                    .attr(ca::KEY_CONNECTION)
+                                    .and_then(Value::as_int)
+                                    .ok_or_else(|| err("KeyConnection"))?,
+                                oid_connection: c
+                                    .attr(ca::OID_CONNECTION)
+                                    .and_then(Value::as_link)
+                                    .ok_or_else(|| err("OidConnection"))?,
+                                departure_times: c
+                                    .attr(ca::DEPARTURE_TIMES)
+                                    .and_then(Value::as_str)
+                                    .ok_or_else(|| err("DepartureTimes"))?
+                                    .to_owned(),
                             })
                         })
                         .collect::<Result<Vec<_>>>()?,
@@ -339,22 +370,50 @@ impl Station {
             .map(|s| {
                 use attr::sightseeing as sa;
                 Ok(Sightseeing {
-                    seeing_nr: s.attr(sa::SEEING_NR).and_then(Value::as_int).ok_or_else(|| err("SeeingNr"))?,
-                    description: s.attr(sa::DESCRIPTION).and_then(Value::as_str).ok_or_else(|| err("Description"))?.to_owned(),
-                    location: s.attr(sa::LOCATION).and_then(Value::as_str).ok_or_else(|| err("Location"))?.to_owned(),
-                    history: s.attr(sa::HISTORY).and_then(Value::as_str).ok_or_else(|| err("History"))?.to_owned(),
-                    remarks: s.attr(sa::REMARKS).and_then(Value::as_str).ok_or_else(|| err("Remarks"))?.to_owned(),
+                    seeing_nr: s
+                        .attr(sa::SEEING_NR)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| err("SeeingNr"))?,
+                    description: s
+                        .attr(sa::DESCRIPTION)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("Description"))?
+                        .to_owned(),
+                    location: s
+                        .attr(sa::LOCATION)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("Location"))?
+                        .to_owned(),
+                    history: s
+                        .attr(sa::HISTORY)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("History"))?
+                        .to_owned(),
+                    remarks: s
+                        .attr(sa::REMARKS)
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("Remarks"))?
+                        .to_owned(),
                 })
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Station { key, name, platforms, sightseeings })
+        Ok(Station {
+            key,
+            name,
+            platforms,
+            sightseeings,
+        })
     }
 
     /// All `(KeyConnection, OidConnection)` pairs — the object's children.
     pub fn child_refs(&self) -> Vec<(Key, Oid)> {
         self.platforms
             .iter()
-            .flat_map(|p| p.connections.iter().map(|c| (c.key_connection, c.oid_connection)))
+            .flat_map(|p| {
+                p.connections
+                    .iter()
+                    .map(|c| (c.key_connection, c.oid_connection))
+            })
             .collect()
     }
 }
@@ -362,7 +421,7 @@ impl Station {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{encode, decode, encoded_len};
+    use crate::{decode, encode, encoded_len};
 
     fn sample_station() -> Station {
         Station {
@@ -450,10 +509,14 @@ mod tests {
         proj.validate(&station_schema()).unwrap();
         let projected = proj.apply(&t, &station_schema());
         assert_eq!(child_refs(&projected), st.child_refs());
-        assert!(projected.attr(attr::SIGHTSEEING).unwrap().as_rel().unwrap().is_empty());
+        assert!(projected
+            .attr(attr::SIGHTSEEING)
+            .unwrap()
+            .as_rel()
+            .unwrap()
+            .is_empty());
         // The projected byte ranges must exclude the sightseeing suffix.
-        let (bytes, layout) =
-            crate::encode_with_layout(&t, &station_schema()).unwrap();
+        let (bytes, layout) = crate::encode_with_layout(&t, &station_schema()).unwrap();
         let ranges = proj.byte_ranges(&layout);
         let ss_start = layout.attrs[attr::SIGHTSEEING].start
             + crate::overhead::SUBREL_HEADER as u32
@@ -468,8 +531,7 @@ mod tests {
     #[test]
     fn root_record_projection_covers_prefix_only() {
         let st = sample_station();
-        let (bytes, layout) =
-            crate::encode_with_layout(&st.to_tuple(), &station_schema()).unwrap();
+        let (bytes, layout) = crate::encode_with_layout(&st.to_tuple(), &station_schema()).unwrap();
         let ranges = proj_root_record().byte_ranges(&layout);
         // Root record = header + 4 atomic attrs, all contiguous from 0.
         assert_eq!(ranges.len(), 1);

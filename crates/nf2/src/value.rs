@@ -166,7 +166,10 @@ mod tests {
         assert_eq!(t.attr(2).unwrap().as_rel().unwrap().len(), 2);
         assert!(t.attr(3).is_none());
         assert_eq!(
-            t.attr(2).unwrap().as_rel().unwrap()[1].attr(1).unwrap().as_link(),
+            t.attr(2).unwrap().as_rel().unwrap()[1]
+                .attr(1)
+                .unwrap()
+                .as_link(),
             Some(Oid(10))
         );
     }

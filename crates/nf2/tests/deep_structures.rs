@@ -2,8 +2,8 @@
 //! nesting, unicode payloads, wide tuples, exotic projections.
 
 use starfish_nf2::{
-    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrType, Oid,
-    Projection, RelSchema, Tuple, Value,
+    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrType, Oid, Projection,
+    RelSchema, Tuple, Value,
 };
 
 /// Builds a schema nested `depth` levels deep: each level is
@@ -11,7 +11,10 @@ use starfish_nf2::{
 fn deep_schema(depth: usize) -> RelSchema {
     let mut schema = RelSchema::new(
         "Leaf",
-        vec![AttrDef::new("x", AttrType::Int), AttrDef::new("s", AttrType::Str)],
+        vec![
+            AttrDef::new("x", AttrType::Int),
+            AttrDef::new("s", AttrType::Str),
+        ],
     );
     for level in 0..depth {
         schema = RelSchema::new(
@@ -62,7 +65,10 @@ fn wide_fanout_roundtrips() {
 fn unicode_strings_survive_the_codec() {
     let schema = RelSchema::new(
         "U",
-        vec![AttrDef::new("s", AttrType::Str), AttrDef::new("t", AttrType::Str)],
+        vec![
+            AttrDef::new("s", AttrType::Str),
+            AttrDef::new("t", AttrType::Str),
+        ],
     );
     let t = Tuple::new(vec![
         Value::Str("zürich — 駅 — вокзал — 🚂".into()),
@@ -78,7 +84,13 @@ fn wide_flat_tuple_roundtrips() {
         .map(|i| {
             AttrDef::new(
                 format!("a{i}"),
-                if i % 3 == 0 { AttrType::Int } else if i % 3 == 1 { AttrType::Link } else { AttrType::Str },
+                if i % 3 == 0 {
+                    AttrType::Int
+                } else if i % 3 == 1 {
+                    AttrType::Link
+                } else {
+                    AttrType::Str
+                },
             )
         })
         .collect();
@@ -111,10 +123,10 @@ fn projection_at_depth_touches_only_its_path() {
                 (0, Projection::All),
                 (
                     1,
-                    Projection::Attrs(vec![(0, Projection::All), (
-                        1,
-                        Projection::Attrs(vec![(0, Projection::All)]),
-                    )]),
+                    Projection::Attrs(vec![
+                        (0, Projection::All),
+                        (1, Projection::Attrs(vec![(0, Projection::All)])),
+                    ]),
                 ),
             ]),
         ),

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use starfish_nf2::{
-    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrLayout, AttrType,
-    Oid, Projection, RelSchema, Tuple, TupleLayout, Value,
+    decode, decode_projected, encode_with_layout, encoded_len, AttrDef, AttrLayout, AttrType, Oid,
+    Projection, RelSchema, Tuple, TupleLayout, Value,
 };
 
 /// A small fixed nested schema family used for generation: a root relation
@@ -45,9 +45,8 @@ fn arb_string() -> impl Strategy<Value = String> {
 }
 
 fn arb_leaf() -> impl Strategy<Value = Tuple> {
-    (any::<i32>(), any::<u32>(), arb_string()).prop_map(|(i, o, s)| {
-        Tuple::new(vec![Value::Int(i), Value::Link(Oid(o)), Value::Str(s)])
-    })
+    (any::<i32>(), any::<u32>(), arb_string())
+        .prop_map(|(i, o, s)| Tuple::new(vec![Value::Int(i), Value::Link(Oid(o)), Value::Str(s)]))
 }
 
 fn arb_mid() -> impl Strategy<Value = Tuple> {
@@ -69,7 +68,12 @@ fn arb_root() -> impl Strategy<Value = Tuple> {
         any::<i32>(),
     )
         .prop_map(|(a, s, mids, b)| {
-            Tuple::new(vec![Value::Int(a), Value::Str(s), Value::Rel(mids), Value::Int(b)])
+            Tuple::new(vec![
+                Value::Int(a),
+                Value::Str(s),
+                Value::Rel(mids),
+                Value::Int(b),
+            ])
         })
 }
 
@@ -80,7 +84,11 @@ fn check_layout_tiles(layout: &TupleLayout) {
         prev_end = a.start + a.len;
         check_attr_tiles(a);
     }
-    assert_eq!(prev_end, layout.start + layout.len, "attrs must fill the tuple");
+    assert_eq!(
+        prev_end,
+        layout.start + layout.len,
+        "attrs must fill the tuple"
+    );
 }
 
 fn check_attr_tiles(a: &AttrLayout) {
@@ -88,14 +96,21 @@ fn check_attr_tiles(a: &AttrLayout) {
         return;
     }
     let first = a.tuples.first().expect("nonempty");
-    assert!(first.start >= a.start, "sub-tuples start after the address table");
+    assert!(
+        first.start >= a.start,
+        "sub-tuples start after the address table"
+    );
     let mut prev_end = first.start;
     for t in &a.tuples {
         assert_eq!(t.start, prev_end, "sub-tuples must be contiguous");
         prev_end = t.start + t.len;
         check_layout_tiles(t);
     }
-    assert_eq!(prev_end, a.start + a.len, "sub-tuples must fill the attribute");
+    assert_eq!(
+        prev_end,
+        a.start + a.len,
+        "sub-tuples must fill the attribute"
+    );
 }
 
 proptest! {

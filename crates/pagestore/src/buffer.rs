@@ -1,6 +1,6 @@
 use crate::stats::{BufferStats, IoSnapshot};
-use crate::{PageId, Result, SimDisk, PAGE_SIZE};
 use crate::DEFAULT_BUFFER_PAGES;
+use crate::{PageId, Result, SimDisk, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap};
 
 /// Maximum pages per grouped write call at flush time.
@@ -135,8 +135,12 @@ impl BufferPool {
     /// [`MAX_PAGES_PER_WRITE_CALL`] pages per call — the "database
     /// disconnect" of the paper's measurement protocol.
     pub fn flush_all(&mut self) -> Result<()> {
-        let mut dirty: Vec<PageId> =
-            self.frames.iter().filter(|(_, f)| f.dirty).map(|(p, _)| *p).collect();
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(p, _)| *p)
+            .collect();
         dirty.sort_unstable();
         let mut i = 0;
         while i < dirty.len() {
@@ -150,7 +154,10 @@ impl BufferPool {
             }
             let frames = &self.frames;
             self.disk.write_run(start, len, |j| {
-                frames.get(&start.offset(j)).expect("dirty frame present").data
+                frames
+                    .get(&start.offset(j))
+                    .expect("dirty frame present")
+                    .data
             })?;
             for j in 0..len {
                 self.frames.get_mut(&start.offset(j)).expect("frame").dirty = false;
@@ -221,7 +228,14 @@ impl BufferPool {
             let pid = first.offset(i as u32);
             self.tick += 1;
             self.lru.insert(self.tick, pid);
-            self.frames.insert(pid, Frame { data, dirty: false, tick: self.tick });
+            self.frames.insert(
+                pid,
+                Frame {
+                    data,
+                    dirty: false,
+                    tick: self.tick,
+                },
+            );
         }
         Ok(())
     }
@@ -385,7 +399,8 @@ mod tests {
         // All contents must survive eviction + flush.
         p.reset_stats();
         for i in 0..20 {
-            p.with_page(PageId(i), |b| assert_eq!(b[0], i as u8)).unwrap();
+            p.with_page(PageId(i), |b| assert_eq!(b[0], i as u8))
+                .unwrap();
         }
     }
 }

@@ -16,7 +16,10 @@ pub struct SimDisk {
 impl SimDisk {
     /// Creates an empty disk.
     pub fn new() -> Self {
-        SimDisk { pages: Vec::new(), stats: DiskStats::default() }
+        SimDisk {
+            pages: Vec::new(),
+            stats: DiskStats::default(),
+        }
     }
 
     /// Allocates `n` contiguous zeroed pages, returning the first page id.
@@ -26,7 +29,8 @@ impl SimDisk {
     /// multi-page calls — the behaviour behind the paper's Table 5.
     pub fn alloc_extent(&mut self, n: u32) -> PageId {
         let first = PageId(self.pages.len() as u32);
-        self.pages.resize(self.pages.len() + n as usize, [0u8; PAGE_SIZE]);
+        self.pages
+            .resize(self.pages.len() + n as usize, [0u8; PAGE_SIZE]);
         first
     }
 
@@ -134,14 +138,18 @@ mod tests {
         let mut d = SimDisk::new();
         let first = d.alloc_extent(4);
         d.write_run(first, 3, |i| [i as u8 + 1; PAGE_SIZE]).unwrap();
-        assert_eq!(d.stats(), DiskStats {
-            read_calls: 0,
-            pages_read: 0,
-            write_calls: 1,
-            pages_written: 3
-        });
+        assert_eq!(
+            d.stats(),
+            DiskStats {
+                read_calls: 0,
+                pages_read: 0,
+                write_calls: 1,
+                pages_written: 3
+            }
+        );
         let mut seen = Vec::new();
-        d.read_run(first.offset(1), 2, |i, p| seen.push((i, p[0]))).unwrap();
+        d.read_run(first.offset(1), 2, |i, p| seen.push((i, p[0])))
+            .unwrap();
         assert_eq!(seen, vec![(0, 2), (1, 3)]);
         assert_eq!(d.stats().read_calls, 1);
         assert_eq!(d.stats().pages_read, 2);

@@ -134,11 +134,7 @@ impl HeapFile {
     /// visits the entire relation — the paper's value selections are
     /// set-oriented and read all `m` pages (Table 3: query 1b = `m` for the
     /// direct models).
-    pub fn scan(
-        &self,
-        pool: &mut BufferPool,
-        mut f: impl FnMut(Rid, &[u8]),
-    ) -> Result<()> {
+    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
         for &pid in &self.pages {
             pool.with_page(pid, |p: &[u8; PAGE_SIZE]| {
                 for (slot, body) in slotted::live_records(p) {
@@ -177,7 +173,10 @@ mod tests {
             assert_eq!(w[1], w[0] + 1);
         }
         // 11 + 11 + 3 distribution.
-        assert_eq!(rids.iter().filter(|r| r.page == file.pages()[0]).count(), 11);
+        assert_eq!(
+            rids.iter().filter(|r| r.page == file.pages()[0]).count(),
+            11
+        );
         assert_eq!(rids.iter().filter(|r| r.page == file.pages()[2]).count(), 3);
     }
 

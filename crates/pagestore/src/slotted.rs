@@ -19,7 +19,9 @@
 //! [`crate::BufferPool::with_page`]/[`with_page_mut`](crate::BufferPool::with_page_mut)
 //! closures.
 
-use crate::{Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE};
+use crate::{
+    Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE,
+};
 
 const MAGIC: u16 = 0x5350; // "SP"
 const OFF_MAGIC: usize = 0;
@@ -123,7 +125,10 @@ pub fn read<R>(page: &[u8; PAGE_SIZE], slot: u16, f: impl FnOnce(&[u8]) -> R) ->
 pub fn update_in_place(page: &mut [u8; PAGE_SIZE], slot: u16, rec: &[u8]) -> Result<()> {
     let (off, len) = live_entry(page, slot)?;
     if rec.len() != len as usize {
-        return Err(StoreError::SizeChanged { old: len as usize, new: rec.len() });
+        return Err(StoreError::SizeChanged {
+            old: len as usize,
+            new: rec.len(),
+        });
     }
     page[off as usize..off as usize + rec.len()].copy_from_slice(rec);
     Ok(())
@@ -315,9 +320,15 @@ mod tests {
     #[test]
     fn bad_slot_errors() {
         let p = fresh();
-        assert!(matches!(read(&p, 0, |_| ()), Err(StoreError::BadSlot { slot: 0 })));
+        assert!(matches!(
+            read(&p, 0, |_| ()),
+            Err(StoreError::BadSlot { slot: 0 })
+        ));
         let mut p = fresh();
-        assert!(matches!(delete(&mut p, 3), Err(StoreError::BadSlot { slot: 3 })));
+        assert!(matches!(
+            delete(&mut p, 3),
+            Err(StoreError::BadSlot { slot: 3 })
+        ));
     }
 
     #[test]

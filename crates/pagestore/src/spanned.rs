@@ -14,7 +14,9 @@
 //! requested data pages — which is why the paper measures ≈2 pages per read
 //! call for the direct models (§5.2).
 
-use crate::{slotted, BufferPool, PageId, Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE};
+use crate::{
+    slotted, BufferPool, PageId, Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE,
+};
 use std::ops::Range;
 
 /// Handle to a stored spanned record.
@@ -73,11 +75,7 @@ fn page_of(starts: &[u32], b: u32) -> usize {
 impl SpannedStore {
     /// Stores a new spanned record: `header` on header page(s), `data` on
     /// data pages, in one fresh contiguous extent.
-    pub fn store(
-        pool: &mut BufferPool,
-        header: &[u8],
-        data: &[u8],
-    ) -> Result<SpannedRecord> {
+    pub fn store(pool: &mut BufferPool, header: &[u8], data: &[u8]) -> Result<SpannedRecord> {
         let header_pages = crate::pages_for_bytes(header.len()).max(1);
         let data_pages = crate::pages_for_bytes(data.len()).max(1);
         let first = pool.alloc_extent(header_pages + data_pages);
@@ -246,7 +244,9 @@ impl SpannedStore {
     /// Validates a page plan for `data_len` bytes.
     pub fn validate_page_plan(starts: &[u32], data_len: usize) -> Result<()> {
         if starts.first() != Some(&0) {
-            return Err(StoreError::Corrupt { detail: "page plan must start at 0".into() });
+            return Err(StoreError::Corrupt {
+                detail: "page plan must start at 0".into(),
+            });
         }
         for i in 0..starts.len() {
             let end = starts.get(i + 1).copied().unwrap_or(data_len as u32);
@@ -288,8 +288,7 @@ impl SpannedStore {
             pool.with_page_mut(rec.data_first().offset(i), |p| {
                 p.fill(0);
                 slotted::set_kind(p, slotted::PageKind::SpannedData);
-                p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)]
-                    .copy_from_slice(&data[lo..hi]);
+                p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)].copy_from_slice(&data[lo..hi]);
             })?;
         }
         Ok(rec)
@@ -346,8 +345,7 @@ impl SpannedStore {
             for j in i..i + len {
                 let (lo, hi) = plan_bounds(starts, rec.data_len as usize, j);
                 pool.with_page(rec.data_first().offset(j as u32), |p| {
-                    out[lo..hi]
-                        .copy_from_slice(&p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)]);
+                    out[lo..hi].copy_from_slice(&p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)]);
                 })?;
             }
             i += len;
@@ -372,8 +370,7 @@ impl SpannedStore {
         for i in 0..rec.data_pages {
             let (lo, hi) = plan_bounds(starts, data.len(), i as usize);
             pool.with_page_mut(rec.data_first().offset(i), |p| {
-                p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)]
-                    .copy_from_slice(&data[lo..hi]);
+                p[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + (hi - lo)].copy_from_slice(&data[lo..hi]);
             })?;
         }
         Ok(())
@@ -412,12 +409,7 @@ impl SpannedStore {
         Ok(())
     }
 
-    fn collect(
-        pool: &mut BufferPool,
-        first: PageId,
-        n_pages: u32,
-        len: u32,
-    ) -> Result<Vec<u8>> {
+    fn collect(pool: &mut BufferPool, first: PageId, n_pages: u32, len: u32) -> Result<Vec<u8>> {
         let mut out = vec![0u8; len as usize];
         for i in 0..n_pages {
             let lo = i as usize * EFFECTIVE_PAGE_SIZE;
@@ -444,7 +436,9 @@ mod tests {
     }
 
     fn bytes(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -511,7 +505,10 @@ mod tests {
         let lo = 2 * EFFECTIVE_PAGE_SIZE as u32 + 10;
         let hi = 4 * EFFECTIVE_PAGE_SIZE as u32 - 10;
         let out = SpannedStore::read_data_ranges(&mut p, &rec, &[lo..hi]).unwrap();
-        assert_eq!(&out[lo as usize..hi as usize], &data[lo as usize..hi as usize]);
+        assert_eq!(
+            &out[lo as usize..hi as usize],
+            &data[lo as usize..hi as usize]
+        );
         let s = p.snapshot();
         assert_eq!(s.pages_read, 2, "pages 2 and 3 only");
         assert_eq!(s.read_calls, 1, "one contiguous run");
@@ -564,7 +561,10 @@ mod tests {
         let rec = SpannedStore::store_mapped(&mut p, &bytes(20, 0), &data, &starts).unwrap();
         assert_eq!(rec.data_pages, 3, "the plan dictates the page count");
         p.clear_cache().unwrap();
-        assert_eq!(SpannedStore::read_data_mapped(&mut p, &rec, &starts).unwrap(), data);
+        assert_eq!(
+            SpannedStore::read_data_mapped(&mut p, &rec, &starts).unwrap(),
+            data
+        );
         // Range reads honour the plan: bytes 1000..1500 live on page 1 only.
         p.clear_cache().unwrap();
         p.reset_stats();
@@ -588,7 +588,10 @@ mod tests {
         let new = bytes(2500, 77);
         SpannedStore::rewrite_data_mapped(&mut p, &rec, &starts, &new).unwrap();
         p.clear_cache().unwrap();
-        assert_eq!(SpannedStore::read_data_mapped(&mut p, &rec, &starts).unwrap(), new);
+        assert_eq!(
+            SpannedStore::read_data_mapped(&mut p, &rec, &starts).unwrap(),
+            new
+        );
         // Patch within page 2.
         p.reset_stats();
         SpannedStore::write_data_range_mapped(&mut p, &rec, &starts, 1900..1950, &[9u8; 50])
@@ -614,17 +617,16 @@ mod tests {
         )
         .is_err());
         // Not increasing.
-        assert!(
-            SpannedStore::store_mapped(&mut p, &[1], &[0u8; 100], &[0, 50, 50]).is_err()
-        );
+        assert!(SpannedStore::store_mapped(&mut p, &[1], &[0u8; 100], &[0, 50, 50]).is_err());
     }
 
     #[test]
     fn uniform_plan_equals_packed_layout() {
         let mut p = pool();
         let data = bytes(4500, 5);
-        let starts: Vec<u32> =
-            (0..data.len().div_ceil(EFFECTIVE_PAGE_SIZE)).map(|i| (i * EFFECTIVE_PAGE_SIZE) as u32).collect();
+        let starts: Vec<u32> = (0..data.len().div_ceil(EFFECTIVE_PAGE_SIZE))
+            .map(|i| (i * EFFECTIVE_PAGE_SIZE) as u32)
+            .collect();
         let packed = SpannedStore::store(&mut p, &[1], &data).unwrap();
         let mapped = SpannedStore::store_mapped(&mut p, &[1], &data, &starts).unwrap();
         assert_eq!(packed.data_pages, mapped.data_pages);

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn per_loop_normalizes() {
-        let s = IoSnapshot { pages_read: 300, fixes: 900, ..Default::default() };
+        let s = IoSnapshot {
+            pages_read: 300,
+            fixes: 900,
+            ..Default::default()
+        };
         let p = s.per_loop(300);
         assert_eq!(p.pages_read, 1.0);
         assert_eq!(p.fixes, 3.0);

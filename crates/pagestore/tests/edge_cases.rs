@@ -1,8 +1,8 @@
 //! Edge-case and failure-injection tests for the storage substrate.
 
 use starfish_pagestore::{
-    slotted, BufferPool, HeapFile, PageId, SimDisk, SpannedStore, StoreError,
-    EFFECTIVE_PAGE_SIZE, PAGE_SIZE, SLOT_ENTRY_SIZE,
+    slotted, BufferPool, HeapFile, PageId, SimDisk, SpannedStore, StoreError, EFFECTIVE_PAGE_SIZE,
+    PAGE_SIZE, SLOT_ENTRY_SIZE,
 };
 
 fn pool(cap: usize, pages: u32) -> BufferPool {
@@ -19,7 +19,8 @@ fn buffer_of_one_page_still_works() {
     }
     p.flush_all().unwrap();
     for i in 0..16u32 {
-        p.with_page(PageId(i), |b| assert_eq!(b[100], i as u8)).unwrap();
+        p.with_page(PageId(i), |b| assert_eq!(b[100], i as u8))
+            .unwrap();
         assert_eq!(p.cached_pages(), 1);
     }
     // 16 dirty pages were evicted through a 1-page buffer: every eviction
@@ -89,8 +90,7 @@ fn slotted_zero_length_records_are_legal() {
 #[test]
 fn heap_file_update_wrong_size_rejected() {
     let mut p = pool(16, 0);
-    let (file, rids) =
-        HeapFile::bulk_load(&mut p, "r", &[vec![1u8; 64], vec![2u8; 64]]).unwrap();
+    let (file, rids) = HeapFile::bulk_load(&mut p, "r", &[vec![1u8; 64], vec![2u8; 64]]).unwrap();
     let err = file.update(&mut p, rids[0], &[0u8; 63]).unwrap_err();
     assert!(matches!(err, StoreError::SizeChanged { old: 64, new: 63 }));
     // The record is unchanged after the failed update.
@@ -101,7 +101,10 @@ fn heap_file_update_wrong_size_rejected() {
 fn heap_file_bad_rid_errors() {
     let mut p = pool(16, 0);
     let (file, rids) = HeapFile::bulk_load(&mut p, "r", &[vec![1u8; 10]]).unwrap();
-    let bad = starfish_pagestore::Rid { page: rids[0].page, slot: 99 };
+    let bad = starfish_pagestore::Rid {
+        page: rids[0].page,
+        slot: 99,
+    };
     assert!(file.read(&mut p, bad).is_err());
 }
 
@@ -119,7 +122,11 @@ fn spanned_zero_header_and_tiny_data() {
 #[test]
 fn spanned_exact_page_boundary_sizes() {
     let mut p = pool(64, 0);
-    for data_len in [EFFECTIVE_PAGE_SIZE - 1, EFFECTIVE_PAGE_SIZE, EFFECTIVE_PAGE_SIZE + 1] {
+    for data_len in [
+        EFFECTIVE_PAGE_SIZE - 1,
+        EFFECTIVE_PAGE_SIZE,
+        EFFECTIVE_PAGE_SIZE + 1,
+    ] {
         let data: Vec<u8> = (0..data_len).map(|i| i as u8).collect();
         let rec = SpannedStore::store(&mut p, &[1, 2, 3], &data).unwrap();
         let expect_pages = data_len.div_ceil(EFFECTIVE_PAGE_SIZE) as u32;
@@ -152,14 +159,18 @@ fn interleaved_files_do_not_corrupt_each_other() {
     assert_eq!(fa.read(&mut p, ra[0]).unwrap(), vec![1u8; 700]);
     assert_eq!(fa.read(&mut p, ra[1]).unwrap(), vec![5u8; 700]);
     assert_eq!(fb.read(&mut p, rb[0]).unwrap(), vec![4u8; 700]);
-    assert_eq!(SpannedStore::read_data(&mut p, &rec).unwrap(), vec![6u8; 4000]);
+    assert_eq!(
+        SpannedStore::read_data(&mut p, &rec).unwrap(),
+        vec![6u8; 4000]
+    );
 }
 
 #[test]
 fn stats_identities_hold_after_mixed_workload() {
     let mut p = pool(8, 64);
     for i in 0..64u32 {
-        p.with_page_mut(PageId(i % 16), |b| b[50] = i as u8).unwrap();
+        p.with_page_mut(PageId(i % 16), |b| b[50] = i as u8)
+            .unwrap();
         if i % 3 == 0 {
             p.prefetch_run(PageId(i % 60), 4).unwrap();
         }
@@ -168,7 +179,10 @@ fn stats_identities_hold_after_mixed_workload() {
     let b = p.buffer_stats();
     let s = p.snapshot();
     assert_eq!(b.fixes, b.hits + b.misses);
-    assert!(s.pages_read >= b.misses, "prefetch reads are not fix-misses");
+    assert!(
+        s.pages_read >= b.misses,
+        "prefetch reads are not fix-misses"
+    );
     assert!(b.dirty_evictions <= b.evictions);
     assert!(s.pages_written >= b.dirty_evictions);
 }

@@ -29,14 +29,24 @@ pub struct DatasetParams {
 
 impl Default for DatasetParams {
     fn default() -> Self {
-        DatasetParams { n_objects: 1500, fanout: 2, prob: 0.8, max_sightseeing: 15, seed: 4242 }
+        DatasetParams {
+            n_objects: 1500,
+            fanout: 2,
+            prob: 0.8,
+            max_sightseeing: 15,
+            seed: 4242,
+        }
     }
 }
 
 impl DatasetParams {
     /// The paper's data-skew variant (§5.5): probability 20%, fanout 8.
     pub fn skewed() -> Self {
-        DatasetParams { prob: 0.2, fanout: 8, ..Default::default() }
+        DatasetParams {
+            prob: 0.2,
+            fanout: 8,
+            ..Default::default()
+        }
     }
 
     /// Same parameters with a different object count (Figure 6 sweep).
@@ -47,7 +57,10 @@ impl DatasetParams {
     /// Same parameters with a different sightseeing maximum (Figure 5
     /// sweep: 0 / 15 / 30).
     pub fn with_max_sightseeing(self, max_sightseeing: u32) -> Self {
-        DatasetParams { max_sightseeing, ..self }
+        DatasetParams {
+            max_sightseeing,
+            ..self
+        }
     }
 
     /// The matching analytical profile for the cost model.
@@ -133,7 +146,12 @@ pub fn generate(params: &DatasetParams) -> Vec<Station> {
                     remarks: str100("rem", i, s as usize),
                 })
                 .collect();
-            Station { key, name: str100("station", i, 0), platforms, sightseeings }
+            Station {
+                key,
+                name: str100("station", i, 0),
+                platforms,
+                sightseeings,
+            }
         })
         .collect()
 }
@@ -145,7 +163,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let p = DatasetParams { n_objects: 50, ..Default::default() };
+        let p = DatasetParams {
+            n_objects: 50,
+            ..Default::default()
+        };
         assert_eq!(generate(&p), generate(&p));
         let other = DatasetParams { seed: 7, ..p };
         assert_ne!(generate(&p), generate(&other));
@@ -153,7 +174,10 @@ mod tests {
 
     #[test]
     fn strings_are_100_bytes() {
-        let db = generate(&DatasetParams { n_objects: 20, ..Default::default() });
+        let db = generate(&DatasetParams {
+            n_objects: 20,
+            ..Default::default()
+        });
         for s in &db {
             assert_eq!(s.name.len(), 100);
             for p in &s.platforms {
@@ -171,7 +195,10 @@ mod tests {
 
     #[test]
     fn structure_respects_bounds() {
-        let p = DatasetParams { n_objects: 300, ..Default::default() };
+        let p = DatasetParams {
+            n_objects: 300,
+            ..Default::default()
+        };
         let db = generate(&p);
         for s in &db {
             assert!(s.platforms.len() <= 2, "at most fanout platforms");
@@ -193,10 +220,26 @@ mod tests {
         // are 1.6 / 4.096 / 7.5.
         let db = generate(&DatasetParams::default());
         let st = DatasetStats::compute(&db);
-        assert!((st.avg_platforms - 1.6).abs() < 0.08, "{}", st.avg_platforms);
-        assert!((st.avg_connections - 4.096).abs() < 0.25, "{}", st.avg_connections);
-        assert!((st.avg_sightseeings - 7.5).abs() < 0.35, "{}", st.avg_sightseeings);
-        assert!((st.avg_grandchildren - 16.78).abs() < 2.0, "{}", st.avg_grandchildren);
+        assert!(
+            (st.avg_platforms - 1.6).abs() < 0.08,
+            "{}",
+            st.avg_platforms
+        );
+        assert!(
+            (st.avg_connections - 4.096).abs() < 0.25,
+            "{}",
+            st.avg_connections
+        );
+        assert!(
+            (st.avg_sightseeings - 7.5).abs() < 0.35,
+            "{}",
+            st.avg_sightseeings
+        );
+        assert!(
+            (st.avg_grandchildren - 16.78).abs() < 2.0,
+            "{}",
+            st.avg_grandchildren
+        );
     }
 
     #[test]
@@ -206,10 +249,26 @@ mod tests {
         // maximum number of Connections 34."
         let db = generate(&DatasetParams::skewed());
         let st = DatasetStats::compute(&db);
-        assert!((st.avg_platforms - 1.6).abs() < 0.15, "{}", st.avg_platforms);
-        assert!((st.avg_connections - 4.1).abs() < 0.4, "{}", st.avg_connections);
-        assert!(st.max_platforms >= 4, "skew widens platform counts: {}", st.max_platforms);
-        assert!(st.max_connections >= 15, "skew widens connections: {}", st.max_connections);
+        assert!(
+            (st.avg_platforms - 1.6).abs() < 0.15,
+            "{}",
+            st.avg_platforms
+        );
+        assert!(
+            (st.avg_connections - 4.1).abs() < 0.4,
+            "{}",
+            st.avg_connections
+        );
+        assert!(
+            st.max_platforms >= 4,
+            "skew widens platform counts: {}",
+            st.max_platforms
+        );
+        assert!(
+            st.max_connections >= 15,
+            "skew widens connections: {}",
+            st.max_connections
+        );
         let default_stats = DatasetStats::compute(&generate(&DatasetParams::default()));
         assert!(st.max_connections > default_stats.max_connections);
     }
@@ -222,7 +281,10 @@ mod tests {
 
     #[test]
     fn keys_are_offset_from_oids() {
-        let p = DatasetParams { n_objects: 5, ..Default::default() };
+        let p = DatasetParams {
+            n_objects: 5,
+            ..Default::default()
+        };
         let db = generate(&p);
         for (i, s) in db.iter().enumerate() {
             assert_eq!(s.key, 10_000 + i as i32);

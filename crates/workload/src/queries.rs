@@ -116,11 +116,7 @@ impl QueryRunner {
     }
 
     /// Runs `query` under the measurement protocol.
-    pub fn run(
-        &self,
-        store: &mut dyn ComplexObjectStore,
-        query: QueryId,
-    ) -> Result<QueryOutcome> {
+    pub fn run(&self, store: &mut dyn ComplexObjectStore, query: QueryId) -> Result<QueryOutcome> {
         let mut rng = self.query_rng(query);
         store.clear_cache()?;
         store.reset_stats();
@@ -135,9 +131,7 @@ impl QueryRunner {
                     let r = self.pick(&mut rng);
                     match store.get_by_oid(r.oid, &Projection::All) {
                         Ok(_) => {}
-                        Err(CoreError::Unsupported { .. }) => {
-                            return Ok(QueryOutcome::Unsupported)
-                        }
+                        Err(CoreError::Unsupported { .. }) => return Ok(QueryOutcome::Unsupported),
                         Err(e) => return Err(e),
                     }
                     // Each retrieval is cold, like the paper's single-object
@@ -158,8 +152,7 @@ impl QueryRunner {
             }
             QueryId::Q2a | QueryId::Q3a => {
                 let root = self.pick(&mut rng);
-                let (c, g) =
-                    self.navigation_loop(store, root, query == QueryId::Q3a, 0)?;
+                let (c, g) = self.navigation_loop(store, root, query == QueryId::Q3a, 0)?;
                 children_seen += c;
                 grandchildren_seen += g;
                 1
@@ -168,8 +161,7 @@ impl QueryRunner {
                 let loops = self.loops();
                 for l in 0..loops {
                     let root = self.pick(&mut rng);
-                    let (c, g) =
-                        self.navigation_loop(store, root, query == QueryId::Q3b, l)?;
+                    let (c, g) = self.navigation_loop(store, root, query == QueryId::Q3b, l)?;
                     children_seen += c;
                     grandchildren_seen += g;
                 }
@@ -203,7 +195,9 @@ impl QueryRunner {
         let roots = store.root_records(&grandchildren)?;
         debug_assert_eq!(roots.len(), grandchildren.len());
         if update {
-            let patch = RootPatch { new_name: update_name(loop_nr) };
+            let patch = RootPatch {
+                new_name: update_name(loop_nr),
+            };
             store.update_roots(&grandchildren, &patch)?;
         }
         Ok((children.len() as u64, grandchildren.len() as u64))
@@ -224,7 +218,8 @@ impl QueryRunner {
             QueryId::Q2b | QueryId::Q3b => 5,
         };
         StdRng::seed_from_u64(
-            self.seed.wrapping_add(disc.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            self.seed
+                .wrapping_add(disc.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         )
     }
 }
@@ -246,7 +241,11 @@ mod tests {
     use starfish_core::{make_store, ModelKind, StoreConfig};
 
     fn small_setup(kind: ModelKind) -> (Box<dyn ComplexObjectStore>, QueryRunner) {
-        let params = DatasetParams { n_objects: 60, seed: 99, ..Default::default() };
+        let params = DatasetParams {
+            n_objects: 60,
+            seed: 99,
+            ..Default::default()
+        };
         let db = generate(&params);
         let mut store = make_store(kind, StoreConfig::default());
         let refs = store.load(&db).unwrap();
@@ -309,7 +308,10 @@ mod tests {
             .measurement()
             .cloned()
             .unwrap();
-        assert_eq!(q2.grandchildren_seen, q3.grandchildren_seen, "same sequence");
+        assert_eq!(
+            q2.grandchildren_seen, q3.grandchildren_seen,
+            "same sequence"
+        );
         assert_eq!(q2.snapshot.pages_written, 0, "query 2 never writes");
         assert!(q3.snapshot.pages_written > 0, "query 3 writes");
         assert!(q3.pages_per_unit() > q2.pages_per_unit());

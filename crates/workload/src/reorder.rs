@@ -68,9 +68,9 @@ pub fn cluster_by_reference(db: &[Station]) -> Vec<Station> {
 /// to prove the permutation kept the database consistent.
 pub fn references_consistent(db: &[Station]) -> bool {
     db.iter().all(|s| {
-        s.child_refs().iter().all(|(k, oid)| {
-            db.get(oid.0 as usize).map(|t| t.key == *k).unwrap_or(false)
-        })
+        s.child_refs()
+            .iter()
+            .all(|(k, oid)| db.get(oid.0 as usize).map(|t| t.key == *k).unwrap_or(false))
     })
 }
 
@@ -80,7 +80,11 @@ mod tests {
     use crate::{generate, DatasetParams};
 
     fn db() -> Vec<Station> {
-        generate(&DatasetParams { n_objects: 120, seed: 5, ..Default::default() })
+        generate(&DatasetParams {
+            n_objects: 120,
+            seed: 5,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -100,7 +104,10 @@ mod tests {
         let original = db();
         assert!(references_consistent(&original), "generator invariant");
         let clustered = cluster_by_reference(&original);
-        assert!(references_consistent(&clustered), "rewired links must stay consistent");
+        assert!(
+            references_consistent(&clustered),
+            "rewired links must stay consistent"
+        );
     }
 
     #[test]
@@ -147,7 +154,10 @@ mod tests {
     #[test]
     fn empty_and_singleton_databases() {
         assert!(cluster_by_reference(&[]).is_empty());
-        let one = generate(&DatasetParams { n_objects: 1, ..Default::default() });
+        let one = generate(&DatasetParams {
+            n_objects: 1,
+            ..Default::default()
+        });
         let out = cluster_by_reference(&one);
         assert_eq!(out.len(), 1);
         assert!(references_consistent(&out));

@@ -41,9 +41,8 @@ impl DatasetStats {
         let mut max_p = 0usize;
         let mut max_c = 0usize;
         let mut max_s = 0usize;
-        let children_of = |s: &Station| -> usize {
-            s.platforms.iter().map(|p| p.connections.len()).sum()
-        };
+        let children_of =
+            |s: &Station| -> usize { s.platforms.iter().map(|p| p.connections.len()).sum() };
         for s in db {
             let c = children_of(s);
             platforms += s.platforms.len();

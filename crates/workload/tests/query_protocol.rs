@@ -3,10 +3,14 @@
 
 use starfish_core::{make_store, ComplexObjectStore, ModelKind, StoreConfig};
 use starfish_cost::QueryId;
-use starfish_workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
+use starfish_workload::{generate, DatasetParams, QueryRunner};
 
 fn setup(kind: ModelKind, seed: u64) -> (Box<dyn ComplexObjectStore>, QueryRunner) {
-    let params = DatasetParams { n_objects: 100, seed: 31, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: 100,
+        seed: 31,
+        ..Default::default()
+    };
     let db = generate(&params);
     let mut store = make_store(kind, StoreConfig::with_buffer_pages(96));
     let refs = store.load(&db).unwrap();
@@ -17,8 +21,18 @@ fn setup(kind: ModelKind, seed: u64) -> (Box<dyn ComplexObjectStore>, QueryRunne
 fn different_query_seeds_pick_different_objects() {
     let (mut store, r1) = setup(ModelKind::DasdbsNsm, 1);
     let (_, r2) = setup(ModelKind::DasdbsNsm, 2);
-    let m1 = r1.run(store.as_mut(), QueryId::Q2b).unwrap().measurement().cloned().unwrap();
-    let m2 = r2.run(store.as_mut(), QueryId::Q2b).unwrap().measurement().cloned().unwrap();
+    let m1 = r1
+        .run(store.as_mut(), QueryId::Q2b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
+    let m2 = r2
+        .run(store.as_mut(), QueryId::Q2b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
     // Navigation totals differ with overwhelming probability when the root
     // sequence differs.
     assert_ne!(
@@ -31,8 +45,18 @@ fn different_query_seeds_pick_different_objects() {
 #[test]
 fn q2a_and_q3a_share_their_navigation_sequence() {
     let (mut store, runner) = setup(ModelKind::Dsm, 9);
-    let q2 = runner.run(store.as_mut(), QueryId::Q2a).unwrap().measurement().cloned().unwrap();
-    let q3 = runner.run(store.as_mut(), QueryId::Q3a).unwrap().measurement().cloned().unwrap();
+    let q2 = runner
+        .run(store.as_mut(), QueryId::Q2a)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
+    let q3 = runner
+        .run(store.as_mut(), QueryId::Q3a)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
     assert_eq!(q2.children_seen, q3.children_seen);
     assert_eq!(q2.grandchildren_seen, q3.grandchildren_seen);
     assert!(q3.snapshot.pages_written > q2.snapshot.pages_written);
@@ -41,7 +65,12 @@ fn q2a_and_q3a_share_their_navigation_sequence() {
 #[test]
 fn per_unit_metrics_are_totals_over_units() {
     let (mut store, runner) = setup(ModelKind::DasdbsDsm, 9);
-    let m = runner.run(store.as_mut(), QueryId::Q2b).unwrap().measurement().cloned().unwrap();
+    let m = runner
+        .run(store.as_mut(), QueryId::Q2b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
     assert_eq!(m.units, 20); // 100 objects / 5
     let per = m.pages_per_unit();
     assert!((per * 20.0 - m.snapshot.pages_io() as f64).abs() < 1e-9);
@@ -53,11 +82,21 @@ fn query1_never_writes_and_query3_always_does() {
     for kind in [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm] {
         let (mut store, runner) = setup(kind, 5);
         for q in [QueryId::Q1b, QueryId::Q1c, QueryId::Q2a, QueryId::Q2b] {
-            let m = runner.run(store.as_mut(), q).unwrap().measurement().cloned().unwrap();
+            let m = runner
+                .run(store.as_mut(), q)
+                .unwrap()
+                .measurement()
+                .cloned()
+                .unwrap();
             assert_eq!(m.snapshot.pages_written, 0, "{kind} {q} must not write");
         }
         for q in [QueryId::Q3a, QueryId::Q3b] {
-            let m = runner.run(store.as_mut(), q).unwrap().measurement().cloned().unwrap();
+            let m = runner
+                .run(store.as_mut(), q)
+                .unwrap()
+                .measurement()
+                .cloned()
+                .unwrap();
             assert!(m.snapshot.pages_written > 0, "{kind} {q} must write");
         }
     }
@@ -78,12 +117,20 @@ fn navigation_counts_match_dataset_expectations() {
     // Over 20 loops the average children per loop should be near the
     // dataset's 4.1 (within generous sampling noise).
     let (mut store, runner) = setup(ModelKind::DasdbsNsm, 77);
-    let m = runner.run(store.as_mut(), QueryId::Q2b).unwrap().measurement().cloned().unwrap();
+    let m = runner
+        .run(store.as_mut(), QueryId::Q2b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
     let children_per_loop = m.children_seen as f64 / m.units as f64;
     assert!(
         (1.5..7.5).contains(&children_per_loop),
         "children/loop = {children_per_loop}"
     );
     let grand_per_child = m.grandchildren_seen as f64 / m.children_seen.max(1) as f64;
-    assert!((1.5..7.5).contains(&grand_per_child), "grand/child = {grand_per_child}");
+    assert!(
+        (1.5..7.5).contains(&grand_per_child),
+        "grand/child = {grand_per_child}"
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
     );
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
     for &n in &SIZES {
-        let params = DatasetParams { n_objects: n, ..Default::default() };
+        let params = DatasetParams {
+            n_objects: n,
+            ..Default::default()
+        };
         let db = generate(&params);
         let mut row = Vec::new();
         for (i, (kind, _, _)) in models.iter().enumerate() {
@@ -51,7 +54,12 @@ fn main() {
 
     // ASCII plot, log-ish x axis like the paper's.
     println!("\npages/loop");
-    let max_y = series.iter().flatten().cloned().fold(1.0f64, f64::max).ceil();
+    let max_y = series
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(1.0f64, f64::max)
+        .ceil();
     let rows = 18usize;
     for r in (0..=rows).rev() {
         let y = max_y * r as f64 / rows as f64;
@@ -77,14 +85,16 @@ fn main() {
 
     // The analytic envelope at full size, as the paper annotates.
     let inputs = EstimatorInputs::new(
-        DatasetParams { n_objects: 1500, ..Default::default() }.profile(),
+        DatasetParams {
+            n_objects: 1500,
+            ..Default::default()
+        }
+        .profile(),
     );
     for (_, variant, glyph) in models {
         let best = estimate(variant, QueryId::Q2b, &inputs).unwrap().total();
         let worst = estimate(variant, QueryId::Q2a, &inputs).unwrap().total();
-        println!(
-            "  {glyph}: analytic best case {best:6.2}, worst case {worst:6.2} pages/loop"
-        );
+        println!("  {glyph}: analytic best case {best:6.2}, worst case {worst:6.2} pages/loop");
     }
     println!(
         "\nDSM is the most cache-sensitive model, DASDBS-NSM the least (paper §5.4):\n\

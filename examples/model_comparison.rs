@@ -10,8 +10,14 @@ use starfish::cost::{estimate, EstimatorInputs, ModelVariant, QueryId};
 use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(600);
-    let params = DatasetParams { n_objects: n, ..Default::default() };
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(600);
+    let params = DatasetParams {
+        n_objects: n,
+        ..Default::default()
+    };
     let db = generate(&params);
     let inputs = EstimatorInputs::new(params.profile());
     println!(

@@ -5,9 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use starfish::prelude::*;
 use starfish::core::make_store;
 use starfish::nf2::station::{Connection, Platform, Sightseeing};
+use starfish::prelude::*;
 
 fn main() {
     // --- build a little railway network by hand -------------------------
@@ -17,7 +17,10 @@ fn main() {
         station("Bombay VT", 2, &[0, 1]),
     ];
 
-    println!("A database of {} stations, stored under all five models:\n", stations.len());
+    println!(
+        "A database of {} stations, stored under all five models:\n",
+        stations.len()
+    );
     println!(
         "{:<12} {:>9} {:>14} {:>14} {:>16}",
         "MODEL", "DB pages", "q1a pages", "navigate pages", "key-lookup pages"
@@ -51,7 +54,9 @@ fn main() {
         // Value selection: find Bombay by key (query 1b).
         store.clear_cache().unwrap();
         store.reset_stats();
-        let t = store.get_by_key(refs[2].key, &Projection::All).expect("lookup");
+        let t = store
+            .get_by_key(refs[2].key, &Projection::All)
+            .expect("lookup");
         assert_eq!(Station::from_tuple(&t).unwrap().platforms.len(), 1);
         let lookup = store.snapshot().pages_io();
 

@@ -14,7 +14,10 @@ use starfish::prelude::*;
 use starfish::workload::generate;
 
 fn main() {
-    let params = DatasetParams { n_objects: 500, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: 500,
+        ..Default::default()
+    };
     let db = generate(&params);
     println!(
         "generated {} stations (avg {:.2} connections each)\n",
@@ -38,7 +41,11 @@ fn main() {
         let records = store.root_records(&grandchildren).expect("root records");
         let hop3 = store.snapshot() - hop2 - hop1;
 
-        println!("{} — navigating from station {}:", kind.paper_name(), root.oid);
+        println!(
+            "{} — navigating from station {}:",
+            kind.paper_name(),
+            root.oid
+        );
         println!(
             "  hop 1: {:2} children       -> {:4} pages, {:3} I/O calls, {:4} fixes",
             children.len(),

@@ -24,7 +24,7 @@ pub use starfish_workload as workload;
 /// Commonly used items, for examples and quick experiments.
 pub mod prelude {
     pub use starfish_core::{ComplexObjectStore, ModelKind, StoreConfig};
-    pub use starfish_nf2::station::{Station, station_schema};
+    pub use starfish_nf2::station::{station_schema, Station};
     pub use starfish_nf2::{Oid, Projection, Tuple, Value};
     pub use starfish_pagestore::IoSnapshot;
     pub use starfish_workload::{DatasetParams, QueryRunner};

@@ -10,7 +10,11 @@ use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
 const N: usize = 400;
 
 fn measured(kind: ModelKind, q: QueryId, buffer: usize) -> f64 {
-    let params = DatasetParams { n_objects: N, seed: 3, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: N,
+        seed: 3,
+        ..Default::default()
+    };
     let db = generate(&params);
     let mut store = make_store(kind, StoreConfig::with_buffer_pages(buffer));
     let refs = store.load(&db).expect("load");
@@ -22,9 +26,14 @@ fn measured(kind: ModelKind, q: QueryId, buffer: usize) -> f64 {
 }
 
 fn analytic(variant: ModelVariant, q: QueryId) -> f64 {
-    let params = DatasetParams { n_objects: N, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: N,
+        ..Default::default()
+    };
     let inputs = EstimatorInputs::new(params.profile());
-    estimate(variant, q, &inputs).map(|c| c.total()).unwrap_or(f64::NAN)
+    estimate(variant, q, &inputs)
+        .map(|c| c.total())
+        .unwrap_or(f64::NAN)
 }
 
 /// Large cache: measurements must land near the best-case estimates.
@@ -38,11 +47,31 @@ fn estimates_match_measurements_with_a_large_cache() {
         (ModelKind::Nsm, ModelVariant::Nsm, QueryId::Q2a, 0.10),
         (ModelKind::Nsm, ModelVariant::Nsm, QueryId::Q2b, 0.15),
         (ModelKind::Nsm, ModelVariant::Nsm, QueryId::Q3b, 0.15),
-        (ModelKind::NsmIndexed, ModelVariant::NsmIndexed, QueryId::Q1b, 0.10),
-        (ModelKind::DasdbsNsm, ModelVariant::DasdbsNsm, QueryId::Q1b, 0.10),
-        (ModelKind::DasdbsNsm, ModelVariant::DasdbsNsm, QueryId::Q2b, 0.25),
+        (
+            ModelKind::NsmIndexed,
+            ModelVariant::NsmIndexed,
+            QueryId::Q1b,
+            0.10,
+        ),
+        (
+            ModelKind::DasdbsNsm,
+            ModelVariant::DasdbsNsm,
+            QueryId::Q1b,
+            0.10,
+        ),
+        (
+            ModelKind::DasdbsNsm,
+            ModelVariant::DasdbsNsm,
+            QueryId::Q2b,
+            0.25,
+        ),
         (ModelKind::Dsm, ModelVariant::Dsm, QueryId::Q2b, 0.35),
-        (ModelKind::DasdbsDsm, ModelVariant::DasdbsDsm, QueryId::Q2b, 0.35),
+        (
+            ModelKind::DasdbsDsm,
+            ModelVariant::DasdbsDsm,
+            QueryId::Q2b,
+            0.35,
+        ),
     ];
     for (kind, variant, q, tol) in cases {
         let m = measured(kind, q, big);
@@ -60,9 +89,7 @@ fn estimates_match_measurements_with_a_large_cache() {
 /// up ("the estimated values are somewhat too large").
 #[test]
 fn direct_model_measurements_sit_below_the_ceiling_estimates() {
-    for (kind, variant) in
-        [(ModelKind::Dsm, ModelVariant::Dsm)]
-    {
+    for (kind, variant) in [(ModelKind::Dsm, ModelVariant::Dsm)] {
         for q in [QueryId::Q1a, QueryId::Q1c] {
             let m = measured(kind, q, 100_000);
             let a = analytic(variant, q);
@@ -70,7 +97,10 @@ fn direct_model_measurements_sit_below_the_ceiling_estimates() {
                 m <= a + 1e-9,
                 "{kind} {q}: measured {m:.2} should not exceed the ceiling estimate {a:.2}"
             );
-            assert!(m >= a * 0.6, "{kind} {q}: {m:.2} suspiciously far below {a:.2}");
+            assert!(
+                m >= a * 0.6,
+                "{kind} {q}: {m:.2} suspiciously far below {a:.2}"
+            );
         }
     }
 }

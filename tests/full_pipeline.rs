@@ -12,7 +12,11 @@ const N: usize = 250;
 const BUFFER: usize = 200; // keeps the paper's DB ≫ buffer regime
 
 fn setup(kind: ModelKind) -> (Vec<Station>, Box<dyn ComplexObjectStore>, QueryRunner) {
-    let params = DatasetParams { n_objects: N, seed: 11, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: N,
+        seed: 11,
+        ..Default::default()
+    };
     let db = generate(&params);
     let mut store = make_store(kind, StoreConfig::with_buffer_pages(BUFFER));
     let refs = store.load(&db).expect("load");
@@ -60,7 +64,11 @@ fn stored_objects_roundtrip_through_every_model() {
 
 #[test]
 fn navigation_is_identical_across_models_and_matches_the_data() {
-    let params = DatasetParams { n_objects: N, seed: 11, ..Default::default() };
+    let params = DatasetParams {
+        n_objects: N,
+        seed: 11,
+        ..Default::default()
+    };
     let db = generate(&params);
     let mut first: Option<Vec<(i32, u32)>> = None;
     for kind in ModelKind::all() {

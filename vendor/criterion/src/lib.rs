@@ -1,0 +1,250 @@
+//! Offline, vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the Criterion builder API the starfish benches use
+//! (`Criterion::default().sample_size(..).measurement_time(..)
+//! .warm_up_time(..).configure_from_args()`, `bench_function`, `Bencher::iter`,
+//! `final_summary`). It measures wall-clock time per iteration and prints a
+//! `name  time: [median mean max]`-style line; it does not do statistical
+//! outlier analysis, HTML reports, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// `cargo bench -- <filter>` substring filter.
+    filter: Option<String>,
+    /// `--test` mode: run each bench exactly once (used by smoke gates).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`cargo bench` passes `--bench`; a bare
+    /// trailing word is a name filter; `--test` runs one iteration each).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => {}
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                        // Same floor the builder enforces.
+                        self.sample_size = n.max(2);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(s) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measurement_time = Duration::from_secs_f64(s);
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(s) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.warm_up_time = Duration::from_secs_f64(s);
+                    }
+                }
+                flag if flag.starts_with("--") => {
+                    // Ignore unknown flags. `--flag=value` carries its value
+                    // inline; a following bare word is NOT consumed — most
+                    // real-criterion flags are boolean, and swallowing the
+                    // next word would silently eat a name filter (e.g.
+                    // `--noplot fig5`).
+                    let _ = flag;
+                }
+                name => self.filter = Some(name.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs (or skips, under a filter) one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: if self.test_mode { 2 } else { self.sample_size },
+            measurement_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            warm_up_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Prints the closing line. (Per-bench results are already printed.)
+    pub fn final_summary(&self) {
+        eprintln!("criterion-stub: done");
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Per-sample time floor: samples shorter than this are timer noise
+    /// (`Instant::now()` costs ~20–40 ns), so fast closures are batched until
+    /// one sample crosses it.
+    const MIN_SAMPLE: Duration = Duration::from_micros(50);
+
+    /// Times `f`, collecting per-iteration wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run without recording until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Calibration: batch fast closures so each sample comfortably
+        // exceeds the timer's own cost; the recorded sample is the batch
+        // time divided by the batch size.
+        let mut batch: u32 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            if t0.elapsed() >= Self::MIN_SAMPLE || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: `sample_size` batched samples, bounded by the budget.
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch);
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        eprintln!("{id:<50} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let max = *sorted.last().expect("nonempty");
+    eprintln!(
+        "{id:<50} time: [median {} mean {} max {}] ({} samples)",
+        fmt_dur(median),
+        fmt_dur(mean),
+        fmt_dur(max),
+        sorted.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Re-export matching criterion's own `black_box` for call sites that use
+/// `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_dur(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_dur(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Character strategies (`proptest::char::range`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Uniform characters in `[lo, hi]` (inclusive, skipping surrogates).
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+/// See [`range`].
+#[derive(Clone, Copy, Debug)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = std::char::from_u32(rng.random_range(self.lo..=self.hi)) {
+                return c;
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline, vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the proptest API that starfish's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! [`any`] for primitive types, ranges and tuples and `Vec`s of strategies,
+//! [`collection::vec`], [`char::range`], `Just`, `prop_oneof!`, and the
+//! [`proptest!`] / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream proptest, both deliberate:
+//!
+//! * **No shrinking.** On failure the full case (test name, case index,
+//!   seed) is reported; re-running reproduces it exactly.
+//! * **Pinned determinism.** The RNG seed is derived from the test's
+//!   `module_path!()::name` via FNV-1a, so every run of every checkout
+//!   explores the identical case sequence — there is no persistence file
+//!   because there is nothing nondeterministic to persist. The
+//!   `PROPTEST_CASES` environment variable caps case counts for quick CI
+//!   runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod char;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Derives the pinned RNG seed for a named test (FNV-1a over the name, so
+/// the seed is stable across runs, platforms and rustc versions).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for one test case: the per-test seed mixed with the case
+/// index, so cases are independent but individually reproducible.
+pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+    TestRng::new(StdRng::seed_from_u64(
+        seed_for(test_name) ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
+}
+
+/// The macro behind each generated property test: runs `cases` cases,
+/// generating inputs and reporting failures with a reproduction line.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::rng_for_case(test_name, case);
+                    $(
+                        let $pat = $crate::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let mut run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!(
+                            "property test {} failed at case {}/{} (seed pinned to the test name):\n{}",
+                            test_name, case, cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: fails the
+/// current case without panicking inside generated code.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional context format arguments.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional context format arguments.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}

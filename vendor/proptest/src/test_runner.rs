@@ -1,0 +1,72 @@
+//! Test-case plumbing: the per-case RNG, the failure type, and the config.
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// The RNG handed to strategies. Wraps the deterministic [`StdRng`].
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Wraps a seeded generator.
+    pub fn new(inner: StdRng) -> TestRng {
+        TestRng(inner)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property-test case (carries the formatted assertion message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment cap
+    /// (used to keep CI property runs inside the time budget).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline, vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the (small) subset of the `rand` API that starfish uses, with fully
+//! deterministic behaviour:
+//!
+//! * [`rngs::StdRng`] — a xoshiro256** generator;
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion, so nearby
+//!   seeds give unrelated streams;
+//! * [`RngExt::random_range`] / [`RngExt::random_bool`] — unbiased range
+//!   sampling via rejection, Bernoulli from 53 random mantissa bits.
+//!
+//! Determinism is a feature here, not a limitation: the paper reproduction
+//! requires every storage model to see the *identical* object sequence, and
+//! CI requires identical datasets on every run.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high]` (inclusive on both ends).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sample range");
+                let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                if span == 0 || span > u64::MAX as u128 {
+                    // Whole u64 (or wider) domain: a raw draw is already uniform.
+                    return low.wrapping_add(rng.next_u64() as $t);
+                }
+                let span = span as u64;
+                // Rejection sampling to avoid modulo bias.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sample range");
+                let ulow = (low as $u).wrapping_sub(<$t>::MIN as $u);
+                let uhigh = (high as $u).wrapping_sub(<$t>::MIN as $u);
+                let v = <$u>::sample_inclusive(rng, ulow, uhigh);
+                v.wrapping_add(<$t>::MIN as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + Dec> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range for random_range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Decrement-by-one, used to convert exclusive to inclusive upper bounds.
+pub trait Dec {
+    /// `self - 1`.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods (the subset of `rand::Rng` starfish uses).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, exactly representable in f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Ready-to-use generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion (Vigna's recommended seeding procedure).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** update.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random_range(0u32..1000) == b.random_range(0u32..1000))
+            .count();
+        assert!(
+            same < 8,
+            "streams for nearby seeds look correlated: {same}/64"
+        );
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0u32..=15);
+            assert!(w <= 15);
+            let z = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.8)).count();
+        assert!((7_700..8_300).contains(&hits), "p=0.8 gave {hits}/10000");
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn full_domain_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.random_range(u64::MIN..=u64::MAX);
+        let _ = rng.random_range(i64::MIN..=i64::MAX);
+    }
+}

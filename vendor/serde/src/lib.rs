@@ -1,0 +1,18 @@
+//! Offline, vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io. starfish only uses
+//! `#[derive(Serialize)]` as forward-looking metadata (the harness renders
+//! JSON by hand — see `starfish_harness::report::ExperimentReport::render_json`),
+//! so `Serialize`/`Deserialize` here are marker traits and the derive emits
+//! an empty impl. Swapping in real serde later requires no source changes at
+//! the call sites.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! Offline, vendored stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub's `Serialize`/`Deserialize` are marker traits
+//! (see `vendor/serde`), so the derives only need to emit empty impls. The
+//! type name is recovered by scanning the raw token stream for the ident
+//! after `struct`/`enum` — no `syn`/`quote`, which are unavailable offline.
+//! Generic types are not supported (and not needed by this workspace).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in the input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}

@@ -1,0 +1,72 @@
+//! Offline, vendored stand-in for `serde_json`.
+//!
+//! The vendored `serde` stub has marker traits only, so value serialization
+//! is gated: [`to_string`] returns [`Error::Unsupported`] rather than lying.
+//! What *is* provided — because the harness needs it — is strict JSON string
+//! escaping ([`escape_str`]), shared by hand-rolled emitters. Note that
+//! `escape_str` is a **stub extension**: upstream serde_json has no such
+//! public function (its equivalent is `to_string(&str)`), so call sites must
+//! switch to that when migrating to the real crate (see ROADMAP.md).
+
+#![forbid(unsafe_code)]
+
+/// Error type for the gated serializer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Serialization requires real `serde`, which is unavailable offline.
+    Unsupported,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub: value serialization requires real serde (offline build)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Gated stand-in for `serde_json::to_string`; always returns
+/// [`Error::Unsupported`] (no caller in this workspace uses it yet).
+pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Err(Error::Unsupported)
+}
+
+/// Escapes `s` as a JSON string literal (with the surrounding quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_is_strict() {
+        assert_eq!(escape_str("a\"b"), r#""a\"b""#);
+        assert_eq!(escape_str("x\ny"), r#""x\ny""#);
+        assert_eq!(escape_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn to_string_is_gated() {
+        struct S;
+        impl serde::Serialize for S {}
+        assert_eq!(to_string(&S).unwrap_err(), Error::Unsupported);
+    }
+}
