@@ -144,7 +144,7 @@ impl DasdbsNsmStore {
     /// Creates an empty DASDBS-NSM store.
     pub fn new(config: StoreConfig) -> Self {
         DasdbsNsmStore {
-            pool: BufferPool::new(SimDisk::new(), config.buffer_pages),
+            pool: config.buffer.build(SimDisk::new()),
             station: None,
             platform: None,
             connection: None,

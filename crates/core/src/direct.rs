@@ -45,7 +45,7 @@ impl DirectStore {
     pub fn new(partial: bool, config: StoreConfig) -> Self {
         DirectStore {
             partial,
-            pool: BufferPool::new(SimDisk::new(), config.buffer_pages),
+            pool: config.buffer.build(SimDisk::new()),
             schema: starfish_nf2::station::station_schema(),
             file: None,
             refs: Vec::new(),

@@ -35,7 +35,10 @@ pub use object_file::{subtuple_page_plan, ObjAddr, ObjectFile, ReadPayload};
 pub use partitioned::{PartitionedStore, Placement};
 pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 
-use starfish_pagestore::DEFAULT_BUFFER_PAGES;
+// Buffer construction knobs, re-exported so higher layers (harness, repro
+// binary) can select a replacement policy without depending on the
+// substrate crate directly.
+pub use starfish_pagestore::{BufferConfig, PolicyKind};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -98,10 +101,11 @@ impl std::fmt::Display for ModelKind {
 }
 
 /// Store construction parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct StoreConfig {
-    /// Buffer-pool capacity in pages (paper: 1200).
-    pub buffer_pages: usize,
+    /// Buffer-pool configuration: capacity in pages (paper: 1200) plus
+    /// replacement policy (paper: LRU).
+    pub buffer: BufferConfig,
     /// Direct models only: keep sub-tuples whole on data pages (DASDBS's
     /// layout, which produces alignment waste — the "unprimed" behaviour of
     /// the paper's Tables 2/3). Default `false` = packed pages, the paper's
@@ -109,22 +113,24 @@ pub struct StoreConfig {
     pub aligned_subtuples: bool,
 }
 
-impl Default for StoreConfig {
-    fn default() -> Self {
-        StoreConfig {
-            buffer_pages: DEFAULT_BUFFER_PAGES,
-            aligned_subtuples: false,
-        }
-    }
-}
-
 impl StoreConfig {
-    /// Config with a specific buffer capacity.
+    /// Config with a specific buffer capacity (and the default LRU policy).
     pub fn with_buffer_pages(buffer_pages: usize) -> Self {
+        Self::with_buffer(BufferConfig::with_pages(buffer_pages))
+    }
+
+    /// Config with an explicit buffer configuration.
+    pub fn with_buffer(buffer: BufferConfig) -> Self {
         StoreConfig {
-            buffer_pages,
+            buffer,
             ..Default::default()
         }
+    }
+
+    /// Sets the buffer-replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.buffer.policy = policy;
+        self
     }
 
     /// Enables the sub-tuple-aligned (wasteful, DASDBS-faithful) layout.

@@ -122,7 +122,7 @@ impl NsmStore {
     pub fn new(indexed: bool, config: StoreConfig) -> Self {
         NsmStore {
             indexed,
-            pool: BufferPool::new(SimDisk::new(), config.buffer_pages),
+            pool: config.buffer.build(SimDisk::new()),
             station: None,
             platform: None,
             connection: None,

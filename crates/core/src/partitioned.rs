@@ -60,7 +60,7 @@ pub struct PartitionedStore {
 
 impl PartitionedStore {
     /// Builds an empty cluster of `n_nodes` stores of `kind`. Each node gets
-    /// its own buffer of `config.buffer_pages` pages — pass a per-node
+    /// its own buffer of `config.buffer.pages` pages — pass a per-node
     /// budget (e.g. total/n) for memory-fair comparisons against a single
     /// node.
     pub fn new(kind: ModelKind, n_nodes: usize, placement: Placement, config: StoreConfig) -> Self {

@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--seed N]
+//!                [--policy <name>]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
 //!   --only       run a subset: table2,table3,table4,table5,table6,
 //!                fig5,fig6,table7,table8,ext-timing,ext-buffer,
-//!                ext-distributed,ext-clustering,ext-alignment
+//!                ext-policy,ext-distributed,ext-clustering,ext-alignment
 //!   --markdown   emit GitHub-flavoured markdown instead of plain text
 //!   --json       emit one JSON object per experiment (one per line)
 //!   --seed N     dataset seed (default 4242)
+//!   --policy P   buffer-replacement policy for every measurement:
+//!                lru (paper default), clock, mru, fifo, lru2.
+//!                ext-policy always sweeps all five.
 //! ```
 
 use starfish_harness::experiments;
@@ -20,9 +24,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "starfish-repro [--fast] [--only <ids>] [--markdown] [--seed N]\n\
+            "starfish-repro [--fast] [--only <ids>] [--markdown] [--seed N] \
+             [--policy lru|clock|mru|fifo|lru2]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
-             I/Os for Complex Object Processing' (ICDE 1993)"
+             I/Os for Complex Object Processing' (ICDE 1993)\n\
+             --policy selects the buffer-replacement policy behind every \
+             measurement (default lru, the paper's §5.1 buffer); the \
+             ext-policy experiment sweeps all five policies regardless"
         );
         return;
     }
@@ -36,6 +44,19 @@ fn main() {
             config.dataset_seed = seed;
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--policy") {
+        match args.get(i + 1).map(|s| s.parse()) {
+            Some(Ok(policy)) => config.policy = policy,
+            Some(Err(e)) => {
+                eprintln!("starfish-repro: {e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("starfish-repro: --policy needs a value");
+                std::process::exit(2);
+            }
+        }
+    }
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
     let only: Option<Vec<String>> = args
@@ -45,8 +66,8 @@ fn main() {
         .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
 
     eprintln!(
-        "starfish-repro: {} objects, {}-page buffer, dataset seed {}",
-        config.n_objects, config.buffer_pages, config.dataset_seed
+        "starfish-repro: {} objects, {}-page buffer ({}), dataset seed {}",
+        config.n_objects, config.buffer_pages, config.policy, config.dataset_seed
     );
 
     let reports = match &only {
@@ -88,6 +109,9 @@ fn main() {
                     }
                     "ext-alignment" => experiments::ext_alignment::run(&config).unwrap_or_else(die),
                     "ext-buffer" => experiments::ext_buffer::run(&config).unwrap_or_else(die),
+                    "ext-policy" | "ext_policy" => {
+                        experiments::ext_policy::run(&config).unwrap_or_else(die)
+                    }
                     "ext-clustering" => {
                         experiments::ext_clustering::run(&config).unwrap_or_else(die)
                     }

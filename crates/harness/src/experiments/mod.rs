@@ -1,12 +1,13 @@
 //! One module per table/figure of the paper's evaluation, plus extension
 //! experiments (`ext_*`) that go beyond the paper: response-time estimates
-//! under Equation 1, the buffer-size ablation, and the §5.5 shared-nothing
-//! distribution study.
+//! under Equation 1, the buffer-size and replacement-policy ablations, and
+//! the §5.5 shared-nothing distribution study.
 
 pub mod ext_alignment;
 pub mod ext_buffer;
 pub mod ext_clustering;
 pub mod ext_distributed;
+pub mod ext_policy;
 pub mod ext_timing;
 pub mod fig5;
 pub mod fig6;
@@ -50,6 +51,7 @@ pub fn run_all(config: &HarnessConfig) -> Result<Vec<ExperimentReport>> {
         table8::run(&grid),
         ext_timing::run(&grid),
         ext_buffer::run(config)?,
+        ext_policy::run(config)?,
         ext_distributed::run(config)?,
         ext_clustering::run(config)?,
         ext_alignment::run(config)?,

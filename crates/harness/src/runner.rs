@@ -3,7 +3,7 @@
 
 use crate::Result;
 use serde::Serialize;
-use starfish_core::{make_store, ComplexObjectStore, ModelKind, StoreConfig};
+use starfish_core::{make_store, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig};
 use starfish_cost::QueryId;
 use starfish_nf2::station::Station;
 use starfish_workload::{generate, DatasetParams, DatasetStats, QueryOutcome, QueryRunner};
@@ -15,6 +15,8 @@ pub struct HarnessConfig {
     pub n_objects: usize,
     /// Buffer capacity in pages (paper: 1200).
     pub buffer_pages: usize,
+    /// Buffer-replacement policy (paper: LRU).
+    pub policy: PolicyKind,
     /// Dataset seed.
     pub dataset_seed: u64,
     /// Query-sequence seed.
@@ -26,6 +28,7 @@ impl Default for HarnessConfig {
         HarnessConfig {
             n_objects: 1500,
             buffer_pages: 1200,
+            policy: PolicyKind::Lru,
             dataset_seed: 4242,
             query_seed: 1993,
         }
@@ -98,7 +101,10 @@ pub fn load_store(
     db: &[Station],
     config: &HarnessConfig,
 ) -> Result<(Box<dyn ComplexObjectStore>, QueryRunner)> {
-    let mut store = make_store(kind, StoreConfig::with_buffer_pages(config.buffer_pages));
+    let mut store = make_store(
+        kind,
+        StoreConfig::with_buffer_pages(config.buffer_pages).policy(config.policy),
+    );
     let refs = store.load(db)?;
     let runner = QueryRunner::new(refs, config.query_seed);
     Ok((store, runner))
@@ -111,11 +117,21 @@ pub fn measure_grid(
     config: &HarnessConfig,
     models: &[ModelKind],
 ) -> Result<MeasuredGrid> {
-    let db = generate(params);
-    let stats = DatasetStats::compute(&db);
+    measure_grid_on(&generate(params), config, models)
+}
+
+/// [`measure_grid`] over an already-generated dataset — use this when
+/// measuring the same database under several configurations (e.g. the
+/// policy sweep) to avoid regenerating it per run.
+pub fn measure_grid_on(
+    db: &[Station],
+    config: &HarnessConfig,
+    models: &[ModelKind],
+) -> Result<MeasuredGrid> {
+    let stats = DatasetStats::compute(db);
     let mut rows = Vec::with_capacity(models.len());
     for &kind in models {
-        let (mut store, runner) = load_store(kind, &db, config)?;
+        let (mut store, runner) = load_store(kind, db, config)?;
         let mut cells: [Option<MeasuredCell>; 7] = Default::default();
         for (i, q) in QueryId::all().into_iter().enumerate() {
             cells[i] = match runner.run(store.as_mut(), q)? {

@@ -1,7 +1,8 @@
+use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferStats, IoSnapshot};
 use crate::DEFAULT_BUFFER_PAGES;
 use crate::{PageId, Result, SimDisk, PAGE_SIZE};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Maximum pages per grouped write call at flush time.
 ///
@@ -11,13 +12,59 @@ use std::collections::{BTreeMap, HashMap};
 /// land in the same regime instead of degenerating into one giant call.
 pub const MAX_PAGES_PER_WRITE_CALL: u32 = 32;
 
-struct Frame {
-    data: [u8; PAGE_SIZE],
-    dirty: bool,
-    tick: u64,
+/// Buffer-pool construction parameters: capacity plus replacement policy.
+///
+/// The five storage models of `starfish-core` accept this through their
+/// `StoreConfig`; the defaults reproduce the paper's buffer exactly
+/// (1200 pages, LRU — §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Capacity in pages (paper: [`DEFAULT_BUFFER_PAGES`] = 1200).
+    pub pages: usize,
+    /// Replacement policy (paper: LRU).
+    pub policy: PolicyKind,
 }
 
-/// An LRU page cache over the simulated disk.
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            pages: DEFAULT_BUFFER_PAGES,
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
+impl BufferConfig {
+    /// Config with a specific capacity and the default (LRU) policy.
+    pub fn with_pages(pages: usize) -> Self {
+        BufferConfig {
+            pages,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds a [`BufferPool`] over `disk` with this configuration.
+    pub fn build(self, disk: SimDisk) -> BufferPool {
+        BufferPool::with_policy(disk, self.pages, self.policy)
+    }
+}
+
+/// One resident page: its identity, image, and bookkeeping bits.
+struct Frame {
+    pid: PageId,
+    data: [u8; PAGE_SIZE],
+    dirty: bool,
+    /// Pin count: pinned frames are never eviction victims.
+    pins: u32,
+}
+
+/// A page cache over the simulated disk with a pluggable replacement policy.
 ///
 /// Reproduces the paper's buffer-manager behaviour:
 ///
@@ -32,25 +79,44 @@ struct Frame {
 ///   [`BufferPool::prefetch_run`] cost one read call per contiguous missing
 ///   run; flushes group dirty pages into contiguous runs of at most
 ///   [`MAX_PAGES_PER_WRITE_CALL`] pages per call.
+///
+/// Replacement is delegated to a [`ReplacementPolicy`] over dense frame
+/// slots (see [`crate::policy`]); [`BufferPool::new`] runs the paper's LRU,
+/// now an O(1) intrusive-list implementation — every `with_page` /
+/// `with_page_mut` is one hash probe plus three pointer swaps, where the
+/// seed paid a `BTreeMap` insert + remove per fix. Frames pinned via
+/// [`BufferPool::pin`] are never evicted; if nothing is evictable the pool
+/// overflows transiently rather than failing.
 pub struct BufferPool {
     disk: SimDisk,
     capacity: usize,
-    frames: HashMap<PageId, Frame>,
-    lru: BTreeMap<u64, PageId>,
-    tick: u64,
+    /// Frame slots; `None` entries are free and listed in `free`.
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    /// Resident-page table: page id → slot index.
+    table: HashMap<PageId, usize>,
+    policy: Box<dyn ReplacementPolicy>,
     stats: BufferStats,
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` pages over `disk`.
+    /// Creates a pool of `capacity` pages over `disk` with the paper's LRU
+    /// policy.
     pub fn new(disk: SimDisk, capacity: usize) -> Self {
+        Self::with_policy(disk, capacity, PolicyKind::Lru)
+    }
+
+    /// Creates a pool of `capacity` pages over `disk` with an explicit
+    /// replacement policy.
+    pub fn with_policy(disk: SimDisk, capacity: usize, policy: PolicyKind) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
         BufferPool {
             disk,
             capacity,
-            frames: HashMap::with_capacity(capacity.min(1 << 20)),
-            lru: BTreeMap::new(),
-            tick: 0,
+            frames: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            table: HashMap::with_capacity(capacity.min(1 << 20)),
+            policy: policy.build(),
             stats: BufferStats::default(),
         }
     }
@@ -65,9 +131,22 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Which replacement policy this pool runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.frames.len()
+        self.table.len()
+    }
+
+    /// Number of currently pinned pages.
+    pub fn pinned_pages(&self) -> usize {
+        self.table
+            .values()
+            .filter(|&&s| self.frame(s).pins > 0)
+            .count()
     }
 
     /// Allocates `n` contiguous pages on the underlying disk.
@@ -86,9 +165,8 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        self.fix(pid, false)?;
-        let frame = self.frames.get(&pid).expect("fixed frame present");
-        Ok(f(&frame.data))
+        let slot = self.fix(pid, false)?;
+        Ok(f(&self.frame(slot).data))
     }
 
     /// Fixes `pid` for writing, passes its content to `f`, marks it dirty.
@@ -97,9 +175,29 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        self.fix(pid, true)?;
-        let frame = self.frames.get_mut(&pid).expect("fixed frame present");
-        Ok(f(&mut frame.data))
+        let slot = self.fix(pid, true)?;
+        Ok(f(&mut self.frame_mut(slot).data))
+    }
+
+    /// Fixes `pid` (a counted access, hit or miss, like any other) and pins
+    /// its frame: a pinned frame is never chosen as an eviction victim
+    /// until [`BufferPool::unpin`] balances the pin. Pins nest.
+    pub fn pin(&mut self, pid: PageId) -> Result<()> {
+        let slot = self.fix(pid, false)?;
+        self.frame_mut(slot).pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `pid`. Returns `false` (and does nothing) if the
+    /// page is not cached or not pinned.
+    pub fn unpin(&mut self, pid: PageId) -> bool {
+        match self.table.get(&pid) {
+            Some(&slot) if self.frame(slot).pins > 0 => {
+                self.frame_mut(slot).pins -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Ensures the run `[first, first+n)` is cached, issuing **one read call
@@ -110,14 +208,14 @@ impl BufferPool {
         let mut i = 0;
         while i < n {
             let pid = first.offset(i);
-            if self.frames.contains_key(&pid) {
-                self.touch(pid);
+            if let Some(&slot) = self.table.get(&pid) {
+                self.policy.on_access(slot);
                 i += 1;
                 continue;
             }
             // Extend the missing run as far as possible.
             let mut len = 1;
-            while i + len < n && !self.frames.contains_key(&first.offset(i + len)) {
+            while i + len < n && !self.table.contains_key(&first.offset(i + len)) {
                 len += 1;
             }
             self.load_run(first.offset(i), len)?;
@@ -128,7 +226,7 @@ impl BufferPool {
 
     /// True if `pid` is currently cached (no side effects, no accounting).
     pub fn is_cached(&self, pid: PageId) -> bool {
-        self.frames.contains_key(&pid)
+        self.table.contains_key(&pid)
     }
 
     /// Writes all dirty pages back, grouped into contiguous runs of at most
@@ -136,10 +234,10 @@ impl BufferPool {
     /// disconnect" of the paper's measurement protocol.
     pub fn flush_all(&mut self) -> Result<()> {
         let mut dirty: Vec<PageId> = self
-            .frames
+            .table
             .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(p, _)| *p)
+            .filter(|(_, &slot)| self.frame(slot).dirty)
+            .map(|(&pid, _)| pid)
             .collect();
         dirty.sort_unstable();
         let mut i = 0;
@@ -153,14 +251,14 @@ impl BufferPool {
                 len += 1;
             }
             let frames = &self.frames;
+            let table = &self.table;
             self.disk.write_run(start, len, |j| {
-                frames
-                    .get(&start.offset(j))
-                    .expect("dirty frame present")
-                    .data
+                let slot = table[&start.offset(j)];
+                frames[slot].as_ref().expect("dirty frame present").data
             })?;
             for j in 0..len {
-                self.frames.get_mut(&start.offset(j)).expect("frame").dirty = false;
+                let slot = self.table[&start.offset(j)];
+                self.frame_mut(slot).dirty = false;
             }
             i += len as usize;
         }
@@ -168,11 +266,15 @@ impl BufferPool {
     }
 
     /// Flushes and drops every cached page: a cold restart between
-    /// measurement runs.
+    /// measurement runs. Pins do not survive the restart.
     pub fn clear_cache(&mut self) -> Result<()> {
         self.flush_all()?;
-        self.frames.clear();
-        self.lru.clear();
+        for (_, slot) in self.table.drain() {
+            self.policy.on_remove(slot);
+            self.frames[slot] = None;
+            self.free.push(slot);
+        }
+        debug_assert!(self.policy.is_empty());
         Ok(())
     }
 
@@ -193,7 +295,8 @@ impl BufferPool {
         self.stats
     }
 
-    /// Resets disk and buffer counters (cache content is kept).
+    /// Resets disk and buffer counters (cache content — dirty pages
+    /// included — is kept).
     pub fn reset_stats(&mut self) {
         self.disk.reset_stats();
         self.stats = BufferStats::default();
@@ -201,67 +304,99 @@ impl BufferPool {
 
     // ----- internals -------------------------------------------------------
 
-    fn fix(&mut self, pid: PageId, dirty: bool) -> Result<()> {
+    fn frame(&self, slot: usize) -> &Frame {
+        self.frames[slot].as_ref().expect("slot occupied")
+    }
+
+    fn frame_mut(&mut self, slot: usize) -> &mut Frame {
+        self.frames[slot].as_mut().expect("slot occupied")
+    }
+
+    /// Fixes `pid`: one counted access, loading the page on a miss. Returns
+    /// the frame slot.
+    fn fix(&mut self, pid: PageId, dirty: bool) -> Result<usize> {
         self.stats.fixes += 1;
-        if self.frames.contains_key(&pid) {
-            self.stats.hits += 1;
-            self.touch(pid);
-        } else {
-            self.stats.misses += 1;
-            self.load_run(pid, 1)?;
-        }
+        let slot = match self.table.get(&pid) {
+            Some(&slot) => {
+                self.stats.hits += 1;
+                self.policy.on_access(slot);
+                slot
+            }
+            None => {
+                self.stats.misses += 1;
+                self.load_run(pid, 1)?;
+                self.table[&pid]
+            }
+        };
         if dirty {
-            self.frames.get_mut(&pid).expect("frame").dirty = true;
+            self.frame_mut(slot).dirty = true;
         }
-        Ok(())
+        Ok(slot)
     }
 
     /// Loads `n` contiguous uncached pages in one read call.
     fn load_run(&mut self, first: PageId, n: u32) -> Result<()> {
         for i in 0..n {
-            debug_assert!(!self.frames.contains_key(&first.offset(i)));
+            debug_assert!(!self.table.contains_key(&first.offset(i)));
         }
         self.make_room(n as usize)?;
         let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
         self.disk.read_run(first, n, |_, data| images.push(*data))?;
         for (i, data) in images.into_iter().enumerate() {
             let pid = first.offset(i as u32);
-            self.tick += 1;
-            self.lru.insert(self.tick, pid);
-            self.frames.insert(
+            let slot = self.alloc_slot();
+            self.frames[slot] = Some(Frame {
                 pid,
-                Frame {
-                    data,
-                    dirty: false,
-                    tick: self.tick,
-                },
-            );
+                data,
+                dirty: false,
+                pins: 0,
+            });
+            self.table.insert(pid, slot);
+            self.policy.on_insert(slot);
         }
         Ok(())
     }
 
-    fn make_room(&mut self, incoming: usize) -> Result<()> {
-        while self.frames.len() + incoming > self.capacity {
-            let Some((&tick, &victim)) = self.lru.iter().next() else {
-                break; // nothing evictable; allow transient overflow
-            };
-            self.lru.remove(&tick);
-            let frame = self.frames.remove(&victim).expect("lru entry has frame");
-            self.stats.evictions += 1;
-            if frame.dirty {
-                self.stats.dirty_evictions += 1;
-                self.disk.write_run(victim, 1, |_| frame.data)?;
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.frames.push(None);
+                self.frames.len() - 1
             }
         }
+    }
+
+    /// Evicts until `incoming` more pages fit, or nothing evictable is
+    /// left (transient overflow — e.g. a run larger than the buffer, or
+    /// everything pinned).
+    fn make_room(&mut self, incoming: usize) -> Result<()> {
+        while self.table.len() + incoming > self.capacity {
+            let frames = &self.frames;
+            let victim = self
+                .policy
+                .victim(&|slot| frames[slot].as_ref().is_some_and(|f| f.pins == 0));
+            let Some(slot) = victim else {
+                break; // nothing evictable; allow transient overflow
+            };
+            self.evict_slot(slot)?;
+        }
         Ok(())
     }
 
-    fn touch(&mut self, pid: PageId) {
-        let frame = self.frames.get_mut(&pid).expect("touch of cached page");
-        self.lru.remove(&frame.tick);
-        self.tick += 1;
-        frame.tick = self.tick;
-        self.lru.insert(self.tick, pid);
+    fn evict_slot(&mut self, slot: usize) -> Result<()> {
+        let frame = self.frames[slot].take().expect("victim slot occupied");
+        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
+        self.policy.on_remove(slot);
+        let mapped = self.table.remove(&frame.pid);
+        debug_assert_eq!(mapped, Some(slot));
+        self.free.push(slot);
+        self.stats.evictions += 1;
+        if frame.dirty {
+            self.stats.dirty_evictions += 1;
+            self.disk.write_run(frame.pid, 1, |_| frame.data)?;
+        }
+        Ok(())
     }
 }
 
@@ -273,6 +408,12 @@ mod tests {
         let mut disk = SimDisk::new();
         disk.alloc_extent(pages);
         BufferPool::new(disk, cap)
+    }
+
+    fn pool_with(policy: PolicyKind, cap: usize, pages: u32) -> BufferPool {
+        let mut disk = SimDisk::new();
+        disk.alloc_extent(pages);
+        BufferPool::with_policy(disk, cap, policy)
     }
 
     #[test]
@@ -316,6 +457,85 @@ mod tests {
         assert!(!p.is_cached(PageId(1)));
         assert!(p.is_cached(PageId(2)));
         assert_eq!(p.buffer_stats().evictions, 1);
+    }
+
+    #[test]
+    fn mru_evicts_most_recently_used() {
+        let mut p = pool_with(PolicyKind::Mru, 2, 4);
+        p.with_page(PageId(0), |_| {}).unwrap();
+        p.with_page(PageId(1), |_| {}).unwrap();
+        p.with_page(PageId(0), |_| {}).unwrap(); // 0 is now MRU
+        p.with_page(PageId(2), |_| {}).unwrap(); // evicts 0
+        assert!(!p.is_cached(PageId(0)));
+        assert!(p.is_cached(PageId(1)));
+        assert!(p.is_cached(PageId(2)));
+    }
+
+    #[test]
+    fn fifo_evicts_in_residency_order() {
+        let mut p = pool_with(PolicyKind::Fifo, 2, 4);
+        p.with_page(PageId(0), |_| {}).unwrap();
+        p.with_page(PageId(1), |_| {}).unwrap();
+        p.with_page(PageId(0), |_| {}).unwrap(); // hit; FIFO ignores it
+        p.with_page(PageId(2), |_| {}).unwrap(); // evicts 0 regardless
+        assert!(!p.is_cached(PageId(0)));
+        assert!(p.is_cached(PageId(1)));
+    }
+
+    #[test]
+    fn every_policy_keeps_capacity_and_contents() {
+        for kind in PolicyKind::all() {
+            let mut p = pool_with(kind, 3, 20);
+            for i in 0..20 {
+                p.with_page_mut(PageId(i), |b| b[0] = i as u8).unwrap();
+            }
+            assert!(p.cached_pages() <= 3, "{kind}");
+            assert_eq!(p.policy_kind(), kind);
+            p.flush_all().unwrap();
+            for i in 0..20 {
+                p.with_page(PageId(i), |b| assert_eq!(b[0], i as u8, "{kind}"))
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        for kind in PolicyKind::all() {
+            let mut p = pool_with(kind, 2, 10);
+            p.pin(PageId(0)).unwrap();
+            for i in 1..10 {
+                p.with_page(PageId(i), |_| {}).unwrap();
+            }
+            assert!(p.is_cached(PageId(0)), "{kind}: pinned page evicted");
+            assert_eq!(p.pinned_pages(), 1, "{kind}");
+            assert!(p.unpin(PageId(0)), "{kind}");
+            assert!(!p.unpin(PageId(0)), "{kind}: double unpin");
+            for i in 1..10 {
+                p.with_page(PageId(i), |_| {}).unwrap();
+            }
+            // Once unpinned, the page is ordinary again. Every policy except
+            // MRU drains the cold page 0; MRU keeps it by design (it always
+            // evicts the hottest frame).
+            if kind == PolicyKind::Mru {
+                assert!(p.is_cached(PageId(0)), "MRU keeps the coldest frame");
+            } else {
+                assert!(!p.is_cached(PageId(0)), "{kind}: unpinned page kept");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pinned_overflows_transiently() {
+        let mut p = pool(2, 4);
+        p.pin(PageId(0)).unwrap();
+        p.pin(PageId(1)).unwrap();
+        p.with_page(PageId(2), |_| {}).unwrap(); // nothing evictable
+        assert_eq!(p.cached_pages(), 3, "transient overflow");
+        p.unpin(PageId(0));
+        p.with_page(PageId(3), |_| {}).unwrap();
+        assert!(p.cached_pages() <= 3);
+        assert!(!p.is_cached(PageId(0)) || !p.is_cached(PageId(2)));
     }
 
     #[test]
@@ -402,5 +622,18 @@ mod tests {
             p.with_page(PageId(i), |b| assert_eq!(b[0], i as u8))
                 .unwrap();
         }
+    }
+
+    #[test]
+    fn buffer_config_builds_configured_pools() {
+        let cfg = BufferConfig::with_pages(8).policy(PolicyKind::Clock);
+        let mut disk = SimDisk::new();
+        disk.alloc_extent(4);
+        let pool = cfg.build(disk);
+        assert_eq!(pool.capacity(), 8);
+        assert_eq!(pool.policy_kind(), PolicyKind::Clock);
+        let d = BufferConfig::default();
+        assert_eq!(d.pages, DEFAULT_BUFFER_PAGES);
+        assert_eq!(d.policy, PolicyKind::Lru);
     }
 }

@@ -19,10 +19,12 @@
 //!
 //! * [`SimDisk`] — an in-memory page array with a bump extent allocator and
 //!   physical-I/O accounting;
-//! * [`BufferPool`] — an LRU page cache (default capacity
+//! * [`BufferPool`] — a page cache (default capacity
 //!   [`DEFAULT_BUFFER_PAGES`] = 1200, the size used in the paper's
-//!   measurements) with fix accounting, write-back on eviction, and grouped
-//!   flush on "database disconnect";
+//!   measurements) with fix accounting, write-back on eviction, grouped
+//!   flush on "database disconnect", and a pluggable [`ReplacementPolicy`]
+//!   (O(1) LRU by default — the paper's §5.1 buffer — plus Clock, MRU,
+//!   FIFO and LRU-2 in [`policy`]);
 //! * [`slotted`] — slotted-page record layout (record footprint =
 //!   encoded length + 4-byte slot entry, which is how the paper's Table 2
 //!   `k = ⌊2012 / S_tuple⌋` tuple-per-page counts come out);
@@ -39,14 +41,16 @@ mod buffer;
 mod disk;
 mod error;
 mod heap;
+pub mod policy;
 pub mod slotted;
 mod spanned;
 mod stats;
 
-pub use buffer::{BufferPool, MAX_PAGES_PER_WRITE_CALL};
+pub use buffer::{BufferConfig, BufferPool, MAX_PAGES_PER_WRITE_CALL};
 pub use disk::SimDisk;
 pub use error::StoreError;
 pub use heap::{HeapFile, Rid};
+pub use policy::{PolicyKind, ReplacementPolicy};
 pub use spanned::{SpannedRecord, SpannedStore};
 pub use stats::{BufferStats, DiskStats, IoSnapshot};
 

@@ -1,0 +1,45 @@
+//! One-off: dump per-(model, query) IoSnapshot counters as Rust constants.
+//! Used to (re)generate the golden table in `tests/golden_lru.rs`.
+
+use starfish::core::{make_store, ModelKind, StoreConfig};
+use starfish::cost::QueryId;
+use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
+
+fn dump(label: &str, n_objects: usize, buffer_pages: usize) {
+    println!("// scale: {label} ({n_objects} objects, {buffer_pages}-page buffer)");
+    for kind in ModelKind::all() {
+        let db = generate(&DatasetParams {
+            n_objects,
+            seed: 4242,
+            ..Default::default()
+        });
+        let mut store = make_store(kind, StoreConfig::with_buffer_pages(buffer_pages));
+        let refs = store.load(&db).unwrap();
+        let runner = QueryRunner::new(refs, 1993);
+        for q in QueryId::all() {
+            match runner.run(store.as_mut(), q).unwrap() {
+                QueryOutcome::Measured(m) => {
+                    let s = m.snapshot;
+                    println!(
+                        "(\"{}\", \"{}\", Some(({}, {}, {}, {}, {}))),",
+                        kind.paper_name(),
+                        q.label(),
+                        s.read_calls,
+                        s.pages_read,
+                        s.write_calls,
+                        s.pages_written,
+                        s.fixes,
+                    );
+                }
+                QueryOutcome::Unsupported => {
+                    println!("(\"{}\", \"{}\", None),", kind.paper_name(), q.label());
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    dump("fast", 300, 240);
+    dump("paper", 1500, 1200);
+}

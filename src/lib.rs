@@ -6,7 +6,9 @@
 //! * [`nf2`] — the NF² complex-object model (values, schemas, encoding,
 //!   projections, the benchmark `Station` schema);
 //! * [`pagestore`] — the page-based storage substrate (simulated disk,
-//!   slotted pages, spanned records, LRU buffer pool, I/O accounting);
+//!   slotted pages, spanned records, a buffer pool with pluggable
+//!   replacement policies — O(1) LRU, Clock, MRU, FIFO, LRU-2 — and I/O
+//!   accounting);
 //! * [`core`] — the four storage models of the paper (DSM, DASDBS-DSM,
 //!   NSM(+index), DASDBS-NSM) behind one [`core::ComplexObjectStore`] trait;
 //! * [`cost`] — the analytical disk-I/O cost model (Equations 1–8);
@@ -23,7 +25,7 @@ pub use starfish_workload as workload;
 
 /// Commonly used items, for examples and quick experiments.
 pub mod prelude {
-    pub use starfish_core::{ComplexObjectStore, ModelKind, StoreConfig};
+    pub use starfish_core::{BufferConfig, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig};
     pub use starfish_nf2::station::{station_schema, Station};
     pub use starfish_nf2::{Oid, Projection, Tuple, Value};
     pub use starfish_pagestore::IoSnapshot;
