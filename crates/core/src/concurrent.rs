@@ -1,0 +1,120 @@
+//! The concurrent (multi-client) query surface.
+//!
+//! The paper measures a single client; the [`ComplexObjectStore`] trait
+//! mirrors that with `&mut self` everywhere. Serving N clients from one
+//! buffer pool needs a `&self` read path instead — this module provides it:
+//!
+//! * [`ConcurrentObjectStore`] extends [`ComplexObjectStore`] with `&self`
+//!   retrieval/navigation operations (`shared_get_by_oid`,
+//!   `shared_children_of`, `shared_root_records`) that N threads can call
+//!   concurrently over one store;
+//! * [`make_shared_store`] builds any of the five storage models over a
+//!   lock-striped [`SharedBufferPool`](starfish_pagestore::SharedBufferPool)
+//!   with K shards.
+//!
+//! **Updates stay single-writer.** Loading (`load`), updates
+//! (`update_roots`), flushes and cold restarts go through the `&mut`
+//! surface, so Rust's borrow rules enforce the single-writer discipline at
+//! compile time: while any thread holds a `&self` borrow for reads, no
+//! `&mut` mutation can start, and vice versa. The follow-up path to
+//! concurrent updates (page latching + per-shard dirty tracking) is noted
+//! in ROADMAP.md.
+//!
+//! The query *answers* and the buffer-fix counts of the concurrent surface
+//! are identical to the serial surface's — only physical reads and writes
+//! may differ with the interleaving (`tests/concurrent_differential.rs`
+//! pins that invariant, exactly like the cross-policy differential does for
+//! replacement policies).
+
+use crate::dasdbs_nsm::DasdbsNsmStore;
+use crate::direct::DirectStore;
+use crate::nsm::NsmStore;
+use crate::traits::{ComplexObjectStore, ObjRef};
+use crate::{ModelKind, Result, StoreConfig};
+use starfish_nf2::{Oid, Projection, Tuple};
+use starfish_pagestore::{BufferStats, SharedPoolHandle};
+
+/// A storage model whose retrieval/navigation surface can be shared across
+/// threads (`&self`), on top of the usual exclusive surface.
+///
+/// Implementations exist for every model built by [`make_shared_store`];
+/// the `&self` methods answer exactly like their `&mut` counterparts
+/// ([`ComplexObjectStore::get_by_oid`], [`ComplexObjectStore::children_of`],
+/// [`ComplexObjectStore::root_records`]) and count fixes identically — they
+/// run the same code over a cloned handle to the same shared pool.
+pub trait ConcurrentObjectStore: ComplexObjectStore + Send + Sync {
+    /// Query 1a retrieval by OID, callable from N threads concurrently.
+    fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple>;
+
+    /// Navigation step (children references), callable concurrently.
+    fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>>;
+
+    /// Root records of `refs`, callable concurrently.
+    fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>>;
+
+    /// Cold restart through the shared pool (query 1a's per-retrieval cache
+    /// clear). Flushes nothing new on the read path; safe to interleave
+    /// with concurrent reads (they just go cold).
+    fn shared_clear_cache(&self) -> Result<()>;
+
+    /// Per-shard buffer counters of the underlying pool, for
+    /// load-imbalance analysis.
+    fn shard_stats(&self) -> Vec<BufferStats>;
+
+    /// Number of shards in the underlying pool.
+    fn shard_count(&self) -> usize {
+        self.shard_stats().len()
+    }
+}
+
+/// Builds an empty store of `kind` over a [`SharedPoolHandle`] with
+/// `shards` lock-striped shards, ready for concurrent serving.
+///
+/// With `shards == 1` the pool runs the identical replacement and call
+/// grouping logic as the single-threaded [`starfish_pagestore::BufferPool`],
+/// so a one-client run reproduces the serial measurements counter for
+/// counter.
+///
+/// ```
+/// use starfish_core::{make_shared_store, ModelKind, StoreConfig};
+/// use starfish_nf2::{station::Station, Projection};
+///
+/// let mut store = make_shared_store(ModelKind::DasdbsNsm, StoreConfig::default(), 4);
+/// let db = vec![Station { key: 1, name: "A".into(), platforms: vec![], sightseeings: vec![] }];
+/// let refs = store.load(&db)?;
+/// // Reads go through the `&self` surface — shareable across threads.
+/// let tuple = store.shared_get_by_oid(refs[0].oid, &Projection::All)?;
+/// assert_eq!(Station::from_tuple(&tuple).unwrap(), db[0]);
+/// # Ok::<(), starfish_core::CoreError>(())
+/// ```
+pub fn make_shared_store(
+    kind: ModelKind,
+    config: StoreConfig,
+    shards: usize,
+) -> Box<dyn ConcurrentObjectStore> {
+    let pool = SharedPoolHandle::new(config.buffer, shards);
+    match kind {
+        ModelKind::Dsm => Box::new(DirectStore::with_pool(false, &config, pool)),
+        ModelKind::DasdbsDsm => Box::new(DirectStore::with_pool(true, &config, pool)),
+        ModelKind::Nsm => Box::new(NsmStore::with_pool(false, &config, pool)),
+        ModelKind::NsmIndexed => Box::new(NsmStore::with_pool(true, &config, pool)),
+        ModelKind::DasdbsNsm => Box::new(DasdbsNsmStore::with_pool(&config, pool)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_model_sharded() {
+        for kind in ModelKind::all() {
+            for shards in [1, 4] {
+                let store = make_shared_store(kind, StoreConfig::default(), shards);
+                assert_eq!(store.model(), kind);
+                assert_eq!(store.object_count(), 0);
+                assert_eq!(store.shard_count(), shards);
+            }
+        }
+    }
+}

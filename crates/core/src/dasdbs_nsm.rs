@@ -18,14 +18,19 @@
 //! not counted — §5.1 excludes the address tables from the I/O counts).
 
 use crate::object_file::ObjectFile;
-use crate::traits::{avg, per_object, ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
+use crate::traits::{
+    apply_station_proj, avg, key_of_oid, per_object, ComplexObjectStore, ObjRef, RelationInfo,
+    RootPatch,
+};
 use crate::{CoreError, ModelKind, Result, StoreConfig};
 use starfish_nf2::station::Station;
 use starfish_nf2::{
     decode, encode, encode_with_layout, AttrDef, AttrType, Key, Oid, Projection, RelSchema, Tuple,
     Value,
 };
-use starfish_pagestore::{BufferPool, BufferStats, HeapFile, IoSnapshot, Rid, SimDisk};
+use starfish_pagestore::{
+    BufferPool, BufferStats, HeapFile, IoSnapshot, PageCache, Rid, SharedPoolHandle, SimDisk,
+};
 use std::collections::HashMap;
 
 /// Schema of the flat `DASDBS-NSM-Station` relation.
@@ -126,9 +131,11 @@ struct TransEntry {
     ordinal: usize,
 }
 
-/// The DASDBS-NSM store.
-pub struct DasdbsNsmStore {
-    pool: BufferPool,
+/// The DASDBS-NSM store, generic over the buffer pool it runs on
+/// ([`BufferPool`] by default; [`SharedPoolHandle`] for concurrent serving
+/// via [`crate::make_shared_store`]).
+pub struct DasdbsNsmStore<P: PageCache = BufferPool> {
+    pool: P,
     station: Option<HeapFile>,
     platform: Option<ObjectFile>,
     connection: Option<ObjectFile>,
@@ -140,11 +147,132 @@ pub struct DasdbsNsmStore {
     station_bytes: u64,
 }
 
+/// Immutable borrows of everything the DASDBS-NSM read paths need besides
+/// the pool (see [`NsmParts`](crate::nsm) for the idea).
+struct DnsmParts<'a> {
+    station: &'a HeapFile,
+    platform: &'a ObjectFile,
+    connection: &'a ObjectFile,
+    sightseeing: &'a ObjectFile,
+    trans: &'a HashMap<Key, TransEntry>,
+}
+
+impl DnsmParts<'_> {
+    fn entry(&self, key: Key) -> Result<TransEntry> {
+        self.trans
+            .get(&key)
+            .copied()
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {key}"),
+            })
+    }
+}
+
+/// Builds [`DnsmParts`] from (borrowed) fields, erroring on an empty store.
+fn dnsm_parts<'a>(
+    station: &'a Option<HeapFile>,
+    platform: &'a Option<ObjectFile>,
+    connection: &'a Option<ObjectFile>,
+    sightseeing: &'a Option<ObjectFile>,
+    trans: &'a HashMap<Key, TransEntry>,
+) -> Result<DnsmParts<'a>> {
+    let missing = || CoreError::NotFound {
+        what: "empty database".into(),
+    };
+    Ok(DnsmParts {
+        station: station.as_ref().ok_or_else(missing)?,
+        platform: platform.as_ref().ok_or_else(missing)?,
+        connection: connection.as_ref().ok_or_else(missing)?,
+        sightseeing: sightseeing.as_ref().ok_or_else(missing)?,
+        trans,
+    })
+}
+
+/// Reads and reassembles one full object through the transformation table:
+/// four addressed tuple reads (the paper's query-1a path).
+fn materialize_in(parts: &DnsmParts<'_>, pool: &mut impl PageCache, key: Key) -> Result<Tuple> {
+    let e = parts.entry(key)?;
+    let root_bytes = parts.station.read(pool, e.station)?;
+    let root = decode(&root_bytes, &dnsm_station_schema())?;
+    let p_bytes = parts.platform.read_full(pool, e.ordinal)?;
+    let platforms = decode(&p_bytes, &dnsm_platform_schema())?;
+    let c_bytes = parts.connection.read_full(pool, e.ordinal)?;
+    let connections = decode(&c_bytes, &dnsm_connection_schema())?;
+    let s_bytes = parts.sightseeing.read_full(pool, e.ordinal)?;
+    let seeings = decode(&s_bytes, &dnsm_sightseeing_schema())?;
+    Ok(DasdbsNsmStore::<BufferPool>::assemble(
+        &root,
+        &platforms,
+        &connections,
+        &seeings,
+    ))
+}
+
+/// The DASDBS-NSM navigation step: one nested connection tuple per ref.
+fn children_of_in(
+    parts: &DnsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+) -> Result<Vec<ObjRef>> {
+    let schema = dnsm_connection_schema();
+    let mut out = Vec::new();
+    for r in refs {
+        let e = parts.entry(r.key)?;
+        let bytes = parts.connection.read_full(pool, e.ordinal)?;
+        let t = decode(&bytes, &schema)?;
+        if let Some(Value::Rel(groups)) = t.attr(1) {
+            for g in groups {
+                if let Some(Value::Rel(cs)) = g.attr(1) {
+                    for c in cs {
+                        out.push(ObjRef {
+                            key: c.attr(1).and_then(Value::as_int).unwrap_or(0),
+                            oid: c.attr(2).and_then(Value::as_link).unwrap_or(Oid(0)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The DASDBS-NSM root-record read: one addressed root tuple per ref.
+fn root_records_in(
+    parts: &DnsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+) -> Result<Vec<Tuple>> {
+    let schema = dnsm_station_schema();
+    refs.iter()
+        .map(|r| {
+            let e = parts.entry(r.key)?;
+            let bytes = parts.station.read(pool, e.station)?;
+            let t = decode(&bytes, &schema)?;
+            Ok(Tuple::new(vec![
+                t.values[0].clone(),
+                t.values[1].clone(),
+                t.values[2].clone(),
+                t.values[3].clone(),
+                Value::Rel(vec![]),
+                Value::Rel(vec![]),
+            ]))
+        })
+        .collect()
+}
+
 impl DasdbsNsmStore {
     /// Creates an empty DASDBS-NSM store.
     pub fn new(config: StoreConfig) -> Self {
+        let pool = config.buffer.build(SimDisk::new());
+        Self::with_pool(&config, pool)
+    }
+}
+
+impl<P: PageCache> DasdbsNsmStore<P> {
+    /// Creates an empty DASDBS-NSM store over an externally built pool.
+    pub fn with_pool(_config: &StoreConfig, pool: P) -> Self {
         DasdbsNsmStore {
-            pool: config.buffer.build(SimDisk::new()),
+            pool,
             station: None,
             platform: None,
             connection: None,
@@ -163,6 +291,21 @@ impl DasdbsNsmStore {
                 what: "empty database".into(),
             })
         }
+    }
+
+    /// Splits `&mut self` into read-path parts and the pool.
+    fn parts_and_pool(&mut self) -> Result<(DnsmParts<'_>, &mut P)> {
+        let DasdbsNsmStore {
+            pool,
+            station,
+            platform,
+            connection,
+            sightseeing,
+            trans,
+            ..
+        } = self;
+        let parts = dnsm_parts(station, platform, connection, sightseeing, trans)?;
+        Ok((parts, pool))
     }
 
     fn entry(&self, key: Key) -> Result<TransEntry> {
@@ -293,36 +436,12 @@ impl DasdbsNsmStore {
     /// Reads and reassembles one full object through the transformation
     /// table: four addressed tuple reads (the paper's query-1a path).
     fn materialize(&mut self, key: Key) -> Result<Tuple> {
-        let e = self.entry(key)?;
-        let root_bytes = self
-            .station
-            .as_ref()
-            .expect("loaded")
-            .read(&mut self.pool, e.station)?;
-        let root = decode(&root_bytes, &dnsm_station_schema())?;
-        let p_bytes = self
-            .platform
-            .as_ref()
-            .expect("loaded")
-            .read_full(&mut self.pool, e.ordinal)?;
-        let platforms = decode(&p_bytes, &dnsm_platform_schema())?;
-        let c_bytes = self
-            .connection
-            .as_ref()
-            .expect("loaded")
-            .read_full(&mut self.pool, e.ordinal)?;
-        let connections = decode(&c_bytes, &dnsm_connection_schema())?;
-        let s_bytes = self
-            .sightseeing
-            .as_ref()
-            .expect("loaded")
-            .read_full(&mut self.pool, e.ordinal)?;
-        let seeings = decode(&s_bytes, &dnsm_sightseeing_schema())?;
-        Ok(Self::assemble(&root, &platforms, &connections, &seeings))
+        let (parts, pool) = self.parts_and_pool()?;
+        materialize_in(&parts, pool, key)
     }
 }
 
-impl ComplexObjectStore for DasdbsNsmStore {
+impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     fn model(&self) -> ModelKind {
         ModelKind::DasdbsNsm
     }
@@ -378,19 +497,9 @@ impl ComplexObjectStore for DasdbsNsmStore {
 
     fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
         self.loaded()?;
-        let key = self
-            .refs
-            .get(oid.0 as usize)
-            .map(|r| r.key)
-            .ok_or_else(|| CoreError::NotFound {
-                what: format!("object {oid}"),
-            })?;
+        let key = key_of_oid(&self.refs, oid)?;
         let t = self.materialize(key)?;
-        Ok(if proj.is_all() {
-            t
-        } else {
-            proj.apply(&t, &starfish_nf2::station::station_schema())
-        })
+        Ok(apply_station_proj(t, proj))
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
@@ -415,11 +524,7 @@ impl ComplexObjectStore for DasdbsNsmStore {
             });
         }
         let t = self.materialize(key)?;
-        Ok(if proj.is_all() {
-            t
-        } else {
-            proj.apply(&t, &starfish_nf2::station::station_schema())
-        })
+        Ok(apply_station_proj(t, proj))
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
@@ -432,55 +537,13 @@ impl ComplexObjectStore for DasdbsNsmStore {
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        self.loaded()?;
-        let schema = dnsm_connection_schema();
-        let mut out = Vec::new();
-        for r in refs {
-            let e = self.entry(r.key)?;
-            let bytes = self
-                .connection
-                .as_ref()
-                .expect("loaded")
-                .read_full(&mut self.pool, e.ordinal)?;
-            let t = decode(&bytes, &schema)?;
-            if let Some(Value::Rel(groups)) = t.attr(1) {
-                for g in groups {
-                    if let Some(Value::Rel(cs)) = g.attr(1) {
-                        for c in cs {
-                            out.push(ObjRef {
-                                key: c.attr(1).and_then(Value::as_int).unwrap_or(0),
-                                oid: c.attr(2).and_then(Value::as_link).unwrap_or(Oid(0)),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        Ok(out)
+        let (parts, pool) = self.parts_and_pool()?;
+        children_of_in(&parts, pool, refs)
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        self.loaded()?;
-        let schema = dnsm_station_schema();
-        refs.iter()
-            .map(|r| {
-                let e = self.entry(r.key)?;
-                let bytes = self
-                    .station
-                    .as_ref()
-                    .expect("loaded")
-                    .read(&mut self.pool, e.station)?;
-                let t = decode(&bytes, &schema)?;
-                Ok(Tuple::new(vec![
-                    t.values[0].clone(),
-                    t.values[1].clone(),
-                    t.values[2].clone(),
-                    t.values[3].clone(),
-                    Value::Rel(vec![]),
-                    Value::Rel(vec![]),
-                ]))
-            })
-            .collect()
+        let (parts, pool) = self.parts_and_pool()?;
+        root_records_in(&parts, pool, refs)
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
@@ -571,6 +634,47 @@ impl ComplexObjectStore for DasdbsNsmStore {
 
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
+    }
+}
+
+impl DasdbsNsmStore<SharedPoolHandle> {
+    /// Parts plus a cloned pool handle, for `&self` read paths.
+    fn parts_and_handle(&self) -> Result<(DnsmParts<'_>, SharedPoolHandle)> {
+        let parts = dnsm_parts(
+            &self.station,
+            &self.platform,
+            &self.connection,
+            &self.sightseeing,
+            &self.trans,
+        )?;
+        Ok((parts, self.pool.clone()))
+    }
+}
+
+impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
+    fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        let key = key_of_oid(&self.refs, oid)?;
+        let (parts, mut pool) = self.parts_and_handle()?;
+        let t = materialize_in(&parts, &mut pool, key)?;
+        Ok(apply_station_proj(t, proj))
+    }
+
+    fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        children_of_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        root_records_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_clear_cache(&self) -> Result<()> {
+        self.pool.pool().clear_cache().map_err(Into::into)
+    }
+
+    fn shard_stats(&self) -> Vec<BufferStats> {
+        self.pool.pool().shard_stats()
     }
 }
 

@@ -22,14 +22,20 @@ use starfish_nf2::station::{attr, child_refs, proj_navigation, proj_root_record,
 use starfish_nf2::{
     decode, decode_projected, encode_with_layout, Key, Oid, Projection, RelSchema, Tuple, Value,
 };
-use starfish_pagestore::{BufferPool, BufferStats, IoSnapshot, PageId, SimDisk};
+use starfish_pagestore::{
+    BufferPool, BufferStats, IoSnapshot, PageCache, PageId, SharedPoolHandle, SimDisk,
+};
 use std::collections::HashMap;
 
-/// Shared implementation of the two direct storage models.
-pub struct DirectStore {
+/// Shared implementation of the two direct storage models, generic over the
+/// buffer pool it runs on: [`BufferPool`] (the default — every original
+/// paper measurement) or [`SharedPoolHandle`] (the thread-shareable pool
+/// behind [`crate::make_shared_store`], which also unlocks the `&self`
+/// concurrent read surface of [`crate::ConcurrentObjectStore`]).
+pub struct DirectStore<P: PageCache = BufferPool> {
     /// `false` = DSM, `true` = DASDBS-DSM (header-guided partial reads).
     partial: bool,
-    pool: BufferPool,
+    pool: P,
     schema: RelSchema,
     file: Option<ObjectFile>,
     refs: Vec<ObjRef>,
@@ -43,9 +49,104 @@ pub struct DirectStore {
 impl DirectStore {
     /// Creates an empty direct store. `partial` selects DASDBS-DSM.
     pub fn new(partial: bool, config: StoreConfig) -> Self {
+        let pool = config.buffer.build(SimDisk::new());
+        Self::with_pool(partial, &config, pool)
+    }
+}
+
+/// Ordinal of `oid` in a store of `n_objects` objects.
+fn ord_of(n_objects: usize, oid: Oid) -> Result<usize> {
+    let ord = oid.0 as usize;
+    if ord < n_objects {
+        Ok(ord)
+    } else {
+        Err(CoreError::NotFound {
+            what: format!("object {oid}"),
+        })
+    }
+}
+
+/// Reads object `ord` under `proj` using the model's access path — the one
+/// read primitive both the exclusive (`&mut`) and the concurrent (`&self`,
+/// over a cloned shared-pool handle) surfaces are built from.
+fn read_object_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    ord: usize,
+    proj: &Projection,
+) -> Result<Tuple> {
+    if partial && !proj.is_all() {
+        match file.read_projected(pool, ord, |l| proj.byte_ranges(l))? {
+            ReadPayload::Full(bytes) => {
+                let t = decode(&bytes, schema)?;
+                Ok(proj.apply(&t, schema))
+            }
+            ReadPayload::Sparse(bytes, layout) => {
+                Ok(decode_projected(&bytes, schema, &layout, proj)?)
+            }
+        }
+    } else {
+        // DSM (or a full-projection read): materialize everything.
+        let bytes = file.read_full(pool, ord)?;
+        let t = decode(&bytes, schema)?;
+        Ok(if proj.is_all() {
+            t
+        } else {
+            proj.apply(&t, schema)
+        })
+    }
+}
+
+/// The navigation step over the direct layout: children references of each
+/// of `refs`, in order, duplicates preserved.
+fn children_of_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    n_objects: usize,
+    refs: &[ObjRef],
+) -> Result<Vec<ObjRef>> {
+    let proj = proj_navigation();
+    let mut out = Vec::new();
+    for r in refs {
+        let ord = ord_of(n_objects, r.oid)?;
+        let t = read_object_in(partial, file, schema, pool, ord, &proj)?;
+        out.extend(
+            child_refs(&t)
+                .into_iter()
+                .map(|(key, oid)| ObjRef { oid, key }),
+        );
+    }
+    Ok(out)
+}
+
+/// The root records (atomic attributes) of `refs`.
+fn root_records_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    n_objects: usize,
+    refs: &[ObjRef],
+) -> Result<Vec<Tuple>> {
+    let proj = proj_root_record();
+    refs.iter()
+        .map(|r| {
+            let ord = ord_of(n_objects, r.oid)?;
+            read_object_in(partial, file, schema, pool, ord, &proj)
+        })
+        .collect()
+}
+
+impl<P: PageCache> DirectStore<P> {
+    /// Creates an empty direct store over an externally built pool.
+    pub fn with_pool(partial: bool, config: &StoreConfig, pool: P) -> Self {
         DirectStore {
             partial,
-            pool: config.buffer.build(SimDisk::new()),
+            pool,
             schema: starfish_nf2::station::station_schema(),
             file: None,
             refs: Vec::new(),
@@ -62,39 +163,13 @@ impl DirectStore {
     }
 
     fn ord_of_oid(&self, oid: Oid) -> Result<usize> {
-        let ord = oid.0 as usize;
-        if ord < self.refs.len() {
-            Ok(ord)
-        } else {
-            Err(CoreError::NotFound {
-                what: format!("object {oid}"),
-            })
-        }
+        ord_of(self.refs.len(), oid)
     }
 
     /// Reads object `ord` under `proj` using the model's access path.
     fn read_object(&mut self, ord: usize, proj: &Projection) -> Result<Tuple> {
         let file = self.file.as_ref().expect("checked by callers");
-        if self.partial && !proj.is_all() {
-            match file.read_projected(&mut self.pool, ord, |l| proj.byte_ranges(l))? {
-                ReadPayload::Full(bytes) => {
-                    let t = decode(&bytes, &self.schema)?;
-                    Ok(proj.apply(&t, &self.schema))
-                }
-                ReadPayload::Sparse(bytes, layout) => {
-                    Ok(decode_projected(&bytes, &self.schema, &layout, proj)?)
-                }
-            }
-        } else {
-            // DSM (or a full-projection read): materialize everything.
-            let bytes = file.read_full(&mut self.pool, ord)?;
-            let t = decode(&bytes, &self.schema)?;
-            Ok(if proj.is_all() {
-                t
-            } else {
-                proj.apply(&t, &self.schema)
-            })
-        }
+        read_object_in(self.partial, file, &self.schema, &mut self.pool, ord, proj)
     }
 
     /// Replaces the name in an encoded `Str` attribute region. The new name
@@ -182,7 +257,7 @@ impl DirectStore {
     }
 }
 
-impl ComplexObjectStore for DirectStore {
+impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     fn model(&self) -> ModelKind {
         if self.partial {
             ModelKind::DasdbsDsm
@@ -265,29 +340,28 @@ impl ComplexObjectStore for DirectStore {
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
         self.file()?;
-        let proj = proj_navigation();
-        let mut out = Vec::new();
-        for r in refs {
-            let ord = self.ord_of_oid(r.oid)?;
-            let t = self.read_object(ord, &proj)?;
-            out.extend(
-                child_refs(&t)
-                    .into_iter()
-                    .map(|(key, oid)| ObjRef { oid, key }),
-            );
-        }
-        Ok(out)
+        let file = self.file.as_ref().expect("checked");
+        children_of_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut self.pool,
+            self.refs.len(),
+            refs,
+        )
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
         self.file()?;
-        let proj = proj_root_record();
-        refs.iter()
-            .map(|r| {
-                let ord = self.ord_of_oid(r.oid)?;
-                self.read_object(ord, &proj)
-            })
-            .collect()
+        let file = self.file.as_ref().expect("checked");
+        root_records_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut self.pool,
+            self.refs.len(),
+            refs,
+        )
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
@@ -352,6 +426,49 @@ impl ComplexObjectStore for DirectStore {
 
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
+    }
+}
+
+impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
+    fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        let file = self.file()?;
+        let ord = self.ord_of_oid(oid)?;
+        let mut pool = self.pool.clone();
+        read_object_in(self.partial, file, &self.schema, &mut pool, ord, proj)
+    }
+
+    fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        let file = self.file()?;
+        let mut pool = self.pool.clone();
+        children_of_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut pool,
+            self.refs.len(),
+            refs,
+        )
+    }
+
+    fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        let file = self.file()?;
+        let mut pool = self.pool.clone();
+        root_records_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut pool,
+            self.refs.len(),
+            refs,
+        )
+    }
+
+    fn shared_clear_cache(&self) -> Result<()> {
+        self.pool.pool().clear_cache().map_err(Into::into)
+    }
+
+    fn shard_stats(&self) -> Vec<BufferStats> {
+        self.pool.pool().shard_stats()
     }
 }
 

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod concurrent;
 mod dasdbs_nsm;
 mod direct;
 mod error;
@@ -27,6 +28,7 @@ mod object_file;
 mod partitioned;
 mod traits;
 
+pub use concurrent::{make_shared_store, ConcurrentObjectStore};
 pub use dasdbs_nsm::DasdbsNsmStore;
 pub use direct::DirectStore;
 pub use error::CoreError;
@@ -38,7 +40,7 @@ pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 // Buffer construction knobs, re-exported so higher layers (harness, repro
 // binary) can select a replacement policy without depending on the
 // substrate crate directly.
-pub use starfish_pagestore::{BufferConfig, PolicyKind};
+pub use starfish_pagestore::{BufferConfig, PolicyKind, SharedPoolHandle};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

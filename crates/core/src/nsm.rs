@@ -18,13 +18,18 @@
 //! memory-resident map `key → RIDs` lets NSM read a page "then and only then
 //! if a tuple it stores is requested" (§4).
 
-use crate::traits::{avg, per_object, ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
+use crate::traits::{
+    apply_station_proj, avg, key_of_oid, per_object, ComplexObjectStore, ObjRef, RelationInfo,
+    RootPatch,
+};
 use crate::{CoreError, ModelKind, Result, StoreConfig};
 use starfish_nf2::station::Station;
 use starfish_nf2::{
     decode, encode, AttrDef, AttrType, Key, Oid, Projection, RelSchema, Tuple, Value,
 };
-use starfish_pagestore::{BufferPool, BufferStats, HeapFile, IoSnapshot, Rid, SimDisk};
+use starfish_pagestore::{
+    BufferPool, BufferStats, HeapFile, IoSnapshot, PageCache, Rid, SharedPoolHandle, SimDisk,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Flat schema of `NSM-Station`.
@@ -99,10 +104,12 @@ struct RelationBytes {
     count: u64,
 }
 
-/// The NSM store (pure or indexed).
-pub struct NsmStore {
+/// The NSM store (pure or indexed), generic over the buffer pool it runs
+/// on ([`BufferPool`] by default; [`SharedPoolHandle`] for concurrent
+/// serving via [`crate::make_shared_store`]).
+pub struct NsmStore<P: PageCache = BufferPool> {
     indexed: bool,
-    pool: BufferPool,
+    pool: P,
     station: Option<HeapFile>,
     platform: Option<HeapFile>,
     connection: Option<HeapFile>,
@@ -117,12 +124,54 @@ pub struct NsmStore {
     sizes: Vec<RelationBytes>,
 }
 
+/// Immutable borrows of everything the NSM read paths need besides the
+/// pool — split out so the same code serves the exclusive (`&mut self`)
+/// and concurrent (`&self` plus a cloned pool handle) surfaces.
+struct NsmParts<'a> {
+    indexed: bool,
+    station: &'a HeapFile,
+    platform: &'a HeapFile,
+    connection: &'a HeapFile,
+    sightseeing: &'a HeapFile,
+    index: &'a HashMap<Key, ObjRids>,
+}
+
+/// Builds [`NsmParts`] from (borrowed) fields, erroring on an empty store.
+fn nsm_parts<'a>(
+    indexed: bool,
+    station: &'a Option<HeapFile>,
+    platform: &'a Option<HeapFile>,
+    connection: &'a Option<HeapFile>,
+    sightseeing: &'a Option<HeapFile>,
+    index: &'a HashMap<Key, ObjRids>,
+) -> Result<NsmParts<'a>> {
+    let missing = || CoreError::NotFound {
+        what: "empty database".into(),
+    };
+    Ok(NsmParts {
+        indexed,
+        station: station.as_ref().ok_or_else(missing)?,
+        platform: platform.as_ref().ok_or_else(missing)?,
+        connection: connection.as_ref().ok_or_else(missing)?,
+        sightseeing: sightseeing.as_ref().ok_or_else(missing)?,
+        index,
+    })
+}
+
 impl NsmStore {
     /// Creates an empty NSM store; `indexed` selects the NSM+index variant.
     pub fn new(indexed: bool, config: StoreConfig) -> Self {
+        let pool = config.buffer.build(SimDisk::new());
+        Self::with_pool(indexed, &config, pool)
+    }
+}
+
+impl<P: PageCache> NsmStore<P> {
+    /// Creates an empty NSM store over an externally built pool.
+    pub fn with_pool(indexed: bool, _config: &StoreConfig, pool: P) -> Self {
         NsmStore {
             indexed,
-            pool: config.buffer.build(SimDisk::new()),
+            pool,
             station: None,
             platform: None,
             connection: None,
@@ -144,184 +193,277 @@ impl NsmStore {
         }
     }
 
-    /// Assembles the nested `Station` tuple for `key` from flat parts.
-    fn assemble(
-        key: Key,
-        station: &Tuple,
-        platforms: &[Tuple],
-        connections: &[Tuple],
-        sightseeings: &[Tuple],
-    ) -> Tuple {
-        let mut conns_by_parent: HashMap<i32, Vec<Tuple>> = HashMap::new();
-        for c in connections {
-            let parent = c.attr(1).and_then(Value::as_int).unwrap_or(0);
-            // Strip RootKey + ParentKey: (LineNr, KeyConnection, Oid, Times).
-            conns_by_parent
-                .entry(parent)
-                .or_default()
-                .push(Tuple::new(c.values[2..].to_vec()));
+    /// Splits `&mut self` into read-path parts and the pool, so the parts
+    /// (immutable) and the pool (mutable) can be borrowed simultaneously.
+    fn parts_and_pool(&mut self) -> Result<(NsmParts<'_>, &mut P)> {
+        let NsmStore {
+            indexed,
+            pool,
+            station,
+            platform,
+            connection,
+            sightseeing,
+            index,
+            ..
+        } = self;
+        let parts = nsm_parts(*indexed, station, platform, connection, sightseeing, index)?;
+        Ok((parts, pool))
+    }
+}
+
+/// Assembles the nested `Station` tuple for `key` from flat parts.
+fn assemble(
+    key: Key,
+    station: &Tuple,
+    platforms: &[Tuple],
+    connections: &[Tuple],
+    sightseeings: &[Tuple],
+) -> Tuple {
+    let mut conns_by_parent: HashMap<i32, Vec<Tuple>> = HashMap::new();
+    for c in connections {
+        let parent = c.attr(1).and_then(Value::as_int).unwrap_or(0);
+        // Strip RootKey + ParentKey: (LineNr, KeyConnection, Oid, Times).
+        conns_by_parent
+            .entry(parent)
+            .or_default()
+            .push(Tuple::new(c.values[2..].to_vec()));
+    }
+    let platform_tuples: Vec<Tuple> = platforms
+        .iter()
+        .map(|p| {
+            let own = p.attr(1).and_then(Value::as_int).unwrap_or(0);
+            let mut vals = p.values[2..].to_vec(); // PNr, NoLine, TCode, Inform
+            vals.push(Value::Rel(conns_by_parent.remove(&own).unwrap_or_default()));
+            Tuple::new(vals)
+        })
+        .collect();
+    let seeing_tuples: Vec<Tuple> = sightseeings
+        .iter()
+        .map(|s| Tuple::new(s.values[1..].to_vec()))
+        .collect();
+    let _ = key;
+    Tuple::new(vec![
+        station.values[0].clone(),
+        station.values[1].clone(),
+        station.values[2].clone(),
+        station.values[3].clone(),
+        Value::Rel(platform_tuples),
+        Value::Rel(seeing_tuples),
+    ])
+}
+
+/// Scans a relation, decoding tuples whose `RootKey` (attribute 0) is in
+/// `keys`, grouped per key in encounter order. Always reads the whole
+/// relation (set-oriented selection).
+fn scan_matching(
+    pool: &mut impl PageCache,
+    file: &HeapFile,
+    schema: &RelSchema,
+    keys: &HashSet<Key>,
+) -> Result<HashMap<Key, Vec<Tuple>>> {
+    let mut out: HashMap<Key, Vec<Tuple>> = HashMap::new();
+    let mut err = None;
+    file.scan(pool, |_, bytes| {
+        if err.is_some() {
+            return;
         }
-        let platform_tuples: Vec<Tuple> = platforms
-            .iter()
-            .map(|p| {
-                let own = p.attr(1).and_then(Value::as_int).unwrap_or(0);
-                let mut vals = p.values[2..].to_vec(); // PNr, NoLine, TCode, Inform
-                vals.push(Value::Rel(conns_by_parent.remove(&own).unwrap_or_default()));
-                Tuple::new(vals)
-            })
-            .collect();
-        let seeing_tuples: Vec<Tuple> = sightseeings
-            .iter()
-            .map(|s| Tuple::new(s.values[1..].to_vec()))
-            .collect();
-        let _ = key;
-        Tuple::new(vec![
-            station.values[0].clone(),
-            station.values[1].clone(),
-            station.values[2].clone(),
-            station.values[3].clone(),
-            Value::Rel(platform_tuples),
-            Value::Rel(seeing_tuples),
-        ])
-    }
-
-    /// Scans a relation, decoding tuples whose `RootKey` (attribute 0) is in
-    /// `keys`, grouped per key in encounter order. Always reads the whole
-    /// relation (set-oriented selection).
-    fn scan_matching(
-        pool: &mut BufferPool,
-        file: &HeapFile,
-        schema: &RelSchema,
-        keys: &HashSet<Key>,
-    ) -> Result<HashMap<Key, Vec<Tuple>>> {
-        let mut out: HashMap<Key, Vec<Tuple>> = HashMap::new();
-        let mut err = None;
-        file.scan(pool, |_, bytes| {
-            if err.is_some() {
-                return;
-            }
-            match peek_root_key(bytes) {
-                Ok(k) if keys.contains(&k) => match decode(bytes, schema) {
-                    Ok(t) => out.entry(k).or_default().push(t),
-                    Err(e) => err = Some(CoreError::from(e)),
-                },
-                Ok(_) => {}
-                Err(e) => err = Some(e),
-            }
-        })?;
-        match err {
-            Some(e) => Err(e),
-            None => Ok(out),
+        match peek_root_key(bytes) {
+            Ok(k) if keys.contains(&k) => match decode(bytes, schema) {
+                Ok(t) => out.entry(k).or_default().push(t),
+                Err(e) => err = Some(CoreError::from(e)),
+            },
+            Ok(_) => {}
+            Err(e) => err = Some(e),
         }
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
     }
+}
 
-    /// Reads tuples by RID (NSM+index path): a page is fixed iff a tuple on
-    /// it is requested.
-    fn read_rids(
-        pool: &mut BufferPool,
-        file: &HeapFile,
-        schema: &RelSchema,
-        rids: &[Rid],
-    ) -> Result<Vec<Tuple>> {
-        rids.iter()
-            .map(|rid| {
-                let bytes = file.read(pool, *rid)?;
-                Ok(decode(&bytes, schema)?)
-            })
-            .collect()
-    }
+/// Reads tuples by RID (NSM+index path): a page is fixed iff a tuple on
+/// it is requested.
+fn read_rids(
+    pool: &mut impl PageCache,
+    file: &HeapFile,
+    schema: &RelSchema,
+    rids: &[Rid],
+) -> Result<Vec<Tuple>> {
+    rids.iter()
+        .map(|rid| {
+            let bytes = file.read(pool, *rid)?;
+            Ok(decode(&bytes, schema)?)
+        })
+        .collect()
+}
 
+impl<P: PageCache> NsmStore<P> {
     /// Materializes one full object by key: pure NSM scans all relations,
     /// NSM+index reads the root by scan/index depending on `root_by_scan`
     /// and the sub-tuples by RID.
     fn materialize(&mut self, key: Key, root_by_scan: bool) -> Result<Tuple> {
-        self.loaded()?;
-        let station_schema = nsm_station_schema();
-        let root = if root_by_scan {
-            let keys: HashSet<Key> = [key].into();
-            let found = Self::scan_matching(
-                &mut self.pool,
-                self.station.as_ref().expect("loaded"),
-                &station_schema,
-                &keys,
-            )?;
-            found
-                .get(&key)
-                .and_then(|v| v.first())
-                .cloned()
-                .ok_or_else(|| CoreError::NotFound {
-                    what: format!("key {key}"),
-                })?
-        } else {
-            let rid = self
-                .index
-                .get(&key)
-                .and_then(|r| r.station)
-                .ok_or_else(|| CoreError::NotFound {
-                    what: format!("key {key}"),
-                })?;
-            let bytes = self
-                .station
-                .as_ref()
-                .expect("loaded")
-                .read(&mut self.pool, rid)?;
-            decode(&bytes, &station_schema)?
-        };
-        let (platforms, connections, sightseeings) = if self.indexed {
-            let rids = self.index.get(&key).cloned().unwrap_or_default();
-            (
-                Self::read_rids(
-                    &mut self.pool,
-                    self.platform.as_ref().expect("loaded"),
-                    &nsm_platform_schema(),
-                    &rids.platforms,
-                )?,
-                Self::read_rids(
-                    &mut self.pool,
-                    self.connection.as_ref().expect("loaded"),
-                    &nsm_connection_schema(),
-                    &rids.connections,
-                )?,
-                Self::read_rids(
-                    &mut self.pool,
-                    self.sightseeing.as_ref().expect("loaded"),
-                    &nsm_sightseeing_schema(),
-                    &rids.sightseeings,
-                )?,
-            )
-        } else {
-            let keys: HashSet<Key> = [key].into();
-            let mut p = Self::scan_matching(
-                &mut self.pool,
-                self.platform.as_ref().expect("loaded"),
+        let (parts, pool) = self.parts_and_pool()?;
+        materialize_in(&parts, pool, key, root_by_scan)
+    }
+}
+
+/// [`NsmStore::materialize`] over explicit parts and pool — the shape both
+/// the exclusive and the concurrent surfaces share.
+fn materialize_in(
+    parts: &NsmParts<'_>,
+    pool: &mut impl PageCache,
+    key: Key,
+    root_by_scan: bool,
+) -> Result<Tuple> {
+    let station_schema = nsm_station_schema();
+    let root = if root_by_scan {
+        let keys: HashSet<Key> = [key].into();
+        let found = scan_matching(pool, parts.station, &station_schema, &keys)?;
+        found
+            .get(&key)
+            .and_then(|v| v.first())
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {key}"),
+            })?
+    } else {
+        let rid = parts
+            .index
+            .get(&key)
+            .and_then(|r| r.station)
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {key}"),
+            })?;
+        let bytes = parts.station.read(pool, rid)?;
+        decode(&bytes, &station_schema)?
+    };
+    let (platforms, connections, sightseeings) = if parts.indexed {
+        let rids = parts.index.get(&key).cloned().unwrap_or_default();
+        (
+            read_rids(
+                pool,
+                parts.platform,
                 &nsm_platform_schema(),
-                &keys,
-            )?;
-            let mut c = Self::scan_matching(
-                &mut self.pool,
-                self.connection.as_ref().expect("loaded"),
+                &rids.platforms,
+            )?,
+            read_rids(
+                pool,
+                parts.connection,
                 &nsm_connection_schema(),
-                &keys,
-            )?;
-            let mut s = Self::scan_matching(
-                &mut self.pool,
-                self.sightseeing.as_ref().expect("loaded"),
+                &rids.connections,
+            )?,
+            read_rids(
+                pool,
+                parts.sightseeing,
                 &nsm_sightseeing_schema(),
-                &keys,
-            )?;
-            (
-                p.remove(&key).unwrap_or_default(),
-                c.remove(&key).unwrap_or_default(),
-                s.remove(&key).unwrap_or_default(),
-            )
-        };
-        Ok(Self::assemble(
-            key,
-            &root,
-            &platforms,
-            &connections,
-            &sightseeings,
-        ))
+                &rids.sightseeings,
+            )?,
+        )
+    } else {
+        let keys: HashSet<Key> = [key].into();
+        let mut p = scan_matching(pool, parts.platform, &nsm_platform_schema(), &keys)?;
+        let mut c = scan_matching(pool, parts.connection, &nsm_connection_schema(), &keys)?;
+        let mut s = scan_matching(pool, parts.sightseeing, &nsm_sightseeing_schema(), &keys)?;
+        (
+            p.remove(&key).unwrap_or_default(),
+            c.remove(&key).unwrap_or_default(),
+            s.remove(&key).unwrap_or_default(),
+        )
+    };
+    Ok(assemble(
+        key,
+        &root,
+        &platforms,
+        &connections,
+        &sightseeings,
+    ))
+}
+
+/// The NSM navigation step over explicit parts and pool.
+fn children_of_in(
+    parts: &NsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+) -> Result<Vec<ObjRef>> {
+    let schema = nsm_connection_schema();
+    let to_ref = |c: &Tuple| ObjRef {
+        key: c.attr(3).and_then(Value::as_int).unwrap_or(0),
+        oid: c.attr(4).and_then(Value::as_link).unwrap_or(Oid(0)),
+    };
+    if parts.indexed {
+        let mut out = Vec::new();
+        for r in refs {
+            let rids = parts
+                .index
+                .get(&r.key)
+                .map(|x| x.connections.clone())
+                .unwrap_or_default();
+            let tuples = read_rids(pool, parts.connection, &schema, &rids)?;
+            out.extend(tuples.iter().map(to_ref));
+        }
+        Ok(out)
+    } else {
+        // One set-oriented scan of NSM-Connection for the whole ref set.
+        let keys: HashSet<Key> = refs.iter().map(|r| r.key).collect();
+        let mut by_key = scan_matching(pool, parts.connection, &schema, &keys)?;
+        // Preserve per-ref order (and duplicate refs duplicate output).
+        let mut out = Vec::new();
+        for r in refs {
+            if let Some(ts) = by_key.get(&r.key) {
+                out.extend(ts.iter().map(to_ref));
+            }
+        }
+        let _ = by_key.drain();
+        Ok(out)
+    }
+}
+
+/// The NSM root-record read over explicit parts and pool.
+fn root_records_in(
+    parts: &NsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+) -> Result<Vec<Tuple>> {
+    let schema = nsm_station_schema();
+    let to_root = |t: &Tuple| {
+        Tuple::new(vec![
+            t.values[0].clone(),
+            t.values[1].clone(),
+            t.values[2].clone(),
+            t.values[3].clone(),
+            Value::Rel(vec![]),
+            Value::Rel(vec![]),
+        ])
+    };
+    if parts.indexed {
+        refs.iter()
+            .map(|r| {
+                let rid = parts
+                    .index
+                    .get(&r.key)
+                    .and_then(|x| x.station)
+                    .ok_or_else(|| CoreError::NotFound {
+                        what: format!("key {}", r.key),
+                    })?;
+                let bytes = parts.station.read(pool, rid)?;
+                Ok(to_root(&decode(&bytes, &schema)?))
+            })
+            .collect()
+    } else {
+        let keys: HashSet<Key> = refs.iter().map(|r| r.key).collect();
+        let by_key = scan_matching(pool, parts.station, &schema, &keys)?;
+        refs.iter()
+            .map(|r| {
+                by_key
+                    .get(&r.key)
+                    .and_then(|v| v.first())
+                    .map(to_root)
+                    .ok_or_else(|| CoreError::NotFound {
+                        what: format!("key {}", r.key),
+                    })
+            })
+            .collect()
     }
 }
 
@@ -346,7 +488,7 @@ fn root_key_offset(bytes: &[u8]) -> Result<usize> {
     Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
 }
 
-impl ComplexObjectStore for NsmStore {
+impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     fn model(&self) -> ModelKind {
         if self.indexed {
             ModelKind::NsmIndexed
@@ -474,54 +616,40 @@ impl ComplexObjectStore for NsmStore {
                 op: "access by OID (query 1a)",
             });
         }
-        let key = self
-            .refs
-            .get(oid.0 as usize)
-            .map(|r| r.key)
-            .ok_or_else(|| CoreError::NotFound {
-                what: format!("object {oid}"),
-            })?;
+        let key = key_of_oid(&self.refs, oid)?;
         let t = self.materialize(key, false)?;
-        Ok(if proj.is_all() {
-            t
-        } else {
-            proj.apply(&t, &starfish_nf2::station::station_schema())
-        })
+        Ok(apply_station_proj(t, proj))
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
         // Value selection: the root relation is always scanned; the
         // sub-relations are scanned (pure) or read by RID (indexed).
         let t = self.materialize(key, true)?;
-        Ok(if proj.is_all() {
-            t
-        } else {
-            proj.apply(&t, &starfish_nf2::station::station_schema())
-        })
+        Ok(apply_station_proj(t, proj))
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
         self.loaded()?;
         let keys: HashSet<Key> = self.refs.iter().map(|r| r.key).collect();
-        let roots = Self::scan_matching(
+        let roots = scan_matching(
             &mut self.pool,
             self.station.as_ref().expect("loaded"),
             &nsm_station_schema(),
             &keys,
         )?;
-        let mut platforms = Self::scan_matching(
+        let mut platforms = scan_matching(
             &mut self.pool,
             self.platform.as_ref().expect("loaded"),
             &nsm_platform_schema(),
             &keys,
         )?;
-        let mut connections = Self::scan_matching(
+        let mut connections = scan_matching(
             &mut self.pool,
             self.connection.as_ref().expect("loaded"),
             &nsm_connection_schema(),
             &keys,
         )?;
-        let mut sightseeings = Self::scan_matching(
+        let mut sightseeings = scan_matching(
             &mut self.pool,
             self.sightseeing.as_ref().expect("loaded"),
             &nsm_sightseeing_schema(),
@@ -535,7 +663,7 @@ impl ComplexObjectStore for NsmStore {
                     .ok_or_else(|| CoreError::NotFound {
                         what: format!("key {}", r.key),
                     })?;
-            let t = Self::assemble(
+            let t = assemble(
                 r.key,
                 root,
                 &platforms.remove(&r.key).unwrap_or_default(),
@@ -548,101 +676,13 @@ impl ComplexObjectStore for NsmStore {
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        self.loaded()?;
-        let schema = nsm_connection_schema();
-        let to_ref = |c: &Tuple| ObjRef {
-            key: c.attr(3).and_then(Value::as_int).unwrap_or(0),
-            oid: c.attr(4).and_then(Value::as_link).unwrap_or(Oid(0)),
-        };
-        if self.indexed {
-            let mut out = Vec::new();
-            for r in refs {
-                let rids = self
-                    .index
-                    .get(&r.key)
-                    .map(|x| x.connections.clone())
-                    .unwrap_or_default();
-                let tuples = Self::read_rids(
-                    &mut self.pool,
-                    self.connection.as_ref().expect("loaded"),
-                    &schema,
-                    &rids,
-                )?;
-                out.extend(tuples.iter().map(to_ref));
-            }
-            Ok(out)
-        } else {
-            // One set-oriented scan of NSM-Connection for the whole ref set.
-            let keys: HashSet<Key> = refs.iter().map(|r| r.key).collect();
-            let mut by_key = Self::scan_matching(
-                &mut self.pool,
-                self.connection.as_ref().expect("loaded"),
-                &schema,
-                &keys,
-            )?;
-            // Preserve per-ref order (and duplicate refs duplicate output).
-            let mut out = Vec::new();
-            for r in refs {
-                if let Some(ts) = by_key.get(&r.key) {
-                    out.extend(ts.iter().map(to_ref));
-                }
-            }
-            let _ = by_key.drain();
-            Ok(out)
-        }
+        let (parts, pool) = self.parts_and_pool()?;
+        children_of_in(&parts, pool, refs)
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        self.loaded()?;
-        let schema = nsm_station_schema();
-        let to_root = |t: &Tuple| {
-            Tuple::new(vec![
-                t.values[0].clone(),
-                t.values[1].clone(),
-                t.values[2].clone(),
-                t.values[3].clone(),
-                Value::Rel(vec![]),
-                Value::Rel(vec![]),
-            ])
-        };
-        if self.indexed {
-            refs.iter()
-                .map(|r| {
-                    let rid = self
-                        .index
-                        .get(&r.key)
-                        .and_then(|x| x.station)
-                        .ok_or_else(|| CoreError::NotFound {
-                            what: format!("key {}", r.key),
-                        })?;
-                    let bytes = self
-                        .station
-                        .as_ref()
-                        .expect("loaded")
-                        .read(&mut self.pool, rid)?;
-                    Ok(to_root(&decode(&bytes, &schema)?))
-                })
-                .collect()
-        } else {
-            let keys: HashSet<Key> = refs.iter().map(|r| r.key).collect();
-            let by_key = Self::scan_matching(
-                &mut self.pool,
-                self.station.as_ref().expect("loaded"),
-                &schema,
-                &keys,
-            )?;
-            refs.iter()
-                .map(|r| {
-                    by_key
-                        .get(&r.key)
-                        .and_then(|v| v.first())
-                        .map(to_root)
-                        .ok_or_else(|| CoreError::NotFound {
-                            what: format!("key {}", r.key),
-                        })
-                })
-                .collect()
-        }
+        let (parts, pool) = self.parts_and_pool()?;
+        root_records_in(&parts, pool, refs)
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
@@ -727,6 +767,55 @@ impl ComplexObjectStore for NsmStore {
 
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
+    }
+}
+
+impl NsmStore<SharedPoolHandle> {
+    /// Parts plus a cloned pool handle, for `&self` read paths.
+    fn parts_and_handle(&self) -> Result<(NsmParts<'_>, SharedPoolHandle)> {
+        let parts = nsm_parts(
+            self.indexed,
+            &self.station,
+            &self.platform,
+            &self.connection,
+            &self.sightseeing,
+            &self.index,
+        )?;
+        Ok((parts, self.pool.clone()))
+    }
+}
+
+impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
+    fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple> {
+        if !self.indexed {
+            // "With NSM we have no identifiers, so query 1a is not relevant."
+            return Err(CoreError::Unsupported {
+                model: "NSM",
+                op: "access by OID (query 1a)",
+            });
+        }
+        let key = key_of_oid(&self.refs, oid)?;
+        let (parts, mut pool) = self.parts_and_handle()?;
+        let t = materialize_in(&parts, &mut pool, key, false)?;
+        Ok(apply_station_proj(t, proj))
+    }
+
+    fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        children_of_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        root_records_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_clear_cache(&self) -> Result<()> {
+        self.pool.pool().clear_cache().map_err(Into::into)
+    }
+
+    fn shard_stats(&self) -> Vec<BufferStats> {
+        self.pool.pool().shard_stats()
     }
 }
 

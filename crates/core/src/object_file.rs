@@ -10,7 +10,7 @@
 use crate::{CoreError, Result};
 use starfish_nf2::TupleLayout;
 use starfish_pagestore::{
-    BufferPool, HeapFile, Rid, SpannedRecord, SpannedStore, EFFECTIVE_PAGE_SIZE, SLOT_ENTRY_SIZE,
+    HeapFile, PageCache, Rid, SpannedRecord, SpannedStore, EFFECTIVE_PAGE_SIZE, SLOT_ENTRY_SIZE,
 };
 use std::ops::Range;
 
@@ -70,7 +70,7 @@ impl ObjectFile {
     /// get one contiguous extent each, allocated in input order, with the
     /// serialized layout as header content.
     pub fn bulk_load(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         name: impl Into<String>,
         objects: &[(Vec<u8>, TupleLayout)],
     ) -> Result<ObjectFile> {
@@ -84,7 +84,7 @@ impl ObjectFile {
     /// where the average station costs `p = 4` allocated pages while only
     /// ~3 are full.
     pub fn bulk_load_opts(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         name: impl Into<String>,
         objects: &[(Vec<u8>, TupleLayout)],
         aligned: bool,
@@ -219,7 +219,7 @@ impl ObjectFile {
     /// residents (the DSM access path — "the pages that store the tuple will
     /// not be shared by other tuples" and are all retrieved), or the single
     /// shared page for heap residents.
-    pub fn read_full(&self, pool: &mut BufferPool, ord: usize) -> Result<Vec<u8>> {
+    pub fn read_full(&self, pool: &mut impl PageCache, ord: usize) -> Result<Vec<u8>> {
         match self.addr(ord)? {
             ObjAddr::Heap(rid) => Ok(self.heap.read(pool, rid)?),
             ObjAddr::Spanned(rec) => {
@@ -242,7 +242,7 @@ impl ObjectFile {
     /// separate header and data pages any longer").
     pub fn read_projected(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         ord: usize,
         ranges_of: impl FnOnce(&TupleLayout) -> Vec<Range<u32>>,
     ) -> Result<ReadPayload> {
@@ -266,7 +266,7 @@ impl ObjectFile {
     /// their pages, header included — the entire tuple is replaced.
     pub fn rewrite_full(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         ord: usize,
         bytes: &[u8],
         layout: &TupleLayout,
@@ -309,7 +309,7 @@ impl ObjectFile {
     /// operation. For heap residents the single page is patched.
     pub fn patch_range(
         &self,
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         ord: usize,
         range: Range<u32>,
         bytes: &[u8],
@@ -399,7 +399,7 @@ fn collect_units(layout: &TupleLayout, units: &mut Vec<(u32, u32)>) {
 mod tests {
     use super::*;
     use starfish_nf2::{encode_with_layout, station::station_schema, station::Station};
-    use starfish_pagestore::SimDisk;
+    use starfish_pagestore::{BufferPool, SimDisk};
 
     fn pool() -> BufferPool {
         BufferPool::new(SimDisk::new(), 512)

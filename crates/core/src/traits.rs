@@ -121,6 +121,27 @@ pub trait ComplexObjectStore {
     fn database_pages(&self) -> u32;
 }
 
+/// Resolves an OID to its logical key via the loaded refs (OIDs are dense
+/// ordinals) — shared by the exclusive and concurrent read surfaces so the
+/// two can never drift.
+pub(crate) fn key_of_oid(refs: &[ObjRef], oid: Oid) -> crate::Result<Key> {
+    refs.get(oid.0 as usize)
+        .map(|r| r.key)
+        .ok_or_else(|| crate::CoreError::NotFound {
+            what: format!("object {oid}"),
+        })
+}
+
+/// Applies `proj` to a fully materialized station tuple (identity for the
+/// full projection) — the common tail of every retrieval path.
+pub(crate) fn apply_station_proj(t: Tuple, proj: &Projection) -> Tuple {
+    if proj.is_all() {
+        t
+    } else {
+        proj.apply(&t, &starfish_nf2::station::station_schema())
+    }
+}
+
 /// Computes `tuples_per_object`, guarding the empty database.
 pub(crate) fn per_object(total: u64, objects: usize) -> f64 {
     if objects == 0 {

@@ -3,18 +3,22 @@
 //!
 //! ```text
 //! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--seed N]
-//!                [--policy <name>]
+//!                [--policy <name>] [--threads N]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
 //!   --only       run a subset: table2,table3,table4,table5,table6,
 //!                fig5,fig6,table7,table8,ext-timing,ext-buffer,
-//!                ext-policy,ext-distributed,ext-clustering,ext-alignment
+//!                ext-policy,ext-concurrency,ext-distributed,
+//!                ext-clustering,ext-alignment
 //!   --markdown   emit GitHub-flavoured markdown instead of plain text
 //!   --json       emit one JSON object per experiment (one per line)
 //!   --seed N     dataset seed (default 4242)
 //!   --policy P   buffer-replacement policy for every measurement:
 //!                lru (paper default), clock, mru, fifo, lru2.
 //!                ext-policy always sweeps all five.
+//!   --threads N  client count for ext-concurrency (default: sweep
+//!                1/2/4/8). With N=1 the experiment reproduces the serial
+//!                per-unit counters exactly.
 //! ```
 
 use starfish_harness::experiments;
@@ -25,12 +29,14 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "starfish-repro [--fast] [--only <ids>] [--markdown] [--seed N] \
-             [--policy lru|clock|mru|fifo|lru2]\n\
+             [--policy lru|clock|mru|fifo|lru2] [--threads N]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
              I/Os for Complex Object Processing' (ICDE 1993)\n\
              --policy selects the buffer-replacement policy behind every \
              measurement (default lru, the paper's §5.1 buffer); the \
-             ext-policy experiment sweeps all five policies regardless"
+             ext-policy experiment sweeps all five policies regardless\n\
+             --threads pins the ext-concurrency client count (default sweep: \
+             1/2/4/8 clients over the sharded pool)"
         );
         return;
     }
@@ -57,6 +63,20 @@ fn main() {
             }
         }
     }
+    let threads: Option<usize> = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("starfish-repro: --threads needs a client count >= 1");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let run_concurrency = |config: &HarnessConfig| match threads {
+        Some(n) => experiments::ext_concurrency::run_with(config, &[n]),
+        None => experiments::ext_concurrency::run(config),
+    };
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
     let only: Option<Vec<String>> = args
@@ -71,7 +91,10 @@ fn main() {
     );
 
     let reports = match &only {
-        None => experiments::run_all(&config).unwrap_or_else(die),
+        None => match threads {
+            Some(n) => experiments::run_all_with(&config, &[n]).unwrap_or_else(die),
+            None => experiments::run_all(&config).unwrap_or_else(die),
+        },
         Some(ids) => {
             let mut out = Vec::new();
             // Tables 4–6 and 8 share one measured grid; build it lazily.
@@ -111,6 +134,9 @@ fn main() {
                     "ext-buffer" => experiments::ext_buffer::run(&config).unwrap_or_else(die),
                     "ext-policy" | "ext_policy" => {
                         experiments::ext_policy::run(&config).unwrap_or_else(die)
+                    }
+                    "ext-concurrency" | "ext_concurrency" => {
+                        run_concurrency(&config).unwrap_or_else(die)
                     }
                     "ext-clustering" => {
                         experiments::ext_clustering::run(&config).unwrap_or_else(die)

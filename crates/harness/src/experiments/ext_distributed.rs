@@ -24,7 +24,7 @@ pub const NODES: usize = 8;
 pub const MODELS: [ModelKind; 3] = [ModelKind::Dsm, ModelKind::DasdbsDsm, ModelKind::DasdbsNsm];
 
 /// Per-node imbalance of a load vector: max/mean (1.0 = perfectly even).
-fn imbalance(loads: &[u64]) -> f64 {
+pub(crate) fn imbalance(loads: &[u64]) -> f64 {
     let total: u64 = loads.iter().sum();
     if total == 0 {
         return 1.0;
@@ -34,7 +34,7 @@ fn imbalance(loads: &[u64]) -> f64 {
 }
 
 /// Coefficient of variation (σ/μ) of a load vector.
-fn cv(loads: &[u64]) -> f64 {
+pub(crate) fn cv(loads: &[u64]) -> f64 {
     let n = loads.len() as f64;
     let mean = loads.iter().sum::<u64>() as f64 / n;
     if mean <= 0.0 {

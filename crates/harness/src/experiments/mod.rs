@@ -6,6 +6,7 @@
 pub mod ext_alignment;
 pub mod ext_buffer;
 pub mod ext_clustering;
+pub mod ext_concurrency;
 pub mod ext_distributed;
 pub mod ext_policy;
 pub mod ext_timing;
@@ -38,6 +39,15 @@ pub fn grid_models() -> Vec<ModelKind> {
 
 /// Runs every experiment at the given scale, in paper order.
 pub fn run_all(config: &HarnessConfig) -> Result<Vec<ExperimentReport>> {
+    run_all_with(config, &ext_concurrency::THREADS)
+}
+
+/// [`run_all`] with an explicit client-count list for the concurrency
+/// sweep (`starfish_repro --threads N` passes `[N]`).
+pub fn run_all_with(
+    config: &HarnessConfig,
+    concurrency_threads: &[usize],
+) -> Result<Vec<ExperimentReport>> {
     let grid = measure_grid(&config.dataset(), config, &grid_models())?;
     Ok(vec![
         table2::run(config)?,
@@ -52,6 +62,7 @@ pub fn run_all(config: &HarnessConfig) -> Result<Vec<ExperimentReport>> {
         ext_timing::run(&grid),
         ext_buffer::run(config)?,
         ext_policy::run(config)?,
+        ext_concurrency::run_with(config, concurrency_threads)?,
         ext_distributed::run(config)?,
         ext_clustering::run(config)?,
         ext_alignment::run(config)?,

@@ -1,3 +1,4 @@
+use crate::disk::DiskOps;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferStats, IoSnapshot};
 use crate::DEFAULT_BUFFER_PAGES;
@@ -56,12 +57,287 @@ impl BufferConfig {
 }
 
 /// One resident page: its identity, image, and bookkeeping bits.
-struct Frame {
-    pid: PageId,
-    data: [u8; PAGE_SIZE],
-    dirty: bool,
+pub(crate) struct Frame {
+    pub(crate) pid: PageId,
+    pub(crate) data: [u8; PAGE_SIZE],
+    pub(crate) dirty: bool,
     /// Pin count: pinned frames are never eviction victims.
-    pins: u32,
+    pub(crate) pins: u32,
+}
+
+/// The disk-agnostic heart of a buffer pool: frame slots, the resident-page
+/// table, the replacement policy, and fix/eviction accounting.
+///
+/// [`BufferPool`] wraps exactly one core over an exclusively-owned
+/// [`SimDisk`]; [`crate::SharedBufferPool`] wraps one core per lock-striped
+/// shard over a shared disk. Both run the *identical* logic — which is what
+/// makes a one-shard shared pool counter-for-counter indistinguishable from
+/// the single-threaded pool (`tests/prop_shared_buffer.rs` pins that down).
+pub(crate) struct PoolCore {
+    capacity: usize,
+    /// Frame slots; `None` entries are free and listed in `free`.
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    /// Resident-page table: page id → slot index.
+    table: HashMap<PageId, usize>,
+    policy: Box<dyn ReplacementPolicy>,
+    pub(crate) stats: BufferStats,
+}
+
+impl PoolCore {
+    pub(crate) fn new(capacity: usize, policy: PolicyKind) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        PoolCore {
+            capacity,
+            frames: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            table: HashMap::with_capacity(capacity.min(1 << 20)),
+            policy: policy.build(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    pub(crate) fn cached_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    pub(crate) fn pinned_pages(&self) -> usize {
+        self.table
+            .values()
+            .filter(|&&s| self.frame(s).pins > 0)
+            .count()
+    }
+
+    pub(crate) fn is_cached(&self, pid: PageId) -> bool {
+        self.table.contains_key(&pid)
+    }
+
+    pub(crate) fn frame(&self, slot: usize) -> &Frame {
+        self.frames[slot].as_ref().expect("slot occupied")
+    }
+
+    pub(crate) fn frame_mut(&mut self, slot: usize) -> &mut Frame {
+        self.frames[slot].as_mut().expect("slot occupied")
+    }
+
+    /// Slot of `pid`, if resident.
+    pub(crate) fn slot_of(&self, pid: PageId) -> Option<usize> {
+        self.table.get(&pid).copied()
+    }
+
+    /// Bumps the policy's access bookkeeping for a resident page (a
+    /// prefetch touch — not a counted fix). Returns false when not cached.
+    pub(crate) fn touch(&mut self, pid: PageId) -> bool {
+        match self.table.get(&pid) {
+            Some(&slot) => {
+                self.policy.on_access(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fixes `pid`: one counted access, loading the page on a miss. Returns
+    /// the frame slot.
+    pub(crate) fn fix<D: DiskOps>(
+        &mut self,
+        disk: &mut D,
+        pid: PageId,
+        dirty: bool,
+    ) -> Result<usize> {
+        self.stats.fixes += 1;
+        let slot = match self.table.get(&pid) {
+            Some(&slot) => {
+                self.stats.hits += 1;
+                self.policy.on_access(slot);
+                slot
+            }
+            None => {
+                self.stats.misses += 1;
+                self.load_run(disk, pid, 1)?;
+                self.table[&pid]
+            }
+        };
+        if dirty {
+            self.frame_mut(slot).dirty = true;
+        }
+        Ok(slot)
+    }
+
+    /// Releases one pin on `pid`. Returns `false` (and does nothing) if the
+    /// page is not cached or not pinned.
+    pub(crate) fn unpin(&mut self, pid: PageId) -> bool {
+        match self.table.get(&pid) {
+            Some(&slot) if self.frame(slot).pins > 0 => {
+                self.frame_mut(slot).pins -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ensures the run `[first, first+n)` is cached, one read call per
+    /// maximal contiguous missing sub-run. Does not count fixes.
+    pub(crate) fn prefetch_run<D: DiskOps>(
+        &mut self,
+        disk: &mut D,
+        first: PageId,
+        n: u32,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < n {
+            let pid = first.offset(i);
+            if let Some(&slot) = self.table.get(&pid) {
+                self.policy.on_access(slot);
+                i += 1;
+                continue;
+            }
+            // Extend the missing run as far as possible.
+            let mut len = 1;
+            while i + len < n && !self.table.contains_key(&first.offset(i + len)) {
+                len += 1;
+            }
+            self.load_run(disk, first.offset(i), len)?;
+            i += len;
+        }
+        Ok(())
+    }
+
+    /// Loads `n` contiguous uncached pages in one read call.
+    pub(crate) fn load_run<D: DiskOps>(
+        &mut self,
+        disk: &mut D,
+        first: PageId,
+        n: u32,
+    ) -> Result<()> {
+        for i in 0..n {
+            debug_assert!(!self.table.contains_key(&first.offset(i)));
+        }
+        self.make_room(disk, n as usize)?;
+        let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
+        disk.read_run_dyn(first, n, &mut |_, data| images.push(*data))?;
+        for (i, data) in images.into_iter().enumerate() {
+            let pid = first.offset(i as u32);
+            self.insert_frame(pid, data);
+        }
+        Ok(())
+    }
+
+    /// Installs a page image in a fresh frame (the page must not be
+    /// resident). Used by the shared pool after a run read whose images are
+    /// distributed across shards.
+    pub(crate) fn insert_frame(&mut self, pid: PageId, data: [u8; PAGE_SIZE]) {
+        debug_assert!(!self.table.contains_key(&pid));
+        let slot = self.alloc_slot();
+        self.frames[slot] = Some(Frame {
+            pid,
+            data,
+            dirty: false,
+            pins: 0,
+        });
+        self.table.insert(pid, slot);
+        self.policy.on_insert(slot);
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.frames.push(None);
+                self.frames.len() - 1
+            }
+        }
+    }
+
+    /// Evicts until `incoming` more pages fit, or nothing evictable is
+    /// left (transient overflow — e.g. a run larger than the buffer, or
+    /// everything pinned).
+    pub(crate) fn make_room<D: DiskOps>(&mut self, disk: &mut D, incoming: usize) -> Result<()> {
+        while self.table.len() + incoming > self.capacity {
+            let frames = &self.frames;
+            let victim = self
+                .policy
+                .victim(&|slot| frames[slot].as_ref().is_some_and(|f| f.pins == 0));
+            let Some(slot) = victim else {
+                break; // nothing evictable; allow transient overflow
+            };
+            self.evict_slot(disk, slot)?;
+        }
+        Ok(())
+    }
+
+    fn evict_slot<D: DiskOps>(&mut self, disk: &mut D, slot: usize) -> Result<()> {
+        let frame = self.frames[slot].take().expect("victim slot occupied");
+        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
+        self.policy.on_remove(slot);
+        let mapped = self.table.remove(&frame.pid);
+        debug_assert_eq!(mapped, Some(slot));
+        self.free.push(slot);
+        self.stats.evictions += 1;
+        if frame.dirty {
+            self.stats.dirty_evictions += 1;
+            disk.write_run_dyn(frame.pid, 1, &mut |_| frame.data)?;
+        }
+        Ok(())
+    }
+
+    /// Resident dirty page ids, unsorted.
+    pub(crate) fn dirty_pages(&self) -> Vec<PageId> {
+        self.table
+            .iter()
+            .filter(|(_, &slot)| self.frame(slot).dirty)
+            .map(|(&pid, _)| pid)
+            .collect()
+    }
+
+    /// Writes all dirty pages back, grouped into contiguous runs of at most
+    /// [`MAX_PAGES_PER_WRITE_CALL`] pages per call.
+    pub(crate) fn flush_all<D: DiskOps>(&mut self, disk: &mut D) -> Result<()> {
+        let mut dirty = self.dirty_pages();
+        dirty.sort_unstable();
+        let mut i = 0;
+        while i < dirty.len() {
+            let start = dirty[i];
+            let mut len = 1u32;
+            while i + (len as usize) < dirty.len()
+                && dirty[i + len as usize].0 == start.0 + len
+                && len < MAX_PAGES_PER_WRITE_CALL
+            {
+                len += 1;
+            }
+            let frames = &self.frames;
+            let table = &self.table;
+            disk.write_run_dyn(start, len, &mut |j| {
+                let slot = table[&start.offset(j)];
+                frames[slot].as_ref().expect("dirty frame present").data
+            })?;
+            for j in 0..len {
+                let slot = self.table[&start.offset(j)];
+                self.frame_mut(slot).dirty = false;
+            }
+            i += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Drops every cached frame without writing anything (callers flush
+    /// first). Pins do not survive.
+    pub(crate) fn drop_all(&mut self) {
+        for (_, slot) in self.table.drain() {
+            self.policy.on_remove(slot);
+            self.frames[slot] = None;
+            self.free.push(slot);
+        }
+        debug_assert!(self.policy.is_empty());
+    }
 }
 
 /// A page cache over the simulated disk with a pluggable replacement policy.
@@ -89,14 +365,7 @@ struct Frame {
 /// overflows transiently rather than failing.
 pub struct BufferPool {
     disk: SimDisk,
-    capacity: usize,
-    /// Frame slots; `None` entries are free and listed in `free`.
-    frames: Vec<Option<Frame>>,
-    free: Vec<usize>,
-    /// Resident-page table: page id → slot index.
-    table: HashMap<PageId, usize>,
-    policy: Box<dyn ReplacementPolicy>,
-    stats: BufferStats,
+    core: PoolCore,
 }
 
 impl BufferPool {
@@ -109,15 +378,9 @@ impl BufferPool {
     /// Creates a pool of `capacity` pages over `disk` with an explicit
     /// replacement policy.
     pub fn with_policy(disk: SimDisk, capacity: usize, policy: PolicyKind) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
         BufferPool {
             disk,
-            capacity,
-            frames: Vec::with_capacity(capacity.min(1 << 20)),
-            free: Vec::new(),
-            table: HashMap::with_capacity(capacity.min(1 << 20)),
-            policy: policy.build(),
-            stats: BufferStats::default(),
+            core: PoolCore::new(capacity, policy),
         }
     }
 
@@ -128,25 +391,22 @@ impl BufferPool {
 
     /// Pool capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.core.capacity()
     }
 
     /// Which replacement policy this pool runs.
     pub fn policy_kind(&self) -> PolicyKind {
-        self.policy.kind()
+        self.core.policy_kind()
     }
 
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.table.len()
+        self.core.cached_pages()
     }
 
     /// Number of currently pinned pages.
     pub fn pinned_pages(&self) -> usize {
-        self.table
-            .values()
-            .filter(|&&s| self.frame(s).pins > 0)
-            .count()
+        self.core.pinned_pages()
     }
 
     /// Allocates `n` contiguous pages on the underlying disk.
@@ -165,8 +425,8 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let slot = self.fix(pid, false)?;
-        Ok(f(&self.frame(slot).data))
+        let slot = self.core.fix(&mut self.disk, pid, false)?;
+        Ok(f(&self.core.frame(slot).data))
     }
 
     /// Fixes `pid` for writing, passes its content to `f`, marks it dirty.
@@ -175,29 +435,23 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let slot = self.fix(pid, true)?;
-        Ok(f(&mut self.frame_mut(slot).data))
+        let slot = self.core.fix(&mut self.disk, pid, true)?;
+        Ok(f(&mut self.core.frame_mut(slot).data))
     }
 
     /// Fixes `pid` (a counted access, hit or miss, like any other) and pins
     /// its frame: a pinned frame is never chosen as an eviction victim
     /// until [`BufferPool::unpin`] balances the pin. Pins nest.
     pub fn pin(&mut self, pid: PageId) -> Result<()> {
-        let slot = self.fix(pid, false)?;
-        self.frame_mut(slot).pins += 1;
+        let slot = self.core.fix(&mut self.disk, pid, false)?;
+        self.core.frame_mut(slot).pins += 1;
         Ok(())
     }
 
     /// Releases one pin on `pid`. Returns `false` (and does nothing) if the
     /// page is not cached or not pinned.
     pub fn unpin(&mut self, pid: PageId) -> bool {
-        match self.table.get(&pid) {
-            Some(&slot) if self.frame(slot).pins > 0 => {
-                self.frame_mut(slot).pins -= 1;
-                true
-            }
-            _ => false,
-        }
+        self.core.unpin(pid)
     }
 
     /// Ensures the run `[first, first+n)` is cached, issuing **one read call
@@ -205,76 +459,26 @@ impl BufferPool {
     /// (e.g. one call for a large object's data pages). Does not count fixes;
     /// follow with [`BufferPool::with_page`] per page actually accessed.
     pub fn prefetch_run(&mut self, first: PageId, n: u32) -> Result<()> {
-        let mut i = 0;
-        while i < n {
-            let pid = first.offset(i);
-            if let Some(&slot) = self.table.get(&pid) {
-                self.policy.on_access(slot);
-                i += 1;
-                continue;
-            }
-            // Extend the missing run as far as possible.
-            let mut len = 1;
-            while i + len < n && !self.table.contains_key(&first.offset(i + len)) {
-                len += 1;
-            }
-            self.load_run(first.offset(i), len)?;
-            i += len;
-        }
-        Ok(())
+        self.core.prefetch_run(&mut self.disk, first, n)
     }
 
     /// True if `pid` is currently cached (no side effects, no accounting).
     pub fn is_cached(&self, pid: PageId) -> bool {
-        self.table.contains_key(&pid)
+        self.core.is_cached(pid)
     }
 
     /// Writes all dirty pages back, grouped into contiguous runs of at most
     /// [`MAX_PAGES_PER_WRITE_CALL`] pages per call — the "database
     /// disconnect" of the paper's measurement protocol.
     pub fn flush_all(&mut self) -> Result<()> {
-        let mut dirty: Vec<PageId> = self
-            .table
-            .iter()
-            .filter(|(_, &slot)| self.frame(slot).dirty)
-            .map(|(&pid, _)| pid)
-            .collect();
-        dirty.sort_unstable();
-        let mut i = 0;
-        while i < dirty.len() {
-            let start = dirty[i];
-            let mut len = 1u32;
-            while i + (len as usize) < dirty.len()
-                && dirty[i + len as usize].0 == start.0 + len
-                && len < MAX_PAGES_PER_WRITE_CALL
-            {
-                len += 1;
-            }
-            let frames = &self.frames;
-            let table = &self.table;
-            self.disk.write_run(start, len, |j| {
-                let slot = table[&start.offset(j)];
-                frames[slot].as_ref().expect("dirty frame present").data
-            })?;
-            for j in 0..len {
-                let slot = self.table[&start.offset(j)];
-                self.frame_mut(slot).dirty = false;
-            }
-            i += len as usize;
-        }
-        Ok(())
+        self.core.flush_all(&mut self.disk)
     }
 
     /// Flushes and drops every cached page: a cold restart between
     /// measurement runs. Pins do not survive the restart.
     pub fn clear_cache(&mut self) -> Result<()> {
         self.flush_all()?;
-        for (_, slot) in self.table.drain() {
-            self.policy.on_remove(slot);
-            self.frames[slot] = None;
-            self.free.push(slot);
-        }
-        debug_assert!(self.policy.is_empty());
+        self.core.drop_all();
         Ok(())
     }
 
@@ -287,116 +491,19 @@ impl BufferPool {
 
     /// Combined disk + buffer counters.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot::combine(self.disk.stats(), self.stats)
+        IoSnapshot::combine(self.disk.stats(), self.core.stats)
     }
 
     /// Buffer counters only.
     pub fn buffer_stats(&self) -> BufferStats {
-        self.stats
+        self.core.stats
     }
 
     /// Resets disk and buffer counters (cache content — dirty pages
     /// included — is kept).
     pub fn reset_stats(&mut self) {
         self.disk.reset_stats();
-        self.stats = BufferStats::default();
-    }
-
-    // ----- internals -------------------------------------------------------
-
-    fn frame(&self, slot: usize) -> &Frame {
-        self.frames[slot].as_ref().expect("slot occupied")
-    }
-
-    fn frame_mut(&mut self, slot: usize) -> &mut Frame {
-        self.frames[slot].as_mut().expect("slot occupied")
-    }
-
-    /// Fixes `pid`: one counted access, loading the page on a miss. Returns
-    /// the frame slot.
-    fn fix(&mut self, pid: PageId, dirty: bool) -> Result<usize> {
-        self.stats.fixes += 1;
-        let slot = match self.table.get(&pid) {
-            Some(&slot) => {
-                self.stats.hits += 1;
-                self.policy.on_access(slot);
-                slot
-            }
-            None => {
-                self.stats.misses += 1;
-                self.load_run(pid, 1)?;
-                self.table[&pid]
-            }
-        };
-        if dirty {
-            self.frame_mut(slot).dirty = true;
-        }
-        Ok(slot)
-    }
-
-    /// Loads `n` contiguous uncached pages in one read call.
-    fn load_run(&mut self, first: PageId, n: u32) -> Result<()> {
-        for i in 0..n {
-            debug_assert!(!self.table.contains_key(&first.offset(i)));
-        }
-        self.make_room(n as usize)?;
-        let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
-        self.disk.read_run(first, n, |_, data| images.push(*data))?;
-        for (i, data) in images.into_iter().enumerate() {
-            let pid = first.offset(i as u32);
-            let slot = self.alloc_slot();
-            self.frames[slot] = Some(Frame {
-                pid,
-                data,
-                dirty: false,
-                pins: 0,
-            });
-            self.table.insert(pid, slot);
-            self.policy.on_insert(slot);
-        }
-        Ok(())
-    }
-
-    fn alloc_slot(&mut self) -> usize {
-        match self.free.pop() {
-            Some(slot) => slot,
-            None => {
-                self.frames.push(None);
-                self.frames.len() - 1
-            }
-        }
-    }
-
-    /// Evicts until `incoming` more pages fit, or nothing evictable is
-    /// left (transient overflow — e.g. a run larger than the buffer, or
-    /// everything pinned).
-    fn make_room(&mut self, incoming: usize) -> Result<()> {
-        while self.table.len() + incoming > self.capacity {
-            let frames = &self.frames;
-            let victim = self
-                .policy
-                .victim(&|slot| frames[slot].as_ref().is_some_and(|f| f.pins == 0));
-            let Some(slot) = victim else {
-                break; // nothing evictable; allow transient overflow
-            };
-            self.evict_slot(slot)?;
-        }
-        Ok(())
-    }
-
-    fn evict_slot(&mut self, slot: usize) -> Result<()> {
-        let frame = self.frames[slot].take().expect("victim slot occupied");
-        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
-        self.policy.on_remove(slot);
-        let mapped = self.table.remove(&frame.pid);
-        debug_assert_eq!(mapped, Some(slot));
-        self.free.push(slot);
-        self.stats.evictions += 1;
-        if frame.dirty {
-            self.stats.dirty_evictions += 1;
-            self.disk.write_run(frame.pid, 1, |_| frame.data)?;
-        }
-        Ok(())
+        self.core.stats = BufferStats::default();
     }
 }
 

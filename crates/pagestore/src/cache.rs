@@ -1,0 +1,154 @@
+//! [`PageCache`] — the buffer-pool interface the storage layers build on.
+//!
+//! Heap files, spanned records and the storage models of `starfish-core`
+//! only ever need a small, fixed set of pool operations. Abstracting them
+//! behind one trait lets the *same* storage code run over either
+//!
+//! * the single-threaded, exclusively-owned [`BufferPool`] (`&mut`
+//!   everywhere — the configuration every original paper measurement uses),
+//!   or
+//! * a [`SharedPoolHandle`](crate::SharedPoolHandle), a cloneable `Arc`
+//!   handle to a lock-striped [`crate::SharedBufferPool`] that N client
+//!   threads fix pages through concurrently.
+//!
+//! The trait keeps the `&mut self` receivers of `BufferPool` so existing
+//! call sites compile unchanged; the shared handle satisfies them through
+//! interior mutability (its `&mut` receivers never actually need the
+//! exclusivity).
+
+use crate::stats::{BufferStats, IoSnapshot};
+use crate::{BufferPool, PageId, PolicyKind, Result, PAGE_SIZE};
+
+/// The buffer-pool operations the storage layers need.
+///
+/// See the [module docs](self) for why this exists. Implementations must
+/// preserve the accounting contract of [`BufferPool`]: every
+/// [`with_page`](PageCache::with_page) / [`with_page_mut`](PageCache::with_page_mut)
+/// is one counted fix (hit or miss); [`prefetch_run`](PageCache::prefetch_run)
+/// issues one read call per maximal contiguous missing sub-run and counts no
+/// fixes; writes are deferred until eviction or [`flush_all`](PageCache::flush_all).
+pub trait PageCache {
+    /// Fixes `pid` for reading and passes its content to `f`.
+    fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R>;
+
+    /// Fixes `pid` for writing, passes its content to `f`, marks it dirty.
+    fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R>;
+
+    /// Ensures the run `[first, first+n)` is cached — one read call per
+    /// maximal contiguous missing sub-run, no fixes counted.
+    fn prefetch_run(&mut self, first: PageId, n: u32) -> Result<()>;
+
+    /// Fixes and pins `pid`; pinned frames are never eviction victims.
+    fn pin(&mut self, pid: PageId) -> Result<()>;
+
+    /// Releases one pin on `pid`; `false` if not cached or not pinned.
+    fn unpin(&mut self, pid: PageId) -> bool;
+
+    /// Allocates `n` contiguous pages on the underlying disk.
+    fn alloc_extent(&mut self, n: u32) -> PageId;
+
+    /// Issues a content-free write call of `n` contiguous pages (DASDBS
+    /// page-pool writes, §5.3).
+    fn write_pool_pages(&mut self, first: PageId, n: u32) -> Result<()>;
+
+    /// Writes all dirty pages back in grouped calls (database disconnect).
+    fn flush_all(&mut self) -> Result<()>;
+
+    /// Flushes and drops every cached page (cold restart).
+    fn clear_cache(&mut self) -> Result<()>;
+
+    /// Resets disk and buffer counters; cache content is kept.
+    fn reset_stats(&mut self);
+
+    /// True if `pid` is currently cached (no accounting side effects).
+    fn is_cached(&self, pid: PageId) -> bool;
+
+    /// Combined disk + buffer counters.
+    fn snapshot(&self) -> IoSnapshot;
+
+    /// Buffer counters only.
+    fn buffer_stats(&self) -> BufferStats;
+
+    /// Total pages allocated on the underlying disk.
+    fn database_pages(&self) -> u32;
+
+    /// Pool capacity in pages (summed over shards for sharded pools).
+    fn capacity(&self) -> usize;
+
+    /// Which replacement policy the pool runs.
+    fn policy_kind(&self) -> PolicyKind;
+}
+
+impl PageCache for BufferPool {
+    fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        BufferPool::with_page(self, pid, f)
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        BufferPool::with_page_mut(self, pid, f)
+    }
+
+    fn prefetch_run(&mut self, first: PageId, n: u32) -> Result<()> {
+        BufferPool::prefetch_run(self, first, n)
+    }
+
+    fn pin(&mut self, pid: PageId) -> Result<()> {
+        BufferPool::pin(self, pid)
+    }
+
+    fn unpin(&mut self, pid: PageId) -> bool {
+        BufferPool::unpin(self, pid)
+    }
+
+    fn alloc_extent(&mut self, n: u32) -> PageId {
+        BufferPool::alloc_extent(self, n)
+    }
+
+    fn write_pool_pages(&mut self, first: PageId, n: u32) -> Result<()> {
+        BufferPool::write_pool_pages(self, first, n)
+    }
+
+    fn flush_all(&mut self) -> Result<()> {
+        BufferPool::flush_all(self)
+    }
+
+    fn clear_cache(&mut self) -> Result<()> {
+        BufferPool::clear_cache(self)
+    }
+
+    fn reset_stats(&mut self) {
+        BufferPool::reset_stats(self)
+    }
+
+    fn is_cached(&self, pid: PageId) -> bool {
+        BufferPool::is_cached(self, pid)
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        BufferPool::snapshot(self)
+    }
+
+    fn buffer_stats(&self) -> BufferStats {
+        BufferPool::buffer_stats(self)
+    }
+
+    fn database_pages(&self) -> u32 {
+        BufferPool::database_pages(self)
+    }
+
+    fn capacity(&self) -> usize {
+        BufferPool::capacity(self)
+    }
+
+    fn policy_kind(&self) -> PolicyKind {
+        BufferPool::policy_kind(self)
+    }
+}

@@ -117,6 +117,48 @@ impl Default for SimDisk {
     }
 }
 
+/// The physical-I/O operations the buffer-pool core needs, abstracted so the
+/// identical eviction/flush/load logic can run over an exclusively-owned
+/// [`SimDisk`] (the single-threaded [`crate::BufferPool`]) or a reference to
+/// the lock-protected shared disk behind [`crate::SharedBufferPool`].
+pub(crate) trait DiskOps {
+    /// Reads `n` contiguous pages from `first` in one I/O call.
+    fn read_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        sink: &mut dyn FnMut(u32, &[u8; PAGE_SIZE]),
+    ) -> Result<()>;
+
+    /// Writes `n` contiguous pages from `first` in one I/O call.
+    fn write_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        source: &mut dyn FnMut(u32) -> [u8; PAGE_SIZE],
+    ) -> Result<()>;
+}
+
+impl DiskOps for SimDisk {
+    fn read_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        sink: &mut dyn FnMut(u32, &[u8; PAGE_SIZE]),
+    ) -> Result<()> {
+        self.read_run(first, n, sink)
+    }
+
+    fn write_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        source: &mut dyn FnMut(u32) -> [u8; PAGE_SIZE],
+    ) -> Result<()> {
+        self.write_run(first, n, source)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

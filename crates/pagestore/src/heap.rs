@@ -10,7 +10,7 @@
 //! for the normalized models ("NSM even reads only a single page per
 //! retrieval call", §6).
 
-use crate::{slotted, BufferPool, PageId, Result, StoreError, PAGE_SIZE};
+use crate::{slotted, PageCache, PageId, Result, StoreError, PAGE_SIZE};
 
 /// A record identifier: page + slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,7 +34,7 @@ impl HeapFile {
     /// 6/7 assume). Returns the file and the RID of every record, in input
     /// order.
     pub fn bulk_load(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         name: impl Into<String>,
         records: &[Vec<u8>],
     ) -> Result<(HeapFile, Vec<Rid>)> {
@@ -99,20 +99,20 @@ impl HeapFile {
     }
 
     /// Reads the record at `rid` into a fresh vector (one page fix).
-    pub fn read(&self, pool: &mut BufferPool, rid: Rid) -> Result<Vec<u8>> {
+    pub fn read(&self, pool: &mut impl PageCache, rid: Rid) -> Result<Vec<u8>> {
         pool.with_page(rid.page, |p| slotted::read(p, rid.slot, |b| b.to_vec()))?
     }
 
     /// Overwrites the record at `rid` with a same-sized body (one page fix,
     /// marks the page dirty; the physical write happens on eviction or
     /// flush, as in DASDBS).
-    pub fn update(&self, pool: &mut BufferPool, rid: Rid, rec: &[u8]) -> Result<()> {
+    pub fn update(&self, pool: &mut impl PageCache, rid: Rid, rec: &[u8]) -> Result<()> {
         pool.with_page_mut(rid.page, |p| slotted::update_in_place(p, rid.slot, rec))?
     }
 
     /// Appends a record wherever it fits (last page first, else a newly
     /// allocated page — which may not be contiguous with the rest).
-    pub fn insert(&mut self, pool: &mut BufferPool, rec: &[u8]) -> Result<Rid> {
+    pub fn insert(&mut self, pool: &mut impl PageCache, rec: &[u8]) -> Result<Rid> {
         if let Some(&last) = self.pages.last() {
             let fits = pool.with_page(last, |p| slotted::fits(p, rec.len()))?;
             if fits {
@@ -134,7 +134,7 @@ impl HeapFile {
     /// visits the entire relation — the paper's value selections are
     /// set-oriented and read all `m` pages (Table 3: query 1b = `m` for the
     /// direct models).
-    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
+    pub fn scan(&self, pool: &mut impl PageCache, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
         for &pid in &self.pages {
             pool.with_page(pid, |p: &[u8; PAGE_SIZE]| {
                 for (slot, body) in slotted::live_records(p) {
@@ -149,7 +149,7 @@ impl HeapFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SimDisk;
+    use crate::{BufferPool, SimDisk};
 
     fn pool() -> BufferPool {
         BufferPool::new(SimDisk::new(), 64)

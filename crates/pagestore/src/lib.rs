@@ -25,6 +25,11 @@
 //!   flush on "database disconnect", and a pluggable [`ReplacementPolicy`]
 //!   (O(1) LRU by default — the paper's §5.1 buffer — plus Clock, MRU,
 //!   FIFO and LRU-2 in [`policy`]);
+//! * [`SharedBufferPool`] — the same pool engine sharded by `PageId` hash
+//!   into K lock-striped shards (each with its own policy instance and
+//!   counters), shareable across N client threads through
+//!   [`SharedPoolHandle`]; storage layers address either pool through the
+//!   [`PageCache`] trait;
 //! * [`slotted`] — slotted-page record layout (record footprint =
 //!   encoded length + 4-byte slot entry, which is how the paper's Table 2
 //!   `k = ⌊2012 / S_tuple⌋` tuple-per-page counts come out);
@@ -38,19 +43,23 @@
 #![forbid(unsafe_code)]
 
 mod buffer;
+mod cache;
 mod disk;
 mod error;
 mod heap;
 pub mod policy;
+mod shared;
 pub mod slotted;
 mod spanned;
 mod stats;
 
 pub use buffer::{BufferConfig, BufferPool, MAX_PAGES_PER_WRITE_CALL};
+pub use cache::PageCache;
 pub use disk::SimDisk;
 pub use error::StoreError;
 pub use heap::{HeapFile, Rid};
 pub use policy::{PolicyKind, ReplacementPolicy};
+pub use shared::{SharedBufferPool, SharedPoolHandle};
 pub use spanned::{SpannedRecord, SpannedStore};
 pub use stats::{BufferStats, DiskStats, IoSnapshot};
 

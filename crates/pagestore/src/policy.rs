@@ -116,7 +116,10 @@ impl FromStr for PolicyKind {
 /// tracked slot accepted by `evictable`, or `None` only when no tracked
 /// slot is evictable; it must **not** untrack the slot (the pool follows up
 /// with `on_remove`).
-pub trait ReplacementPolicy {
+///
+/// Policies are `Send` so a [`crate::SharedBufferPool`] shard (one policy
+/// instance behind a mutex) can be shared across client threads.
+pub trait ReplacementPolicy: Send {
     /// Which policy this is.
     fn kind(&self) -> PolicyKind;
 

@@ -1,0 +1,759 @@
+//! [`SharedBufferPool`] — a thread-safe, lock-striped buffer pool.
+//!
+//! The paper measures a *single* client behind one 1200-page LRU buffer.
+//! Serving N concurrent clients from the same buffer turns the pool itself
+//! into the bottleneck: one global lock would serialize every fix. This
+//! module shards the pool by `PageId` hash into K lock-striped shards, each
+//! a full [`PoolCore`] — the exact frame-slot/replacement-policy/accounting
+//! engine behind [`BufferPool`] — protected by its own mutex:
+//!
+//! * a fix takes exactly **one shard lock** (plus the disk lock on a miss),
+//!   so fixes to different shards never contend;
+//! * each shard runs its **own replacement policy instance** over its own
+//!   frames and keeps its own [`BufferStats`], so victim selection needs no
+//!   cross-shard coordination and per-shard load imbalance is observable
+//!   ([`SharedBufferPool::shard_stats`]);
+//! * [`SharedBufferPool::snapshot`] merges the shard counters with the
+//!   shared disk's counters, so every per-unit metric of the measurement
+//!   protocol works unchanged;
+//! * multi-shard operations (run loads, flush, cold restart) acquire shard
+//!   locks in **ascending shard order**, and the disk lock only ever after
+//!   shard locks — a total lock order, so the pool cannot deadlock.
+//!
+//! A pool with **one shard** executes, operation for operation, the same
+//! code as [`BufferPool`]: identical eviction decisions, identical call
+//! grouping, identical counters (`tests/prop_shared_buffer.rs` proves this
+//! per-step). That is what makes a one-client run over the shared pool
+//! reproduce the serial measurements exactly.
+//!
+//! Capacity is split across shards (`total/K` each, remainder to the lowest
+//! shards); a shard may transiently overflow its slice exactly like
+//! [`BufferPool`] overflows when nothing is evictable.
+//!
+//! Writes remain **single-writer**: concurrent readers may share the pool
+//! freely, but mutating operations (loads, updates, flush, cold restart)
+//! assume the caller quiesces readers first — the same discipline
+//! `starfish-core`'s concurrent query surface enforces.
+
+use crate::buffer::{PoolCore, MAX_PAGES_PER_WRITE_CALL};
+use crate::cache::PageCache;
+use crate::disk::DiskOps;
+use crate::stats::{BufferStats, DiskStats, IoSnapshot};
+use crate::{BufferConfig, PageId, PolicyKind, Result, StoreError, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// The shared simulated disk: the page array behind an `RwLock` (many
+/// concurrent read calls, exclusive write calls) with atomic I/O counters.
+struct SharedDisk {
+    pages: RwLock<Vec<[u8; PAGE_SIZE]>>,
+    read_calls: AtomicU64,
+    pages_read: AtomicU64,
+    write_calls: AtomicU64,
+    pages_written: AtomicU64,
+}
+
+impl SharedDisk {
+    fn new() -> Self {
+        SharedDisk {
+            pages: RwLock::new(Vec::new()),
+            read_calls: AtomicU64::new(0),
+            pages_read: AtomicU64::new(0),
+            write_calls: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+        }
+    }
+
+    fn alloc_extent(&self, n: u32) -> PageId {
+        let mut pages = self.pages.write().expect("disk lock poisoned");
+        let len = pages.len();
+        pages.resize(len + n as usize, [0u8; PAGE_SIZE]);
+        PageId(len as u32)
+    }
+
+    fn allocated_pages(&self) -> u32 {
+        self.pages.read().expect("disk lock poisoned").len() as u32
+    }
+
+    fn check(len: usize, first: PageId, n: u32) -> Result<()> {
+        let end = first.0 as u64 + n as u64;
+        if end > len as u64 {
+            return Err(StoreError::PageOutOfBounds {
+                page: PageId((end - 1) as u32),
+                allocated: len as u32,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_run(
+        &self,
+        first: PageId,
+        n: u32,
+        sink: &mut dyn FnMut(u32, &[u8; PAGE_SIZE]),
+    ) -> Result<()> {
+        let pages = self.pages.read().expect("disk lock poisoned");
+        Self::check(pages.len(), first, n)?;
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.pages_read.fetch_add(n as u64, Ordering::Relaxed);
+        for i in 0..n {
+            sink(i, &pages[(first.0 + i) as usize]);
+        }
+        Ok(())
+    }
+
+    fn write_run(
+        &self,
+        first: PageId,
+        n: u32,
+        source: &mut dyn FnMut(u32) -> [u8; PAGE_SIZE],
+    ) -> Result<()> {
+        let mut pages = self.pages.write().expect("disk lock poisoned");
+        Self::check(pages.len(), first, n)?;
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.pages_written.fetch_add(n as u64, Ordering::Relaxed);
+        for i in 0..n {
+            pages[(first.0 + i) as usize] = source(i);
+        }
+        Ok(())
+    }
+
+    fn write_run_noop(&self, first: PageId, n: u32) -> Result<()> {
+        let pages = self.pages.read().expect("disk lock poisoned");
+        Self::check(pages.len(), first, n)?;
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.pages_written.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            read_calls: self.read_calls.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            write_calls: self.write_calls.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.read_calls.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.write_calls.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+    }
+}
+
+impl DiskOps for &SharedDisk {
+    fn read_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        sink: &mut dyn FnMut(u32, &[u8; PAGE_SIZE]),
+    ) -> Result<()> {
+        SharedDisk::read_run(self, first, n, sink)
+    }
+
+    fn write_run_dyn(
+        &mut self,
+        first: PageId,
+        n: u32,
+        source: &mut dyn FnMut(u32) -> [u8; PAGE_SIZE],
+    ) -> Result<()> {
+        SharedDisk::write_run(self, first, n, source)
+    }
+}
+
+/// A thread-safe buffer pool sharded by `PageId` hash into K lock-striped
+/// shards. See the [module docs](self) for the design and its invariants.
+///
+/// All methods take `&self`; share the pool across threads through
+/// [`SharedPoolHandle`] (an `Arc` wrapper that also implements
+/// [`PageCache`], so the storage layers run over it unchanged).
+pub struct SharedBufferPool {
+    disk: SharedDisk,
+    shards: Vec<Mutex<PoolCore>>,
+    policy: PolicyKind,
+    capacity: usize,
+}
+
+impl SharedBufferPool {
+    /// Creates a pool of `capacity` total pages split over `shards` shards,
+    /// each running its own `policy` instance.
+    ///
+    /// `capacity` must be at least `shards` so every shard can hold a page.
+    pub fn new(capacity: usize, policy: PolicyKind, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            capacity >= shards,
+            "capacity ({capacity}) must be >= shard count ({shards})"
+        );
+        let shards = (0..shards)
+            .map(|i| {
+                let per = capacity / shards + usize::from(i < capacity % shards);
+                Mutex::new(PoolCore::new(per, policy))
+            })
+            .collect();
+        SharedBufferPool {
+            disk: SharedDisk::new(),
+            shards,
+            policy,
+            capacity,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity in pages (summed over shards).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Which replacement policy every shard runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// The shard owning `pid`: a Fibonacci multiplicative hash, so
+    /// contiguous extents spread across shards instead of piling onto one.
+    fn shard_of(&self, pid: PageId) -> usize {
+        let h = (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, i: usize) -> MutexGuard<'_, PoolCore> {
+        self.shards[i].lock().expect("shard mutex poisoned")
+    }
+
+    /// Locks every shard, in ascending order (the global lock order).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, PoolCore>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex poisoned"))
+            .collect()
+    }
+
+    /// Allocates `n` contiguous pages on the shared disk.
+    pub fn alloc_extent(&self, n: u32) -> PageId {
+        self.disk.alloc_extent(n)
+    }
+
+    /// Total pages allocated on the shared disk.
+    pub fn database_pages(&self) -> u32 {
+        self.disk.allocated_pages()
+    }
+
+    /// Fixes `pid` for reading and passes its content to `f`. One shard
+    /// lock; concurrent fixes to other shards proceed in parallel.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let mut shard = self.shard(self.shard_of(pid));
+        let slot = shard.fix(&mut &self.disk, pid, false)?;
+        Ok(f(&shard.frame(slot).data))
+    }
+
+    /// Fixes `pid` for writing, passes its content to `f`, marks it dirty.
+    /// Single-writer: the caller must not run this concurrently with other
+    /// accesses to the same page.
+    pub fn with_page_mut<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        let mut shard = self.shard(self.shard_of(pid));
+        let slot = shard.fix(&mut &self.disk, pid, true)?;
+        Ok(f(&mut shard.frame_mut(slot).data))
+    }
+
+    /// Fixes and pins `pid` in its shard; pinned frames are never eviction
+    /// victims until [`SharedBufferPool::unpin`]. Pins nest.
+    pub fn pin(&self, pid: PageId) -> Result<()> {
+        let mut shard = self.shard(self.shard_of(pid));
+        let slot = shard.fix(&mut &self.disk, pid, false)?;
+        shard.frame_mut(slot).pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `pid`; `false` if not cached or not pinned.
+    pub fn unpin(&self, pid: PageId) -> bool {
+        self.shard(self.shard_of(pid)).unpin(pid)
+    }
+
+    /// True if `pid` is currently cached in its shard.
+    pub fn is_cached(&self, pid: PageId) -> bool {
+        self.shard(self.shard_of(pid)).is_cached(pid)
+    }
+
+    /// Ensures the run `[first, first+n)` is cached: one read call per
+    /// maximal contiguous missing sub-run, with the loaded frames
+    /// distributed to their owning shards. Does not count fixes.
+    pub fn prefetch_run(&self, first: PageId, n: u32) -> Result<()> {
+        let mut i = 0;
+        while i < n {
+            let pid = first.offset(i);
+            if self.shard(self.shard_of(pid)).touch(pid) {
+                i += 1;
+                continue;
+            }
+            // Extend the missing run as far as possible.
+            let mut len = 1;
+            while i + len < n && !self.is_cached(first.offset(i + len)) {
+                len += 1;
+            }
+            self.load_run(first.offset(i), len)?;
+            i += len;
+        }
+        Ok(())
+    }
+
+    /// Loads the run `[first, first+n)` in one read call, installing each
+    /// page in its owning shard. Pages that raced into the cache since the
+    /// caller's residency check are skipped (their frames are
+    /// authoritative; the disk content is identical).
+    fn load_run(&self, first: PageId, n: u32) -> Result<()> {
+        // Lock every involved shard in ascending order (the lock order).
+        let mut involved: Vec<usize> = (0..n).map(|i| self.shard_of(first.offset(i))).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let mut guards: Vec<(usize, MutexGuard<'_, PoolCore>)> = involved
+            .into_iter()
+            .map(|s| (s, self.shards[s].lock().expect("shard mutex poisoned")))
+            .collect();
+        let guard_pos = |guards: &Vec<(usize, MutexGuard<'_, PoolCore>)>, s: usize| {
+            guards.iter().position(|(i, _)| *i == s).expect("locked")
+        };
+        // Which pages are (still) missing, per shard, under the locks.
+        let mut missing = vec![false; n as usize];
+        let mut missing_per_guard = vec![0usize; guards.len()];
+        for i in 0..n {
+            let pid = first.offset(i);
+            let g = guard_pos(&guards, self.shard_of(pid));
+            if !guards[g].1.is_cached(pid) {
+                missing[i as usize] = true;
+                missing_per_guard[g] += 1;
+            }
+        }
+        if missing.iter().all(|m| !m) {
+            return Ok(());
+        }
+        // Make room first (evictions may write), then read the run in one
+        // call — the same order BufferPool::load_run uses.
+        for (g, &m) in missing_per_guard.iter().enumerate() {
+            if m > 0 {
+                guards[g].1.make_room(&mut &self.disk, m)?;
+            }
+        }
+        let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
+        self.disk
+            .read_run(first, n, &mut |_, data| images.push(*data))?;
+        for (i, data) in images.into_iter().enumerate() {
+            if !missing[i] {
+                continue;
+            }
+            let pid = first.offset(i as u32);
+            let g = guard_pos(&guards, self.shard_of(pid));
+            guards[g].1.insert_frame(pid, data);
+        }
+        Ok(())
+    }
+
+    /// Issues a content-free write call of `n` contiguous pages (DASDBS
+    /// page-pool writes during `change attribute`, §5.3).
+    pub fn write_pool_pages(&self, first: PageId, n: u32) -> Result<()> {
+        self.disk.write_run_noop(first, n)
+    }
+
+    /// Writes all dirty pages back, grouped into contiguous runs of at most
+    /// [`MAX_PAGES_PER_WRITE_CALL`] pages per call across shard boundaries —
+    /// the same grouping [`BufferPool::flush_all`](crate::BufferPool::flush_all)
+    /// produces. Assumes writers are quiesced.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut guards = self.lock_all();
+        self.flush_locked(&mut guards)
+    }
+
+    fn flush_locked(&self, guards: &mut [MutexGuard<'_, PoolCore>]) -> Result<()> {
+        let mut dirty: Vec<PageId> = guards.iter().flat_map(|g| g.dirty_pages()).collect();
+        dirty.sort_unstable();
+        let mut i = 0;
+        while i < dirty.len() {
+            let start = dirty[i];
+            let mut len = 1u32;
+            while i + (len as usize) < dirty.len()
+                && dirty[i + len as usize].0 == start.0 + len
+                && len < MAX_PAGES_PER_WRITE_CALL
+            {
+                len += 1;
+            }
+            {
+                let guards = &*guards;
+                self.disk.write_run(start, len, &mut |j| {
+                    let pid = start.offset(j);
+                    let core = &guards[self.shard_of(pid)];
+                    let slot = core.slot_of(pid).expect("dirty page resident");
+                    core.frame(slot).data
+                })?;
+            }
+            for j in 0..len {
+                let pid = start.offset(j);
+                let core = &mut guards[self.shard_of(pid)];
+                let slot = core.slot_of(pid).expect("dirty page resident");
+                core.frame_mut(slot).dirty = false;
+            }
+            i += len as usize;
+        }
+        Ok(())
+    }
+
+    /// Flushes and drops every cached page in every shard: a cold restart
+    /// between measurement runs. Pins do not survive. Assumes quiesced
+    /// clients.
+    pub fn clear_cache(&self) -> Result<()> {
+        let mut guards = self.lock_all();
+        self.flush_locked(&mut guards)?;
+        for g in guards.iter_mut() {
+            g.drop_all();
+        }
+        Ok(())
+    }
+
+    /// Combined disk + merged shard counters — drop-in compatible with
+    /// [`BufferPool::snapshot`](crate::BufferPool::snapshot), so every
+    /// existing per-unit metric works over the shared pool.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot::combine(self.disk.stats(), self.buffer_stats())
+    }
+
+    /// Merged buffer counters over all shards.
+    pub fn buffer_stats(&self) -> BufferStats {
+        let mut sum = BufferStats::default();
+        for shard in 0..self.shards.len() {
+            let s = self.shard(shard).stats;
+            sum.fixes += s.fixes;
+            sum.hits += s.hits;
+            sum.misses += s.misses;
+            sum.evictions += s.evictions;
+            sum.dirty_evictions += s.dirty_evictions;
+        }
+        sum
+    }
+
+    /// Per-shard buffer counters, for load-imbalance analysis (the
+    /// `ext_concurrency` experiment reports max/mean and cv over these).
+    pub fn shard_stats(&self) -> Vec<BufferStats> {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).stats)
+            .collect()
+    }
+
+    /// Per-shard `(cached pages, capacity)`, for occupancy invariants.
+    pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
+        (0..self.shards.len())
+            .map(|i| {
+                let g = self.shard(i);
+                (g.cached_pages(), g.capacity())
+            })
+            .collect()
+    }
+
+    /// Total pages currently cached across shards.
+    pub fn cached_pages(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).cached_pages())
+            .sum()
+    }
+
+    /// Total pinned pages across shards.
+    pub fn pinned_pages(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).pinned_pages())
+            .sum()
+    }
+
+    /// Resets disk and shard counters (cache content is kept).
+    pub fn reset_stats(&self) {
+        self.disk.reset_stats();
+        for i in 0..self.shards.len() {
+            self.shard(i).stats = BufferStats::default();
+        }
+    }
+}
+
+/// A cloneable handle to a [`SharedBufferPool`].
+///
+/// Implements [`PageCache`], so heap files, spanned stores and the storage
+/// models of `starfish-core` run over the shared pool unchanged; cloning
+/// the handle (an `Arc` clone) is how a `&self` read path obtains the
+/// `&mut`-shaped receiver the trait asks for.
+#[derive(Clone)]
+pub struct SharedPoolHandle {
+    pool: Arc<SharedBufferPool>,
+}
+
+impl SharedPoolHandle {
+    /// Builds a fresh shared pool from a buffer configuration and a shard
+    /// count.
+    pub fn new(config: BufferConfig, shards: usize) -> Self {
+        SharedPoolHandle {
+            pool: Arc::new(SharedBufferPool::new(config.pages, config.policy, shards)),
+        }
+    }
+
+    /// The underlying shared pool.
+    pub fn pool(&self) -> &SharedBufferPool {
+        &self.pool
+    }
+}
+
+impl PageCache for SharedPoolHandle {
+    fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        self.pool.with_page(pid, f)
+    }
+
+    fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        self.pool.with_page_mut(pid, f)
+    }
+
+    fn prefetch_run(&mut self, first: PageId, n: u32) -> Result<()> {
+        self.pool.prefetch_run(first, n)
+    }
+
+    fn pin(&mut self, pid: PageId) -> Result<()> {
+        self.pool.pin(pid)
+    }
+
+    fn unpin(&mut self, pid: PageId) -> bool {
+        self.pool.unpin(pid)
+    }
+
+    fn alloc_extent(&mut self, n: u32) -> PageId {
+        self.pool.alloc_extent(n)
+    }
+
+    fn write_pool_pages(&mut self, first: PageId, n: u32) -> Result<()> {
+        self.pool.write_pool_pages(first, n)
+    }
+
+    fn flush_all(&mut self) -> Result<()> {
+        self.pool.flush_all()
+    }
+
+    fn clear_cache(&mut self) -> Result<()> {
+        self.pool.clear_cache()
+    }
+
+    fn reset_stats(&mut self) {
+        self.pool.reset_stats()
+    }
+
+    fn is_cached(&self, pid: PageId) -> bool {
+        self.pool.is_cached(pid)
+    }
+
+    fn snapshot(&self) -> IoSnapshot {
+        self.pool.snapshot()
+    }
+
+    fn buffer_stats(&self) -> BufferStats {
+        self.pool.buffer_stats()
+    }
+
+    fn database_pages(&self) -> u32 {
+        self.pool.database_pages()
+    }
+
+    fn capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    fn policy_kind(&self) -> PolicyKind {
+        self.pool.policy_kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(shards: usize, cap: usize, pages: u32) -> SharedBufferPool {
+        let p = SharedBufferPool::new(cap, PolicyKind::Lru, shards);
+        p.alloc_extent(pages);
+        p
+    }
+
+    #[test]
+    fn fix_counts_hits_and_misses() {
+        for shards in [1, 2, 4] {
+            let p = pool(shards, 10, 4);
+            p.with_page(PageId(0), |_| {}).unwrap();
+            p.with_page(PageId(0), |_| {}).unwrap();
+            p.with_page(PageId(1), |_| {}).unwrap();
+            let s = p.buffer_stats();
+            assert_eq!(s.fixes, 3, "{shards} shards");
+            assert_eq!(s.hits, 1);
+            assert_eq!(s.misses, 2);
+            assert_eq!(p.snapshot().read_calls, 2);
+            assert_eq!(p.snapshot().pages_read, 2);
+        }
+    }
+
+    #[test]
+    fn capacity_splits_with_remainder_to_low_shards() {
+        let p = SharedBufferPool::new(10, PolicyKind::Lru, 4);
+        let caps: Vec<usize> = p.shard_occupancy().iter().map(|&(_, c)| c).collect();
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+        assert_eq!(p.capacity(), 10);
+        assert_eq!(p.shard_count(), 4);
+    }
+
+    #[test]
+    fn prefetch_groups_contiguous_misses_across_shards() {
+        for shards in [1, 3] {
+            let p = pool(shards, 16, 8);
+            p.with_page(PageId(2), |_| {}).unwrap(); // cache page 2
+            p.reset_stats();
+            p.prefetch_run(PageId(0), 6).unwrap();
+            // Missing runs: [0,1] and [3,4,5] -> 2 calls, 5 pages.
+            let s = p.snapshot();
+            assert_eq!(s.read_calls, 2, "{shards} shards");
+            assert_eq!(s.pages_read, 5);
+            assert_eq!(s.fixes, 0, "prefetch is not a fix");
+            p.with_page(PageId(4), |_| {}).unwrap();
+            assert_eq!(p.buffer_stats().hits, 1);
+        }
+    }
+
+    #[test]
+    fn flush_groups_contiguous_dirty_pages_across_shards() {
+        for shards in [1, 2, 4] {
+            let p = pool(shards, 16, 10);
+            for i in [0u32, 1, 2, 5, 6, 9] {
+                p.with_page_mut(PageId(i), |b| b[0] = i as u8).unwrap();
+            }
+            p.reset_stats();
+            p.flush_all().unwrap();
+            let s = p.snapshot();
+            // Runs: [0..3), [5..7), [9] -> 3 calls, 6 pages, regardless of
+            // which shard holds which page.
+            assert_eq!(s.write_calls, 3, "{shards} shards");
+            assert_eq!(s.pages_written, 6);
+            p.flush_all().unwrap();
+            assert_eq!(p.snapshot().write_calls, 3, "second flush writes nothing");
+        }
+    }
+
+    #[test]
+    fn contents_survive_eviction_pressure_in_every_shard() {
+        for shards in [1, 2, 4] {
+            let p = pool(shards, 4, 40);
+            for i in 0..40 {
+                p.with_page_mut(PageId(i), |b| b[7] = i as u8).unwrap();
+            }
+            let occ = p.shard_occupancy();
+            for (i, &(cached, cap)) in occ.iter().enumerate() {
+                assert!(cached <= cap, "shard {i}: {cached} > {cap}");
+            }
+            p.flush_all().unwrap();
+            for i in 0..40 {
+                p.with_page(PageId(i), |b| assert_eq!(b[7], i as u8))
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let p = pool(2, 4, 20);
+        p.pin(PageId(0)).unwrap();
+        for i in 1..20 {
+            p.with_page(PageId(i), |_| {}).unwrap();
+        }
+        assert!(p.is_cached(PageId(0)), "pinned page evicted");
+        assert_eq!(p.pinned_pages(), 1);
+        assert!(p.unpin(PageId(0)));
+        assert!(!p.unpin(PageId(0)));
+    }
+
+    #[test]
+    fn clear_cache_flushes_then_drops_everywhere() {
+        let p = pool(3, 12, 6);
+        for i in 0..6 {
+            p.with_page_mut(PageId(i), |b| b[1] = 9).unwrap();
+        }
+        p.clear_cache().unwrap();
+        assert_eq!(p.cached_pages(), 0);
+        assert!(p.snapshot().pages_written >= 6);
+        p.reset_stats();
+        p.with_page(PageId(3), |b| assert_eq!(b[1], 9)).unwrap();
+        assert_eq!(p.buffer_stats().misses, 1, "cold after restart");
+    }
+
+    #[test]
+    fn write_pool_pages_counts_without_mutating() {
+        let p = pool(2, 4, 4);
+        p.with_page_mut(PageId(0), |b| b[0] = 5).unwrap();
+        p.flush_all().unwrap();
+        p.reset_stats();
+        p.write_pool_pages(PageId(0), 2).unwrap();
+        let s = p.snapshot();
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.pages_written, 2);
+        p.with_page(PageId(0), |b| assert_eq!(b[0], 5)).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages() {
+        use std::thread;
+        let handle = SharedPoolHandle::new(BufferConfig::with_pages(32).policy(PolicyKind::Lru), 4);
+        let first = handle.pool().alloc_extent(64);
+        // Seed every page with its own id (single writer).
+        for i in 0..64 {
+            handle
+                .pool()
+                .with_page_mut(first.offset(i), |b| b[100] = i as u8)
+                .unwrap();
+        }
+        handle.pool().flush_all().unwrap();
+        // Hammer the pool from 8 reader threads; every read must see the
+        // seeded byte whatever the interleaving of evictions and reloads.
+        thread::scope(|s| {
+            for t in 0..8u32 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for round in 0..200u32 {
+                        let i = (t * 7 + round * 13) % 64;
+                        h.pool()
+                            .with_page(first.offset(i), |b| assert_eq!(b[100], i as u8))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let s = handle.pool().snapshot();
+        assert_eq!(s.fixes, 8 * 200 + 64);
+        assert_eq!(s.fixes, s.hits + s.misses);
+    }
+
+    #[test]
+    fn shard_stats_expose_per_shard_load() {
+        let p = pool(4, 16, 16);
+        for i in 0..16 {
+            p.with_page(PageId(i), |_| {}).unwrap();
+        }
+        let per = p.shard_stats();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().map(|s| s.fixes).sum::<u64>(), 16);
+        assert!(per.iter().filter(|s| s.fixes > 0).count() >= 2, "spread");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_below_shards_is_rejected() {
+        SharedBufferPool::new(2, PolicyKind::Lru, 4);
+    }
+}

@@ -15,7 +15,7 @@
 //! call for the direct models (§5.2).
 
 use crate::{
-    slotted, BufferPool, PageId, Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE,
+    slotted, PageCache, PageId, Result, StoreError, EFFECTIVE_PAGE_SIZE, PAGE_HEADER_SIZE,
 };
 use std::ops::Range;
 
@@ -75,7 +75,7 @@ fn page_of(starts: &[u32], b: u32) -> usize {
 impl SpannedStore {
     /// Stores a new spanned record: `header` on header page(s), `data` on
     /// data pages, in one fresh contiguous extent.
-    pub fn store(pool: &mut BufferPool, header: &[u8], data: &[u8]) -> Result<SpannedRecord> {
+    pub fn store(pool: &mut impl PageCache, header: &[u8], data: &[u8]) -> Result<SpannedRecord> {
         let header_pages = crate::pages_for_bytes(header.len()).max(1);
         let data_pages = crate::pages_for_bytes(data.len()).max(1);
         let first = pool.alloc_extent(header_pages + data_pages);
@@ -92,7 +92,7 @@ impl SpannedStore {
     }
 
     fn write_chunks(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         first: PageId,
         bytes: &[u8],
         kind: slotted::PageKind,
@@ -117,7 +117,7 @@ impl SpannedStore {
     ///
     /// I/O calls as in DASDBS: one for the root page, one for the additional
     /// header pages if any. Fixes every header page.
-    pub fn read_header(pool: &mut BufferPool, rec: &SpannedRecord) -> Result<Vec<u8>> {
+    pub fn read_header(pool: &mut impl PageCache, rec: &SpannedRecord) -> Result<Vec<u8>> {
         pool.prefetch_run(rec.first, 1)?;
         if rec.header_pages > 1 {
             pool.prefetch_run(rec.first.offset(1), rec.header_pages - 1)?;
@@ -127,7 +127,7 @@ impl SpannedStore {
 
     /// Reads the full data content (one call per contiguous uncached run).
     /// Fixes every data page.
-    pub fn read_data(pool: &mut BufferPool, rec: &SpannedRecord) -> Result<Vec<u8>> {
+    pub fn read_data(pool: &mut impl PageCache, rec: &SpannedRecord) -> Result<Vec<u8>> {
         pool.prefetch_run(rec.data_first(), rec.data_pages)?;
         Self::collect(pool, rec.data_first(), rec.data_pages, rec.data_len)
     }
@@ -137,7 +137,7 @@ impl SpannedStore {
     /// which only the requested ranges are guaranteed valid. Unrequested
     /// pages are not fetched — the DASDBS-DSM partial read (§3.2).
     pub fn read_data_ranges(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         ranges: &[Range<u32>],
     ) -> Result<Vec<u8>> {
@@ -180,7 +180,7 @@ impl SpannedStore {
 
     /// Rewrites the full data content in place (same length). Marks all data
     /// pages dirty; physical writes happen at eviction/flush.
-    pub fn rewrite_data(pool: &mut BufferPool, rec: &SpannedRecord, data: &[u8]) -> Result<()> {
+    pub fn rewrite_data(pool: &mut impl PageCache, rec: &SpannedRecord, data: &[u8]) -> Result<()> {
         if data.len() != rec.data_len as usize {
             return Err(StoreError::SizeChanged {
                 old: rec.data_len as usize,
@@ -204,7 +204,7 @@ impl SpannedStore {
     /// dirtying) only the pages covering `range` — the page-level footprint
     /// of a DASDBS `change attribute` operation.
     pub fn write_data_range(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         range: Range<u32>,
         bytes: &[u8],
@@ -266,7 +266,7 @@ impl SpannedStore {
 
     /// Stores a spanned record under an explicit page plan.
     pub fn store_mapped(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         header: &[u8],
         data: &[u8],
         starts: &[u32],
@@ -296,7 +296,7 @@ impl SpannedStore {
 
     /// Reads the full data content of a mapped record.
     pub fn read_data_mapped(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         starts: &[u32],
     ) -> Result<Vec<u8>> {
@@ -313,7 +313,7 @@ impl SpannedStore {
 
     /// Reads only the data pages of a mapped record covering `ranges`.
     pub fn read_data_ranges_mapped(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         starts: &[u32],
         ranges: &[std::ops::Range<u32>],
@@ -356,7 +356,7 @@ impl SpannedStore {
     /// Rewrites the full data content of a mapped record (same length and
     /// plan). Dirties every data page.
     pub fn rewrite_data_mapped(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         starts: &[u32],
         data: &[u8],
@@ -379,7 +379,7 @@ impl SpannedStore {
     /// Patches a byte range of a mapped record, dirtying only the covering
     /// page(s).
     pub fn write_data_range_mapped(
-        pool: &mut BufferPool,
+        pool: &mut impl PageCache,
         rec: &SpannedRecord,
         starts: &[u32],
         range: std::ops::Range<u32>,
@@ -409,7 +409,12 @@ impl SpannedStore {
         Ok(())
     }
 
-    fn collect(pool: &mut BufferPool, first: PageId, n_pages: u32, len: u32) -> Result<Vec<u8>> {
+    fn collect(
+        pool: &mut impl PageCache,
+        first: PageId,
+        n_pages: u32,
+        len: u32,
+    ) -> Result<Vec<u8>> {
         let mut out = vec![0u8; len as usize];
         for i in 0..n_pages {
             let lo = i as usize * EFFECTIVE_PAGE_SIZE;
@@ -429,7 +434,7 @@ mod tests {
     #![allow(clippy::single_range_in_vec_init)] // &[Range] is the API shape
 
     use super::*;
-    use crate::SimDisk;
+    use crate::{BufferPool, SimDisk};
 
     fn pool() -> BufferPool {
         BufferPool::new(SimDisk::new(), 256)

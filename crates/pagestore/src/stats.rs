@@ -93,15 +93,20 @@ impl IoSnapshot {
 impl Sub for IoSnapshot {
     type Output = IoSnapshot;
 
+    /// Saturating per-field delta: a snapshot taken *across* a
+    /// [`reset_stats`](crate::BufferPool::reset_stats) has a "before" that
+    /// is larger than the "after", and raw `u64` subtraction would panic in
+    /// debug builds. Counters clamp to zero instead — a delta can never be
+    /// negative.
     fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            read_calls: self.read_calls - rhs.read_calls,
-            pages_read: self.pages_read - rhs.pages_read,
-            write_calls: self.write_calls - rhs.write_calls,
-            pages_written: self.pages_written - rhs.pages_written,
-            fixes: self.fixes - rhs.fixes,
-            hits: self.hits - rhs.hits,
-            misses: self.misses - rhs.misses,
+            read_calls: self.read_calls.saturating_sub(rhs.read_calls),
+            pages_read: self.pages_read.saturating_sub(rhs.pages_read),
+            write_calls: self.write_calls.saturating_sub(rhs.write_calls),
+            pages_written: self.pages_written.saturating_sub(rhs.pages_written),
+            fixes: self.fixes.saturating_sub(rhs.fixes),
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
         }
     }
 }
@@ -151,6 +156,40 @@ mod tests {
         assert_eq!(d.pages_io(), 17);
         assert_eq!(d.io_calls(), 6);
         assert_eq!(d.fixes, 60);
+    }
+
+    /// Regression: a snapshot delta taken across a `reset_stats` must not
+    /// underflow (the raw subtraction panicked in debug builds when the
+    /// "before" snapshot predated the reset).
+    #[test]
+    fn delta_across_reset_saturates_instead_of_underflowing() {
+        let before = IoSnapshot {
+            read_calls: 10,
+            pages_read: 25,
+            write_calls: 2,
+            pages_written: 8,
+            fixes: 100,
+            hits: 80,
+            misses: 20,
+        };
+        // Counters were reset, then a little work happened.
+        let after = IoSnapshot {
+            read_calls: 1,
+            pages_read: 1,
+            fixes: 1,
+            misses: 1,
+            ..Default::default()
+        };
+        let d = after - before;
+        assert_eq!(d.read_calls, 0);
+        assert_eq!(d.pages_read, 0);
+        assert_eq!(d.write_calls, 0);
+        assert_eq!(d.pages_written, 0);
+        assert_eq!(d.fixes, 0);
+        assert_eq!(d.hits, 0);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.pages_io(), 0);
+        assert_eq!(d.io_calls(), 0);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Multi-client query execution over a thread-shareable store.
+//!
+//! [`QueryRunner::run_concurrent`] drives the *same* deterministic object
+//! sequences as the serial [`QueryRunner::run`] from N client threads over
+//! one [`ConcurrentObjectStore`]:
+//!
+//! 1. the per-query RNG produces the full access plan up front (the
+//!    identical picks the serial runner would make — same seed, same
+//!    query discriminator);
+//! 2. the plan's units are dealt round-robin to N scoped threads, which
+//!    execute retrievals/navigations through the `&self` shared surface;
+//! 3. per-unit answers are merged back **in serial plan order**, so the
+//!    merged answer sequence is bit-identical to the serial run whatever
+//!    the thread interleaving was;
+//! 4. query 3a's updates are applied by the driver thread alone after the
+//!    reads complete (updates stay single-writer), then the disconnect
+//!    flush runs and counters are snapshotted exactly as in the serial
+//!    protocol.
+//!
+//! Invariants (pinned by `tests/concurrent_differential.rs`): answers and
+//! total buffer fixes are independent of the thread count; with one thread
+//! and one shard, the whole [`Measurement`] — physical reads included — is
+//! identical to the serial runner's. Only physical I/O may move when
+//! threads race on the cache, mirroring the cross-policy differential's
+//! invariant shape.
+//!
+//! Concurrency is restricted to the read-dominated queries 1a/2a/2b/3a;
+//! the bulk-update queries 3b (and the full scans 1b/1c, which are one
+//! set-oriented unit anyway) stay on the serial surface.
+
+use crate::queries::{update_name, Measurement, QueryOutcome, QueryRunner, Q1A_SAMPLE};
+use crate::Result;
+use starfish_core::{ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
+use starfish_cost::QueryId;
+use starfish_nf2::{Projection, Tuple};
+use std::time::{Duration, Instant};
+
+/// What one unit of concurrent work (a query-1a retrieval or one
+/// navigation loop) observed. Comparing these across thread counts — and
+/// against a serial run — is the concurrent differential test's job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitAnswer {
+    /// Query 1a: the retrieved (full-projection) object.
+    Retrieval(Tuple),
+    /// Queries 2a/2b/3a: one navigation loop's full observation.
+    Navigation {
+        /// The loop's root object.
+        root: ObjRef,
+        /// Its children references, in order.
+        children: Vec<ObjRef>,
+        /// The grand-children references, in order.
+        grandchildren: Vec<ObjRef>,
+        /// The grand-children's root records, in order.
+        root_records: Vec<Tuple>,
+    },
+}
+
+/// The result of a multi-client run: the usual measurement plus the merged
+/// per-unit answers (in serial plan order) and the wall-clock of the
+/// client phase (for throughput reporting).
+#[derive(Clone, Debug)]
+pub struct ConcurrentRun {
+    /// Counter deltas and normalization, exactly like the serial runner's.
+    pub outcome: QueryOutcome,
+    /// Per-unit answers in serial plan order (empty when unsupported).
+    pub answers: Vec<UnitAnswer>,
+    /// Wall-clock time of the concurrent read phase (excludes load, the
+    /// single-writer update tail and the disconnect flush).
+    pub elapsed: Duration,
+    /// How many client threads executed the plan.
+    pub threads: usize,
+}
+
+impl ConcurrentRun {
+    /// Read units completed per second of the client phase.
+    pub fn units_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.answers.len() as f64 / secs
+    }
+}
+
+/// One unit of work through the shared surface.
+fn run_unit(store: &dyn ConcurrentObjectStore, query: QueryId, root: ObjRef) -> Result<UnitAnswer> {
+    match query {
+        QueryId::Q1a => {
+            let t = store.shared_get_by_oid(root.oid, &Projection::All)?;
+            // Each retrieval is cold, like the paper's single-object
+            // measurements (and the serial runner's protocol).
+            store.shared_clear_cache()?;
+            Ok(UnitAnswer::Retrieval(t))
+        }
+        QueryId::Q2a | QueryId::Q2b | QueryId::Q3a => {
+            let children = store.shared_children_of(&[root])?;
+            let grandchildren = store.shared_children_of(&children)?;
+            let root_records = store.shared_root_records(&grandchildren)?;
+            debug_assert_eq!(root_records.len(), grandchildren.len());
+            Ok(UnitAnswer::Navigation {
+                root,
+                children,
+                grandchildren,
+                root_records,
+            })
+        }
+        _ => unreachable!("guarded by supports_concurrent"),
+    }
+}
+
+impl QueryRunner {
+    /// Which queries the concurrent runner executes: the retrieval and
+    /// navigation queries (1a, 2a, 2b) plus the single-loop update query
+    /// 3a, whose navigation is concurrent and whose update tail is applied
+    /// single-writer by the driver.
+    pub fn supports_concurrent(query: QueryId) -> bool {
+        matches!(
+            query,
+            QueryId::Q1a | QueryId::Q2a | QueryId::Q2b | QueryId::Q3a
+        )
+    }
+
+    /// Runs `query` under the measurement protocol with `threads` client
+    /// threads sharing `store`. See the [module docs](self) for the
+    /// execution model and its invariants.
+    pub fn run_concurrent(
+        &self,
+        store: &mut dyn ConcurrentObjectStore,
+        query: QueryId,
+        threads: usize,
+    ) -> Result<ConcurrentRun> {
+        if !Self::supports_concurrent(query) {
+            return Err(CoreError::Unsupported {
+                model: "concurrent runner",
+                op: "queries other than 1a/2a/2b/3a",
+            });
+        }
+        let threads = threads.max(1);
+
+        // The plan: the exact picks the serial runner would make.
+        let mut rng = self.query_rng(query);
+        let roots: Vec<ObjRef> = match query {
+            QueryId::Q1a => {
+                let sample = Q1A_SAMPLE.min(self.n_objects()).max(1);
+                (0..sample).map(|_| self.pick(&mut rng)).collect()
+            }
+            QueryId::Q2a | QueryId::Q3a => vec![self.pick(&mut rng)],
+            QueryId::Q2b => (0..self.loops()).map(|_| self.pick(&mut rng)).collect(),
+            _ => unreachable!(),
+        };
+
+        store.clear_cache()?;
+        store.reset_stats();
+        let before = store.snapshot();
+
+        // The concurrent read phase: deal units round-robin to threads and
+        // merge answers back by plan index.
+        let t0 = Instant::now();
+        let mut slots: Vec<Option<UnitAnswer>> = (0..roots.len()).map(|_| None).collect();
+        let shared: &dyn ConcurrentObjectStore = store;
+        let unit_results: Vec<Result<Vec<(usize, UnitAnswer)>>> = if threads == 1 {
+            vec![roots
+                .iter()
+                .enumerate()
+                .map(|(i, &root)| Ok((i, run_unit(shared, query, root)?)))
+                .collect()]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let roots = &roots;
+                        s.spawn(move || -> Result<Vec<(usize, UnitAnswer)>> {
+                            let mut out = Vec::new();
+                            for i in (t..roots.len()).step_by(threads) {
+                                out.push((i, run_unit(shared, query, roots[i])?));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect()
+            })
+        };
+        let elapsed = t0.elapsed();
+        for r in unit_results {
+            match r {
+                Ok(units) => {
+                    for (i, a) in units {
+                        slots[i] = Some(a);
+                    }
+                }
+                // The model does not support the query (query 1a under pure
+                // NSM) — the paper's "not relevant" marker.
+                Err(CoreError::Unsupported { .. }) => {
+                    return Ok(ConcurrentRun {
+                        outcome: QueryOutcome::Unsupported,
+                        answers: Vec::new(),
+                        elapsed,
+                        threads,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let answers: Vec<UnitAnswer> = slots
+            .into_iter()
+            .map(|s| s.expect("every unit executed"))
+            .collect();
+
+        // Single-writer tail: query 3a's updates, in serial unit order.
+        if query == QueryId::Q3a {
+            for (l, ans) in answers.iter().enumerate() {
+                if let UnitAnswer::Navigation { grandchildren, .. } = ans {
+                    let patch = RootPatch {
+                        new_name: update_name(l as u64),
+                    };
+                    store.update_roots(grandchildren, &patch)?;
+                }
+            }
+        }
+
+        // Database disconnect: deferred writes reach the disk and count.
+        store.flush()?;
+        let snapshot = store.snapshot() - before;
+        let (mut children_seen, mut grandchildren_seen) = (0u64, 0u64);
+        for a in &answers {
+            if let UnitAnswer::Navigation {
+                children,
+                grandchildren,
+                ..
+            } = a
+            {
+                children_seen += children.len() as u64;
+                grandchildren_seen += grandchildren.len() as u64;
+            }
+        }
+        Ok(ConcurrentRun {
+            outcome: QueryOutcome::Measured(Measurement {
+                query,
+                snapshot,
+                units: answers.len() as u64,
+                children_seen,
+                grandchildren_seen,
+            }),
+            answers,
+            elapsed,
+            threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetParams};
+    use starfish_core::{make_shared_store, ModelKind, StoreConfig};
+
+    fn shared_setup(
+        kind: ModelKind,
+        shards: usize,
+    ) -> (Box<dyn ConcurrentObjectStore>, QueryRunner) {
+        let params = DatasetParams {
+            n_objects: 60,
+            seed: 99,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let mut store = make_shared_store(kind, StoreConfig::default(), shards);
+        let refs = store.load(&db).unwrap();
+        (store, QueryRunner::new(refs, 7))
+    }
+
+    #[test]
+    fn one_thread_one_shard_matches_serial_runner() {
+        use starfish_core::make_store;
+        let params = DatasetParams {
+            n_objects: 60,
+            seed: 99,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        for kind in [ModelKind::Dsm, ModelKind::DasdbsNsm] {
+            for q in [QueryId::Q1a, QueryId::Q2a, QueryId::Q2b, QueryId::Q3a] {
+                let mut serial = make_store(kind, StoreConfig::default());
+                let refs = serial.load(&db).unwrap();
+                let runner = QueryRunner::new(refs, 7);
+                let want = runner.run(serial.as_mut(), q).unwrap();
+
+                let (mut store, runner) = shared_setup(kind, 1);
+                let got = runner.run_concurrent(store.as_mut(), q, 1).unwrap();
+                assert_eq!(
+                    got.outcome, want,
+                    "{kind}/{q}: 1 thread × 1 shard must equal the serial run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn answers_and_fixes_independent_of_thread_count() {
+        for kind in [ModelKind::DasdbsDsm, ModelKind::NsmIndexed] {
+            let (mut store, runner) = shared_setup(kind, 1);
+            let base = runner
+                .run_concurrent(store.as_mut(), QueryId::Q2b, 1)
+                .unwrap();
+            let base_m = *base.outcome.measurement().unwrap();
+            for threads in [2, 4] {
+                let (mut store, runner) = shared_setup(kind, threads);
+                let got = runner
+                    .run_concurrent(store.as_mut(), QueryId::Q2b, threads)
+                    .unwrap();
+                assert_eq!(got.answers, base.answers, "{kind}: answers moved");
+                let m = got.outcome.measurement().unwrap();
+                assert_eq!(m.snapshot.fixes, base_m.snapshot.fixes, "{kind}");
+                assert_eq!(m.units, base_m.units);
+                assert_eq!(got.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_nsm_q1a_is_unsupported_concurrently_too() {
+        let (mut store, runner) = shared_setup(ModelKind::Nsm, 2);
+        let got = runner
+            .run_concurrent(store.as_mut(), QueryId::Q1a, 2)
+            .unwrap();
+        assert_eq!(got.outcome, QueryOutcome::Unsupported);
+        assert!(got.answers.is_empty());
+    }
+
+    #[test]
+    fn unsupported_queries_are_rejected() {
+        let (mut store, runner) = shared_setup(ModelKind::Dsm, 2);
+        assert!(!QueryRunner::supports_concurrent(QueryId::Q3b));
+        assert!(runner
+            .run_concurrent(store.as_mut(), QueryId::Q3b, 2)
+            .is_err());
+    }
+}

@@ -7,7 +7,10 @@
 //! [`QueryRunner`] executes the seven benchmark queries (1a–3b) against any
 //! [`starfish_core::ComplexObjectStore`] under the paper's measurement
 //! protocol (cold start, deferred writes flushed at "database disconnect",
-//! per-object / per-loop normalization).
+//! per-object / per-loop normalization). [`QueryRunner::run_concurrent`]
+//! drives the same deterministic plans from N client threads over a
+//! [`starfish_core::ConcurrentObjectStore`] (queries 1a/2a/2b/3a; updates
+//! stay single-writer).
 //!
 //! Randomness is fully deterministic: the dataset comes from
 //! [`DatasetParams::seed`], and each query's random object sequence comes
@@ -17,11 +20,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod concurrent;
 mod generator;
 mod queries;
 pub mod reorder;
 mod stats;
 
+pub use concurrent::{ConcurrentRun, UnitAnswer};
 pub use generator::{generate, DatasetParams};
 pub use queries::{Measurement, QueryOutcome, QueryRunner};
 pub use stats::DatasetStats;

@@ -203,11 +203,11 @@ impl QueryRunner {
         Ok((children.len() as u64, grandchildren.len() as u64))
     }
 
-    fn pick(&self, rng: &mut StdRng) -> ObjRef {
+    pub(crate) fn pick(&self, rng: &mut StdRng) -> ObjRef {
         self.refs[rng.random_range(0..self.refs.len())]
     }
 
-    fn query_rng(&self, query: QueryId) -> StdRng {
+    pub(crate) fn query_rng(&self, query: QueryId) -> StdRng {
         let disc: u64 = match query {
             QueryId::Q1a => 1,
             QueryId::Q1b => 2,
@@ -225,7 +225,7 @@ impl QueryRunner {
 }
 
 /// A 100-byte replacement name, unique per loop.
-fn update_name(loop_nr: u64) -> String {
+pub(crate) fn update_name(loop_nr: u64) -> String {
     let mut s = format!("updated-{loop_nr}-");
     while s.len() < 100 {
         s.push('u');

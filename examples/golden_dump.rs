@@ -1,5 +1,7 @@
 //! One-off: dump per-(model, query) IoSnapshot counters as Rust constants.
-//! Used to (re)generate the golden table in `tests/golden_lru.rs`.
+//! Used to (re)generate the golden tables in `tests/golden_lru.rs` (full
+//! counters, both scales) and `tests/golden_io_calls.rs` (Table-5-style
+//! `io_calls`, fast scale).
 
 use starfish::core::{make_store, ModelKind, StoreConfig};
 use starfish::cost::QueryId;
@@ -39,7 +41,39 @@ fn dump(label: &str, n_objects: usize, buffer_pages: usize) {
     }
 }
 
+/// Dumps the Table-5-style call counts (`read_calls + write_calls`) for
+/// `tests/golden_io_calls.rs`.
+fn dump_io_calls(label: &str, n_objects: usize, buffer_pages: usize) {
+    println!("// io_calls at scale: {label} ({n_objects} objects, {buffer_pages}-page buffer)");
+    for kind in ModelKind::all() {
+        let db = generate(&DatasetParams {
+            n_objects,
+            seed: 4242,
+            ..Default::default()
+        });
+        let mut store = make_store(kind, StoreConfig::with_buffer_pages(buffer_pages));
+        let refs = store.load(&db).unwrap();
+        let runner = QueryRunner::new(refs, 1993);
+        for q in QueryId::all() {
+            match runner.run(store.as_mut(), q).unwrap() {
+                QueryOutcome::Measured(m) => {
+                    println!(
+                        "(\"{}\", \"{}\", Some({})),",
+                        kind.paper_name(),
+                        q.label(),
+                        m.snapshot.io_calls(),
+                    );
+                }
+                QueryOutcome::Unsupported => {
+                    println!("(\"{}\", \"{}\", None),", kind.paper_name(), q.label());
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     dump("fast", 300, 240);
     dump("paper", 1500, 1200);
+    dump_io_calls("fast", 300, 240);
 }

@@ -7,7 +7,8 @@
 //!   projections, the benchmark `Station` schema);
 //! * [`pagestore`] — the page-based storage substrate (simulated disk,
 //!   slotted pages, spanned records, a buffer pool with pluggable
-//!   replacement policies — O(1) LRU, Clock, MRU, FIFO, LRU-2 — and I/O
+//!   replacement policies — O(1) LRU, Clock, MRU, FIFO, LRU-2 — a
+//!   lock-striped `SharedBufferPool` for concurrent serving, and I/O
 //!   accounting);
 //! * [`core`] — the four storage models of the paper (DSM, DASDBS-DSM,
 //!   NSM(+index), DASDBS-NSM) behind one [`core::ComplexObjectStore`] trait;
@@ -25,7 +26,10 @@ pub use starfish_workload as workload;
 
 /// Commonly used items, for examples and quick experiments.
 pub mod prelude {
-    pub use starfish_core::{BufferConfig, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig};
+    pub use starfish_core::{
+        make_shared_store, BufferConfig, ComplexObjectStore, ConcurrentObjectStore, ModelKind,
+        PolicyKind, StoreConfig,
+    };
     pub use starfish_nf2::station::{station_schema, Station};
     pub use starfish_nf2::{Oid, Projection, Tuple, Value};
     pub use starfish_pagestore::IoSnapshot;

@@ -1,0 +1,166 @@
+//! Concurrent differential test: serving N clients from one shared buffer
+//! pool must never change what queries *answer* — only when pages
+//! physically travel.
+//!
+//! For every storage model, queries 1a/2a/2b/3a run with 1, 2, 4 and 8
+//! client threads over one `SharedBufferPool` (shard count = thread count)
+//! and the runs must agree on:
+//!
+//! * the **merged answer sequence** (stronger than the multiset: answers
+//!   are merged back in serial plan order, so they are compared
+//!   element-for-element) — identical to the serial run's observations;
+//! * the **total buffer fixes** and the navigation footprint — fixes count
+//!   page accesses, which scheduling cannot change.
+//!
+//! Only the physical read/write counters may differ across thread counts
+//! (threads race on cache residency) — the same invariant shape as
+//! `tests/cross_policy_differential.rs`.
+//!
+//! With **one thread and one shard** the bar is higher: the entire
+//! `Measurement` (physical reads included) must equal the serial
+//! `QueryRunner` run counter for counter — the acceptance gate for the
+//! shared pool reproducing the paper's serial numbers.
+
+use starfish::core::{
+    make_shared_store, make_store, ConcurrentObjectStore, ModelKind, PolicyKind, StoreConfig,
+};
+use starfish::cost::QueryId;
+use starfish::nf2::station::Station;
+use starfish::prelude::*;
+use starfish::workload::{generate, QueryOutcome, UnitAnswer};
+
+const SEED: u64 = 19_930_419;
+const N_OBJECTS: usize = 120;
+/// Small enough that working sets overflow it and interleavings matter.
+const BUFFER_PAGES: usize = 96;
+const QUERIES: [QueryId; 4] = [QueryId::Q1a, QueryId::Q2a, QueryId::Q2b, QueryId::Q3a];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn dataset() -> Vec<Station> {
+    generate(&DatasetParams {
+        n_objects: N_OBJECTS,
+        seed: SEED,
+        ..Default::default()
+    })
+}
+
+fn config() -> StoreConfig {
+    StoreConfig::with_buffer_pages(BUFFER_PAGES).policy(PolicyKind::Lru)
+}
+
+fn shared_store(kind: ModelKind, shards: usize, db: &[Station]) -> Box<dyn ConcurrentObjectStore> {
+    let mut store = make_shared_store(kind, config(), shards);
+    store.load(db).expect("load");
+    store
+}
+
+/// One thread over one shard reproduces the serial measurement exactly —
+/// same seed ⇒ identical `Measurement` values, physical I/O included.
+#[test]
+fn one_client_reproduces_serial_measurements_exactly() {
+    let db = dataset();
+    for kind in ModelKind::all() {
+        let mut serial = make_store(kind, config());
+        let refs = serial.load(&db).expect("load");
+        let runner = QueryRunner::new(refs, SEED);
+        for q in QUERIES {
+            let want = runner.run(serial.as_mut(), q).unwrap();
+            let mut store = shared_store(kind, 1, &db);
+            let got = runner.run_concurrent(store.as_mut(), q, 1).unwrap();
+            assert_eq!(
+                got.outcome, want,
+                "{kind}/{q}: shared pool at 1 thread × 1 shard diverged from serial"
+            );
+        }
+    }
+}
+
+/// 2/4/8 clients: merged answers identical to the 1-client run, fixes and
+/// footprint identical; only physical reads/writes may move.
+#[test]
+fn answers_and_fixes_survive_any_thread_count() {
+    let db = dataset();
+    for kind in ModelKind::all() {
+        for q in QUERIES {
+            let mut baseline: Option<(Vec<UnitAnswer>, u64, u64, u64, u64)> = None;
+            for &threads in &THREADS {
+                let mut store = shared_store(kind, threads, &db);
+                let run = runner_for(&db)
+                    .run_concurrent(store.as_mut(), q, threads)
+                    .unwrap();
+                match run.outcome {
+                    QueryOutcome::Measured(m) => {
+                        let fp = (
+                            run.answers.clone(),
+                            m.snapshot.fixes,
+                            m.units,
+                            m.children_seen,
+                            m.grandchildren_seen,
+                        );
+                        match &baseline {
+                            None => baseline = Some(fp),
+                            Some(want) => {
+                                assert_eq!(
+                                    want.0, fp.0,
+                                    "{kind}/{q}/{threads}t: merged answers diverged"
+                                );
+                                assert_eq!(
+                                    (want.1, want.2, want.3, want.4),
+                                    (fp.1, fp.2, fp.3, fp.4),
+                                    "{kind}/{q}/{threads}t: fixes/footprint diverged"
+                                );
+                            }
+                        }
+                    }
+                    QueryOutcome::Unsupported => {
+                        assert_eq!(
+                            (kind, q),
+                            (ModelKind::Nsm, QueryId::Q1a),
+                            "only NSM/1a may be unsupported"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Query 3a's single-writer update tail converges to the same database
+/// whatever the client count: a full scan after the run sees the patched
+/// names everywhere.
+#[test]
+fn updates_converge_across_thread_counts() {
+    let db = dataset();
+    for kind in [ModelKind::Dsm, ModelKind::DasdbsNsm] {
+        let mut scans: Vec<Vec<Station>> = Vec::new();
+        for &threads in &[1usize, 4] {
+            let mut store = shared_store(kind, threads, &db);
+            runner_for(&db)
+                .run_concurrent(store.as_mut(), QueryId::Q3a, threads)
+                .unwrap();
+            store.clear_cache().unwrap();
+            let mut seen = Vec::new();
+            store
+                .scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+                .unwrap();
+            scans.push(seen);
+        }
+        assert_eq!(scans[0], scans[1], "{kind}: database diverged");
+        assert_ne!(
+            scans[0], db,
+            "{kind}: query 3a must actually update something"
+        );
+    }
+}
+
+fn runner_for(db: &[Station]) -> QueryRunner {
+    let refs = db
+        .iter()
+        .enumerate()
+        .map(|(i, s)| starfish::core::ObjRef {
+            oid: Oid(i as u32),
+            key: s.key,
+        })
+        .collect();
+    QueryRunner::new(refs, SEED)
+}

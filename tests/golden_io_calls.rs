@@ -1,0 +1,169 @@
+//! Golden I/O-*call* snapshot: the Table-5 dimension of the paper.
+//!
+//! `tests/golden_lru.rs` pins pages and fixes; this test pins the **call**
+//! counts (`read_calls + write_calls` — one call may transfer several
+//! contiguous pages) for queries 1a–3b × all five models at the harness's
+//! fast scale. Calls are where DASDBS's multi-page I/O shows up: the
+//! direct models read ≈2 pages per call on large objects while "NSM even
+//! reads only a single page per retrieval call" (§6), and the deferred
+//! grouped writes land ~20–30 pages in one call. A refactor can keep every
+//! page count intact and still silently degenerate the call grouping —
+//! this table makes that impossible.
+//!
+//! To regenerate after an *intentional* protocol change, run
+//! `cargo run --release --example golden_dump` and paste its
+//! `io_calls` section here — with a PR note explaining why the calls
+//! moved.
+
+use starfish::core::{make_store, ModelKind, StoreConfig};
+use starfish::cost::QueryId;
+use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
+
+/// One golden cell: model paper-name, query label, `io_calls` (`None` =
+/// unsupported, i.e. query 1a under pure NSM).
+type GoldenCell = (&'static str, &'static str, Option<u64>);
+
+/// Captured at the fast scale (300 objects, 240-page buffer, dataset seed
+/// 4242, query seed 1993) — regenerate via `examples/golden_dump.rs`.
+const GOLDEN_IO_CALLS_FAST: &[GoldenCell] = &[
+    ("DSM", "1a", Some(46)),
+    ("DSM", "1b", Some(549)),
+    ("DSM", "1c", Some(549)),
+    ("DSM", "2a", Some(42)),
+    ("DSM", "2b", Some(1817)),
+    ("DSM", "3a", Some(59)),
+    ("DSM", "3b", Some(4424)),
+    ("DASDBS-DSM", "1a", Some(46)),
+    ("DASDBS-DSM", "1b", Some(549)),
+    ("DASDBS-DSM", "1c", Some(549)),
+    ("DASDBS-DSM", "2a", Some(42)),
+    ("DASDBS-DSM", "2b", Some(1316)),
+    ("DASDBS-DSM", "3a", Some(80)),
+    ("DASDBS-DSM", "3b", Some(2921)),
+    ("NSM", "1a", None),
+    ("NSM", "1b", Some(726)),
+    ("NSM", "1c", Some(726)),
+    ("NSM", "2a", Some(136)),
+    ("NSM", "2b", Some(136)),
+    ("NSM", "3a", Some(142)),
+    ("NSM", "3b", Some(137)),
+    ("NSM+index", "1a", Some(145)),
+    ("NSM+index", "1b", Some(27)),
+    ("NSM+index", "1c", Some(726)),
+    ("NSM+index", "2a", Some(19)),
+    ("NSM+index", "2b", Some(133)),
+    ("NSM+index", "3a", Some(25)),
+    ("NSM+index", "3b", Some(134)),
+    ("DASDBS-NSM", "1a", Some(116)),
+    ("DASDBS-NSM", "1b", Some(27)),
+    ("DASDBS-NSM", "1c", Some(686)),
+    ("DASDBS-NSM", "2a", Some(17)),
+    ("DASDBS-NSM", "2b", Some(148)),
+    ("DASDBS-NSM", "3a", Some(23)),
+    ("DASDBS-NSM", "3b", Some(149)),
+];
+
+fn model_by_name(name: &str) -> ModelKind {
+    ModelKind::all()
+        .into_iter()
+        .find(|k| k.paper_name() == name)
+        .unwrap_or_else(|| panic!("unknown model {name}"))
+}
+
+fn query_by_label(label: &str) -> QueryId {
+    QueryId::all()
+        .into_iter()
+        .find(|q| format!("{q}") == label)
+        .unwrap_or_else(|| panic!("unknown query {label}"))
+}
+
+#[test]
+fn io_call_counts_match_golden_table_fast_scale() {
+    let db = generate(&DatasetParams {
+        n_objects: 300,
+        seed: 4242,
+        ..Default::default()
+    });
+    let mut mismatches = Vec::new();
+    for kind in ModelKind::all() {
+        let mut store = make_store(kind, StoreConfig::with_buffer_pages(240));
+        let refs = store.load(&db).unwrap();
+        let runner = QueryRunner::new(refs, 1993);
+        for q in QueryId::all() {
+            let expect = GOLDEN_IO_CALLS_FAST
+                .iter()
+                .find(|(m, ql, _)| model_by_name(m) == kind && query_by_label(ql) == q)
+                .unwrap_or_else(|| panic!("golden table misses {kind}/{q}"))
+                .2;
+            let got = match runner.run(store.as_mut(), q).unwrap() {
+                QueryOutcome::Measured(m) => Some(m.snapshot.io_calls()),
+                QueryOutcome::Unsupported => None,
+            };
+            if got != expect {
+                mismatches.push(format!("{kind}/{q}: golden {expect:?}, run {got:?}"));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "I/O-call grouping regressed:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Multi-page calls are the point: the direct models must move more than
+/// one page per call on the object-heavy queries, while NSM stays at
+/// exactly one page per call — the paper's §6 observation, as a structural
+/// guard on the golden table itself.
+#[test]
+fn direct_models_group_pages_per_call_nsm_does_not() {
+    let db = generate(&DatasetParams {
+        n_objects: 300,
+        seed: 4242,
+        ..Default::default()
+    });
+    // DSM query 2b: pages/call well above 1.
+    let mut dsm = make_store(ModelKind::Dsm, StoreConfig::with_buffer_pages(240));
+    let refs = dsm.load(&db).unwrap();
+    let runner = QueryRunner::new(refs, 1993);
+    let m = runner
+        .run(dsm.as_mut(), QueryId::Q2b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
+    let pages_per_call = m.snapshot.pages_read as f64 / m.snapshot.read_calls as f64;
+    assert!(
+        pages_per_call > 1.5,
+        "DSM must use multi-page calls ({pages_per_call:.2} pages/call)"
+    );
+
+    // NSM query 1b: exactly one page per read call.
+    let mut nsm = make_store(ModelKind::Nsm, StoreConfig::with_buffer_pages(240));
+    let refs = nsm.load(&db).unwrap();
+    let runner = QueryRunner::new(refs, 1993);
+    let m = runner
+        .run(nsm.as_mut(), QueryId::Q1b)
+        .unwrap()
+        .measurement()
+        .cloned()
+        .unwrap();
+    assert_eq!(
+        m.snapshot.pages_read, m.snapshot.read_calls,
+        "NSM reads a single page per call"
+    );
+}
+
+/// The golden table covers the full 5 × 7 grid with exactly one
+/// unsupported cell (NSM/1a).
+#[test]
+fn golden_io_call_table_is_complete() {
+    assert_eq!(GOLDEN_IO_CALLS_FAST.len(), 35);
+    let unsupported: Vec<_> = GOLDEN_IO_CALLS_FAST
+        .iter()
+        .filter(|(_, _, c)| c.is_none())
+        .collect();
+    assert_eq!(unsupported.len(), 1);
+    assert_eq!(unsupported[0].0, "NSM");
+    assert_eq!(unsupported[0].1, "1a");
+}
