@@ -12,24 +12,28 @@
 //!   lock-striped [`SharedBufferPool`](starfish_pagestore::SharedBufferPool)
 //!   with K shards.
 //!
-//! **Updates stay single-writer.** Loading (`load`), updates
-//! (`update_roots`), flushes and cold restarts go through the `&mut`
-//! surface, so Rust's borrow rules enforce the single-writer discipline at
-//! compile time: while any thread holds a `&self` borrow for reads, no
-//! `&mut` mutation can start, and vice versa. The follow-up path to
-//! concurrent updates (page latching + per-shard dirty tracking) is noted
-//! in ROADMAP.md.
+//! **Updates are concurrent too** (since the latch layer,
+//! [`starfish_pagestore::latch`]): [`ConcurrentObjectStore::shared_update_roots`]
+//! applies root patches from any number of threads over disjoint update
+//! partitions — every model's write path runs under per-page latches
+//! (exclusive group over the object's pages for writers, shared for
+//! multi-page readers), so concurrent readers never observe torn objects
+//! and disjoint-object writers proceed in parallel.
+//! [`ConcurrentObjectStore::shared_flush`] cooperates with in-flight
+//! writers through the pool's quiesce gate. Only bulk loading stays
+//! `&mut`-single-writer.
 //!
-//! The query *answers* and the buffer-fix counts of the concurrent surface
-//! are identical to the serial surface's — only physical reads and writes
-//! may differ with the interleaving (`tests/concurrent_differential.rs`
-//! pins that invariant, exactly like the cross-policy differential does for
-//! replacement policies).
+//! The query *answers*, the buffer-fix counts and the post-flush on-disk
+//! bytes of the concurrent surface are identical to the serial surface's —
+//! only physical reads and writes may differ with the interleaving
+//! (`tests/concurrent_differential.rs` and
+//! `tests/concurrent_writer_differential.rs` pin those invariants, exactly
+//! like the cross-policy differential does for replacement policies).
 
 use crate::dasdbs_nsm::DasdbsNsmStore;
 use crate::direct::DirectStore;
 use crate::nsm::NsmStore;
-use crate::traits::{ComplexObjectStore, ObjRef};
+use crate::traits::{ComplexObjectStore, ObjRef, RootPatch};
 use crate::{ModelKind, Result, StoreConfig};
 use starfish_nf2::{Oid, Projection, Tuple};
 use starfish_pagestore::{BufferStats, SharedPoolHandle};
@@ -52,9 +56,23 @@ pub trait ConcurrentObjectStore: ComplexObjectStore + Send + Sync {
     /// Root records of `refs`, callable concurrently.
     fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>>;
 
+    /// Queries 3a/3b root update over the `&self` write surface, callable
+    /// from N threads concurrently on **disjoint ref partitions**. Each
+    /// object's read-modify-write runs under an exclusive per-page latch
+    /// group, so writers on different objects proceed in parallel, writers
+    /// on shared pages serialize, and concurrent readers never observe a
+    /// torn object. Counts the exact fixes and I/O of
+    /// [`ComplexObjectStore::update_roots`] — they run the same code.
+    fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()>;
+
+    /// Database-disconnect flush through the shared pool: quiesces
+    /// in-flight writers (the pool's gate) and writes all deferred pages in
+    /// grouped calls. Safe to call while readers keep running.
+    fn shared_flush(&self) -> Result<()>;
+
     /// Cold restart through the shared pool (query 1a's per-retrieval cache
-    /// clear). Flushes nothing new on the read path; safe to interleave
-    /// with concurrent reads (they just go cold).
+    /// clear). Quiesces writers like [`shared_flush`](Self::shared_flush);
+    /// safe to interleave with concurrent reads (they just go cold).
     fn shared_clear_cache(&self) -> Result<()>;
 
     /// Per-shard buffer counters of the underlying pool, for

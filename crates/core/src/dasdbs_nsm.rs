@@ -29,7 +29,8 @@ use starfish_nf2::{
     Value,
 };
 use starfish_pagestore::{
-    BufferPool, BufferStats, HeapFile, IoSnapshot, PageCache, Rid, SharedPoolHandle, SimDisk,
+    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, Rid, SharedPoolHandle,
+    SimDisk,
 };
 use std::collections::HashMap;
 
@@ -236,6 +237,42 @@ fn children_of_in(
     Ok(out)
 }
 
+/// The DASDBS-NSM root update over `refs` — shared by the exclusive
+/// (`&mut`) and concurrent (`&self`) surfaces. "With DASDBS-NSM only small
+/// root tuples in the DASDBS-NSM-Station relation are updated, of which
+/// there are many on a single page" (§5.3): each read-modify-write runs
+/// under an exclusive latch on the root tuple's page so concurrent writers
+/// sharing a page serialize without lost updates.
+fn update_roots_in(
+    parts: &DnsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+    patch: &RootPatch,
+) -> Result<()> {
+    let schema = dnsm_station_schema();
+    for r in refs {
+        let e = parts.entry(r.key)?;
+        pool.with_latched(&[e.station.page], LatchMode::Exclusive, |pool| {
+            let bytes = parts.station.read(pool, e.station)?;
+            let mut t = decode(&bytes, &schema)?;
+            let old = t.values[3].as_str().map(str::len).unwrap_or(0);
+            if old != patch.new_name.len() {
+                return Err(CoreError::Store(
+                    starfish_pagestore::StoreError::SizeChanged {
+                        old,
+                        new: patch.new_name.len(),
+                    },
+                ));
+            }
+            t.values[3] = Value::Str(patch.new_name.clone());
+            Ok(parts
+                .station
+                .update(pool, e.station, &encode(&t, &schema)?)?)
+        })?;
+    }
+    Ok(())
+}
+
 /// The DASDBS-NSM root-record read: one addressed root tuple per ref.
 fn root_records_in(
     parts: &DnsmParts<'_>,
@@ -306,15 +343,6 @@ impl<P: PageCache> DasdbsNsmStore<P> {
         } = self;
         let parts = dnsm_parts(station, platform, connection, sightseeing, trans)?;
         Ok((parts, pool))
-    }
-
-    fn entry(&self, key: Key) -> Result<TransEntry> {
-        self.trans
-            .get(&key)
-            .copied()
-            .ok_or_else(|| CoreError::NotFound {
-                what: format!("key {key}"),
-            })
     }
 
     /// Builds the per-relation nested tuples for one station.
@@ -547,29 +575,9 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
-        // "With DASDBS-NSM only small root tuples in the DASDBS-NSM-Station
-        // relation are updated, of which there are many on a single page"
-        // (§5.3) — the replace-tuple path on the root relation only.
-        self.loaded()?;
-        let schema = dnsm_station_schema();
-        for r in refs {
-            let e = self.entry(r.key)?;
-            let file = self.station.as_ref().expect("loaded");
-            let bytes = file.read(&mut self.pool, e.station)?;
-            let mut t = decode(&bytes, &schema)?;
-            let old = t.values[3].as_str().map(str::len).unwrap_or(0);
-            if old != patch.new_name.len() {
-                return Err(CoreError::Store(
-                    starfish_pagestore::StoreError::SizeChanged {
-                        old,
-                        new: patch.new_name.len(),
-                    },
-                ));
-            }
-            t.values[3] = Value::Str(patch.new_name.clone());
-            file.update(&mut self.pool, e.station, &encode(&t, &schema)?)?;
-        }
-        Ok(())
+        // The replace-tuple path on the root relation only (§5.3).
+        let (parts, pool) = self.parts_and_pool()?;
+        update_roots_in(&parts, pool, refs, patch)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -635,6 +643,10 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
     }
+
+    fn disk_checksum(&self) -> u64 {
+        self.pool.disk_checksum()
+    }
 }
 
 impl DasdbsNsmStore<SharedPoolHandle> {
@@ -667,6 +679,15 @@ impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
     fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
         let (parts, mut pool) = self.parts_and_handle()?;
         root_records_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        update_roots_in(&parts, &mut pool, refs, patch)
+    }
+
+    fn shared_flush(&self) -> Result<()> {
+        self.pool.pool().flush_all().map_err(Into::into)
     }
 
     fn shared_clear_cache(&self) -> Result<()> {

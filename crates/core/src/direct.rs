@@ -23,7 +23,7 @@ use starfish_nf2::{
     decode, decode_projected, encode_with_layout, Key, Oid, Projection, RelSchema, Tuple, Value,
 };
 use starfish_pagestore::{
-    BufferPool, BufferStats, IoSnapshot, PageCache, PageId, SharedPoolHandle, SimDisk,
+    BufferPool, BufferStats, IoSnapshot, LatchMode, PageCache, PageId, SharedPoolHandle, SimDisk,
 };
 use std::collections::HashMap;
 
@@ -69,7 +69,32 @@ fn ord_of(n_objects: usize, oid: Oid) -> Result<usize> {
 /// Reads object `ord` under `proj` using the model's access path — the one
 /// read primitive both the exclusive (`&mut`) and the concurrent (`&self`,
 /// over a cloned shared-pool handle) surfaces are built from.
+///
+/// Spanned (multi-page) objects are read under a **shared group latch** over
+/// their extent, so a concurrent writer replacing the object can never
+/// expose a torn mix of old and new pages; heap residents are single-page
+/// and atomic under the pool's shard mutex already. On the exclusive
+/// [`BufferPool`] the latch is a counted no-op, keeping serial and shared
+/// measurements identical.
 fn read_object_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    ord: usize,
+    proj: &Projection,
+) -> Result<Tuple> {
+    match file.spanned_latch_pages_of(ord)? {
+        Some(pages) => pool.with_latched(&pages, LatchMode::Shared, |pool| {
+            read_object_unlatched(partial, file, schema, pool, ord, proj)
+        }),
+        None => read_object_unlatched(partial, file, schema, pool, ord, proj),
+    }
+}
+
+/// [`read_object_in`] without the latch scope — also the body writers run
+/// inside their own exclusive latch (shared-inside-own-exclusive nests).
+fn read_object_unlatched(
     partial: bool,
     file: &ObjectFile,
     schema: &RelSchema,
@@ -141,6 +166,143 @@ fn root_records_in(
         .collect()
 }
 
+/// Encodes a replacement for an encoded `Str` attribute region. The new
+/// name must have the old name's byte length.
+fn encode_name(new_name: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(2 + new_name.len());
+    v.extend_from_slice(&(new_name.len() as u16).to_le_bytes());
+    v.extend_from_slice(new_name.as_bytes());
+    v
+}
+
+/// DSM update path: replace the entire nested tuple, read-modify-write
+/// under one **exclusive group latch** over the object's pages so disjoint
+/// objects update in parallel while readers of this object wait.
+fn replace_tuple_in(
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    ord: usize,
+    patch: &RootPatch,
+) -> Result<()> {
+    let pages = file.latch_pages_of(ord)?;
+    pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
+        let full = read_object_in(false, file, schema, pool, ord, &Projection::All)?;
+        let mut station = Station::from_tuple(&full)?;
+        if station.name.len() != patch.new_name.len() {
+            return Err(CoreError::Store(
+                starfish_pagestore::StoreError::SizeChanged {
+                    old: station.name.len(),
+                    new: patch.new_name.len(),
+                },
+            ));
+        }
+        station.name = patch.new_name.clone();
+        let (bytes, layout) = encode_with_layout(&station.to_tuple(), schema)?;
+        file.rewrite_full(pool, ord, &bytes, &layout)
+    })
+}
+
+/// DASDBS-DSM update path: `change attribute` on `Name` + page-pool write,
+/// under one exclusive group latch over the object's pages.
+fn change_attribute_in(
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    scratch: PageId,
+    ord: usize,
+    patch: &RootPatch,
+) -> Result<()> {
+    let pages = file.latch_pages_of(ord)?;
+    pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
+        let name_proj = Projection::Attrs(vec![(attr::NAME, Projection::All)]);
+        let layout = match file.read_projected(pool, ord, |l| name_proj.byte_ranges(l))? {
+            ReadPayload::Sparse(bytes, layout) => {
+                // Validate length via the stored attribute range.
+                let range = layout.attrs[attr::NAME].range();
+                let old_len = (range.end - range.start) as usize - 2;
+                if old_len != patch.new_name.len() {
+                    return Err(CoreError::Store(
+                        starfish_pagestore::StoreError::SizeChanged {
+                            old: old_len,
+                            new: patch.new_name.len(),
+                        },
+                    ));
+                }
+                let _ = bytes;
+                layout
+            }
+            ReadPayload::Full(bytes) => {
+                // Heap resident: recompute the layout from the decoded tuple.
+                let t = decode(&bytes, schema)?;
+                let name = t
+                    .attr(attr::NAME)
+                    .and_then(Value::as_str)
+                    .unwrap_or_default();
+                if name.len() != patch.new_name.len() {
+                    return Err(CoreError::Store(
+                        starfish_pagestore::StoreError::SizeChanged {
+                            old: name.len(),
+                            new: patch.new_name.len(),
+                        },
+                    ));
+                }
+                let (_, layout) = encode_with_layout(&t, schema)?;
+                layout
+            }
+        };
+        let range = layout.attrs[attr::NAME].range();
+        file.patch_range(pool, ord, range, &encode_name(&patch.new_name))?;
+        // The page pool: every change-attribute operation allocates a pool
+        // "of which all pages are written ... even though the page pool is
+        // only a single page in size" (§5.3).
+        pool.write_pool_pages(scratch, 1)?;
+        Ok(())
+    })
+}
+
+/// Immutable borrows of everything the direct models' update path needs
+/// besides the pool — the write-side analogue of `NsmParts`.
+struct DirectUpdateParts<'a> {
+    /// `true` = DASDBS-DSM (`change attribute`), `false` = DSM (replace).
+    partial: bool,
+    file: &'a ObjectFile,
+    schema: &'a RelSchema,
+    n_objects: usize,
+    /// DASDBS-DSM's page-pool scratch extent.
+    scratch: Option<PageId>,
+}
+
+/// The direct models' root update over `refs` — the one write primitive
+/// both the exclusive (`&mut`) and the concurrent (`&self`) surfaces run.
+fn update_roots_in(
+    parts: &DirectUpdateParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+    patch: &RootPatch,
+) -> Result<()> {
+    for r in refs {
+        let ord = ord_of(parts.n_objects, r.oid)?;
+        if parts.partial {
+            // "With DASDBS-DSM ... we cannot replace the entire tuple
+            // since for each tuple only those pages are retrieved that
+            // are actually needed. Therefore the update has been
+            // implemented as a 'change attribute' operation" (§5.3).
+            change_attribute_in(
+                parts.file,
+                parts.schema,
+                pool,
+                parts.scratch.expect("allocated at load"),
+                ord,
+                patch,
+            )?;
+        } else {
+            replace_tuple_in(parts.file, parts.schema, pool, ord, patch)?;
+        }
+    }
+    Ok(())
+}
+
 impl<P: PageCache> DirectStore<P> {
     /// Creates an empty direct store over an externally built pool.
     pub fn with_pool(partial: bool, config: &StoreConfig, pool: P) -> Self {
@@ -170,90 +332,6 @@ impl<P: PageCache> DirectStore<P> {
     fn read_object(&mut self, ord: usize, proj: &Projection) -> Result<Tuple> {
         let file = self.file.as_ref().expect("checked by callers");
         read_object_in(self.partial, file, &self.schema, &mut self.pool, ord, proj)
-    }
-
-    /// Replaces the name in an encoded `Str` attribute region. The new name
-    /// must have the old name's byte length.
-    fn encode_name(new_name: &str) -> Vec<u8> {
-        let mut v = Vec::with_capacity(2 + new_name.len());
-        v.extend_from_slice(&(new_name.len() as u16).to_le_bytes());
-        v.extend_from_slice(new_name.as_bytes());
-        v
-    }
-
-    /// DSM update path: replace the entire nested tuple.
-    fn replace_tuple(&mut self, ord: usize, patch: &RootPatch) -> Result<()> {
-        let full = self.read_object(ord, &Projection::All)?;
-        let mut station = Station::from_tuple(&full)?;
-        if station.name.len() != patch.new_name.len() {
-            return Err(CoreError::Store(
-                starfish_pagestore::StoreError::SizeChanged {
-                    old: station.name.len(),
-                    new: patch.new_name.len(),
-                },
-            ));
-        }
-        station.name = patch.new_name.clone();
-        let (bytes, layout) = encode_with_layout(&station.to_tuple(), &self.schema)?;
-        self.file
-            .as_ref()
-            .expect("loaded")
-            .rewrite_full(&mut self.pool, ord, &bytes, &layout)
-    }
-
-    /// DASDBS-DSM update path: `change attribute` on `Name` + page-pool
-    /// write.
-    fn change_attribute(&mut self, ord: usize, patch: &RootPatch) -> Result<()> {
-        let file = self.file.as_ref().expect("loaded");
-        let name_proj = Projection::Attrs(vec![(attr::NAME, Projection::All)]);
-        let layout = match file.read_projected(&mut self.pool, ord, |l| name_proj.byte_ranges(l))? {
-            ReadPayload::Sparse(bytes, layout) => {
-                // Validate length via the stored attribute range.
-                let range = layout.attrs[attr::NAME].range();
-                let old_len = (range.end - range.start) as usize - 2;
-                if old_len != patch.new_name.len() {
-                    return Err(CoreError::Store(
-                        starfish_pagestore::StoreError::SizeChanged {
-                            old: old_len,
-                            new: patch.new_name.len(),
-                        },
-                    ));
-                }
-                let _ = bytes;
-                layout
-            }
-            ReadPayload::Full(bytes) => {
-                // Heap resident: recompute the layout from the decoded tuple.
-                let t = decode(&bytes, &self.schema)?;
-                let name = t
-                    .attr(attr::NAME)
-                    .and_then(Value::as_str)
-                    .unwrap_or_default();
-                if name.len() != patch.new_name.len() {
-                    return Err(CoreError::Store(
-                        starfish_pagestore::StoreError::SizeChanged {
-                            old: name.len(),
-                            new: patch.new_name.len(),
-                        },
-                    ));
-                }
-                let (_, layout) = encode_with_layout(&t, &self.schema)?;
-                layout
-            }
-        };
-        let range = layout.attrs[attr::NAME].range();
-        file.patch_range(
-            &mut self.pool,
-            ord,
-            range,
-            &Self::encode_name(&patch.new_name),
-        )?;
-        // The page pool: every change-attribute operation allocates a pool
-        // "of which all pages are written ... even though the page pool is
-        // only a single page in size" (§5.3).
-        let scratch = self.scratch.expect("allocated at load");
-        self.pool.write_pool_pages(scratch, 1)?;
-        Ok(())
     }
 }
 
@@ -366,19 +444,14 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
         self.file()?;
-        for r in refs {
-            let ord = self.ord_of_oid(r.oid)?;
-            if self.partial {
-                // "With DASDBS-DSM ... we cannot replace the entire tuple
-                // since for each tuple only those pages are retrieved that
-                // are actually needed. Therefore the update has been
-                // implemented as a 'change attribute' operation" (§5.3).
-                self.change_attribute(ord, patch)?;
-            } else {
-                self.replace_tuple(ord, patch)?;
-            }
-        }
-        Ok(())
+        let parts = DirectUpdateParts {
+            partial: self.partial,
+            file: self.file.as_ref().expect("checked"),
+            schema: &self.schema,
+            n_objects: self.refs.len(),
+            scratch: self.scratch,
+        };
+        update_roots_in(&parts, &mut self.pool, refs, patch)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -427,6 +500,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
     }
+
+    fn disk_checksum(&self) -> u64 {
+        self.pool.disk_checksum()
+    }
 }
 
 impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
@@ -461,6 +538,22 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
             self.refs.len(),
             refs,
         )
+    }
+
+    fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        let parts = DirectUpdateParts {
+            partial: self.partial,
+            file: self.file()?,
+            schema: &self.schema,
+            n_objects: self.refs.len(),
+            scratch: self.scratch,
+        };
+        let mut pool = self.pool.clone();
+        update_roots_in(&parts, &mut pool, refs, patch)
+    }
+
+    fn shared_flush(&self) -> Result<()> {
+        self.pool.pool().flush_all().map_err(Into::into)
     }
 
     fn shared_clear_cache(&self) -> Result<()> {

@@ -28,7 +28,8 @@ use starfish_nf2::{
     decode, encode, AttrDef, AttrType, Key, Oid, Projection, RelSchema, Tuple, Value,
 };
 use starfish_pagestore::{
-    BufferPool, BufferStats, HeapFile, IoSnapshot, PageCache, Rid, SharedPoolHandle, SimDisk,
+    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, Rid, SharedPoolHandle,
+    SimDisk,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -209,6 +210,45 @@ impl<P: PageCache> NsmStore<P> {
         let parts = nsm_parts(*indexed, station, platform, connection, sightseeing, index)?;
         Ok((parts, pool))
     }
+}
+
+/// The NSM root update over `refs` — the one write primitive both the
+/// exclusive (`&mut`) and the concurrent (`&self`) surfaces run. Each root
+/// record's read-modify-write happens under an **exclusive latch** on its
+/// page, so concurrent writers on root records sharing a page serialize and
+/// never lose updates (root tuples are small — "there are many on a single
+/// page", §5.3).
+fn update_roots_in(
+    station: &HeapFile,
+    station_rids: &HashMap<Key, Rid>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+    patch: &RootPatch,
+) -> Result<()> {
+    let schema = nsm_station_schema();
+    for r in refs {
+        let rid = *station_rids
+            .get(&r.key)
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("key {}", r.key),
+            })?;
+        pool.with_latched(&[rid.page], LatchMode::Exclusive, |pool| {
+            let bytes = station.read(pool, rid)?;
+            let mut t = decode(&bytes, &schema)?;
+            let old = t.values[3].as_str().map(str::len).unwrap_or(0);
+            if old != patch.new_name.len() {
+                return Err(CoreError::Store(
+                    starfish_pagestore::StoreError::SizeChanged {
+                        old,
+                        new: patch.new_name.len(),
+                    },
+                ));
+            }
+            t.values[3] = Value::Str(patch.new_name.clone());
+            Ok(station.update(pool, rid, &encode(&t, &schema)?)?)
+        })?;
+    }
+    Ok(())
 }
 
 /// Assembles the nested `Station` tuple for `key` from flat parts.
@@ -687,30 +727,8 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
         self.loaded()?;
-        let schema = nsm_station_schema();
-        for r in refs {
-            let rid = *self
-                .station_rids
-                .get(&r.key)
-                .ok_or_else(|| CoreError::NotFound {
-                    what: format!("key {}", r.key),
-                })?;
-            let file = self.station.as_ref().expect("loaded");
-            let bytes = file.read(&mut self.pool, rid)?;
-            let mut t = decode(&bytes, &schema)?;
-            let old = t.values[3].as_str().map(str::len).unwrap_or(0);
-            if old != patch.new_name.len() {
-                return Err(CoreError::Store(
-                    starfish_pagestore::StoreError::SizeChanged {
-                        old,
-                        new: patch.new_name.len(),
-                    },
-                ));
-            }
-            t.values[3] = Value::Str(patch.new_name.clone());
-            file.update(&mut self.pool, rid, &encode(&t, &schema)?)?;
-        }
-        Ok(())
+        let file = self.station.as_ref().expect("loaded");
+        update_roots_in(file, &self.station_rids, &mut self.pool, refs, patch)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -768,6 +786,10 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     fn database_pages(&self) -> u32 {
         self.pool.database_pages()
     }
+
+    fn disk_checksum(&self) -> u64 {
+        self.pool.disk_checksum()
+    }
 }
 
 impl NsmStore<SharedPoolHandle> {
@@ -808,6 +830,17 @@ impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
     fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
         let (parts, mut pool) = self.parts_and_handle()?;
         root_records_in(&parts, &mut pool, refs)
+    }
+
+    fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        self.loaded()?;
+        let file = self.station.as_ref().expect("loaded");
+        let mut pool = self.pool.clone();
+        update_roots_in(file, &self.station_rids, &mut pool, refs, patch)
+    }
+
+    fn shared_flush(&self) -> Result<()> {
+        self.pool.pool().flush_all().map_err(Into::into)
     }
 
     fn shared_clear_cache(&self) -> Result<()> {

@@ -10,7 +10,8 @@
 use crate::{CoreError, Result};
 use starfish_nf2::TupleLayout;
 use starfish_pagestore::{
-    HeapFile, PageCache, Rid, SpannedRecord, SpannedStore, EFFECTIVE_PAGE_SIZE, SLOT_ENTRY_SIZE,
+    HeapFile, PageCache, PageId, Rid, SpannedRecord, SpannedStore, EFFECTIVE_PAGE_SIZE,
+    SLOT_ENTRY_SIZE,
 };
 use std::ops::Range;
 
@@ -161,6 +162,34 @@ impl ObjectFile {
             .ok_or_else(|| CoreError::NotFound {
                 what: format!("{} object #{ord}", self.name),
             })
+    }
+
+    /// The pages an access to object `ord` can touch — the page set its
+    /// group latches cover. Heap residents return their single shared
+    /// slotted page; spanned residents their whole private extent (header
+    /// and data pages).
+    pub fn latch_pages_of(&self, ord: usize) -> Result<Vec<PageId>> {
+        match self.spanned_latch_pages_of(ord)? {
+            Some(extent) => Ok(extent),
+            None => match self.addr(ord)? {
+                ObjAddr::Heap(rid) => Ok(vec![rid.page]),
+                ObjAddr::Spanned(_) => unreachable!("spanned handled above"),
+            },
+        }
+    }
+
+    /// Like [`ObjectFile::latch_pages_of`], but only for spanned residents —
+    /// heap residents return `None` because their single-page accesses are
+    /// already atomic under the pool's shard mutex and need no group latch.
+    pub fn spanned_latch_pages_of(&self, ord: usize) -> Result<Option<Vec<PageId>>> {
+        Ok(match self.addr(ord)? {
+            ObjAddr::Heap(_) => None,
+            ObjAddr::Spanned(rec) => Some(
+                (0..rec.total_pages())
+                    .map(|i| rec.first.offset(i))
+                    .collect(),
+            ),
+        })
     }
 
     /// Total pages used by the file (heap pages + all spanned extents).

@@ -244,6 +244,9 @@ impl ComplexObjectStore for PartitionedStore {
                 acc.fixes += s.fixes;
                 acc.hits += s.hits;
                 acc.misses += s.misses;
+                acc.latch_shared += s.latch_shared;
+                acc.latch_exclusive += s.latch_exclusive;
+                acc.latch_waits += s.latch_waits;
                 acc
             })
     }
@@ -253,11 +256,7 @@ impl ComplexObjectStore for PartitionedStore {
             .iter()
             .map(|n| n.buffer_stats())
             .fold(BufferStats::default(), |mut acc, s| {
-                acc.fixes += s.fixes;
-                acc.hits += s.hits;
-                acc.misses += s.misses;
-                acc.evictions += s.evictions;
-                acc.dirty_evictions += s.dirty_evictions;
+                acc.accumulate(&s);
                 acc
             })
     }
@@ -277,6 +276,13 @@ impl ComplexObjectStore for PartitionedStore {
 
     fn database_pages(&self) -> u32 {
         self.nodes.iter().map(|n| n.database_pages()).sum()
+    }
+
+    fn disk_checksum(&self) -> u64 {
+        // Order-sensitive combination of the per-node fingerprints.
+        self.nodes
+            .iter()
+            .fold(0u64, |acc, n| acc.rotate_left(1) ^ n.disk_checksum())
     }
 }
 

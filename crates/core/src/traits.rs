@@ -119,6 +119,13 @@ pub trait ComplexObjectStore {
 
     /// Total pages allocated for the database.
     fn database_pages(&self) -> u32;
+
+    /// FNV-1a fingerprint of the store's on-disk page array (uncounted).
+    ///
+    /// Meaningful after a [`flush`](Self::flush): the differential tests use
+    /// it to prove that multi-writer runs leave byte-identical databases
+    /// behind, whatever the thread count.
+    fn disk_checksum(&self) -> u64;
 }
 
 /// Resolves an OID to its logical key via the loaded refs (OIDs are dense

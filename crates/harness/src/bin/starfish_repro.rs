@@ -22,7 +22,7 @@
 //! ```
 
 use starfish_harness::experiments;
-use starfish_harness::runner::{measure_grid, HarnessConfig};
+use starfish_harness::runner::{measure_grid, parse_threads, HarnessConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,15 +63,12 @@ fn main() {
             }
         }
     }
-    let threads: Option<usize> = match args.iter().position(|a| a == "--threads") {
-        Some(i) => match args.get(i + 1).map(|s| s.parse::<usize>()) {
-            Some(Ok(n)) if n >= 1 => Some(n),
-            _ => {
-                eprintln!("starfish-repro: --threads needs a client count >= 1");
-                std::process::exit(2);
-            }
-        },
-        None => None,
+    let threads: Option<usize> = match parse_threads(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("starfish-repro: {msg}");
+            std::process::exit(2);
+        }
     };
     let run_concurrency = |config: &HarnessConfig| match threads {
         Some(n) => experiments::ext_concurrency::run_with(config, &[n]),

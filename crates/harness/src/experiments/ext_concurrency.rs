@@ -1,34 +1,44 @@
-//! Extension experiment: concurrent query serving over the sharded pool.
+//! Extension experiment: concurrent query serving over the sharded,
+//! latched buffer pool.
 //!
 //! The paper measures one client behind one 1200-page LRU buffer; a
-//! production system serves many. This experiment reruns the navigation
-//! workload (query 2b, the multi-loop query) with 1/2/4/8 client threads
-//! sharing one `SharedBufferPool` (shard count = client count), for every
-//! storage model × replacement policy, and reports:
+//! production system serves many, and serves *writes* among the reads.
+//! This experiment has two parts:
+//!
+//! **Read-only sweep** (the PR-3 baseline, kept as the correctness
+//! anchor): query 2b with 1/2/4/8 client threads sharing one
+//! `SharedBufferPool` (shard count = client count), for every storage
+//! model × replacement policy. The one-client LRU row is checked
+//! cell-for-cell against the serial `QueryRunner` measurement (same seed ⇒
+//! identical counters) — the acceptance gate for the shared pool.
+//!
+//! **Mixed-workload matrix** (new with the concurrent write path): the
+//! same client counts serve a 2b-shaped request stream where a
+//! deterministic share of requests also applies the query-3a root patch
+//! through the latched `&self` write surface — read-only / 50-50 /
+//! update-heavy ([`MixKind`]) — at the harness-selected policy (use
+//! `--policy` to re-run the matrix under another one). Reported per row:
 //!
 //! * **pages/loop** and **fixes/loop** — the paper's per-unit metrics,
-//!   now under concurrency. Fixes must not move at all (accesses are
-//!   scheduling-independent); physical pages may, because clients race on
-//!   cache residency;
+//!   now under concurrency. Fixes must not move across client counts
+//!   (accesses are scheduling-independent); physical pages may, because
+//!   clients race on cache residency;
 //! * **queries/s** and the speedup over one client — wall-clock
-//!   throughput of the read phase (hardware-dependent: expect ≈flat on a
-//!   single core, scaling with cores otherwise);
+//!   throughput of the serving phase (hardware-dependent);
+//! * **latch sh/ex** — shared/exclusive group-latch acquisitions (equal
+//!   across client counts: the access pattern is deterministic) and
+//!   **latch waits** — blocked acquisitions plus flush-gate waits, the
+//!   contention signal (scheduling-dependent; 0 at one client);
 //! * **shard imbalance** — max/mean and cv of per-shard fix counts,
-//!   reusing the `ext_distributed` §5.5 load-distribution metrics: the
-//!   same skew story, one level down the storage stack.
-//!
-//! The one-client row doubles as a correctness anchor: under LRU it is
-//! checked cell-for-cell against the serial `QueryRunner` measurement
-//! (same seed ⇒ identical counters), the acceptance gate for the shared
-//! pool.
+//!   reusing the `ext_distributed` §5.5 load-distribution metrics.
 
 use crate::experiments::ext_distributed::{cv, imbalance};
 use crate::report::{fmt_pages, ExperimentReport, Table};
 use crate::runner::{load_store, HarnessConfig};
 use crate::Result;
-use starfish_core::{make_shared_store, ModelKind, PolicyKind, StoreConfig};
+use starfish_core::{make_shared_store, ConcurrentObjectStore, ModelKind, PolicyKind, StoreConfig};
 use starfish_cost::QueryId;
-use starfish_workload::{generate, QueryOutcome, QueryRunner};
+use starfish_workload::{generate, MixKind, QueryOutcome, QueryRunner};
 
 /// Client counts swept by default.
 pub const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -45,11 +55,14 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
     let mut table = Table::new(vec![
         "MODEL",
         "POLICY",
+        "MIX",
         "CLIENTS",
-        "2b pages/loop",
+        "pages/loop",
         "fixes/loop",
         "queries/s",
         "speedup",
+        "latch sh/ex",
+        "latch waits",
         "shard max/mean",
         "shard cv",
     ]);
@@ -66,6 +79,22 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
         policy: PolicyKind::Lru,
         ..*config
     };
+
+    let fresh_store = |kind: ModelKind,
+                       policy: PolicyKind,
+                       shards: usize|
+     -> Result<(Box<dyn ConcurrentObjectStore>, QueryRunner)> {
+        let mut store = make_shared_store(
+            kind,
+            StoreConfig::with_buffer_pages(config.buffer_pages).policy(policy),
+            shards,
+        );
+        let refs = store.load(&db)?;
+        let runner = QueryRunner::new(refs, config.query_seed);
+        Ok((store, runner))
+    };
+
+    // ---- Part 1: the read-only 2b sweep, model × policy × clients -------
     for kind in ModelKind::all() {
         // Serial anchor (regular BufferPool store, the paper's pipeline).
         let serial = if want_anchor {
@@ -82,13 +111,7 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
             let mut base_fixes: Option<u64> = None;
             for &n in threads {
                 let n = n.max(1);
-                let mut store = make_shared_store(
-                    kind,
-                    StoreConfig::with_buffer_pages(config.buffer_pages).policy(policy),
-                    n,
-                );
-                let refs = store.load(&db)?;
-                let runner = QueryRunner::new(refs, config.query_seed);
+                let (mut store, runner) = fresh_store(kind, policy, n)?;
                 let run = runner.run_concurrent(store.as_mut(), QueryId::Q2b, n)?;
                 let m = match run.outcome {
                     QueryOutcome::Measured(m) => m,
@@ -98,7 +121,7 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
                 match base_fixes {
                     None => base_fixes = Some(m.snapshot.fixes),
                     Some(want) if want != m.snapshot.fixes => {
-                        fixes_diverged.push(format!("{kind}/{policy}/{n}"));
+                        fixes_diverged.push(format!("{kind}/{policy}/2b/{n}"));
                     }
                     _ => {}
                 }
@@ -125,11 +148,65 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
                 table.push_row(vec![
                     kind.paper_name().to_string(),
                     policy.name().to_string(),
+                    "2b read-only".to_string(),
                     n.to_string(),
                     fmt_pages(m.pages_per_unit()),
                     fmt_pages(m.fixes_per_unit()),
                     fmt_pages(qps),
                     format!("{speedup:.2}x"),
+                    format!("{}/{}", m.snapshot.latch_shared, m.snapshot.latch_exclusive),
+                    m.snapshot.latch_waits.to_string(),
+                    format!("{:.2}", imbalance(&shard_fixes)),
+                    format!("{:.3}", cv(&shard_fixes)),
+                ]);
+            }
+        }
+    }
+
+    // ---- Part 2: the mixed read/write matrix, model × mix × clients -----
+    // Runs at the harness-selected policy (--policy re-runs it under
+    // another); the read-only mix doubles as the cross-check against the
+    // part-1 protocol (different request loop, same access counts).
+    for kind in ModelKind::all() {
+        for mix in MixKind::all() {
+            let mut base_qps: Option<f64> = None;
+            let mut base_fixes: Option<u64> = None;
+            for &n in threads {
+                let n = n.max(1);
+                let (mut store, runner) = fresh_store(kind, config.policy, n)?;
+                let run = runner.run_mixed(store.as_mut(), mix, n)?;
+                match base_fixes {
+                    None => base_fixes = Some(run.snapshot.fixes),
+                    Some(want) if want != run.snapshot.fixes => {
+                        fixes_diverged.push(format!("{kind}/{}/{}/{n}", config.policy, mix.name()));
+                    }
+                    _ => {}
+                }
+                let qps = run.requests_per_sec();
+                let speedup = match base_qps {
+                    None => {
+                        base_qps = Some(qps);
+                        1.0
+                    }
+                    Some(base) if base > 0.0 => qps / base,
+                    Some(_) => 0.0,
+                };
+                let loops = run.requests.max(1) as f64;
+                let shard_fixes: Vec<u64> = store.shard_stats().iter().map(|s| s.fixes).collect();
+                table.push_row(vec![
+                    kind.paper_name().to_string(),
+                    config.policy.name().to_string(),
+                    mix.name().to_string(),
+                    n.to_string(),
+                    fmt_pages(run.snapshot.pages_io() as f64 / loops),
+                    fmt_pages(run.snapshot.fixes as f64 / loops),
+                    fmt_pages(qps),
+                    format!("{speedup:.2}x"),
+                    format!(
+                        "{}/{}",
+                        run.snapshot.latch_shared, run.snapshot.latch_exclusive
+                    ),
+                    run.snapshot.latch_waits.to_string(),
                     format!("{:.2}", imbalance(&shard_fixes)),
                     format!("{:.3}", cv(&shard_fixes)),
                 ]);
@@ -140,11 +217,22 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
     let mut notes = vec![
         format!(
             "{} objects, {}-page shared buffer split over (clients) lock-striped \
-             shards; every cell reloads the store and runs the full query-2b \
-             protocol (cold start, concurrent reads, disconnect flush) with that \
-             many client threads",
+             shards; every cell reloads the store and runs the full protocol \
+             (cold start, concurrent serving, writer-quiescing disconnect \
+             flush) with that many client threads",
             config.n_objects, config.buffer_pages
         ),
+        "the read-only rows sweep every model × policy on query 2b; the \
+         mixed matrix (read-only / 50-50 / update-heavy request streams, \
+         updates = query-3a root patches through the latched &self write \
+         surface) runs at the harness-selected policy — rerun with --policy \
+         to cross it with another"
+            .to_string(),
+        "latch sh/ex counts shared/exclusive group-latch acquisitions \
+         (deterministic — they follow the access plan); latch waits counts \
+         blocked acquisitions plus flush-gate waits and is the contention \
+         signal: 0 at one client, scheduling-dependent above"
+            .to_string(),
         "shard imbalance = max/mean and cv of per-shard buffer fixes \
          (the ext-distributed §5.5 metrics applied to shards instead of nodes)"
             .to_string(),
@@ -153,10 +241,6 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
          as threads race on cache residency; queries/s and speedup are \
          wall-clock and hardware-dependent — on a single core expect ≈1.0x \
          (the experiment then measures locking overhead)"
-            .to_string(),
-        "updates stay single-writer: query 2b is read-only, and the runner \
-         applies query-3 updates from the driver thread only (see ROADMAP \
-         for the concurrent-update follow-up)"
             .to_string(),
     ];
     notes.push(if !serial_checked {
@@ -178,8 +262,8 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
     });
     notes.push(if fixes_diverged.is_empty() {
         "fix counts verified identical across client counts for every \
-         (model, policy) — concurrency changes physical I/O only, never the \
-         access pattern"
+         (model, policy, mix) — concurrency changes physical I/O only, never \
+         the access pattern"
             .to_string()
     } else {
         format!(
@@ -191,7 +275,8 @@ pub fn run_with(config: &HarnessConfig, threads: &[usize]) -> Result<ExperimentR
 
     Ok(ExperimentReport {
         id: "ext-concurrency".into(),
-        title: "Extension — concurrent query serving over a sharded buffer pool".into(),
+        title: "Extension — concurrent read/write serving over a sharded, latched buffer pool"
+            .into(),
         table,
         notes,
     })
@@ -202,11 +287,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_covers_models_policies_and_client_counts() {
+    fn sweep_covers_models_policies_mixes_and_client_counts() {
         let report = run_with(&HarnessConfig::fast(), &[1, 2]).unwrap();
         let models = ModelKind::all().len();
         let policies = PolicyKind::all().len();
-        assert_eq!(report.table.rows.len(), models * policies * 2);
+        let mixes = MixKind::all().len();
+        assert_eq!(
+            report.table.rows.len(),
+            models * policies * 2 + models * mixes * 2,
+            "read-only sweep rows + mixed matrix rows"
+        );
         // The correctness anchors held: no WARNING notes.
         assert!(
             report
@@ -217,9 +307,25 @@ mod tests {
             "anchors failed: {:?}",
             report.notes
         );
-        // Speedup column of every 1-client row is exactly 1.00x.
-        for row in report.table.rows.iter().filter(|r| r[2] == "1") {
-            assert_eq!(row[6], "1.00x");
+        // Speedup column of every 1-client row is exactly 1.00x, and its
+        // latch-wait column is 0 (no contention possible).
+        for row in report.table.rows.iter().filter(|r| r[3] == "1") {
+            assert_eq!(row[7], "1.00x");
+            assert_eq!(row[9], "0", "1 client cannot wait on a latch");
         }
+        // Update mixes report exclusive-latch work; read-only rows none.
+        let has_excl = |r: &Vec<String>| !r[8].ends_with("/0");
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .filter(|r| r[2] == "update-heavy")
+            .all(has_excl));
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .filter(|r| r[2] == "read-only")
+            .all(|r| !has_excl(r)));
     }
 }

@@ -57,6 +57,29 @@ impl HarnessConfig {
     }
 }
 
+/// Parses the `--threads` argument out of a CLI argument list.
+///
+/// Returns `Ok(None)` when the flag is absent (callers sweep the default
+/// client counts), `Ok(Some(n))` for a valid `--threads n`, and `Err` with
+/// a user-facing message for a missing, non-numeric or **zero** value —
+/// zero clients cannot serve anything, and letting it through used to
+/// reach `SharedBufferPool::new(_, _, 0)`'s "need at least one shard"
+/// panic deep in the stack instead of a clean CLI error.
+pub fn parse_threads(args: &[String]) -> std::result::Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Ok(Some(n)),
+        Some(Ok(0)) => Err("--threads needs a client count >= 1 (got 0)".into()),
+        Some(_) => Err(format!(
+            "--threads needs a client count >= 1 (got '{}')",
+            args[i + 1]
+        )),
+        None => Err("--threads needs a client count >= 1".into()),
+    }
+}
+
 /// One measured cell: per-unit pages/calls/fixes, or `None` where the model
 /// does not support the query.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -202,6 +225,23 @@ mod tests {
         let dsm = grid.cell(ModelKind::Dsm, QueryId::Q2a).unwrap();
         let dnsm = grid.cell(ModelKind::DasdbsNsm, QueryId::Q2a).unwrap();
         assert!(dsm.pages > dnsm.pages, "{} vs {}", dsm.pages, dnsm.pages);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_counts_only() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&["--fast"])), Ok(None));
+        assert_eq!(parse_threads(&args(&["--threads", "4"])), Ok(Some(4)));
+        assert_eq!(
+            parse_threads(&args(&["--fast", "--threads", "1"])),
+            Ok(Some(1))
+        );
+        // Zero clients is a clean CLI error, not a downstream panic.
+        let err = parse_threads(&args(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        assert!(parse_threads(&args(&["--threads"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "many"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "-2"])).is_err());
     }
 
     #[test]

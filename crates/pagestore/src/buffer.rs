@@ -1,4 +1,5 @@
 use crate::disk::DiskOps;
+use crate::latch::{distinct_pids, LatchMode};
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferStats, IoSnapshot};
 use crate::DEFAULT_BUFFER_PAGES;
@@ -328,6 +329,16 @@ impl PoolCore {
         Ok(())
     }
 
+    /// Counts a group-latch acquisition of `n` pages — the accounting half
+    /// of [`crate::PageCache::latch_pages`], shared by both pool flavours so
+    /// the same storage code reports identical latch totals on either.
+    pub(crate) fn note_group_latch(&mut self, mode: LatchMode, n: u64) {
+        match mode {
+            LatchMode::Shared => self.stats.latch_shared += n,
+            LatchMode::Exclusive => self.stats.latch_exclusive += n,
+        }
+    }
+
     /// Drops every cached frame without writing anything (callers flush
     /// first). Pins do not survive.
     pub(crate) fn drop_all(&mut self) {
@@ -504,6 +515,23 @@ impl BufferPool {
     pub fn reset_stats(&mut self) {
         self.disk.reset_stats();
         self.core.stats = BufferStats::default();
+    }
+
+    /// Counts a group-latch acquisition over the distinct pages of `pids`.
+    ///
+    /// An exclusively-owned pool has no concurrent accessors, so latching is
+    /// pure bookkeeping here — but it is the *same* bookkeeping the sharded
+    /// [`crate::SharedBufferPool`] performs for real acquisitions, which is
+    /// what keeps serial and one-client-shared measurements identical over
+    /// the latched write surface.
+    pub fn note_group_latch(&mut self, pids: &[PageId], mode: LatchMode) {
+        let n = distinct_pids(pids).len() as u64;
+        self.core.note_group_latch(mode, n);
+    }
+
+    /// FNV-1a checksum of the underlying disk's page array (uncounted).
+    pub fn disk_checksum(&self) -> u64 {
+        self.disk.checksum()
     }
 }
 

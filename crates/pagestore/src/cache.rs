@@ -16,6 +16,7 @@
 //! interior mutability (its `&mut` receivers never actually need the
 //! exclusivity).
 
+use crate::latch::LatchMode;
 use crate::stats::{BufferStats, IoSnapshot};
 use crate::{BufferPool, PageId, PolicyKind, Result, PAGE_SIZE};
 
@@ -81,6 +82,49 @@ pub trait PageCache {
 
     /// Which replacement policy the pool runs.
     fn policy_kind(&self) -> PolicyKind;
+
+    /// Acquires a group latch on `pids` (deduplicated) in `mode` — the
+    /// multi-page atomicity primitive of the concurrent write path (see
+    /// [`crate::latch`]). On the exclusive [`BufferPool`] this is a counted
+    /// no-op (single owner ⇒ no conflicts possible); on the shared pool it
+    /// acquires real per-page latches in the global (shard, page) order,
+    /// blocking on conflicts. Latch groups must not nest.
+    fn latch_pages(&mut self, pids: &[PageId], mode: LatchMode) -> Result<()>;
+
+    /// Releases a group latch previously acquired with the same `pids` and
+    /// `mode` by the same thread.
+    fn unlatch_pages(&mut self, pids: &[PageId], mode: LatchMode);
+
+    /// Runs `f` with `pids` group-latched in `mode`, releasing the latches
+    /// on every exit path — success, error, **and panic** (a leaked latch
+    /// would wedge every conflicting accessor and all future flushes, so
+    /// an unwinding closure must not skip the release; the panic is
+    /// re-raised after it). Generic over the closure's error type so
+    /// higher storage layers can use their own error enums inside a latch
+    /// scope.
+    fn with_latched<R, E>(
+        &mut self,
+        pids: &[PageId],
+        mode: LatchMode,
+        f: impl FnOnce(&mut Self) -> std::result::Result<R, E>,
+    ) -> std::result::Result<R, E>
+    where
+        Self: Sized,
+        E: From<crate::StoreError>,
+    {
+        self.latch_pages(pids, mode)?;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        self.unlatch_pages(pids, mode);
+        match r {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    /// FNV-1a checksum of the entire on-disk page array — the differential
+    /// tests' "final on-disk bytes" fingerprint. Reads the disk directly
+    /// (no counters touched); call after a flush for a meaningful value.
+    fn disk_checksum(&self) -> u64;
 }
 
 impl PageCache for BufferPool {
@@ -150,5 +194,16 @@ impl PageCache for BufferPool {
 
     fn policy_kind(&self) -> PolicyKind {
         BufferPool::policy_kind(self)
+    }
+
+    fn latch_pages(&mut self, pids: &[PageId], mode: LatchMode) -> Result<()> {
+        BufferPool::note_group_latch(self, pids, mode);
+        Ok(())
+    }
+
+    fn unlatch_pages(&mut self, _pids: &[PageId], _mode: LatchMode) {}
+
+    fn disk_checksum(&self) -> u64 {
+        BufferPool::disk_checksum(self)
     }
 }

@@ -89,6 +89,12 @@ impl SimDisk {
         self.pages.get(page.0 as usize)
     }
 
+    /// FNV-1a checksum of the full page array (uncounted — a debugging and
+    /// differential-testing fingerprint, not an I/O).
+    pub fn checksum(&self) -> u64 {
+        fnv1a_pages(&self.pages)
+    }
+
     /// Current physical I/O counters.
     pub fn stats(&self) -> DiskStats {
         self.stats
@@ -115,6 +121,19 @@ impl Default for SimDisk {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// FNV-1a over a page array — shared by [`SimDisk`] and the shared disk so
+/// their fingerprints are comparable for identical content.
+pub(crate) fn fnv1a_pages(pages: &[[u8; PAGE_SIZE]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for page in pages {
+        for &b in page.iter() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 /// The physical-I/O operations the buffer-pool core needs, abstracted so the

@@ -47,6 +47,7 @@ mod cache;
 mod disk;
 mod error;
 mod heap;
+pub mod latch;
 pub mod policy;
 mod shared;
 pub mod slotted;
@@ -58,6 +59,7 @@ pub use cache::PageCache;
 pub use disk::SimDisk;
 pub use error::StoreError;
 pub use heap::{HeapFile, Rid};
+pub use latch::LatchMode;
 pub use policy::{PolicyKind, ReplacementPolicy};
 pub use shared::{SharedBufferPool, SharedPoolHandle};
 pub use spanned::{SpannedRecord, SpannedStore};

@@ -15,6 +15,15 @@ pub struct DiskStats {
 
 /// Buffer-manager counters (the paper's Table 6 "page fixes in buffer",
 /// used as an indicator of CPU load).
+///
+/// The `latch_*` fields are **additive observability counters** introduced
+/// with the concurrent write path: group-latch acquisitions are counted by
+/// every pool flavour (the exclusive [`crate::BufferPool`] counts them as
+/// bookkeeping-only no-ops, the sharded [`crate::SharedBufferPool`] counts
+/// real acquisitions), so the same storage-layer code produces the same
+/// latch totals on either pool. `latch_waits` counts blocked acquisitions
+/// and is inherently scheduling-dependent: it is zero for any single-client
+/// run and may vary run-to-run under contention.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Page fixes: every page access through the buffer, hit or miss.
@@ -27,6 +36,27 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Evicted pages that were dirty (each costs a physical write).
     pub dirty_evictions: u64,
+    /// Pages acquired under shared (read) group latches.
+    pub latch_shared: u64,
+    /// Pages acquired under exclusive (write) group latches.
+    pub latch_exclusive: u64,
+    /// Times an access or latch acquisition had to wait for a conflicting
+    /// latch (or for writer quiescence at flush). Scheduling-dependent.
+    pub latch_waits: u64,
+}
+
+impl BufferStats {
+    /// Field-wise accumulation (used when merging shard or node counters).
+    pub fn accumulate(&mut self, s: &BufferStats) {
+        self.fixes += s.fixes;
+        self.hits += s.hits;
+        self.misses += s.misses;
+        self.evictions += s.evictions;
+        self.dirty_evictions += s.dirty_evictions;
+        self.latch_shared += s.latch_shared;
+        self.latch_exclusive += s.latch_exclusive;
+        self.latch_waits += s.latch_waits;
+    }
 }
 
 /// A combined snapshot of disk and buffer counters.
@@ -49,6 +79,12 @@ pub struct IoSnapshot {
     pub hits: u64,
     /// Buffer misses.
     pub misses: u64,
+    /// Pages acquired under shared group latches (see [`BufferStats`]).
+    pub latch_shared: u64,
+    /// Pages acquired under exclusive group latches.
+    pub latch_exclusive: u64,
+    /// Latch-contention waits (scheduling-dependent; zero single-client).
+    pub latch_waits: u64,
 }
 
 impl IoSnapshot {
@@ -62,6 +98,9 @@ impl IoSnapshot {
             fixes: buf.fixes,
             hits: buf.hits,
             misses: buf.misses,
+            latch_shared: buf.latch_shared,
+            latch_exclusive: buf.latch_exclusive,
+            latch_waits: buf.latch_waits,
         }
     }
 
@@ -107,6 +146,9 @@ impl Sub for IoSnapshot {
             fixes: self.fixes.saturating_sub(rhs.fixes),
             hits: self.hits.saturating_sub(rhs.hits),
             misses: self.misses.saturating_sub(rhs.misses),
+            latch_shared: self.latch_shared.saturating_sub(rhs.latch_shared),
+            latch_exclusive: self.latch_exclusive.saturating_sub(rhs.latch_exclusive),
+            latch_waits: self.latch_waits.saturating_sub(rhs.latch_waits),
         }
     }
 }
@@ -140,6 +182,7 @@ mod tests {
             fixes: 100,
             hits: 80,
             misses: 20,
+            ..Default::default()
         };
         let after = IoSnapshot {
             read_calls: 15,
@@ -149,9 +192,15 @@ mod tests {
             fixes: 160,
             hits: 130,
             misses: 30,
+            latch_shared: 4,
+            latch_exclusive: 2,
+            latch_waits: 1,
         };
         let d = after - before;
         assert_eq!(d.read_calls, 5);
+        assert_eq!(d.latch_shared, 4);
+        assert_eq!(d.latch_exclusive, 2);
+        assert_eq!(d.latch_waits, 1);
         assert_eq!(d.pages_read, 15);
         assert_eq!(d.pages_io(), 17);
         assert_eq!(d.io_calls(), 6);
@@ -171,6 +220,7 @@ mod tests {
             fixes: 100,
             hits: 80,
             misses: 20,
+            ..Default::default()
         };
         // Counters were reset, then a little work happened.
         let after = IoSnapshot {

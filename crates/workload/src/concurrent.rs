@@ -12,27 +12,37 @@
 //! 3. per-unit answers are merged back **in serial plan order**, so the
 //!    merged answer sequence is bit-identical to the serial run whatever
 //!    the thread interleaving was;
-//! 4. query 3a's updates are applied by the driver thread alone after the
-//!    reads complete (updates stay single-writer), then the disconnect
-//!    flush runs and counters are snapshotted exactly as in the serial
-//!    protocol.
+//! 4. query 3a's updates are applied **concurrently by the same N
+//!    threads** over disjoint object partitions through the latched
+//!    `&self` write surface
+//!    ([`ConcurrentObjectStore::shared_update_roots`]): every occurrence
+//!    of an object goes to the thread owning that object, so no two
+//!    threads ever write the same object, and per-page latches keep
+//!    writers on shared pages serialized. The disconnect flush then runs
+//!    through [`ConcurrentObjectStore::shared_flush`] and counters are
+//!    snapshotted exactly as in the serial protocol.
 //!
-//! Invariants (pinned by `tests/concurrent_differential.rs`): answers and
-//! total buffer fixes are independent of the thread count; with one thread
-//! and one shard, the whole [`Measurement`] — physical reads included — is
-//! identical to the serial runner's. Only physical I/O may move when
-//! threads race on the cache, mirroring the cross-policy differential's
-//! invariant shape.
+//! Invariants (pinned by `tests/concurrent_differential.rs` and
+//! `tests/concurrent_writer_differential.rs`): answers, total buffer fixes
+//! and the post-flush on-disk bytes are independent of the thread count;
+//! with one thread and one shard, the whole [`Measurement`] — physical
+//! reads included — is identical to the serial runner's. Only physical I/O
+//! may move when threads race on the cache, mirroring the cross-policy
+//! differential's invariant shape.
 //!
-//! Concurrency is restricted to the read-dominated queries 1a/2a/2b/3a;
-//! the bulk-update queries 3b (and the full scans 1b/1c, which are one
-//! set-oriented unit anyway) stay on the serial surface.
+//! Concurrency is restricted to the queries 1a/2a/2b/3a; the bulk-update
+//! query 3b (and the full scans 1b/1c, which are one set-oriented unit
+//! anyway) stays on the serial surface. For sustained mixed read/write
+//! serving, [`QueryRunner::run_mixed`] drives a [`MixKind`] request stream
+//! instead.
 
 use crate::queries::{update_name, Measurement, QueryOutcome, QueryRunner, Q1A_SAMPLE};
 use crate::Result;
 use starfish_core::{ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
 use starfish_cost::QueryId;
-use starfish_nf2::{Projection, Tuple};
+use starfish_nf2::{Oid, Projection, Tuple};
+use starfish_pagestore::IoSnapshot;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// What one unit of concurrent work (a query-1a retrieval or one
@@ -82,6 +92,52 @@ impl ConcurrentRun {
     }
 }
 
+/// Splits `refs` into `threads` disjoint partitions **by object**: every
+/// occurrence of an object (duplicates included) goes to the thread that
+/// owns the object, objects dealt round-robin in first-seen order. No two
+/// partitions ever contain the same object, so concurrent writers never
+/// race on an object-level read-modify-write; per-thread relative order is
+/// the serial order. Total occurrences are preserved, which is what keeps
+/// fix totals thread-count-invariant.
+fn partition_by_object(refs: &[ObjRef], threads: usize) -> Vec<Vec<ObjRef>> {
+    let mut rank: HashMap<Oid, usize> = HashMap::new();
+    for r in refs {
+        let next = rank.len();
+        rank.entry(r.oid).or_insert(next);
+    }
+    let mut parts = vec![Vec::new(); threads];
+    for r in refs {
+        parts[rank[&r.oid] % threads].push(*r);
+    }
+    parts
+}
+
+/// Applies `patch` to `refs` from `threads` writer threads over disjoint
+/// object partitions (single-threaded: the plain serial-order call, so a
+/// one-thread run is operation-for-operation the serial update path).
+fn apply_updates_concurrent(
+    store: &dyn ConcurrentObjectStore,
+    refs: &[ObjRef],
+    patch: &RootPatch,
+    threads: usize,
+) -> Result<()> {
+    if threads <= 1 || refs.len() <= 1 {
+        return store.shared_update_roots(refs, patch);
+    }
+    let parts = partition_by_object(refs, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|part| s.spawn(move || store.shared_update_roots(part, patch)))
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
 /// One unit of work through the shared surface.
 fn run_unit(store: &dyn ConcurrentObjectStore, query: QueryId, root: ObjRef) -> Result<UnitAnswer> {
     match query {
@@ -111,8 +167,9 @@ fn run_unit(store: &dyn ConcurrentObjectStore, query: QueryId, root: ObjRef) -> 
 impl QueryRunner {
     /// Which queries the concurrent runner executes: the retrieval and
     /// navigation queries (1a, 2a, 2b) plus the single-loop update query
-    /// 3a, whose navigation is concurrent and whose update tail is applied
-    /// single-writer by the driver.
+    /// 3a, whose navigation *and* update phases both run concurrently (the
+    /// updates over disjoint object partitions through the latched write
+    /// surface).
     pub fn supports_concurrent(query: QueryId) -> bool {
         matches!(
             query,
@@ -210,20 +267,24 @@ impl QueryRunner {
             .map(|s| s.expect("every unit executed"))
             .collect();
 
-        // Single-writer tail: query 3a's updates, in serial unit order.
+        // Concurrent write phase: query 3a's updates, applied by N threads
+        // over disjoint object partitions through the latched `&self`
+        // write surface. Every occurrence carries the same per-unit patch,
+        // so the final bytes are partition-order-independent.
         if query == QueryId::Q3a {
             for (l, ans) in answers.iter().enumerate() {
                 if let UnitAnswer::Navigation { grandchildren, .. } = ans {
                     let patch = RootPatch {
                         new_name: update_name(l as u64),
                     };
-                    store.update_roots(grandchildren, &patch)?;
+                    apply_updates_concurrent(store, grandchildren, &patch, threads)?;
                 }
             }
         }
 
-        // Database disconnect: deferred writes reach the disk and count.
-        store.flush()?;
+        // Database disconnect: deferred writes reach the disk and count
+        // (the shared flush quiesces writers through the pool's gate).
+        store.shared_flush()?;
         let snapshot = store.snapshot() - before;
         let (mut children_seen, mut grandchildren_seen) = (0u64, 0u64);
         for a in &answers {
@@ -248,6 +309,148 @@ impl QueryRunner {
             answers,
             elapsed,
             threads,
+        })
+    }
+}
+
+/// The read/write composition of a [`QueryRunner::run_mixed`] request
+/// stream. Every request is one query-2b-style navigation loop; update
+/// requests additionally apply the query-3a root patch to the loop's
+/// grand-children through the latched `&self` write surface.
+///
+/// Which requests update is a **deterministic function of the request
+/// index**, so the stream composition is identical for every thread count
+/// — only the interleaving (and therefore physical I/O and latch waits)
+/// may move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixKind {
+    /// Navigation only — the PR-3 regime, now a baseline.
+    ReadOnly,
+    /// Every second request updates (odd indices).
+    Mixed5050,
+    /// Three of four requests update (the paper's query-3a regime scaled
+    /// to a request stream).
+    UpdateHeavy,
+}
+
+impl MixKind {
+    /// All mixes, in increasing write share.
+    pub fn all() -> [MixKind; 3] {
+        [MixKind::ReadOnly, MixKind::Mixed5050, MixKind::UpdateHeavy]
+    }
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixKind::ReadOnly => "read-only",
+            MixKind::Mixed5050 => "50-50",
+            MixKind::UpdateHeavy => "update-heavy",
+        }
+    }
+
+    /// Whether request `i` of the stream applies an update.
+    pub fn is_update(self, i: usize) -> bool {
+        match self {
+            MixKind::ReadOnly => false,
+            MixKind::Mixed5050 => i % 2 == 1,
+            MixKind::UpdateHeavy => !i.is_multiple_of(4),
+        }
+    }
+}
+
+/// The result of one mixed read/write serving run.
+#[derive(Clone, Debug)]
+pub struct MixedRun {
+    /// Requests served (navigation loops).
+    pub requests: u64,
+    /// Requests that applied an update.
+    pub updates: u64,
+    /// Wall-clock of the serving phase (excludes load and the final
+    /// disconnect flush).
+    pub elapsed: Duration,
+    /// Client threads.
+    pub threads: usize,
+    /// Counter deltas for the whole run, disconnect flush included — the
+    /// `latch_*` fields surface the contention the mix produced.
+    pub snapshot: IoSnapshot,
+}
+
+impl MixedRun {
+    /// Requests served per second of the serving phase.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+}
+
+impl QueryRunner {
+    /// Serves a mixed read/write request stream from `threads` clients
+    /// over `store`: the query-2b navigation plan (same seed ⇒ same roots
+    /// for every mix and thread count), with `mix` deciding per request
+    /// index whether the loop's grand-children get the query-3a root patch
+    /// (`update_name(i)` — unique per request).
+    ///
+    /// This is a **throughput harness**, not a differential: requests race
+    /// by design (a read may observe either side of a concurrent update),
+    /// but per-page latches guarantee every observation is a consistent,
+    /// untorn object, and updates to the same object serialize. The final
+    /// flush runs through the writer-quiescing shared surface.
+    pub fn run_mixed(
+        &self,
+        store: &mut dyn ConcurrentObjectStore,
+        mix: MixKind,
+        threads: usize,
+    ) -> Result<MixedRun> {
+        let threads = threads.max(1);
+        let mut rng = self.query_rng(QueryId::Q2b);
+        let roots: Vec<ObjRef> = (0..self.loops()).map(|_| self.pick(&mut rng)).collect();
+
+        store.clear_cache()?;
+        store.reset_stats();
+        let before = store.snapshot();
+        let updates_planned = (0..roots.len()).filter(|&i| mix.is_update(i)).count() as u64;
+
+        let t0 = Instant::now();
+        let shared: &dyn ConcurrentObjectStore = store;
+        let serve = |t: usize| -> Result<()> {
+            for i in (t..roots.len()).step_by(threads) {
+                let children = shared.shared_children_of(&[roots[i]])?;
+                let grandchildren = shared.shared_children_of(&children)?;
+                let records = shared.shared_root_records(&grandchildren)?;
+                debug_assert_eq!(records.len(), grandchildren.len());
+                if mix.is_update(i) {
+                    let patch = RootPatch {
+                        new_name: update_name(i as u64),
+                    };
+                    shared.shared_update_roots(&grandchildren, &patch)?;
+                }
+            }
+            Ok(())
+        };
+        if threads == 1 {
+            serve(0)?;
+        } else {
+            let serve = &serve;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || serve(t))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect::<Result<Vec<()>>>()
+            })?;
+        }
+        let elapsed = t0.elapsed();
+
+        store.shared_flush()?;
+        Ok(MixedRun {
+            requests: roots.len() as u64,
+            updates: updates_planned,
+            elapsed,
+            threads,
+            snapshot: store.snapshot() - before,
         })
     }
 }
@@ -338,5 +541,113 @@ mod tests {
         assert!(runner
             .run_concurrent(store.as_mut(), QueryId::Q3b, 2)
             .is_err());
+    }
+
+    #[test]
+    fn partition_by_object_is_disjoint_and_occurrence_preserving() {
+        let r = |o: u32| ObjRef {
+            oid: Oid(o),
+            key: o as i32,
+        };
+        // Object 1 appears three times, spread through the list.
+        let refs = vec![r(1), r(2), r(1), r(3), r(4), r(1)];
+        for threads in [1, 2, 3, 4, 8] {
+            let parts = partition_by_object(&refs, threads);
+            assert_eq!(parts.len(), threads);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, refs.len(), "occurrences preserved");
+            // Disjointness: each object's occurrences live in one partition.
+            for oid in [1u32, 2, 3, 4] {
+                let holders = parts
+                    .iter()
+                    .filter(|p| p.iter().any(|x| x.oid == Oid(oid)))
+                    .count();
+                assert_eq!(holders, 1, "oid {oid} split across {threads} threads");
+            }
+        }
+        // One thread keeps the serial order exactly.
+        assert_eq!(partition_by_object(&refs, 1)[0], refs);
+    }
+
+    #[test]
+    fn q3a_updates_apply_identically_for_any_thread_count() {
+        use starfish_nf2::station::Station;
+        let mut checksums = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let (mut store, runner) = shared_setup(ModelKind::Dsm, threads);
+            runner
+                .run_concurrent(store.as_mut(), QueryId::Q3a, threads)
+                .unwrap();
+            checksums.push(store.disk_checksum());
+            // And the logical content matches too.
+            store.clear_cache().unwrap();
+            let mut names = Vec::new();
+            store
+                .scan_all(&mut |t| {
+                    names.push(Station::from_tuple(t).unwrap().name);
+                })
+                .unwrap();
+            assert!(names.iter().any(|n| n.starts_with("updated-")), "{threads}");
+        }
+        assert_eq!(checksums[0], checksums[1], "2 writers diverged from 1");
+        assert_eq!(checksums[0], checksums[2], "4 writers diverged from 1");
+    }
+
+    #[test]
+    fn mixed_stream_composition_is_deterministic() {
+        assert!(!MixKind::ReadOnly.is_update(0));
+        assert!(!MixKind::ReadOnly.is_update(7));
+        assert!(MixKind::Mixed5050.is_update(1));
+        assert!(!MixKind::Mixed5050.is_update(2));
+        let heavy = (0..8)
+            .filter(|&i| MixKind::UpdateHeavy.is_update(i))
+            .count();
+        assert_eq!(heavy, 6, "update-heavy is 3 of 4");
+        assert_eq!(MixKind::all().len(), 3);
+    }
+
+    #[test]
+    fn run_mixed_serves_and_counts_every_mix() {
+        for kind in [ModelKind::DasdbsNsm, ModelKind::Dsm] {
+            for mix in MixKind::all() {
+                for threads in [1usize, 3] {
+                    let (mut store, runner) = shared_setup(kind, threads.max(1));
+                    let run = runner.run_mixed(store.as_mut(), mix, threads).unwrap();
+                    assert_eq!(run.requests, runner.loops(), "{kind}/{threads}");
+                    assert_eq!(
+                        run.updates,
+                        (0..runner.loops() as usize)
+                            .filter(|&i| mix.is_update(i))
+                            .count() as u64
+                    );
+                    assert!(run.snapshot.fixes > 0);
+                    if mix == MixKind::ReadOnly {
+                        assert_eq!(run.snapshot.pages_written, 0, "reads never write");
+                        assert_eq!(run.snapshot.latch_exclusive, 0);
+                    } else {
+                        assert!(run.snapshot.pages_written > 0, "updates must write");
+                        assert!(run.snapshot.latch_exclusive > 0, "writers latch");
+                    }
+                    assert_eq!(run.threads, threads.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_requests_and_fixes_are_thread_count_invariant() {
+        // The stream composition (and therefore total fixes) must not
+        // depend on how many clients serve it.
+        let mut base: Option<u64> = None;
+        for threads in [1usize, 2, 4] {
+            let (mut store, runner) = shared_setup(ModelKind::DasdbsNsm, threads);
+            let run = runner
+                .run_mixed(store.as_mut(), MixKind::Mixed5050, threads)
+                .unwrap();
+            match base {
+                None => base = Some(run.snapshot.fixes),
+                Some(want) => assert_eq!(run.snapshot.fixes, want, "{threads} threads"),
+            }
+        }
     }
 }

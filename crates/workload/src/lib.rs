@@ -9,8 +9,11 @@
 //! protocol (cold start, deferred writes flushed at "database disconnect",
 //! per-object / per-loop normalization). [`QueryRunner::run_concurrent`]
 //! drives the same deterministic plans from N client threads over a
-//! [`starfish_core::ConcurrentObjectStore`] (queries 1a/2a/2b/3a; updates
-//! stay single-writer).
+//! [`starfish_core::ConcurrentObjectStore`] (queries 1a/2a/2b/3a; query
+//! 3a's updates are applied concurrently over disjoint object partitions
+//! through the latched `&self` write surface), and
+//! [`QueryRunner::run_mixed`] serves a mixed read/write request stream
+//! ([`MixKind`]) for throughput measurement.
 //!
 //! Randomness is fully deterministic: the dataset comes from
 //! [`DatasetParams::seed`], and each query's random object sequence comes
@@ -26,7 +29,7 @@ mod queries;
 pub mod reorder;
 mod stats;
 
-pub use concurrent::{ConcurrentRun, UnitAnswer};
+pub use concurrent::{ConcurrentRun, MixKind, MixedRun, UnitAnswer};
 pub use generator::{generate, DatasetParams};
 pub use queries::{Measurement, QueryOutcome, QueryRunner};
 pub use stats::DatasetStats;
