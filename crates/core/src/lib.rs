@@ -37,10 +37,11 @@ pub use object_file::{subtuple_page_plan, ObjAddr, ObjectFile, ReadPayload};
 pub use partitioned::{PartitionedStore, Placement};
 pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 
-// Buffer construction knobs, re-exported so higher layers (harness, repro
-// binary) can select a replacement policy without depending on the
-// substrate crate directly.
-pub use starfish_pagestore::{BufferConfig, PolicyKind, SharedPoolHandle};
+// Buffer construction knobs and the counter snapshot, re-exported so
+// higher layers (harness, repro binary) can select a replacement policy
+// and consume measurements without depending on the substrate crate
+// directly.
+pub use starfish_pagestore::{BufferConfig, IoSnapshot, PolicyKind, SharedPoolHandle};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

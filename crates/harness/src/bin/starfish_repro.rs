@@ -1,15 +1,13 @@
 //! `starfish-repro` — regenerate every table and figure of the ICDE 1993
-//! evaluation.
+//! evaluation, and run declarative workloads beyond it.
 //!
 //! ```text
-//! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--seed N]
-//!                [--policy <name>] [--threads N]
+//! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--json]
+//!                [--seed N] [--policy <name>] [--threads N]
+//!                [--workload <file.json>|<builtin>] [--list]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
-//!   --only       run a subset: table2,table3,table4,table5,table6,
-//!                fig5,fig6,table7,table8,ext-timing,ext-buffer,
-//!                ext-policy,ext-concurrency,ext-distributed,
-//!                ext-clustering,ext-alignment
+//!   --only       run a subset of experiments (ids from --list)
 //!   --markdown   emit GitHub-flavoured markdown instead of plain text
 //!   --json       emit one JSON object per experiment (one per line)
 //!   --seed N     dataset seed (default 4242)
@@ -19,25 +17,40 @@
 //!   --threads N  client count for ext-concurrency (default: sweep
 //!                1/2/4/8). With N=1 the experiment reproduces the serial
 //!                per-unit counters exactly.
+//!   --workload   run one declarative workload spec (a JSON file path or a
+//!                built-in name like deep-nav) across the five storage
+//!                models instead of the experiment suite
+//!   --list       enumerate experiments, built-in queries and shipped
+//!                workload specs, then exit
 //! ```
 
 use starfish_harness::experiments;
-use starfish_harness::runner::{measure_grid, parse_threads, HarnessConfig};
+use starfish_harness::runner::{parse_threads, HarnessConfig};
+use starfish_workload::WorkloadSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "starfish-repro [--fast] [--only <ids>] [--markdown] [--seed N] \
-             [--policy lru|clock|mru|fifo|lru2] [--threads N]\n\
+            "starfish-repro [--fast] [--only <ids>] [--markdown] [--json] [--seed N] \
+             [--policy lru|clock|mru|fifo|lru2] [--threads N] \
+             [--workload <file.json>|<name>] [--list]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
              I/Os for Complex Object Processing' (ICDE 1993)\n\
              --policy selects the buffer-replacement policy behind every \
              measurement (default lru, the paper's §5.1 buffer); the \
              ext-policy experiment sweeps all five policies regardless\n\
              --threads pins the ext-concurrency client count (default sweep: \
-             1/2/4/8 clients over the sharded pool)"
+             1/2/4/8 clients over the sharded pool)\n\
+             --workload runs one declarative AccessPlan spec (JSON file or \
+             built-in name) across the five storage models\n\
+             --list shows every experiment id, built-in query and shipped \
+             workload spec"
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        print_list();
         return;
     }
     let mut config = if args.iter().any(|a| a == "--fast") {
@@ -70,86 +83,50 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let run_concurrency = |config: &HarnessConfig| match threads {
-        Some(n) => experiments::ext_concurrency::run_with(config, &[n]),
-        None => experiments::ext_concurrency::run(config),
+    let thread_list: Vec<usize> = match threads {
+        Some(n) => vec![n],
+        None => experiments::ext_concurrency::THREADS.to_vec(),
     };
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
-    let only: Option<Vec<String>> = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
 
     eprintln!(
         "starfish-repro: {} objects, {}-page buffer ({}), dataset seed {}",
         config.n_objects, config.buffer_pages, config.policy, config.dataset_seed
     );
 
-    let reports = match &only {
-        None => match threads {
-            Some(n) => experiments::run_all_with(&config, &[n]).unwrap_or_else(die),
-            None => experiments::run_all(&config).unwrap_or_else(die),
-        },
-        Some(ids) => {
-            let mut out = Vec::new();
-            // Tables 4–6 and 8 share one measured grid; build it lazily.
-            let mut grid = None;
-            let mut ensure_grid = || {
-                measure_grid(&config.dataset(), &config, &experiments::grid_models())
-                    .unwrap_or_else(die)
-            };
-            for id in ids {
-                let report = match id.as_str() {
-                    "table2" => experiments::table2::run(&config).unwrap_or_else(die),
-                    "table3" => experiments::table3::run(&config),
-                    "table4" => {
-                        let g = grid.get_or_insert_with(&mut ensure_grid);
-                        experiments::table4::run(g)
-                    }
-                    "table5" => {
-                        let g = grid.get_or_insert_with(&mut ensure_grid);
-                        experiments::table5::run(g)
-                    }
-                    "table6" => {
-                        let g = grid.get_or_insert_with(&mut ensure_grid);
-                        experiments::table6::run(g)
-                    }
-                    "table8" => {
-                        let g = grid.get_or_insert_with(&mut ensure_grid);
-                        experiments::table8::run(g)
-                    }
-                    "fig5" => experiments::fig5::run(&config).unwrap_or_else(die),
-                    "fig6" => experiments::fig6::run(&config).unwrap_or_else(die),
-                    "table7" => experiments::table7::run(&config).unwrap_or_else(die),
-                    "ext-timing" => {
-                        let g = grid.get_or_insert_with(&mut ensure_grid);
-                        experiments::ext_timing::run(g)
-                    }
-                    "ext-alignment" => experiments::ext_alignment::run(&config).unwrap_or_else(die),
-                    "ext-buffer" => experiments::ext_buffer::run(&config).unwrap_or_else(die),
-                    "ext-policy" | "ext_policy" => {
-                        experiments::ext_policy::run(&config).unwrap_or_else(die)
-                    }
-                    "ext-concurrency" | "ext_concurrency" => {
-                        run_concurrency(&config).unwrap_or_else(die)
-                    }
-                    "ext-clustering" => {
-                        experiments::ext_clustering::run(&config).unwrap_or_else(die)
-                    }
-                    "ext-distributed" => {
-                        experiments::ext_distributed::run(&config).unwrap_or_else(die)
-                    }
-                    other => {
-                        eprintln!("unknown experiment id: {other}");
-                        std::process::exit(2);
-                    }
-                };
-                out.push(report);
-            }
-            out
-        }
+    // --workload replaces the experiment suite with one declarative spec.
+    let reports = if let Some(i) = args.iter().position(|a| a == "--workload") {
+        let Some(arg) = args.get(i + 1) else {
+            eprintln!("starfish-repro: --workload needs a JSON file path or a built-in name");
+            std::process::exit(2);
+        };
+        let spec = load_workload(arg);
+        vec![experiments::ext_workload::report_for_spec(&config, &spec).unwrap_or_else(die)]
+    } else {
+        let only: Option<Vec<String>> = args
+            .iter()
+            .position(|a| a == "--only")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
+        let ids: Vec<String> = match only {
+            Some(ids) => ids,
+            None => experiments::REGISTRY
+                .iter()
+                .map(|e| e.id.to_string())
+                .collect(),
+        };
+        // Tables 4–6/8 and ext-timing share one measured grid; run_one
+        // builds it at most once across the whole id list.
+        let mut grid = None;
+        ids.iter()
+            .map(|id| {
+                experiments::run_one(id, &config, &thread_list, &mut grid).unwrap_or_else(|e| {
+                    eprintln!("starfish-repro: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
     };
 
     for report in &reports {
@@ -160,6 +137,50 @@ fn main() {
         } else {
             println!("{}", report.render());
         }
+    }
+}
+
+/// Resolves a `--workload` argument: a JSON file path first, then a
+/// built-in spec name.
+fn load_workload(arg: &str) -> WorkloadSpec {
+    if std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+            eprintln!("starfish-repro: cannot read {arg}: {e}");
+            std::process::exit(2);
+        });
+        WorkloadSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("starfish-repro: {arg} is not a valid workload spec: {e}");
+            std::process::exit(2);
+        })
+    } else if let Some(spec) = WorkloadSpec::builtin(arg) {
+        spec
+    } else {
+        eprintln!(
+            "starfish-repro: '{arg}' is neither a readable file nor a built-in \
+             workload (run --list to see the built-ins)"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// `--list`: everything `--only` and `--workload` accept.
+fn print_list() {
+    println!("experiments (--only, comma-separated):");
+    for e in experiments::REGISTRY {
+        println!("  {:<16} {}", e.id, e.summary);
+    }
+    println!("\nbuilt-in queries (paper §2.2; available as --workload specs):");
+    for q in starfish_cost::QueryId::all() {
+        let spec = WorkloadSpec::for_query(q);
+        println!("  {:<16} {}", spec.name, spec.description);
+    }
+    println!("\nshipped workload specs (--workload <name>, or any JSON file in the same format):");
+    for spec in WorkloadSpec::shipped() {
+        println!("  {:<16} {}", spec.name, spec.description);
+    }
+    for mix in starfish_workload::MixKind::all() {
+        let spec = WorkloadSpec::mixed(mix);
+        println!("  {:<16} {}", spec.name, spec.description);
     }
 }
 

@@ -1,7 +1,13 @@
 //! One module per table/figure of the paper's evaluation, plus extension
 //! experiments (`ext_*`) that go beyond the paper: response-time estimates
-//! under Equation 1, the buffer-size and replacement-policy ablations, and
-//! the §5.5 shared-nothing distribution study.
+//! under Equation 1, the buffer-size and replacement-policy ablations, the
+//! §5.5 shared-nothing distribution study, concurrent serving, and the
+//! declarative-workload sweep.
+//!
+//! Every experiment is an entry in [`REGISTRY`] — the single table behind
+//! [`run_all`], `starfish_repro --only` dispatch and `starfish_repro
+//! --list`. Adding an experiment means adding a module, a registry row and
+//! a [`run_one`] match arm; nothing else.
 
 pub mod ext_alignment;
 pub mod ext_buffer;
@@ -10,6 +16,7 @@ pub mod ext_concurrency;
 pub mod ext_distributed;
 pub mod ext_policy;
 pub mod ext_timing;
+pub mod ext_workload;
 pub mod fig5;
 pub mod fig6;
 pub mod table2;
@@ -21,9 +28,9 @@ pub mod table7;
 pub mod table8;
 
 use crate::report::ExperimentReport;
-use crate::runner::{measure_grid, HarnessConfig};
+use crate::runner::{measure_grid, HarnessConfig, MeasuredGrid};
 use crate::Result;
-use starfish_core::ModelKind;
+use starfish_core::{CoreError, ModelKind};
 
 /// The models measured in Tables 4–6: the paper's four plus (extra, marked)
 /// NSM+index.
@@ -37,7 +44,134 @@ pub fn grid_models() -> Vec<ModelKind> {
     ]
 }
 
-/// Runs every experiment at the given scale, in paper order.
+/// One registry row: the experiment's canonical id and a one-line summary
+/// for `--list`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentInfo {
+    /// Canonical id (`--only` accepts it with `-` or `_` separators).
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every experiment, in paper order then extensions — the one table behind
+/// [`run_all`], `--only` dispatch and `--list`.
+pub const REGISTRY: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        id: "table2",
+        summary: "average tuple sizes, k, p, m per relation",
+    },
+    ExperimentInfo {
+        id: "table3",
+        summary: "analytical page-I/O estimates (Equations 2-8)",
+    },
+    ExperimentInfo {
+        id: "table4",
+        summary: "measured physical page I/Os per query x model",
+    },
+    ExperimentInfo {
+        id: "table5",
+        summary: "measured I/O calls per query x model",
+    },
+    ExperimentInfo {
+        id: "table6",
+        summary: "buffer fixes per query x model",
+    },
+    ExperimentInfo {
+        id: "fig5",
+        summary: "object-size sweep (max sightseeings 0/15/30)",
+    },
+    ExperimentInfo {
+        id: "fig6",
+        summary: "caching vs database size",
+    },
+    ExperimentInfo {
+        id: "table7",
+        summary: "data skew (probability 20%, fanout 8)",
+    },
+    ExperimentInfo {
+        id: "table8",
+        summary: "overall qualitative ranking",
+    },
+    ExperimentInfo {
+        id: "ext-timing",
+        summary: "response-time estimates under Equation 1 weights",
+    },
+    ExperimentInfo {
+        id: "ext-buffer",
+        summary: "buffer capacity x replacement policy ablation",
+    },
+    ExperimentInfo {
+        id: "ext-policy",
+        summary: "replacement-policy deltas vs the LRU baseline",
+    },
+    ExperimentInfo {
+        id: "ext-concurrency",
+        summary: "multi-client read/write serving over the sharded pool",
+    },
+    ExperimentInfo {
+        id: "ext-distributed",
+        summary: "shared-nothing distribution study (5.5)",
+    },
+    ExperimentInfo {
+        id: "ext-clustering",
+        summary: "reference-clustered placement ablation",
+    },
+    ExperimentInfo {
+        id: "ext-alignment",
+        summary: "tuple-alignment ablation",
+    },
+    ExperimentInfo {
+        id: "ext-workload",
+        summary: "declarative non-paper workloads (deep-nav, hot-set, scan-then-update)",
+    },
+];
+
+/// Runs one experiment by id. `threads` is the client-count list for the
+/// concurrency sweep; `grid` caches the measured model × query grid shared
+/// by tables 4/5/6/8 and ext-timing (pass the same `&mut None` across
+/// calls to build it at most once). Ids accept `-` or `_` separators.
+pub fn run_one(
+    id: &str,
+    config: &HarnessConfig,
+    threads: &[usize],
+    grid: &mut Option<MeasuredGrid>,
+) -> Result<ExperimentReport> {
+    fn ensure_grid<'a>(
+        grid: &'a mut Option<MeasuredGrid>,
+        config: &HarnessConfig,
+    ) -> Result<&'a MeasuredGrid> {
+        if grid.is_none() {
+            *grid = Some(measure_grid(&config.dataset(), config, &grid_models())?);
+        }
+        Ok(grid.as_ref().expect("grid just built"))
+    }
+    let canonical = id.replace('_', "-");
+    match canonical.as_str() {
+        "table2" => table2::run(config),
+        "table3" => Ok(table3::run(config)),
+        "table4" => Ok(table4::run(ensure_grid(grid, config)?)),
+        "table5" => Ok(table5::run(ensure_grid(grid, config)?)),
+        "table6" => Ok(table6::run(ensure_grid(grid, config)?)),
+        "fig5" => fig5::run(config),
+        "fig6" => fig6::run(config),
+        "table7" => table7::run(config),
+        "table8" => Ok(table8::run(ensure_grid(grid, config)?)),
+        "ext-timing" => Ok(ext_timing::run(ensure_grid(grid, config)?)),
+        "ext-buffer" => ext_buffer::run(config),
+        "ext-policy" => ext_policy::run(config),
+        "ext-concurrency" => ext_concurrency::run_with(config, threads),
+        "ext-distributed" => ext_distributed::run(config),
+        "ext-clustering" => ext_clustering::run(config),
+        "ext-alignment" => ext_alignment::run(config),
+        "ext-workload" => ext_workload::run(config),
+        other => Err(CoreError::NotFound {
+            what: format!("experiment '{other}' (run starfish_repro --list for valid ids)"),
+        }),
+    }
+}
+
+/// Runs every experiment at the given scale, in [`REGISTRY`] order.
 pub fn run_all(config: &HarnessConfig) -> Result<Vec<ExperimentReport>> {
     run_all_with(config, &ext_concurrency::THREADS)
 }
@@ -48,23 +182,46 @@ pub fn run_all_with(
     config: &HarnessConfig,
     concurrency_threads: &[usize],
 ) -> Result<Vec<ExperimentReport>> {
-    let grid = measure_grid(&config.dataset(), config, &grid_models())?;
-    Ok(vec![
-        table2::run(config)?,
-        table3::run(config),
-        table4::run(&grid),
-        table5::run(&grid),
-        table6::run(&grid),
-        fig5::run(config)?,
-        fig6::run(config)?,
-        table7::run(config)?,
-        table8::run(&grid),
-        ext_timing::run(&grid),
-        ext_buffer::run(config)?,
-        ext_policy::run(config)?,
-        ext_concurrency::run_with(config, concurrency_threads)?,
-        ext_distributed::run(config)?,
-        ext_clustering::run(config)?,
-        ext_alignment::run(config)?,
-    ])
+    let mut grid = None;
+    REGISTRY
+        .iter()
+        .map(|e| run_one(e.id, config, concurrency_threads, &mut grid))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dispatch_knows_every_id() {
+        let config = HarnessConfig::fast();
+        let mut grid = None;
+        // Dispatch each grid-backed experiment through the registry path;
+        // the grid must be measured exactly once (cheap ids only, to keep
+        // the test fast).
+        for id in ["table4", "table5", "table8", "ext-timing"] {
+            let report = run_one(id, &config, &[1], &mut grid).unwrap();
+            assert_eq!(report.id.replace('_', "-"), id.replace('_', "-"));
+        }
+        assert!(grid.is_some());
+        // Underscore aliases resolve to the same experiment.
+        let a = run_one("ext_timing", &config, &[1], &mut grid).unwrap();
+        assert_eq!(a.id, "ext-timing");
+        // Unknown ids are a clean error naming --list.
+        let err = run_one("table99", &config, &[1], &mut grid).unwrap_err();
+        assert!(err.to_string().contains("--list"), "{err}");
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_canonical() {
+        for e in REGISTRY {
+            assert_eq!(e.id, e.id.replace('_', "-"), "{} not canonical", e.id);
+            assert!(!e.summary.is_empty());
+        }
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len(), "duplicate registry ids");
+    }
 }

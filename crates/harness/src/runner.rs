@@ -6,7 +6,9 @@ use serde::Serialize;
 use starfish_core::{make_store, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig};
 use starfish_cost::QueryId;
 use starfish_nf2::station::Station;
-use starfish_workload::{generate, DatasetParams, DatasetStats, QueryOutcome, QueryRunner};
+use starfish_workload::{
+    generate, DatasetParams, DatasetStats, PlanOutcome, QueryOutcome, QueryRunner, WorkloadSpec,
+};
 
 /// Configuration for the experiment harness.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -96,6 +98,21 @@ pub struct MeasuredCell {
     pub fixes: f64,
 }
 
+impl MeasuredCell {
+    /// The one place counter deltas become per-unit ratios — shared by the
+    /// query grid, the single-query sweeps and the workload measurements.
+    pub fn per_unit(snapshot: &starfish_core::IoSnapshot, units: u64) -> MeasuredCell {
+        let per = |v: u64| v as f64 / units.max(1) as f64;
+        MeasuredCell {
+            reads: per(snapshot.pages_read),
+            writes: per(snapshot.pages_written),
+            pages: per(snapshot.pages_io()),
+            calls: per(snapshot.io_calls()),
+            fixes: per(snapshot.fixes),
+        }
+    }
+}
+
 /// The measured model × query grid behind Tables 4–6.
 #[derive(Clone, Debug)]
 pub struct MeasuredGrid {
@@ -158,13 +175,7 @@ pub fn measure_grid_on(
         let mut cells: [Option<MeasuredCell>; 7] = Default::default();
         for (i, q) in QueryId::all().into_iter().enumerate() {
             cells[i] = match runner.run(store.as_mut(), q)? {
-                QueryOutcome::Measured(m) => Some(MeasuredCell {
-                    reads: m.reads_per_unit(),
-                    writes: m.writes_per_unit(),
-                    pages: m.pages_per_unit(),
-                    calls: m.calls_per_unit(),
-                    fixes: m.fixes_per_unit(),
-                }),
+                QueryOutcome::Measured(m) => Some(MeasuredCell::per_unit(&m.snapshot, m.units)),
                 QueryOutcome::Unsupported => None,
             };
         }
@@ -190,16 +201,66 @@ pub fn measure_query(
     for &kind in models {
         let (mut store, runner) = load_store(kind, &db, config)?;
         let cell = match runner.run(store.as_mut(), query)? {
-            QueryOutcome::Measured(m) => Some(MeasuredCell {
-                reads: m.reads_per_unit(),
-                writes: m.writes_per_unit(),
-                pages: m.pages_per_unit(),
-                calls: m.calls_per_unit(),
-                fixes: m.fixes_per_unit(),
-            }),
+            QueryOutcome::Measured(m) => Some(MeasuredCell::per_unit(&m.snapshot, m.units)),
             QueryOutcome::Unsupported => None,
         };
         out.push((kind, cell));
+    }
+    Ok(out)
+}
+
+/// One model's measurement of a declarative workload spec: the per-unit
+/// I/O cell plus the model-invariant observation counts (units, per-hop
+/// navigation cardinalities, scanned objects) that every model must agree
+/// on — the spec-level analogue of the paper's "shared database" guarantee.
+#[derive(Clone, Debug)]
+pub struct WorkloadRow {
+    /// The storage model measured.
+    pub model: ModelKind,
+    /// Per-unit counters (`None` where the model does not support an op of
+    /// the plan — e.g. OID access under pure NSM).
+    pub cell: Option<MeasuredCell>,
+    /// Normalization denominator the cell was divided by.
+    pub units: u64,
+    /// Objects seen per navigation hop, summed over units.
+    pub nav_seen: Vec<u64>,
+    /// Objects materialized by scans.
+    pub scanned: u64,
+    /// Update ops that actually ran (after mix gating).
+    pub updates: u64,
+}
+
+/// Runs a declarative [`WorkloadSpec`] serially against every model in
+/// `models` over an already-generated dataset, under the usual measurement
+/// protocol (cold start, disconnect flush, per-unit normalization).
+pub fn measure_workload_on(
+    db: &[Station],
+    config: &HarnessConfig,
+    models: &[ModelKind],
+    spec: &WorkloadSpec,
+) -> Result<Vec<WorkloadRow>> {
+    let mut out = Vec::with_capacity(models.len());
+    for &kind in models {
+        let (mut store, runner) = load_store(kind, db, config)?;
+        let row = match runner.executor().run(store.as_mut(), spec)? {
+            PlanOutcome::Measured(run) => WorkloadRow {
+                model: kind,
+                cell: Some(MeasuredCell::per_unit(&run.snapshot, run.units)),
+                units: run.units,
+                nav_seen: run.nav_seen,
+                scanned: run.scanned,
+                updates: run.updates_applied,
+            },
+            PlanOutcome::Unsupported => WorkloadRow {
+                model: kind,
+                cell: None,
+                units: 0,
+                nav_seen: Vec::new(),
+                scanned: 0,
+                updates: 0,
+            },
+        };
+        out.push(row);
     }
     Ok(out)
 }

@@ -1,19 +1,20 @@
-//! Multi-client query execution over a thread-shareable store.
+//! Multi-client query execution — the query-labelled wrappers over the
+//! plan executor's concurrent and mixed-stream modes.
 //!
-//! [`QueryRunner::run_concurrent`] drives the *same* deterministic object
-//! sequences as the serial [`QueryRunner::run`] from N client threads over
-//! one [`ConcurrentObjectStore`]:
+//! [`QueryRunner::run_concurrent`] builds the query's built-in
+//! [`WorkloadSpec`] and hands it to [`crate::Executor::run_concurrent`], which
+//! drives the *same* deterministic object sequences as the serial run from
+//! N client threads over one [`ConcurrentObjectStore`]:
 //!
-//! 1. the per-query RNG produces the full access plan up front (the
-//!    identical picks the serial runner would make — same seed, same
-//!    query discriminator);
+//! 1. the spec's RNG stream produces the full unit-root plan up front (the
+//!    identical picks the serial run makes — same seed, same stream);
 //! 2. the plan's units are dealt round-robin to N scoped threads, which
 //!    execute retrievals/navigations through the `&self` shared surface;
-//! 3. per-unit answers are merged back **in serial plan order**, so the
-//!    merged answer sequence is bit-identical to the serial run whatever
-//!    the thread interleaving was;
-//! 4. query 3a's updates are applied **concurrently by the same N
-//!    threads** over disjoint object partitions through the latched
+//! 3. per-unit observations are merged back **in serial plan order**, so
+//!    the merged answer sequence is bit-identical to the serial run
+//!    whatever the thread interleaving was;
+//! 4. `update_roots` ops (query 3a) are applied **concurrently by the same
+//!    N threads** over disjoint object partitions through the latched
 //!    `&self` write surface
 //!    ([`ConcurrentObjectStore::shared_update_roots`]): every occurrence
 //!    of an object goes to the thread owning that object, so no two
@@ -34,16 +35,16 @@
 //! query 3b (and the full scans 1b/1c, which are one set-oriented unit
 //! anyway) stays on the serial surface. For sustained mixed read/write
 //! serving, [`QueryRunner::run_mixed`] drives a [`MixKind`] request stream
-//! instead.
+//! through [`crate::Executor::run_stream`] instead.
 
-use crate::queries::{update_name, Measurement, QueryOutcome, QueryRunner, Q1A_SAMPLE};
+use crate::executor::{MixedRun, PlanOutcome, UnitObservation};
+use crate::plan::{MixKind, WorkloadSpec};
+use crate::queries::{Measurement, QueryOutcome, QueryRunner};
 use crate::Result;
-use starfish_core::{ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
+use starfish_core::{ConcurrentObjectStore, CoreError, ObjRef};
 use starfish_cost::QueryId;
-use starfish_nf2::{Oid, Projection, Tuple};
-use starfish_pagestore::IoSnapshot;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use starfish_nf2::Tuple;
+use std::time::Duration;
 
 /// What one unit of concurrent work (a query-1a retrieval or one
 /// navigation loop) observed. Comparing these across thread counts — and
@@ -65,6 +66,41 @@ pub enum UnitAnswer {
     },
 }
 
+impl UnitAnswer {
+    /// Re-labels a plan-level observation as the query's answer shape.
+    fn from_observation(query: QueryId, obs: UnitObservation) -> UnitAnswer {
+        let UnitObservation {
+            root,
+            mut retrieved,
+            mut hops,
+            records,
+        } = obs;
+        match query {
+            QueryId::Q1a => {
+                UnitAnswer::Retrieval(retrieved.pop().expect("query 1a units retrieve one object"))
+            }
+            _ => {
+                let children = if hops.is_empty() {
+                    Vec::new()
+                } else {
+                    hops.remove(0)
+                };
+                let grandchildren = if hops.is_empty() {
+                    Vec::new()
+                } else {
+                    hops.remove(0)
+                };
+                UnitAnswer::Navigation {
+                    root,
+                    children,
+                    grandchildren,
+                    root_records: records,
+                }
+            }
+        }
+    }
+}
+
 /// The result of a multi-client run: the usual measurement plus the merged
 /// per-unit answers (in serial plan order) and the wall-clock of the
 /// client phase (for throughput reporting).
@@ -75,7 +111,7 @@ pub struct ConcurrentRun {
     /// Per-unit answers in serial plan order (empty when unsupported).
     pub answers: Vec<UnitAnswer>,
     /// Wall-clock time of the concurrent read phase (excludes load, the
-    /// single-writer update tail and the disconnect flush).
+    /// update tail and the disconnect flush).
     pub elapsed: Duration,
     /// How many client threads executed the plan.
     pub threads: usize,
@@ -89,78 +125,6 @@ impl ConcurrentRun {
             return 0.0;
         }
         self.answers.len() as f64 / secs
-    }
-}
-
-/// Splits `refs` into `threads` disjoint partitions **by object**: every
-/// occurrence of an object (duplicates included) goes to the thread that
-/// owns the object, objects dealt round-robin in first-seen order. No two
-/// partitions ever contain the same object, so concurrent writers never
-/// race on an object-level read-modify-write; per-thread relative order is
-/// the serial order. Total occurrences are preserved, which is what keeps
-/// fix totals thread-count-invariant.
-fn partition_by_object(refs: &[ObjRef], threads: usize) -> Vec<Vec<ObjRef>> {
-    let mut rank: HashMap<Oid, usize> = HashMap::new();
-    for r in refs {
-        let next = rank.len();
-        rank.entry(r.oid).or_insert(next);
-    }
-    let mut parts = vec![Vec::new(); threads];
-    for r in refs {
-        parts[rank[&r.oid] % threads].push(*r);
-    }
-    parts
-}
-
-/// Applies `patch` to `refs` from `threads` writer threads over disjoint
-/// object partitions (single-threaded: the plain serial-order call, so a
-/// one-thread run is operation-for-operation the serial update path).
-fn apply_updates_concurrent(
-    store: &dyn ConcurrentObjectStore,
-    refs: &[ObjRef],
-    patch: &RootPatch,
-    threads: usize,
-) -> Result<()> {
-    if threads <= 1 || refs.len() <= 1 {
-        return store.shared_update_roots(refs, patch);
-    }
-    let parts = partition_by_object(refs, threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .iter()
-            .filter(|p| !p.is_empty())
-            .map(|part| s.spawn(move || store.shared_update_roots(part, patch)))
-            .collect();
-        for h in handles {
-            h.join().expect("writer thread panicked")?;
-        }
-        Ok(())
-    })
-}
-
-/// One unit of work through the shared surface.
-fn run_unit(store: &dyn ConcurrentObjectStore, query: QueryId, root: ObjRef) -> Result<UnitAnswer> {
-    match query {
-        QueryId::Q1a => {
-            let t = store.shared_get_by_oid(root.oid, &Projection::All)?;
-            // Each retrieval is cold, like the paper's single-object
-            // measurements (and the serial runner's protocol).
-            store.shared_clear_cache()?;
-            Ok(UnitAnswer::Retrieval(t))
-        }
-        QueryId::Q2a | QueryId::Q2b | QueryId::Q3a => {
-            let children = store.shared_children_of(&[root])?;
-            let grandchildren = store.shared_children_of(&children)?;
-            let root_records = store.shared_root_records(&grandchildren)?;
-            debug_assert_eq!(root_records.len(), grandchildren.len());
-            Ok(UnitAnswer::Navigation {
-                root,
-                children,
-                grandchildren,
-                root_records,
-            })
-        }
-        _ => unreachable!("guarded by supports_concurrent"),
     }
 }
 
@@ -192,266 +156,42 @@ impl QueryRunner {
                 op: "queries other than 1a/2a/2b/3a",
             });
         }
-        let threads = threads.max(1);
-
-        // The plan: the exact picks the serial runner would make.
-        let mut rng = self.query_rng(query);
-        let roots: Vec<ObjRef> = match query {
-            QueryId::Q1a => {
-                let sample = Q1A_SAMPLE.min(self.n_objects()).max(1);
-                (0..sample).map(|_| self.pick(&mut rng)).collect()
-            }
-            QueryId::Q2a | QueryId::Q3a => vec![self.pick(&mut rng)],
-            QueryId::Q2b => (0..self.loops()).map(|_| self.pick(&mut rng)).collect(),
-            _ => unreachable!(),
-        };
-
-        store.clear_cache()?;
-        store.reset_stats();
-        let before = store.snapshot();
-
-        // The concurrent read phase: deal units round-robin to threads and
-        // merge answers back by plan index.
-        let t0 = Instant::now();
-        let mut slots: Vec<Option<UnitAnswer>> = (0..roots.len()).map(|_| None).collect();
-        let shared: &dyn ConcurrentObjectStore = store;
-        let unit_results: Vec<Result<Vec<(usize, UnitAnswer)>>> = if threads == 1 {
-            vec![roots
-                .iter()
-                .enumerate()
-                .map(|(i, &root)| Ok((i, run_unit(shared, query, root)?)))
-                .collect()]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let roots = &roots;
-                        s.spawn(move || -> Result<Vec<(usize, UnitAnswer)>> {
-                            let mut out = Vec::new();
-                            for i in (t..roots.len()).step_by(threads) {
-                                out.push((i, run_unit(shared, query, roots[i])?));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles
+        let spec = WorkloadSpec::for_query(query);
+        let run = self.executor().run_concurrent(store, &spec, threads)?;
+        Ok(match run.outcome {
+            PlanOutcome::Unsupported => ConcurrentRun {
+                outcome: QueryOutcome::Unsupported,
+                answers: Vec::new(),
+                elapsed: run.elapsed,
+                threads: run.threads,
+            },
+            PlanOutcome::Measured(plan_run) => ConcurrentRun {
+                outcome: QueryOutcome::Measured(Measurement::from_plan(query, &plan_run)),
+                answers: run
+                    .observations
                     .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect()
-            })
-        };
-        let elapsed = t0.elapsed();
-        for r in unit_results {
-            match r {
-                Ok(units) => {
-                    for (i, a) in units {
-                        slots[i] = Some(a);
-                    }
-                }
-                // The model does not support the query (query 1a under pure
-                // NSM) — the paper's "not relevant" marker.
-                Err(CoreError::Unsupported { .. }) => {
-                    return Ok(ConcurrentRun {
-                        outcome: QueryOutcome::Unsupported,
-                        answers: Vec::new(),
-                        elapsed,
-                        threads,
-                    });
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        let answers: Vec<UnitAnswer> = slots
-            .into_iter()
-            .map(|s| s.expect("every unit executed"))
-            .collect();
-
-        // Concurrent write phase: query 3a's updates, applied by N threads
-        // over disjoint object partitions through the latched `&self`
-        // write surface. Every occurrence carries the same per-unit patch,
-        // so the final bytes are partition-order-independent.
-        if query == QueryId::Q3a {
-            for (l, ans) in answers.iter().enumerate() {
-                if let UnitAnswer::Navigation { grandchildren, .. } = ans {
-                    let patch = RootPatch {
-                        new_name: update_name(l as u64),
-                    };
-                    apply_updates_concurrent(store, grandchildren, &patch, threads)?;
-                }
-            }
-        }
-
-        // Database disconnect: deferred writes reach the disk and count
-        // (the shared flush quiesces writers through the pool's gate).
-        store.shared_flush()?;
-        let snapshot = store.snapshot() - before;
-        let (mut children_seen, mut grandchildren_seen) = (0u64, 0u64);
-        for a in &answers {
-            if let UnitAnswer::Navigation {
-                children,
-                grandchildren,
-                ..
-            } = a
-            {
-                children_seen += children.len() as u64;
-                grandchildren_seen += grandchildren.len() as u64;
-            }
-        }
-        Ok(ConcurrentRun {
-            outcome: QueryOutcome::Measured(Measurement {
-                query,
-                snapshot,
-                units: answers.len() as u64,
-                children_seen,
-                grandchildren_seen,
-            }),
-            answers,
-            elapsed,
-            threads,
+                    .map(|obs| UnitAnswer::from_observation(query, obs))
+                    .collect(),
+                elapsed: run.elapsed,
+                threads: run.threads,
+            },
         })
     }
-}
 
-/// The read/write composition of a [`QueryRunner::run_mixed`] request
-/// stream. Every request is one query-2b-style navigation loop; update
-/// requests additionally apply the query-3a root patch to the loop's
-/// grand-children through the latched `&self` write surface.
-///
-/// Which requests update is a **deterministic function of the request
-/// index**, so the stream composition is identical for every thread count
-/// — only the interleaving (and therefore physical I/O and latch waits)
-/// may move.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MixKind {
-    /// Navigation only — the PR-3 regime, now a baseline.
-    ReadOnly,
-    /// Every second request updates (odd indices).
-    Mixed5050,
-    /// Three of four requests update (the paper's query-3a regime scaled
-    /// to a request stream).
-    UpdateHeavy,
-}
-
-impl MixKind {
-    /// All mixes, in increasing write share.
-    pub fn all() -> [MixKind; 3] {
-        [MixKind::ReadOnly, MixKind::Mixed5050, MixKind::UpdateHeavy]
-    }
-
-    /// Report label.
-    pub fn name(self) -> &'static str {
-        match self {
-            MixKind::ReadOnly => "read-only",
-            MixKind::Mixed5050 => "50-50",
-            MixKind::UpdateHeavy => "update-heavy",
-        }
-    }
-
-    /// Whether request `i` of the stream applies an update.
-    pub fn is_update(self, i: usize) -> bool {
-        match self {
-            MixKind::ReadOnly => false,
-            MixKind::Mixed5050 => i % 2 == 1,
-            MixKind::UpdateHeavy => !i.is_multiple_of(4),
-        }
-    }
-}
-
-/// The result of one mixed read/write serving run.
-#[derive(Clone, Debug)]
-pub struct MixedRun {
-    /// Requests served (navigation loops).
-    pub requests: u64,
-    /// Requests that applied an update.
-    pub updates: u64,
-    /// Wall-clock of the serving phase (excludes load and the final
-    /// disconnect flush).
-    pub elapsed: Duration,
-    /// Client threads.
-    pub threads: usize,
-    /// Counter deltas for the whole run, disconnect flush included — the
-    /// `latch_*` fields surface the contention the mix produced.
-    pub snapshot: IoSnapshot,
-}
-
-impl MixedRun {
-    /// Requests served per second of the serving phase.
-    pub fn requests_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs <= 0.0 {
-            return 0.0;
-        }
-        self.requests as f64 / secs
-    }
-}
-
-impl QueryRunner {
     /// Serves a mixed read/write request stream from `threads` clients
     /// over `store`: the query-2b navigation plan (same seed ⇒ same roots
     /// for every mix and thread count), with `mix` deciding per request
     /// index whether the loop's grand-children get the query-3a root patch
-    /// (`update_name(i)` — unique per request).
-    ///
-    /// This is a **throughput harness**, not a differential: requests race
-    /// by design (a read may observe either side of a concurrent update),
-    /// but per-page latches guarantee every observation is a consistent,
-    /// untorn object, and updates to the same object serialize. The final
-    /// flush runs through the writer-quiescing shared surface.
+    /// (unique per request). A thin wrapper over [`crate::Executor::run_stream`]
+    /// with [`WorkloadSpec::mixed`].
     pub fn run_mixed(
         &self,
         store: &mut dyn ConcurrentObjectStore,
         mix: MixKind,
         threads: usize,
     ) -> Result<MixedRun> {
-        let threads = threads.max(1);
-        let mut rng = self.query_rng(QueryId::Q2b);
-        let roots: Vec<ObjRef> = (0..self.loops()).map(|_| self.pick(&mut rng)).collect();
-
-        store.clear_cache()?;
-        store.reset_stats();
-        let before = store.snapshot();
-        let updates_planned = (0..roots.len()).filter(|&i| mix.is_update(i)).count() as u64;
-
-        let t0 = Instant::now();
-        let shared: &dyn ConcurrentObjectStore = store;
-        let serve = |t: usize| -> Result<()> {
-            for i in (t..roots.len()).step_by(threads) {
-                let children = shared.shared_children_of(&[roots[i]])?;
-                let grandchildren = shared.shared_children_of(&children)?;
-                let records = shared.shared_root_records(&grandchildren)?;
-                debug_assert_eq!(records.len(), grandchildren.len());
-                if mix.is_update(i) {
-                    let patch = RootPatch {
-                        new_name: update_name(i as u64),
-                    };
-                    shared.shared_update_roots(&grandchildren, &patch)?;
-                }
-            }
-            Ok(())
-        };
-        if threads == 1 {
-            serve(0)?;
-        } else {
-            let serve = &serve;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || serve(t))).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect::<Result<Vec<()>>>()
-            })?;
-        }
-        let elapsed = t0.elapsed();
-
-        store.shared_flush()?;
-        Ok(MixedRun {
-            requests: roots.len() as u64,
-            updates: updates_planned,
-            elapsed,
-            threads,
-            snapshot: store.snapshot() - before,
-        })
+        self.executor()
+            .run_stream(store, &WorkloadSpec::mixed(mix), threads)
     }
 }
 
@@ -460,6 +200,7 @@ mod tests {
     use super::*;
     use crate::{generate, DatasetParams};
     use starfish_core::{make_shared_store, ModelKind, StoreConfig};
+    use starfish_nf2::Oid;
 
     fn shared_setup(
         kind: ModelKind,
@@ -544,32 +285,6 @@ mod tests {
     }
 
     #[test]
-    fn partition_by_object_is_disjoint_and_occurrence_preserving() {
-        let r = |o: u32| ObjRef {
-            oid: Oid(o),
-            key: o as i32,
-        };
-        // Object 1 appears three times, spread through the list.
-        let refs = vec![r(1), r(2), r(1), r(3), r(4), r(1)];
-        for threads in [1, 2, 3, 4, 8] {
-            let parts = partition_by_object(&refs, threads);
-            assert_eq!(parts.len(), threads);
-            let total: usize = parts.iter().map(Vec::len).sum();
-            assert_eq!(total, refs.len(), "occurrences preserved");
-            // Disjointness: each object's occurrences live in one partition.
-            for oid in [1u32, 2, 3, 4] {
-                let holders = parts
-                    .iter()
-                    .filter(|p| p.iter().any(|x| x.oid == Oid(oid)))
-                    .count();
-                assert_eq!(holders, 1, "oid {oid} split across {threads} threads");
-            }
-        }
-        // One thread keeps the serial order exactly.
-        assert_eq!(partition_by_object(&refs, 1)[0], refs);
-    }
-
-    #[test]
     fn q3a_updates_apply_identically_for_any_thread_count() {
         use starfish_nf2::station::Station;
         let mut checksums = Vec::new();
@@ -591,6 +306,29 @@ mod tests {
         }
         assert_eq!(checksums[0], checksums[1], "2 writers diverged from 1");
         assert_eq!(checksums[0], checksums[2], "4 writers diverged from 1");
+    }
+
+    #[test]
+    fn navigation_answers_carry_real_refs() {
+        let (mut store, runner) = shared_setup(ModelKind::DasdbsNsm, 2);
+        let got = runner
+            .run_concurrent(store.as_mut(), QueryId::Q2b, 2)
+            .unwrap();
+        assert_eq!(got.answers.len(), runner.loops() as usize);
+        for a in &got.answers {
+            match a {
+                UnitAnswer::Navigation {
+                    root,
+                    grandchildren,
+                    root_records,
+                    ..
+                } => {
+                    assert!(root.oid != Oid(u32::MAX));
+                    assert_eq!(grandchildren.len(), root_records.len());
+                }
+                UnitAnswer::Retrieval(_) => panic!("2b units are navigations"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1084 @@
+//! The streaming plan executor: one interpreter behind every run mode.
+//!
+//! [`Executor`] interprets a [`WorkloadSpec`] against a store. The same op
+//! semantics (one `match` in [`exec_linear`]) back three entry points:
+//!
+//! * [`Executor::run`] — the serial measurement protocol of the paper
+//!   (§5.1): cold start, stream the ops against the `&mut` surface, flush
+//!   deferred writes at "database disconnect", snapshot the counter deltas.
+//! * [`Executor::run_concurrent`] — the multi-client measurement protocol:
+//!   the plan's unit roots are drawn up front (the *identical* picks the
+//!   serial run makes — same stream, same order), units are dealt
+//!   round-robin to N threads over the `&self`
+//!   [`ConcurrentObjectStore`] surface, per-unit observations are merged
+//!   back in plan order, and `update_roots` ops are **deferred**: applied
+//!   after the read phase, per unit in plan order, partitioned by object
+//!   across the same N threads (so writers never race on an object).
+//! * [`Executor::run_stream`] — the mixed read/write throughput protocol:
+//!   same dealing, but updates run **inline** in the serving threads
+//!   (requests race by design; per-page latches keep every observation
+//!   untorn), and nothing is recorded beyond the counters.
+//!
+//! Determinism contract (pinned by `tests/plan_equivalence.rs` and the
+//! golden-counter tests): a plan's *access sequence* — the picks, the
+//! navigation hops, the per-hop cardinalities, the update gating — is a
+//! function of (spec, seed, database) only. Storage models and replacement
+//! policies change physical I/O, never the sequence; thread counts change
+//! interleaving (and therefore physical I/O and latch waits), never the
+//! answers or the fix totals.
+
+use crate::plan::{Count, Op, PatchSpec, WorkloadSpec, STREAM_STRIDE};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use starfish_core::{ComplexObjectStore, ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
+use starfish_nf2::{Oid, Tuple};
+use starfish_pagestore::IoSnapshot;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A unit's deferred updates: the selection at each `update_roots` op
+/// plus its patch recipe, applied after the concurrent read phase.
+type DeferredUpdates = Vec<(Vec<ObjRef>, PatchSpec)>;
+
+/// The measured result of one plan run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanRun {
+    /// Counter deltas for the whole run, disconnect flush included.
+    pub snapshot: IoSnapshot,
+    /// Normalization denominator per the spec's [`crate::NormUnit`].
+    pub units: u64,
+    /// Objects seen per navigation hop (index 0 = first hop = "children",
+    /// index 1 = "grand-children", …), summed over all units.
+    pub nav_seen: Vec<u64>,
+    /// Objects materialized by `scan_all` ops.
+    pub scanned: u64,
+    /// `update_roots` executions that actually ran (after mix gating).
+    pub updates_applied: u64,
+}
+
+impl PlanRun {
+    /// Objects seen at navigation hop `d` (0 where the plan never got
+    /// that deep).
+    pub fn nav_hop(&self, d: usize) -> u64 {
+        self.nav_seen.get(d).copied().unwrap_or(0)
+    }
+}
+
+/// A plan run, or the paper's "not relevant" marker (an op the storage
+/// model cannot execute — query 1a's OID access under pure NSM).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanOutcome {
+    /// The plan ran and was measured.
+    Measured(PlanRun),
+    /// The storage model does not support an op of the plan.
+    Unsupported,
+}
+
+impl PlanOutcome {
+    /// The run, if the plan executed.
+    pub fn run(&self) -> Option<&PlanRun> {
+        match self {
+            PlanOutcome::Measured(r) => Some(r),
+            PlanOutcome::Unsupported => None,
+        }
+    }
+}
+
+/// What one concurrent unit (a top-level loop iteration) observed — the
+/// raw material for answer-equivalence differentials across thread counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitObservation {
+    /// The unit's root pick.
+    pub root: ObjRef,
+    /// Tuples materialized by `get_by_oid` ops, in op order.
+    pub retrieved: Vec<Tuple>,
+    /// Selection after each navigation hop, in hop order.
+    pub hops: Vec<Vec<ObjRef>>,
+    /// Root records fetched by `fetch_roots` ops, concatenated.
+    pub records: Vec<Tuple>,
+}
+
+/// The result of a concurrent plan run.
+#[derive(Clone, Debug)]
+pub struct ConcurrentPlanRun {
+    /// Counters and normalization, exactly like the serial protocol's.
+    pub outcome: PlanOutcome,
+    /// Per-unit observations in plan order (empty when unsupported).
+    pub observations: Vec<UnitObservation>,
+    /// Wall-clock of the concurrent read phase (excludes the update tail
+    /// and the disconnect flush).
+    pub elapsed: Duration,
+    /// Client threads that executed the plan.
+    pub threads: usize,
+}
+
+/// The result of one mixed read/write serving run ([`Executor::run_stream`]).
+#[derive(Clone, Debug)]
+pub struct MixedRun {
+    /// Requests served (top-level plan units).
+    pub requests: u64,
+    /// Requests that applied an update (after mix gating).
+    pub updates: u64,
+    /// Wall-clock of the serving phase (excludes the final disconnect
+    /// flush).
+    pub elapsed: Duration,
+    /// Client threads.
+    pub threads: usize,
+    /// Counter deltas for the whole run, disconnect flush included — the
+    /// `latch_*` fields surface the contention the mix produced.
+    pub snapshot: IoSnapshot,
+}
+
+impl MixedRun {
+    /// Requests served per second of the serving phase.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+}
+
+/// Interprets workload specs against stores: the object universe (`refs`
+/// as returned by [`ComplexObjectStore::load`]) plus the measurement seed.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    refs: Vec<ObjRef>,
+    seed: u64,
+}
+
+// ---- the op interpreter -----------------------------------------------------
+
+/// The storage surface a plan streams over — the serial `&mut` trait and
+/// the concurrent `&self` trait behind one vocabulary, so the interpreter
+/// cannot drift between modes.
+trait Surface {
+    fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple>;
+    fn get_by_key(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple>;
+    fn scan_count(&mut self) -> Result<u64>;
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>>;
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>>;
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()>;
+    fn clear_cache(&mut self) -> Result<()>;
+}
+
+fn proj_of(op: &Op) -> starfish_nf2::Projection {
+    match op {
+        Op::GetByOid { proj } | Op::GetByKey { proj } => proj.to_projection(),
+        _ => unreachable!("proj_of is only called for retrieval ops"),
+    }
+}
+
+struct SerialSurface<'a>(&'a mut dyn ComplexObjectStore);
+
+impl Surface for SerialSurface<'_> {
+    fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        self.0.get_by_oid(r.oid, &proj_of(proj))
+    }
+    fn get_by_key(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        self.0.get_by_key(r.key, &proj_of(proj))
+    }
+    fn scan_count(&mut self) -> Result<u64> {
+        let mut n = 0u64;
+        self.0.scan_all(&mut |_| n += 1)?;
+        Ok(n)
+    }
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        self.0.children_of(refs)
+    }
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        self.0.root_records(refs)
+    }
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        self.0.update_roots(refs, patch)
+    }
+    fn clear_cache(&mut self) -> Result<()> {
+        self.0.clear_cache()
+    }
+}
+
+struct SharedSurface<'a>(&'a dyn ConcurrentObjectStore);
+
+impl Surface for SharedSurface<'_> {
+    fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        self.0.shared_get_by_oid(r.oid, &proj_of(proj))
+    }
+    fn get_by_key(&mut self, _r: ObjRef, _proj: &Op) -> Result<Tuple> {
+        Err(CoreError::Unsupported {
+            model: "plan executor",
+            op: "get_by_key on the concurrent surface",
+        })
+    }
+    fn scan_count(&mut self) -> Result<u64> {
+        Err(CoreError::Unsupported {
+            model: "plan executor",
+            op: "scan_all on the concurrent surface",
+        })
+    }
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        self.0.shared_children_of(refs)
+    }
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        self.0.shared_root_records(refs)
+    }
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        self.0.shared_update_roots(refs, patch)
+    }
+    fn clear_cache(&mut self) -> Result<()> {
+        self.0.shared_clear_cache()
+    }
+}
+
+/// Mutable interpreter state: the selection the ops stream over plus the
+/// observation counters.
+#[derive(Default)]
+struct Ctx {
+    /// The working set of object references.
+    sel: Vec<ObjRef>,
+    /// Objects seen per navigation hop, summed over units.
+    nav_seen: Vec<u64>,
+    /// Navigation hop index within the current unit.
+    iter_depth: usize,
+    /// Objects materialized by scans.
+    scanned: u64,
+    /// Updates that actually ran.
+    updates: u64,
+    /// Top-level loop iterations executed.
+    top_iters: u64,
+    /// Current top-level loop iteration (feeds patches and mix gating).
+    loop_nr: u64,
+    /// Loop nesting depth.
+    depth: u32,
+}
+
+impl Ctx {
+    fn record_hop(&mut self, seen: usize) {
+        if self.iter_depth >= self.nav_seen.len() {
+            self.nav_seen.resize(self.iter_depth + 1, 0);
+        }
+        self.nav_seen[self.iter_depth] += seen as u64;
+        self.iter_depth += 1;
+    }
+}
+
+/// What happens at `update_roots` ops and what gets recorded.
+enum Mode<'a> {
+    /// Updates run inline through the surface (serial and mixed-stream
+    /// execution); nothing recorded beyond the counters.
+    Inline,
+    /// Concurrent read phase: record what each unit observed, defer
+    /// updates (selection + patch) for the post-merge write phase.
+    Record {
+        obs: &'a mut UnitObservation,
+        deferred: &'a mut DeferredUpdates,
+    },
+}
+
+/// Streams `ops` over `surf`. The single place op semantics live.
+fn exec_linear<S: Surface>(
+    refs: &[ObjRef],
+    spec: &WorkloadSpec,
+    surf: &mut S,
+    rng: &mut StdRng,
+    ctx: &mut Ctx,
+    mode: &mut Mode<'_>,
+    ops: &[Op],
+) -> Result<()> {
+    for op in ops {
+        match op {
+            Op::PickRandom { n } => {
+                ctx.sel = (0..*n)
+                    .map(|_| pick_uniform(refs, rng))
+                    .collect::<Result<_>>()?;
+            }
+            Op::PickSkewed { hot, pct_hot } => {
+                ctx.sel = vec![pick_skewed(refs, rng, *hot, *pct_hot)?];
+            }
+            Op::ScanAll => {
+                ctx.scanned += surf.scan_count()?;
+            }
+            Op::GetByOid { .. } => {
+                for r in ctx.sel.clone() {
+                    let t = surf.get_by_oid(r, op)?;
+                    if let Mode::Record { obs, .. } = mode {
+                        obs.retrieved.push(t);
+                    }
+                }
+            }
+            Op::GetByKey { .. } => {
+                for r in ctx.sel.clone() {
+                    surf.get_by_key(r, op)?;
+                }
+            }
+            Op::NavigateChildren { depth } => {
+                for _ in 0..*depth {
+                    ctx.sel = surf.children_of(&ctx.sel)?;
+                    ctx.record_hop(ctx.sel.len());
+                    if let Mode::Record { obs, .. } = mode {
+                        obs.hops.push(ctx.sel.clone());
+                    }
+                }
+            }
+            Op::FetchRoots => {
+                let records = surf.root_records(&ctx.sel)?;
+                debug_assert_eq!(records.len(), ctx.sel.len());
+                if let Mode::Record { obs, .. } = mode {
+                    obs.records.extend(records);
+                }
+            }
+            Op::UpdateRoots { patch } => {
+                if spec.updates_at(ctx.loop_nr as usize) {
+                    ctx.updates += 1;
+                    match mode {
+                        Mode::Inline => {
+                            let patch = RootPatch {
+                                new_name: patch.materialize(ctx.loop_nr),
+                            };
+                            surf.update_roots(&ctx.sel, &patch)?;
+                        }
+                        Mode::Record { deferred, .. } => {
+                            deferred.push((ctx.sel.clone(), patch.clone()));
+                        }
+                    }
+                }
+            }
+            Op::ColdRestart => {
+                surf.clear_cache()?;
+            }
+            Op::Loop { count, body } => {
+                let n = count.resolve(refs.len());
+                ctx.depth += 1;
+                for i in 0..n {
+                    if ctx.depth == 1 {
+                        ctx.loop_nr = i;
+                        ctx.iter_depth = 0;
+                        ctx.top_iters += 1;
+                    }
+                    exec_linear(refs, spec, surf, rng, ctx, mode, body)?;
+                }
+                ctx.depth -= 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn pick_uniform(refs: &[ObjRef], rng: &mut StdRng) -> Result<ObjRef> {
+    if refs.is_empty() {
+        return Err(CoreError::NotFound {
+            what: "objects to pick from (empty database)".into(),
+        });
+    }
+    Ok(refs[rng.random_range(0..refs.len())])
+}
+
+fn pick_skewed(refs: &[ObjRef], rng: &mut StdRng, hot: u64, pct_hot: u8) -> Result<ObjRef> {
+    if refs.is_empty() {
+        return Err(CoreError::NotFound {
+            what: "objects to pick from (empty database)".into(),
+        });
+    }
+    // Two draws per pick, in a fixed order, so the sequence is identical
+    // wherever the plan runs.
+    let in_hot = rng.random_range(0u8..100) < pct_hot;
+    let bound = if in_hot {
+        (hot as usize).clamp(1, refs.len())
+    } else {
+        refs.len()
+    };
+    Ok(refs[rng.random_range(0..bound)])
+}
+
+// ---- shared concurrent helpers ---------------------------------------------
+
+/// Splits `refs` into `threads` disjoint partitions **by object**: every
+/// occurrence of an object (duplicates included) goes to the thread that
+/// owns the object, objects dealt round-robin in first-seen order. No two
+/// partitions ever contain the same object, so concurrent writers never
+/// race on an object-level read-modify-write; per-thread relative order is
+/// the serial order. Total occurrences are preserved, which is what keeps
+/// fix totals thread-count-invariant.
+pub(crate) fn partition_by_object(refs: &[ObjRef], threads: usize) -> Vec<Vec<ObjRef>> {
+    let mut rank: HashMap<Oid, usize> = HashMap::new();
+    for r in refs {
+        let next = rank.len();
+        rank.entry(r.oid).or_insert(next);
+    }
+    let mut parts = vec![Vec::new(); threads];
+    for r in refs {
+        parts[rank[&r.oid] % threads].push(*r);
+    }
+    parts
+}
+
+/// Applies `patch` to `refs` from `threads` writer threads over disjoint
+/// object partitions (single-threaded: the plain serial-order call, so a
+/// one-thread run is operation-for-operation the serial update path).
+fn apply_updates_concurrent(
+    store: &dyn ConcurrentObjectStore,
+    refs: &[ObjRef],
+    patch: &RootPatch,
+    threads: usize,
+) -> Result<()> {
+    if threads <= 1 || refs.len() <= 1 {
+        return store.shared_update_roots(refs, patch);
+    }
+    let parts = partition_by_object(refs, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|part| s.spawn(move || store.shared_update_roots(part, patch)))
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// The concurrent-executable shape of a plan: one optional top-level loop
+/// whose body starts with a single pick and contains only thread-shareable
+/// ops. Returns `(unit count, leading pick, rest of the body)`.
+fn concurrent_shape(spec: &WorkloadSpec) -> Result<(Count, &Op, &[Op])> {
+    let (count, body): (Count, &[Op]) = match spec.ops.as_slice() {
+        [Op::Loop { count, body }] => (*count, body),
+        ops => (Count::Fixed(1), ops),
+    };
+    let (first, rest) = body.split_first().ok_or(CoreError::Unsupported {
+        model: "plan executor",
+        op: "concurrent execution of an empty plan",
+    })?;
+    match first {
+        Op::PickRandom { n: 1 } | Op::PickSkewed { .. } => {}
+        _ => {
+            return Err(CoreError::Unsupported {
+                model: "plan executor",
+                op: "concurrent execution of plans that do not start with a single pick",
+            })
+        }
+    }
+    for op in rest {
+        match op {
+            Op::GetByOid { .. }
+            | Op::NavigateChildren { .. }
+            | Op::FetchRoots
+            | Op::UpdateRoots { .. }
+            | Op::ColdRestart => {}
+            _ => {
+                return Err(CoreError::Unsupported {
+                    model: "plan executor",
+                    op: "concurrent execution of scan / key-selection / nested-loop ops",
+                })
+            }
+        }
+    }
+    Ok((count, first, rest))
+}
+
+// ---- the executor -----------------------------------------------------------
+
+impl Executor {
+    /// Creates an executor over the loaded objects (`refs` as returned by
+    /// [`ComplexObjectStore::load`]) with a measurement seed.
+    pub fn new(refs: Vec<ObjRef>, seed: u64) -> Executor {
+        Executor { refs, seed }
+    }
+
+    /// Number of loaded objects.
+    pub fn n_objects(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// The loaded object references, in load (OID) order.
+    pub fn refs(&self) -> &[ObjRef] {
+        &self.refs
+    }
+
+    /// The measurement seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The spec's deterministic RNG: seed + stream·stride, so every
+    /// storage model (and every run mode) draws the identical sequence.
+    fn spec_rng(&self, spec: &WorkloadSpec) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_add(spec.stream.wrapping_mul(STREAM_STRIDE)),
+        )
+    }
+
+    /// How many units (top-level loop iterations) `spec` executes against
+    /// this database — the `loops` normalization denominator [`run`](Self::run)
+    /// will report: the summed resolved counts of every top-level `Loop`
+    /// op, or 1 for loop-free plans.
+    pub fn units_of(&self, spec: &WorkloadSpec) -> u64 {
+        spec.ops
+            .iter()
+            .map(|op| match op {
+                Op::Loop { count, .. } => count.resolve(self.refs.len()),
+                _ => 0,
+            })
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// Runs `spec` serially under the paper's measurement protocol: cold
+    /// start, stream the ops, count the disconnect flush, normalize per
+    /// the spec's unit.
+    pub fn run(
+        &self,
+        store: &mut dyn ComplexObjectStore,
+        spec: &WorkloadSpec,
+    ) -> Result<PlanOutcome> {
+        let mut rng = self.spec_rng(spec);
+        store.clear_cache()?;
+        store.reset_stats();
+        let before = store.snapshot();
+
+        let mut ctx = Ctx::default();
+        let mut surf = SerialSurface(store);
+        match exec_linear(
+            &self.refs,
+            spec,
+            &mut surf,
+            &mut rng,
+            &mut ctx,
+            &mut Mode::Inline,
+            &spec.ops,
+        ) {
+            Ok(()) => {}
+            // The model cannot execute an op of the plan — the paper's
+            // "not relevant" marker (query 1a under pure NSM).
+            Err(CoreError::Unsupported { .. }) => return Ok(PlanOutcome::Unsupported),
+            Err(e) => return Err(e),
+        }
+
+        // Database disconnect: deferred writes reach the disk and count.
+        store.flush()?;
+        let snapshot = store.snapshot() - before;
+        Ok(PlanOutcome::Measured(PlanRun {
+            snapshot,
+            units: spec.unit.resolve_units(&ctx),
+            nav_seen: ctx.nav_seen,
+            scanned: ctx.scanned,
+            updates_applied: ctx.updates,
+        }))
+    }
+
+    /// Draws the plan's unit roots up front — the exact picks the serial
+    /// run makes, because the leading pick op is the plan's only RNG
+    /// consumer (enforced by [`concurrent_shape`]).
+    fn plan_roots_with(&self, rng: &mut StdRng, pick: &Op, units: u64) -> Result<Vec<ObjRef>> {
+        (0..units)
+            .map(|_| match pick {
+                Op::PickRandom { .. } => pick_uniform(&self.refs, rng),
+                Op::PickSkewed { hot, pct_hot } => pick_skewed(&self.refs, rng, *hot, *pct_hot),
+                _ => unreachable!("concurrent_shape guarantees a pick op"),
+            })
+            .collect()
+    }
+
+    /// Runs `spec` with `threads` client threads sharing `store` under the
+    /// measurement protocol. See the [module docs](self) for the execution
+    /// model; plans containing scans, key selections or nested loops are
+    /// rejected with [`CoreError::Unsupported`].
+    pub fn run_concurrent(
+        &self,
+        store: &mut dyn ConcurrentObjectStore,
+        spec: &WorkloadSpec,
+        threads: usize,
+    ) -> Result<ConcurrentPlanRun> {
+        let (count, pick, body) = concurrent_shape(spec)?;
+        let threads = threads.max(1);
+        let units = count.resolve(self.refs.len());
+
+        let mut rng = self.spec_rng(spec);
+        let roots = self.plan_roots_with(&mut rng, pick, units)?;
+
+        store.clear_cache()?;
+        store.reset_stats();
+        let before = store.snapshot();
+
+        // The concurrent read phase: deal units round-robin to threads and
+        // merge observations back by plan index.
+        type UnitResult = Result<Vec<(usize, UnitObservation, DeferredUpdates)>>;
+        let run_unit = |i: usize, root: ObjRef| -> Result<(UnitObservation, DeferredUpdates)> {
+            let mut obs = UnitObservation {
+                root,
+                retrieved: Vec::new(),
+                hops: Vec::new(),
+                records: Vec::new(),
+            };
+            let mut deferred = Vec::new();
+            let mut ctx = Ctx {
+                sel: vec![root],
+                loop_nr: i as u64,
+                ..Ctx::default()
+            };
+            // The unit body consumes no randomness (the pick was drawn in
+            // the plan phase), so the RNG here is inert.
+            let mut unit_rng = StdRng::seed_from_u64(0);
+            let mut surf = SharedSurface(&*store);
+            exec_linear(
+                &self.refs,
+                spec,
+                &mut surf,
+                &mut unit_rng,
+                &mut ctx,
+                &mut Mode::Record {
+                    obs: &mut obs,
+                    deferred: &mut deferred,
+                },
+                body,
+            )?;
+            Ok((obs, deferred))
+        };
+
+        let t0 = Instant::now();
+        let unit_results: Vec<UnitResult> = if threads == 1 {
+            vec![roots
+                .iter()
+                .enumerate()
+                .map(|(i, &root)| {
+                    let (obs, deferred) = run_unit(i, root)?;
+                    Ok((i, obs, deferred))
+                })
+                .collect()]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let roots = &roots;
+                        let run_unit = &run_unit;
+                        s.spawn(move || -> UnitResult {
+                            let mut out = Vec::new();
+                            for i in (t..roots.len()).step_by(threads) {
+                                let (obs, deferred) = run_unit(i, roots[i])?;
+                                out.push((i, obs, deferred));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect()
+            })
+        };
+        let elapsed = t0.elapsed();
+
+        let mut slots: Vec<Option<(UnitObservation, DeferredUpdates)>> =
+            (0..roots.len()).map(|_| None).collect();
+        for r in unit_results {
+            match r {
+                Ok(items) => {
+                    for (i, obs, deferred) in items {
+                        slots[i] = Some((obs, deferred));
+                    }
+                }
+                // The model does not support an op of the plan (query 1a
+                // under pure NSM) — the paper's "not relevant" marker.
+                Err(CoreError::Unsupported { .. }) => {
+                    return Ok(ConcurrentPlanRun {
+                        outcome: PlanOutcome::Unsupported,
+                        observations: Vec::new(),
+                        elapsed,
+                        threads,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut observations = Vec::with_capacity(roots.len());
+        let mut all_deferred = Vec::with_capacity(roots.len());
+        for s in slots {
+            let (obs, deferred) = s.expect("every unit executed");
+            observations.push(obs);
+            all_deferred.push(deferred);
+        }
+
+        // Deferred write phase: each unit's updates, in plan order, applied
+        // by N threads over disjoint object partitions through the latched
+        // `&self` write surface. Every occurrence carries the same per-unit
+        // patch, so the final bytes are partition-order-independent.
+        let mut updates_applied = 0u64;
+        for (i, deferred) in all_deferred.iter().enumerate() {
+            for (sel, patch) in deferred {
+                let patch = RootPatch {
+                    new_name: patch.materialize(i as u64),
+                };
+                apply_updates_concurrent(&*store, sel, &patch, threads)?;
+                updates_applied += 1;
+            }
+        }
+
+        // Database disconnect: deferred writes reach the disk and count
+        // (the shared flush quiesces writers through the pool's gate).
+        store.shared_flush()?;
+        let snapshot = store.snapshot() - before;
+        let mut nav_seen: Vec<u64> = Vec::new();
+        for obs in &observations {
+            for (d, hop) in obs.hops.iter().enumerate() {
+                if d >= nav_seen.len() {
+                    nav_seen.resize(d + 1, 0);
+                }
+                nav_seen[d] += hop.len() as u64;
+            }
+        }
+        Ok(ConcurrentPlanRun {
+            outcome: PlanOutcome::Measured(PlanRun {
+                snapshot,
+                units: observations.len() as u64,
+                nav_seen,
+                scanned: 0,
+                updates_applied,
+            }),
+            observations,
+            elapsed,
+            threads,
+        })
+    }
+
+    /// Serves `spec` as a mixed read/write request stream from `threads`
+    /// clients over `store`: same unit dealing as
+    /// [`run_concurrent`](Self::run_concurrent), but updates run **inline**
+    /// in the serving threads and nothing is recorded beyond the counters.
+    ///
+    /// This is a **throughput harness**, not a differential: requests race
+    /// by design (a read may observe either side of a concurrent update),
+    /// but per-page latches guarantee every observation is a consistent,
+    /// untorn object, and updates to the same object serialize. The final
+    /// flush runs through the writer-quiescing shared surface.
+    pub fn run_stream(
+        &self,
+        store: &mut dyn ConcurrentObjectStore,
+        spec: &WorkloadSpec,
+        threads: usize,
+    ) -> Result<MixedRun> {
+        let (count, pick, body) = concurrent_shape(spec)?;
+        let threads = threads.max(1);
+        let units = count.resolve(self.refs.len());
+
+        let mut rng = self.spec_rng(spec);
+        let roots = self.plan_roots_with(&mut rng, pick, units)?;
+
+        store.clear_cache()?;
+        store.reset_stats();
+        let before = store.snapshot();
+        let has_updates = spec.has_updates();
+        let updates_planned = (0..roots.len())
+            .filter(|&i| has_updates && spec.updates_at(i))
+            .count() as u64;
+
+        let t0 = Instant::now();
+        let serve = |t: usize| -> Result<()> {
+            for i in (t..roots.len()).step_by(threads) {
+                let mut ctx = Ctx {
+                    sel: vec![roots[i]],
+                    loop_nr: i as u64,
+                    ..Ctx::default()
+                };
+                let mut unit_rng = StdRng::seed_from_u64(0);
+                let mut surf = SharedSurface(&*store);
+                exec_linear(
+                    &self.refs,
+                    spec,
+                    &mut surf,
+                    &mut unit_rng,
+                    &mut ctx,
+                    &mut Mode::Inline,
+                    body,
+                )?;
+            }
+            Ok(())
+        };
+        if threads == 1 {
+            serve(0)?;
+        } else {
+            let serve = &serve;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || serve(t))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect::<Result<Vec<()>>>()
+            })?;
+        }
+        let elapsed = t0.elapsed();
+
+        store.shared_flush()?;
+        Ok(MixedRun {
+            requests: roots.len() as u64,
+            updates: updates_planned,
+            elapsed,
+            threads,
+            snapshot: store.snapshot() - before,
+        })
+    }
+}
+
+impl crate::plan::NormUnit {
+    fn resolve_units(self, ctx: &Ctx) -> u64 {
+        match self {
+            crate::plan::NormUnit::Loops => ctx.top_iters.max(1),
+            crate::plan::NormUnit::ScannedObjects => ctx.scanned.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{MixKind, NormUnit, ProjSpec};
+    use crate::{generate, DatasetParams};
+    use starfish_core::{make_shared_store, make_store, ModelKind, StoreConfig};
+    use starfish_nf2::Key;
+
+    fn small_db() -> Vec<starfish_nf2::station::Station> {
+        generate(&DatasetParams {
+            n_objects: 60,
+            seed: 99,
+            ..Default::default()
+        })
+    }
+
+    fn serial_setup(kind: ModelKind) -> (Box<dyn ComplexObjectStore>, Executor) {
+        let db = small_db();
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        (store, Executor::new(refs, 7))
+    }
+
+    #[test]
+    fn partition_by_object_is_disjoint_and_occurrence_preserving() {
+        let r = |o: u32| ObjRef {
+            oid: Oid(o),
+            key: o as Key,
+        };
+        // Object 1 appears three times, spread through the list.
+        let refs = vec![r(1), r(2), r(1), r(3), r(4), r(1)];
+        for threads in [1, 2, 3, 4, 8] {
+            let parts = partition_by_object(&refs, threads);
+            assert_eq!(parts.len(), threads);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, refs.len(), "occurrences preserved");
+            // Disjointness: each object's occurrences live in one partition.
+            for oid in [1u32, 2, 3, 4] {
+                let holders = parts
+                    .iter()
+                    .filter(|p| p.iter().any(|x| x.oid == Oid(oid)))
+                    .count();
+                assert_eq!(holders, 1, "oid {oid} split across {threads} threads");
+            }
+        }
+        // One thread keeps the serial order exactly.
+        assert_eq!(partition_by_object(&refs, 1)[0], refs);
+    }
+
+    #[test]
+    fn deep_nav_records_every_hop() {
+        let (mut store, exec) = serial_setup(ModelKind::DasdbsNsm);
+        let spec = WorkloadSpec::deep_nav();
+        let run = exec
+            .run(store.as_mut(), &spec)
+            .unwrap()
+            .run()
+            .cloned()
+            .unwrap();
+        assert_eq!(run.units, 6, "60/10 loops");
+        assert_eq!(run.nav_seen.len(), 4, "4 hops recorded");
+        assert!(run.nav_seen[0] > 0);
+        assert!(run.snapshot.fixes > 0);
+    }
+
+    #[test]
+    fn access_sequence_is_model_invariant() {
+        // Same spec + same seed ⇒ identical units / hop counts / scans on
+        // every model, whatever the physical layout does.
+        for spec in [
+            WorkloadSpec::deep_nav(),
+            WorkloadSpec::hot_set(),
+            WorkloadSpec::scan_then_update(),
+        ] {
+            let mut shapes = Vec::new();
+            for kind in ModelKind::all() {
+                let (mut store, exec) = serial_setup(kind);
+                let run = exec
+                    .run(store.as_mut(), &spec)
+                    .unwrap()
+                    .run()
+                    .cloned()
+                    .unwrap();
+                shapes.push((
+                    run.units,
+                    run.nav_seen.clone(),
+                    run.scanned,
+                    run.updates_applied,
+                ));
+            }
+            for w in shapes.windows(2) {
+                assert_eq!(
+                    w[0], w[1],
+                    "{}: access sequence moved across models",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_set_concentrates_picks() {
+        let db = small_db();
+        let mut store = make_store(ModelKind::Dsm, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let exec = Executor::new(refs.clone(), 7);
+        // Draw the hot-set plan's roots through the concurrent planner and
+        // check the skew is real.
+        let spec = WorkloadSpec::hot_set();
+        let (count, pick, _) = concurrent_shape(&spec).unwrap();
+        let mut rng = exec.spec_rng(&spec);
+        let roots = exec
+            .plan_roots_with(&mut rng, pick, count.resolve(refs.len()) * 20)
+            .unwrap();
+        let hot_hits = roots.iter().filter(|r| (r.oid.0 as u64) < 16).count();
+        assert!(
+            hot_hits * 10 > roots.len() * 7,
+            "expected ≥70% hot picks, got {hot_hits}/{}",
+            roots.len()
+        );
+    }
+
+    #[test]
+    fn units_of_agrees_with_the_interpreter() {
+        // The pre-computed denominator must equal what run() reports, also
+        // for loop-free and multi-op plans (loop preceded by a scan).
+        for spec in [
+            WorkloadSpec::q1b(),
+            WorkloadSpec::q2b(),
+            WorkloadSpec::deep_nav(),
+            WorkloadSpec::scan_then_update(),
+        ] {
+            let (mut store, exec) = serial_setup(ModelKind::DasdbsNsm);
+            let run = exec
+                .run(store.as_mut(), &spec)
+                .unwrap()
+                .run()
+                .cloned()
+                .unwrap();
+            assert_eq!(exec.units_of(&spec), run.units, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn scan_then_update_writes_and_counts() {
+        let (mut store, exec) = serial_setup(ModelKind::DasdbsNsm);
+        let spec = WorkloadSpec::scan_then_update();
+        let run = exec
+            .run(store.as_mut(), &spec)
+            .unwrap()
+            .run()
+            .cloned()
+            .unwrap();
+        assert_eq!(run.units, 24);
+        assert_eq!(run.scanned, 60);
+        assert_eq!(run.updates_applied, 24);
+        assert!(run.snapshot.pages_written > 0, "updates must write");
+    }
+
+    #[test]
+    fn mix_gating_controls_stream_updates() {
+        let db = small_db();
+        for mix in MixKind::all() {
+            let mut store = make_shared_store(ModelKind::Dsm, StoreConfig::default(), 2);
+            let refs = store.load(&db).unwrap();
+            let exec = Executor::new(refs, 7);
+            let spec = WorkloadSpec::mixed(mix);
+            let run = exec.run_stream(store.as_mut(), &spec, 2).unwrap();
+            assert_eq!(run.requests, 12);
+            let want = (0..12).filter(|&i| mix.is_update(i)).count() as u64;
+            assert_eq!(run.updates, want, "{}", mix.name());
+            if mix == MixKind::ReadOnly {
+                assert_eq!(run.snapshot.pages_written, 0);
+            } else {
+                assert!(run.snapshot.pages_written > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_rejects_unshareable_plans() {
+        let db = small_db();
+        let mut store = make_shared_store(ModelKind::Dsm, StoreConfig::default(), 2);
+        let refs = store.load(&db).unwrap();
+        let exec = Executor::new(refs, 7);
+        for spec in [WorkloadSpec::q1b(), WorkloadSpec::q1c()] {
+            assert!(
+                exec.run_concurrent(store.as_mut(), &spec, 2).is_err(),
+                "{} must be rejected",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_matches_serial_for_custom_plans() {
+        // A non-paper plan measured concurrently at 1 thread × 1 shard must
+        // equal its serial measurement, exactly like the paper queries.
+        let spec = WorkloadSpec {
+            name: "custom".into(),
+            description: String::new(),
+            stream: 77,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(9),
+                body: vec![
+                    Op::PickRandom { n: 1 },
+                    Op::GetByOid {
+                        proj: ProjSpec::All,
+                    },
+                    Op::NavigateChildren { depth: 3 },
+                    Op::FetchRoots,
+                ],
+            }],
+        };
+        let db = small_db();
+        for kind in [ModelKind::Dsm, ModelKind::DasdbsNsm] {
+            let mut serial = make_store(kind, StoreConfig::default());
+            let refs = serial.load(&db).unwrap();
+            let want = Executor::new(refs, 7).run(serial.as_mut(), &spec).unwrap();
+
+            let mut shared = make_shared_store(kind, StoreConfig::default(), 1);
+            let refs = shared.load(&db).unwrap();
+            let got = Executor::new(refs, 7)
+                .run_concurrent(shared.as_mut(), &spec, 1)
+                .unwrap();
+            assert_eq!(got.outcome, want, "{kind}");
+            assert_eq!(got.observations.len(), 9);
+        }
+    }
+
+    #[test]
+    fn concurrent_observations_are_thread_count_invariant() {
+        let spec = WorkloadSpec::deep_nav();
+        let db = small_db();
+        let mut base: Option<Vec<UnitObservation>> = None;
+        for threads in [1usize, 3] {
+            let mut store =
+                make_shared_store(ModelKind::NsmIndexed, StoreConfig::default(), threads);
+            let refs = store.load(&db).unwrap();
+            let got = Executor::new(refs, 7)
+                .run_concurrent(store.as_mut(), &spec, threads)
+                .unwrap();
+            match &base {
+                None => base = Some(got.observations),
+                Some(want) => assert_eq!(&got.observations, want, "{threads} threads"),
+            }
+        }
+    }
+}

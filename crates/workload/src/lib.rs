@@ -1,36 +1,49 @@
-//! # starfish-workload — the benchmark generator and queries
+//! # starfish-workload — the benchmark generator, plans and executor
 //!
-//! Implements §2 of the ICDE 1993 paper: the revised Altair complex-object
-//! benchmark. [`DatasetParams`]/[`generate`] build the `Station` database
-//! (1500 objects by default, ≤2 platforms @80%, ≤4 connections @64%, ≤15
-//! sightseeings uniform, random inter-object references);
-//! [`QueryRunner`] executes the seven benchmark queries (1a–3b) against any
-//! [`starfish_core::ComplexObjectStore`] under the paper's measurement
-//! protocol (cold start, deferred writes flushed at "database disconnect",
-//! per-object / per-loop normalization). [`QueryRunner::run_concurrent`]
-//! drives the same deterministic plans from N client threads over a
-//! [`starfish_core::ConcurrentObjectStore`] (queries 1a/2a/2b/3a; query
-//! 3a's updates are applied concurrently over disjoint object partitions
-//! through the latched `&self` write surface), and
-//! [`QueryRunner::run_mixed`] serves a mixed read/write request stream
-//! ([`MixKind`]) for throughput measurement.
+//! Implements §2 of the ICDE 1993 paper — and generalizes it. The access
+//! patterns the paper hard-codes are **data** here:
+//!
+//! * [`DatasetParams`]/[`generate`] build the `Station` database (1500
+//!   objects by default, ≤2 platforms @80%, ≤4 connections @64%, ≤15
+//!   sightseeings uniform, random inter-object references);
+//! * [`WorkloadSpec`] is the declarative AccessPlan IR — a small op
+//!   vocabulary ([`Op`]: picks, scans, retrievals, navigation hops, root
+//!   updates, cold restarts, loops) plus the measurement knobs (RNG
+//!   stream, normalization unit, read/write [`MixKind`]). The paper's
+//!   queries 1a–3b are built-in specs ([`WorkloadSpec::for_query`]);
+//!   [`WorkloadSpec::shipped`] adds non-paper scenarios, and
+//!   [`WorkloadSpec::from_json`]/[`WorkloadSpec::to_json`] make ad-hoc
+//!   scenarios a file format (`starfish_repro --workload spec.json`);
+//! * [`Executor`] is the one streaming interpreter behind every run mode:
+//!   serial ([`Executor::run`], the paper's measurement protocol),
+//!   concurrent ([`Executor::run_concurrent`], N client threads over a
+//!   [`starfish_core::ConcurrentObjectStore`] with answer merging and
+//!   object-partitioned updates) and mixed streams
+//!   ([`Executor::run_stream`], racing read/write request serving);
+//! * [`QueryRunner`] is the query-labelled facade the paper-reproduction
+//!   harness uses: `run`/`run_concurrent`/`run_mixed` are thin wrappers
+//!   that build the query's spec and delegate to the executor.
 //!
 //! Randomness is fully deterministic: the dataset comes from
-//! [`DatasetParams::seed`], and each query's random object sequence comes
-//! from a per-query seed — so **every storage model sees the identical
+//! [`DatasetParams::seed`], and each spec's random object sequence comes
+//! from its RNG stream — so **every storage model sees the identical
 //! access sequence**, as on the paper's shared DASDBS database.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod concurrent;
+mod executor;
 mod generator;
+mod plan;
 mod queries;
 pub mod reorder;
 mod stats;
 
-pub use concurrent::{ConcurrentRun, MixKind, MixedRun, UnitAnswer};
+pub use concurrent::{ConcurrentRun, UnitAnswer};
+pub use executor::{ConcurrentPlanRun, Executor, MixedRun, PlanOutcome, PlanRun, UnitObservation};
 pub use generator::{generate, DatasetParams};
+pub use plan::{Count, MixKind, NormUnit, Op, PatchSpec, ProjSpec, WorkloadSpec, Q1A_SAMPLE};
 pub use queries::{Measurement, QueryOutcome, QueryRunner};
 pub use stats::DatasetStats;
 

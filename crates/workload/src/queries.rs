@@ -1,32 +1,32 @@
-//! The benchmark queries (paper §2.2) and their measurement protocol.
+//! The benchmark queries (paper §2.2) behind the plan executor.
 //!
-//! Protocol per query, mirroring the paper's DASDBS measurements:
+//! Since the AccessPlan redesign the seven queries 1a–3b are **data**: each
+//! is a built-in [`WorkloadSpec`] ([`WorkloadSpec::for_query`]) interpreted
+//! by the one streaming [`Executor`] — [`QueryRunner::run`] is a thin
+//! wrapper that builds the spec, runs it, and re-labels the result with its
+//! [`QueryId`]. The measurement protocol therefore lives in the executor:
 //!
 //! 1. cold start (buffer emptied, prior dirty pages flushed *before* the
 //!    counters reset);
-//! 2. run the query;
+//! 2. stream the plan's ops;
 //! 3. "database disconnect": flush deferred writes (counted — the paper's
 //!    write numbers include the disconnect flush);
 //! 4. snapshot the counters and normalize per object (query 1) or per loop
 //!    (queries 2b/3b).
 //!
 //! The random object sequence of a query is derived from the runner's seed
-//! and the query id only — **identical for every storage model**, so models
-//! are compared on the same accesses, as on the paper's shared database.
+//! and the spec's RNG stream only — **identical for every storage model**,
+//! so models are compared on the same accesses, as on the paper's shared
+//! database. `tests/plan_equivalence.rs` proves the plan-built queries
+//! byte-identical (exact `IoSnapshot` equality) to the historical
+//! hard-coded runner; the golden-counter tests pin the absolute values.
 
+use crate::executor::{Executor, PlanOutcome};
+use crate::plan::WorkloadSpec;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use starfish_core::{ComplexObjectStore, CoreError, ObjRef, RootPatch};
+use starfish_core::ComplexObjectStore;
 use starfish_cost::QueryId;
-use starfish_nf2::Projection;
 use starfish_pagestore::IoSnapshot;
-
-/// How many random single-object retrievals query 1a averages over.
-///
-/// The paper measured "an 'average' object"; we average a deterministic
-/// sample of cold-cache retrievals instead of hand-picking one.
-pub const Q1A_SAMPLE: usize = 25;
 
 /// The result of one measured query run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,6 +68,18 @@ impl Measurement {
     pub fn fixes_per_unit(&self) -> f64 {
         self.snapshot.fixes as f64 / self.units.max(1) as f64
     }
+
+    /// Re-labels a plan run as a query measurement (hop 0 = children,
+    /// hop 1 = grand-children, like the paper's navigation loop).
+    pub(crate) fn from_plan(query: QueryId, run: &crate::executor::PlanRun) -> Measurement {
+        Measurement {
+            query,
+            snapshot: run.snapshot,
+            units: run.units,
+            children_seen: run.nav_hop(0),
+            grandchildren_seen: run.nav_hop(1),
+        }
+    }
 }
 
 /// A measured query run, or the paper's "not relevant" marker.
@@ -90,153 +102,55 @@ impl QueryOutcome {
     }
 }
 
-/// Executes benchmark queries against a store.
+/// Executes benchmark queries against a store — a thin, query-labelled
+/// facade over the plan [`Executor`].
 #[derive(Clone, Debug)]
 pub struct QueryRunner {
-    refs: Vec<ObjRef>,
-    seed: u64,
+    exec: Executor,
 }
 
 impl QueryRunner {
     /// Creates a runner over the loaded objects (`refs` as returned by
     /// [`ComplexObjectStore::load`]) with a measurement seed.
-    pub fn new(refs: Vec<ObjRef>, seed: u64) -> Self {
-        QueryRunner { refs, seed }
+    pub fn new(refs: Vec<starfish_core::ObjRef>, seed: u64) -> Self {
+        QueryRunner {
+            exec: Executor::new(refs, seed),
+        }
     }
 
     /// Number of objects.
     pub fn n_objects(&self) -> usize {
-        self.refs.len()
+        self.exec.n_objects()
+    }
+
+    /// The underlying plan executor (for running ad-hoc [`WorkloadSpec`]s
+    /// over the same objects and seed).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The number of loops queries 2b/3b execute for this database
     /// (`objects/5`, §5.4).
     pub fn loops(&self) -> u64 {
-        QueryId::Q2b.loops(self.refs.len() as u64)
+        QueryId::Q2b.loops(self.exec.n_objects() as u64)
     }
 
     /// Runs `query` under the measurement protocol.
     pub fn run(&self, store: &mut dyn ComplexObjectStore, query: QueryId) -> Result<QueryOutcome> {
-        let mut rng = self.query_rng(query);
-        store.clear_cache()?;
-        store.reset_stats();
-        let before = store.snapshot();
-
-        let mut children_seen = 0u64;
-        let mut grandchildren_seen = 0u64;
-        let units: u64 = match query {
-            QueryId::Q1a => {
-                let sample = Q1A_SAMPLE.min(self.refs.len()).max(1);
-                for _ in 0..sample {
-                    let r = self.pick(&mut rng);
-                    match store.get_by_oid(r.oid, &Projection::All) {
-                        Ok(_) => {}
-                        Err(CoreError::Unsupported { .. }) => return Ok(QueryOutcome::Unsupported),
-                        Err(e) => return Err(e),
-                    }
-                    // Each retrieval is cold, like the paper's single-object
-                    // measurements.
-                    store.clear_cache()?;
-                }
-                sample as u64
+        let spec = WorkloadSpec::for_query(query);
+        Ok(match self.exec.run(store, &spec)? {
+            PlanOutcome::Measured(run) => {
+                QueryOutcome::Measured(Measurement::from_plan(query, &run))
             }
-            QueryId::Q1b => {
-                let r = self.pick(&mut rng);
-                store.get_by_key(r.key, &Projection::All)?;
-                1
-            }
-            QueryId::Q1c => {
-                let mut n = 0u64;
-                store.scan_all(&mut |_| n += 1)?;
-                n.max(1)
-            }
-            QueryId::Q2a | QueryId::Q3a => {
-                let root = self.pick(&mut rng);
-                let (c, g) = self.navigation_loop(store, root, query == QueryId::Q3a, 0)?;
-                children_seen += c;
-                grandchildren_seen += g;
-                1
-            }
-            QueryId::Q2b | QueryId::Q3b => {
-                let loops = self.loops();
-                for l in 0..loops {
-                    let root = self.pick(&mut rng);
-                    let (c, g) = self.navigation_loop(store, root, query == QueryId::Q3b, l)?;
-                    children_seen += c;
-                    grandchildren_seen += g;
-                }
-                loops
-            }
-        };
-
-        // Database disconnect: deferred writes reach the disk and count.
-        store.flush()?;
-        let snapshot = store.snapshot() - before;
-        Ok(QueryOutcome::Measured(Measurement {
-            query,
-            snapshot,
-            units,
-            children_seen,
-            grandchildren_seen,
-        }))
+            PlanOutcome::Unsupported => QueryOutcome::Unsupported,
+        })
     }
-
-    /// One navigation loop: object → children → grand-children → their root
-    /// records, optionally followed by the query-3 update.
-    fn navigation_loop(
-        &self,
-        store: &mut dyn ComplexObjectStore,
-        root: ObjRef,
-        update: bool,
-        loop_nr: u64,
-    ) -> Result<(u64, u64)> {
-        let children = store.children_of(&[root])?;
-        let grandchildren = store.children_of(&children)?;
-        let roots = store.root_records(&grandchildren)?;
-        debug_assert_eq!(roots.len(), grandchildren.len());
-        if update {
-            let patch = RootPatch {
-                new_name: update_name(loop_nr),
-            };
-            store.update_roots(&grandchildren, &patch)?;
-        }
-        Ok((children.len() as u64, grandchildren.len() as u64))
-    }
-
-    pub(crate) fn pick(&self, rng: &mut StdRng) -> ObjRef {
-        self.refs[rng.random_range(0..self.refs.len())]
-    }
-
-    pub(crate) fn query_rng(&self, query: QueryId) -> StdRng {
-        let disc: u64 = match query {
-            QueryId::Q1a => 1,
-            QueryId::Q1b => 2,
-            QueryId::Q1c => 3,
-            // 2a/3a and 2b/3b deliberately share sequences: query 3 is
-            // "an update version of query 2" over the same navigation.
-            QueryId::Q2a | QueryId::Q3a => 4,
-            QueryId::Q2b | QueryId::Q3b => 5,
-        };
-        StdRng::seed_from_u64(
-            self.seed
-                .wrapping_add(disc.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        )
-    }
-}
-
-/// A 100-byte replacement name, unique per loop.
-pub(crate) fn update_name(loop_nr: u64) -> String {
-    let mut s = format!("updated-{loop_nr}-");
-    while s.len() < 100 {
-        s.push('u');
-    }
-    s.truncate(100);
-    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::PatchSpec;
     use crate::{generate, DatasetParams};
     use starfish_core::{make_store, ModelKind, StoreConfig};
 
@@ -340,8 +254,9 @@ mod tests {
 
     #[test]
     fn update_name_is_100_bytes_and_unique() {
-        assert_eq!(update_name(0).len(), 100);
-        assert_eq!(update_name(12345).len(), 100);
-        assert_ne!(update_name(1), update_name(2));
+        let n = |l| PatchSpec::LoopName.materialize(l);
+        assert_eq!(n(0).len(), 100);
+        assert_eq!(n(12345).len(), 100);
+        assert_ne!(n(1), n(2));
     }
 }

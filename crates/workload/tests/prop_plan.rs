@@ -1,0 +1,204 @@
+//! Property battery for the AccessPlan IR and its executor.
+//!
+//! Random (valid) specs drawn from the full op vocabulary must satisfy the
+//! executor's determinism contract:
+//!
+//! * **same spec + same seed ⇒ identical access sequences across storage
+//!   models** — units, per-hop navigation cardinalities, scanned-object
+//!   and update counts agree for every model that supports the plan's ops
+//!   (the spec-level generalization of the paper's shared-database
+//!   guarantee);
+//! * a spec run twice on the same store is measurement-identical
+//!   (reproducibility);
+//! * `to_json` → `from_json` is the identity on specs (the CLI file
+//!   format cannot drift from the in-memory IR);
+//! * concurrent-shaped specs at 1 thread × 1 shard equal their serial
+//!   measurement exactly.
+
+use proptest::prelude::*;
+use starfish_core::{make_shared_store, make_store, ModelKind, StoreConfig};
+use starfish_workload::{
+    generate, Count, DatasetParams, Executor, MixKind, NormUnit, Op, PatchSpec, PlanOutcome,
+    ProjSpec, WorkloadSpec,
+};
+
+fn arb_proj() -> impl Strategy<Value = ProjSpec> {
+    prop_oneof![Just(ProjSpec::All), Just(ProjSpec::Atomics)]
+}
+
+fn arb_patch() -> impl Strategy<Value = PatchSpec> {
+    prop_oneof![
+        Just(PatchSpec::LoopName),
+        Just(PatchSpec::Prefixed("prop".into())),
+    ]
+}
+
+/// Simple (non-loop) ops. Retrieval/navigation ops tolerate an empty
+/// selection, so any order is executable.
+fn arb_simple_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..3).prop_map(|n| Op::PickRandom { n }),
+        ((1u64..24), (0u64..101)).prop_map(|(hot, pct)| Op::PickSkewed {
+            hot,
+            pct_hot: pct as u8,
+        }),
+        Just(Op::ScanAll),
+        arb_proj().prop_map(|proj| Op::GetByOid { proj }),
+        arb_proj().prop_map(|proj| Op::GetByKey { proj }),
+        (1u32..4).prop_map(|depth| Op::NavigateChildren { depth }),
+        Just(Op::FetchRoots),
+        arb_patch().prop_map(|patch| Op::UpdateRoots { patch }),
+        Just(Op::ColdRestart),
+    ]
+}
+
+fn arb_count() -> impl Strategy<Value = Count> {
+    prop_oneof![
+        (1u64..5).prop_map(Count::Fixed),
+        (1u64..30).prop_map(Count::SampleCapped),
+        (5u64..20).prop_map(Count::ObjectsOver),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = Option<MixKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(MixKind::ReadOnly)),
+        Just(Some(MixKind::Mixed5050)),
+        Just(Some(MixKind::UpdateHeavy)),
+    ]
+}
+
+/// A whole spec: a short body, optionally wrapped in a top-level loop.
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        proptest::collection::vec(arb_simple_op(), 1..5),
+        arb_count(),
+        (0u64..50),
+        arb_mix(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(body, count, stream, mix, wrap, per_scan)| {
+            let has_scan = body.iter().any(|op| matches!(op, Op::ScanAll));
+            let ops = if wrap {
+                vec![Op::Loop { count, body }]
+            } else {
+                body
+            };
+            let spec = WorkloadSpec {
+                name: "prop".into(),
+                description: "random property-test plan".into(),
+                stream,
+                unit: if per_scan && has_scan {
+                    NormUnit::ScannedObjects
+                } else {
+                    NormUnit::Loops
+                },
+                mix,
+                ops,
+            };
+            spec.validate().expect("generated specs are valid");
+            spec
+        })
+}
+
+fn small_db() -> Vec<starfish_nf2::station::Station> {
+    generate(&DatasetParams {
+        n_objects: 40,
+        seed: 11,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same spec + same seed ⇒ the same access sequence on every model.
+    #[test]
+    fn access_sequences_are_model_invariant(spec in arb_spec(), seed in 0u64..1000) {
+        let db = small_db();
+        let mut shape: Option<(u64, Vec<u64>, u64, u64)> = None;
+        for kind in ModelKind::all() {
+            let mut store = make_store(kind, StoreConfig::default());
+            let refs = store.load(&db).unwrap();
+            let exec = Executor::new(refs, seed);
+            match exec.run(store.as_mut(), &spec).unwrap() {
+                PlanOutcome::Unsupported => continue, // e.g. OID access on NSM
+                PlanOutcome::Measured(run) => {
+                    let got = (run.units, run.nav_seen, run.scanned, run.updates_applied);
+                    match &shape {
+                        None => shape = Some(got),
+                        Some(want) => prop_assert_eq!(
+                            want, &got,
+                            "access sequence drifted on {}", kind
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A spec run twice on the same store measures identically.
+    #[test]
+    fn runs_are_reproducible(spec in arb_spec(), seed in 0u64..1000) {
+        let db = small_db();
+        let mut store = make_store(ModelKind::DasdbsNsm, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let exec = Executor::new(refs, seed);
+        let a = exec.run(store.as_mut(), &spec).unwrap();
+        let b = exec.run(store.as_mut(), &spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The JSON file format is lossless over the IR.
+    #[test]
+    fn json_round_trip_is_identity(spec in arb_spec()) {
+        let json = spec.to_json();
+        let back = WorkloadSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("{e}\n{json}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Concurrent-shaped specs at 1 thread × 1 shard equal their serial
+    /// measurement, counter for counter.
+    #[test]
+    fn one_thread_concurrent_equals_serial(
+        depth in 1u32..4,
+        loops in 1u64..6,
+        stream in 0u64..50,
+        update in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mut body = vec![
+            Op::PickRandom { n: 1 },
+            Op::NavigateChildren { depth },
+            Op::FetchRoots,
+        ];
+        if update {
+            body.push(Op::UpdateRoots { patch: PatchSpec::LoopName });
+        }
+        let spec = WorkloadSpec {
+            name: "prop-concurrent".into(),
+            description: String::new(),
+            stream,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop { count: Count::Fixed(loops), body }],
+        };
+        let db = small_db();
+        for kind in [ModelKind::Dsm, ModelKind::DasdbsNsm] {
+            let mut serial = make_store(kind, StoreConfig::default());
+            let refs = serial.load(&db).unwrap();
+            let want = Executor::new(refs, seed).run(serial.as_mut(), &spec).unwrap();
+
+            let mut shared = make_shared_store(kind, StoreConfig::default(), 1);
+            let refs = shared.load(&db).unwrap();
+            let got = Executor::new(refs, seed)
+                .run_concurrent(shared.as_mut(), &spec, 1)
+                .unwrap();
+            prop_assert_eq!(&got.outcome, &want, "{}", kind);
+            prop_assert_eq!(got.observations.len() as u64, loops);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Building a non-paper workload from the AccessPlan IR.
+//!
+//! Constructs a "browse-then-report" scenario the ICDE 1993 paper never
+//! ran — a user browses from random entry points (3-hop navigation), then
+//! a reporting job scans the database and patches the objects it visited —
+//! runs it across all five storage models, and prints the per-unit I/O
+//! table plus the spec's JSON form (ready for `starfish_repro --workload`).
+//!
+//! ```sh
+//! cargo run --release --example custom_workload [n_objects]
+//! ```
+
+use starfish::core::{make_store, ModelKind, StoreConfig};
+use starfish::workload::{
+    generate, Count, DatasetParams, Executor, NormUnit, Op, PatchSpec, PlanOutcome, ProjSpec,
+    WorkloadSpec,
+};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+
+    // The plan, as data: ops stream over a selection of object references.
+    let spec = WorkloadSpec {
+        name: "browse-then-report".into(),
+        description: "3-hop browsing from random entry points, then a reporting scan \
+                      that patches the browsed objects"
+            .into(),
+        // Streams 1-5 are the paper queries', 10+ the shipped scenarios';
+        // pick anything else for your own plans.
+        stream: 21,
+        unit: NormUnit::Loops,
+        mix: None,
+        ops: vec![
+            Op::Loop {
+                count: Count::ObjectsOver(20), // scale with the database
+                body: vec![
+                    Op::PickRandom { n: 1 },
+                    Op::GetByOid {
+                        proj: ProjSpec::Atomics,
+                    },
+                    Op::NavigateChildren { depth: 3 },
+                    Op::FetchRoots,
+                    Op::UpdateRoots {
+                        patch: PatchSpec::Prefixed("report".into()),
+                    },
+                ],
+            },
+            Op::ScanAll, // the reporting pass
+        ],
+    };
+    spec.validate().expect("valid plan");
+
+    let db = generate(&DatasetParams {
+        n_objects: n,
+        ..Default::default()
+    });
+    println!("{} objects; '{}' — {}\n", n, spec.name, spec.description);
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "MODEL", "units", "reads/u", "writes/u", "calls/u", "fixes/u"
+    );
+
+    for kind in ModelKind::all() {
+        let mut store = make_store(kind, StoreConfig::default());
+        let refs = store.load(&db).expect("load");
+        let exec = Executor::new(refs, 1993);
+        match exec.run(store.as_mut(), &spec).expect("run") {
+            PlanOutcome::Measured(run) => {
+                let per = |v: u64| v as f64 / run.units.max(1) as f64;
+                println!(
+                    "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                    kind.paper_name(),
+                    run.units,
+                    per(run.snapshot.pages_read),
+                    per(run.snapshot.pages_written),
+                    per(run.snapshot.io_calls()),
+                    per(run.snapshot.fixes),
+                );
+            }
+            PlanOutcome::Unsupported => {
+                println!("{:<12} {:>8}", kind.paper_name(), "- (unsupported op)");
+            }
+        }
+    }
+
+    println!(
+        "\nspec JSON (save it and rerun with `starfish_repro --workload <file>`):\n{}",
+        spec.to_json()
+    );
+}

@@ -13,9 +13,11 @@
 //! * [`core`] — the four storage models of the paper (DSM, DASDBS-DSM,
 //!   NSM(+index), DASDBS-NSM) behind one [`core::ComplexObjectStore`] trait;
 //! * [`cost`] — the analytical disk-I/O cost model (Equations 1–8);
-//! * [`workload`] — the benchmark generator and queries 1a–3b;
+//! * [`workload`] — the benchmark generator and the declarative workload
+//!   layer: the `WorkloadSpec` AccessPlan IR, the streaming `Executor`
+//!   (serial / concurrent / mixed), and queries 1a–3b as built-in plans;
 //! * [`harness`] — experiment drivers regenerating every table and figure of
-//!   the paper's evaluation.
+//!   the paper's evaluation, plus declarative-workload reports.
 
 pub use starfish_core as core;
 pub use starfish_cost as cost;
@@ -33,5 +35,5 @@ pub mod prelude {
     pub use starfish_nf2::station::{station_schema, Station};
     pub use starfish_nf2::{Oid, Projection, Tuple, Value};
     pub use starfish_pagestore::IoSnapshot;
-    pub use starfish_workload::{DatasetParams, QueryRunner};
+    pub use starfish_workload::{DatasetParams, Executor, MixKind, Op, QueryRunner, WorkloadSpec};
 }

@@ -1,25 +1,51 @@
 //! Offline, vendored stand-in for `serde_json`.
 //!
-//! The vendored `serde` stub has marker traits only, so value serialization
-//! is gated: [`to_string`] returns [`Error::Unsupported`] rather than lying.
-//! What *is* provided — because the harness needs it — is strict JSON string
-//! escaping ([`escape_str`]), shared by hand-rolled emitters. Note that
-//! `escape_str` is a **stub extension**: upstream serde_json has no such
-//! public function (its equivalent is `to_string(&str)`), so call sites must
-//! switch to that when migrating to the real crate (see ROADMAP.md).
+//! The vendored `serde` stub has marker traits only, so *derive-driven*
+//! value serialization is gated: [`to_string`] returns [`Error::Unsupported`]
+//! rather than lying. What *is* provided — because the harness and the
+//! workload-spec loader need it — mirrors the real crate's self-describing
+//! document API:
+//!
+//! * [`escape_str`] — strict JSON string escaping, shared by hand-rolled
+//!   emitters. A **stub extension**: upstream serde_json's equivalent is
+//!   `to_string(&str)`, so call sites must switch when migrating to the real
+//!   crate (see ROADMAP.md).
+//! * [`Value`] — the dynamic JSON document type, with the real crate's
+//!   accessor surface (`get`, `as_str`, `as_u64`, `as_f64`, `as_bool`,
+//!   `as_array`, `as_object`) and a compact [`std::fmt::Display`].
+//!   Objects preserve insertion order (like real serde_json with its
+//!   `preserve_order` feature).
+//! * [`from_str`] — a strict recursive-descent parser into [`Value`]. The
+//!   real crate's `from_str::<Value>(s)` call sites work unchanged as long
+//!   as they bind the result to a `Value` (this stub is monomorphic).
+//!
+//! [`json!`]-style construction is not provided; build [`Value`] variants
+//! directly.
 
 #![forbid(unsafe_code)]
 
-/// Error type for the gated serializer.
+/// Error type for the gated serializer and the document parser.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Error {
     /// Serialization requires real `serde`, which is unavailable offline.
     Unsupported,
+    /// The input is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub: value serialization requires real serde (offline build)")
+        match self {
+            Error::Unsupported => f.write_str(
+                "serde_json stub: value serialization requires real serde (offline build)",
+            ),
+            Error::Parse { at, msg } => write!(f, "JSON parse error at byte {at}: {msg}"),
+        }
     }
 }
 
@@ -52,6 +78,354 @@ pub fn escape_str(s: &str) -> String {
     out
 }
 
+/// A parsed JSON document.
+///
+/// Numbers are stored as `f64` (the stub does not keep the real crate's
+/// integer/float distinction; [`Value::as_u64`] checks integrality instead).
+/// Object members keep their source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, members in source/insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as a float, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact (no-whitespace) rendering, like `serde_json::to_string`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => f.write_str(&escape_str(s)),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", escape_str(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict: rejects trailing garbage, trailing commas, unquoted keys and
+/// control characters inside strings. (The real crate's generic
+/// `from_str::<T>` is served here only for `T = Value`.)
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Consumes one or more digits, returning how many (the grammar
+    /// checks below need the count, not the value).
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        // RFC 8259 grammar, enforced here rather than delegated to
+        // f64::parse (which accepts non-JSON spellings like "01" or "1.").
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.err("number needs at least one digit"));
+        }
+        if int_digits > 1 && self.bytes[start + usize::from(self.bytes[start] == b'-')] == b'0' {
+            return Err(self.err("leading zeros are not valid JSON"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("fraction needs at least one digit"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("exponent needs at least one digit"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume one UTF-8 character at a time so multi-byte text
+            // passes through untouched.
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| self.err("invalid UTF-8 inside string"))?;
+            let mut chars = rest.chars();
+            let c = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += e.len_utf8();
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            // from_str_radix alone would also accept a
+                            // leading '+', which is not valid JSON.
+                            if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                                return Err(self.err("invalid \\u escape"));
+                            }
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired — the
+                            // emitters in this workspace never produce them.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(ch);
+                        }
+                        other => return Err(self.err(format!("invalid escape '\\{other}'"))),
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(self.err("raw control character inside string"))
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +442,92 @@ mod tests {
         struct S;
         impl serde::Serialize for S {}
         assert_eq!(to_string(&S).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-3.5e2").unwrap(), Value::Number(-350.0));
+        assert_eq!(
+            from_str("\"hi\\nthere\"").unwrap(),
+            Value::String("hi\nthere".into())
+        );
+        assert_eq!(from_str("\"\\u0041\"").unwrap(), Value::String("A".into()));
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = from_str(r#"{"a": [1, {"b": "c"}], "d": null}"#).unwrap();
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].get("b").unwrap().as_str(), Some("c"));
+        // Member order is preserved.
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a", "d"]);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a: 1}",
+            "1 2",
+            "\"unterminated",
+            "tru",
+            "[1 2]",
+            "{\"a\" 1}",
+            "nan",
+            // RFC 8259 number grammar (bare f64::parse would take these).
+            "01",
+            "-01",
+            "1.",
+            ".5",
+            "1e",
+            "1e+",
+            "-",
+            // Signed \u escape (bare from_str_radix would take it).
+            "\"\\u+041\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        // The strictness must not reject valid spellings.
+        assert_eq!(from_str("0").unwrap(), Value::Number(0.0));
+        assert_eq!(from_str("-0.5e+2").unwrap(), Value::Number(-50.0));
+        assert_eq!(from_str("10").unwrap(), Value::Number(10.0));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = r#"{"name":"deep nav","n":3,"flag":true,"body":[{"op":"x"},null,1.5]}"#;
+        let v = from_str(src).unwrap();
+        let printed = v.to_string();
+        assert_eq!(from_str(&printed).unwrap(), v);
+        assert_eq!(printed, src.replace(": ", ":"));
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        let v = Value::String("naïve \"quote\" — ünïcode\n".into());
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn as_u64_requires_exact_integers() {
+        assert_eq!(Value::Number(7.0).as_u64(), Some(7));
+        assert_eq!(Value::Number(7.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::String("7".into()).as_u64(), None);
     }
 }
