@@ -35,7 +35,7 @@ use crate::direct::DirectStore;
 use crate::nsm::NsmStore;
 use crate::traits::{ComplexObjectStore, ObjRef, RootPatch};
 use crate::{ModelKind, Result, StoreConfig};
-use starfish_nf2::{Oid, Projection, Tuple};
+use starfish_nf2::{Key, Oid, Projection, Tuple};
 use starfish_pagestore::{BufferStats, SharedPoolHandle};
 
 /// A storage model whose retrieval/navigation surface can be shared across
@@ -49,6 +49,15 @@ use starfish_pagestore::{BufferStats, SharedPoolHandle};
 pub trait ConcurrentObjectStore: ComplexObjectStore + Send + Sync {
     /// Query 1a retrieval by OID, callable from N threads concurrently.
     fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple>;
+
+    /// Query 1b retrieval by key attribute, callable concurrently. Answers
+    /// and counts fixes exactly like [`ComplexObjectStore::get_by_key`].
+    fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple>;
+
+    /// Query 1c full scan, callable concurrently. Materializes every object
+    /// in the same order (and with the same fixes) as
+    /// [`ComplexObjectStore::scan_all`].
+    fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()>;
 
     /// Navigation step (children references), callable concurrently.
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>>;

@@ -209,6 +209,48 @@ fn materialize_in(parts: &DnsmParts<'_>, pool: &mut impl PageCache, key: Key) ->
     ))
 }
 
+/// Query 1b: "only the root tuple of the object is selected based on a
+/// value selection, whereupon we use the addresses in the index table to
+/// retrieve all other data by address" (§4) — the one key-lookup primitive
+/// behind both surfaces.
+fn get_by_key_in(
+    parts: &DnsmParts<'_>,
+    pool: &mut impl PageCache,
+    key: Key,
+    proj: &Projection,
+) -> Result<Tuple> {
+    let mut found = false;
+    parts.station.scan(pool, |_, bytes| {
+        if let Ok(t) = decode(bytes, &dnsm_station_schema()) {
+            if t.attr(0).and_then(Value::as_int) == Some(key) {
+                found = true;
+            }
+        }
+    })?;
+    if !found {
+        return Err(CoreError::NotFound {
+            what: format!("key {key}"),
+        });
+    }
+    let t = materialize_in(parts, pool, key)?;
+    Ok(apply_station_proj(t, proj))
+}
+
+/// Full scan: materialize every object through the transformation table in
+/// `refs` (OID) order — the one scan primitive behind both surfaces.
+fn scan_all_in(
+    parts: &DnsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+    f: &mut dyn FnMut(&Tuple),
+) -> Result<()> {
+    for r in refs {
+        let t = materialize_in(parts, pool, r.key)?;
+        f(&t);
+    }
+    Ok(())
+}
+
 /// The DASDBS-NSM navigation step: one nested connection tuple per ref.
 fn children_of_in(
     parts: &DnsmParts<'_>,
@@ -531,37 +573,14 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
-        // "With query 1b, only the root tuple of the object is selected
-        // based on a value selection, whereupon we use the addresses in the
-        // index table to retrieve all other data by address" (§4).
-        self.loaded()?;
-        let mut found = false;
-        let station = self.station.as_ref().expect("loaded");
-        let mut scratch = None;
-        station.scan(&mut self.pool, |_, bytes| {
-            if let Ok(t) = decode(bytes, &dnsm_station_schema()) {
-                if t.attr(0).and_then(Value::as_int) == Some(key) {
-                    found = true;
-                    scratch = Some(t);
-                }
-            }
-        })?;
-        if !found {
-            return Err(CoreError::NotFound {
-                what: format!("key {key}"),
-            });
-        }
-        let t = self.materialize(key)?;
-        Ok(apply_station_proj(t, proj))
+        let (parts, pool) = self.parts_and_pool()?;
+        get_by_key_in(&parts, pool, key, proj)
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
-        self.loaded()?;
-        for r in self.refs.clone() {
-            let t = self.materialize(r.key)?;
-            f(&t);
-        }
-        Ok(())
+        let refs = self.refs.clone();
+        let (parts, pool) = self.parts_and_pool()?;
+        scan_all_in(&parts, pool, &refs, f)
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
@@ -669,6 +688,16 @@ impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
         let (parts, mut pool) = self.parts_and_handle()?;
         let t = materialize_in(&parts, &mut pool, key)?;
         Ok(apply_station_proj(t, proj))
+    }
+
+    fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        get_by_key_in(&parts, &mut pool, key, proj)
+    }
+
+    fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        scan_all_in(&parts, &mut pool, &self.refs, f)
     }
 
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {

@@ -148,6 +148,52 @@ fn children_of_in(
     Ok(out)
 }
 
+/// Value selection without an index: set-oriented scan materializing every
+/// object, keeping the last key match (Table 3: query 1b costs the whole
+/// relation) — the one key-lookup primitive behind both surfaces.
+fn get_by_key_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    n_objects: usize,
+    key: Key,
+    proj: &Projection,
+) -> Result<Tuple> {
+    let mut found = None;
+    for ord in 0..n_objects {
+        let t = read_object_in(partial, file, schema, pool, ord, &Projection::All)?;
+        if t.attr(attr::KEY).and_then(Value::as_int) == Some(key) {
+            found = Some(t);
+        }
+    }
+    let t = found.ok_or_else(|| CoreError::NotFound {
+        what: format!("key {key}"),
+    })?;
+    Ok(if proj.is_all() {
+        t
+    } else {
+        proj.apply(&t, schema)
+    })
+}
+
+/// Full scan in OID order, materializing every object — the one scan
+/// primitive behind both surfaces.
+fn scan_all_in(
+    partial: bool,
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    n_objects: usize,
+    f: &mut dyn FnMut(&Tuple),
+) -> Result<()> {
+    for ord in 0..n_objects {
+        let t = read_object_in(partial, file, schema, pool, ord, &Projection::All)?;
+        f(&t);
+    }
+    Ok(())
+}
+
 /// The root records (atomic attributes) of `refs`.
 fn root_records_in(
     partial: bool,
@@ -386,34 +432,30 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
-        // Value selection without an index: set-oriented scan materializing
-        // every object (Table 3: query 1b costs the whole relation).
         self.file()?;
-        let n = self.refs.len();
-        let mut found = None;
-        for ord in 0..n {
-            let t = self.read_object(ord, &Projection::All)?;
-            if t.attr(attr::KEY).and_then(Value::as_int) == Some(key) {
-                found = Some(t);
-            }
-        }
-        let t = found.ok_or_else(|| CoreError::NotFound {
-            what: format!("key {key}"),
-        })?;
-        Ok(if proj.is_all() {
-            t
-        } else {
-            proj.apply(&t, &self.schema)
-        })
+        let file = self.file.as_ref().expect("checked");
+        get_by_key_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut self.pool,
+            self.refs.len(),
+            key,
+            proj,
+        )
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
         self.file()?;
-        for ord in 0..self.refs.len() {
-            let t = self.read_object(ord, &Projection::All)?;
-            f(&t);
-        }
-        Ok(())
+        let file = self.file.as_ref().expect("checked");
+        scan_all_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut self.pool,
+            self.refs.len(),
+            f,
+        )
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
@@ -512,6 +554,33 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let ord = self.ord_of_oid(oid)?;
         let mut pool = self.pool.clone();
         read_object_in(self.partial, file, &self.schema, &mut pool, ord, proj)
+    }
+
+    fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
+        let file = self.file()?;
+        let mut pool = self.pool.clone();
+        get_by_key_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut pool,
+            self.refs.len(),
+            key,
+            proj,
+        )
+    }
+
+    fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        let file = self.file()?;
+        let mut pool = self.pool.clone();
+        scan_all_in(
+            self.partial,
+            file,
+            &self.schema,
+            &mut pool,
+            self.refs.len(),
+            f,
+        )
     }
 
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {

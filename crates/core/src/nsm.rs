@@ -420,6 +420,41 @@ fn materialize_in(
     ))
 }
 
+/// The NSM full scan over explicit parts and pool: one set-oriented pass
+/// over each of the four relations, objects reassembled in `refs` (OID)
+/// order — the one scan primitive both surfaces run.
+fn scan_all_in(
+    parts: &NsmParts<'_>,
+    pool: &mut impl PageCache,
+    refs: &[ObjRef],
+    f: &mut dyn FnMut(&Tuple),
+) -> Result<()> {
+    let keys: HashSet<Key> = refs.iter().map(|r| r.key).collect();
+    let roots = scan_matching(pool, parts.station, &nsm_station_schema(), &keys)?;
+    let mut platforms = scan_matching(pool, parts.platform, &nsm_platform_schema(), &keys)?;
+    let mut connections = scan_matching(pool, parts.connection, &nsm_connection_schema(), &keys)?;
+    let mut sightseeings =
+        scan_matching(pool, parts.sightseeing, &nsm_sightseeing_schema(), &keys)?;
+    for r in refs {
+        let root =
+            roots
+                .get(&r.key)
+                .and_then(|v| v.first())
+                .ok_or_else(|| CoreError::NotFound {
+                    what: format!("key {}", r.key),
+                })?;
+        let t = assemble(
+            r.key,
+            root,
+            &platforms.remove(&r.key).unwrap_or_default(),
+            &connections.remove(&r.key).unwrap_or_default(),
+            &sightseeings.remove(&r.key).unwrap_or_default(),
+        );
+        f(&t);
+    }
+    Ok(())
+}
+
 /// The NSM navigation step over explicit parts and pool.
 fn children_of_in(
     parts: &NsmParts<'_>,
@@ -669,50 +704,9 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
-        self.loaded()?;
-        let keys: HashSet<Key> = self.refs.iter().map(|r| r.key).collect();
-        let roots = scan_matching(
-            &mut self.pool,
-            self.station.as_ref().expect("loaded"),
-            &nsm_station_schema(),
-            &keys,
-        )?;
-        let mut platforms = scan_matching(
-            &mut self.pool,
-            self.platform.as_ref().expect("loaded"),
-            &nsm_platform_schema(),
-            &keys,
-        )?;
-        let mut connections = scan_matching(
-            &mut self.pool,
-            self.connection.as_ref().expect("loaded"),
-            &nsm_connection_schema(),
-            &keys,
-        )?;
-        let mut sightseeings = scan_matching(
-            &mut self.pool,
-            self.sightseeing.as_ref().expect("loaded"),
-            &nsm_sightseeing_schema(),
-            &keys,
-        )?;
-        for r in &self.refs {
-            let root =
-                roots
-                    .get(&r.key)
-                    .and_then(|v| v.first())
-                    .ok_or_else(|| CoreError::NotFound {
-                        what: format!("key {}", r.key),
-                    })?;
-            let t = assemble(
-                r.key,
-                root,
-                &platforms.remove(&r.key).unwrap_or_default(),
-                &connections.remove(&r.key).unwrap_or_default(),
-                &sightseeings.remove(&r.key).unwrap_or_default(),
-            );
-            f(&t);
-        }
-        Ok(())
+        let refs = self.refs.clone();
+        let (parts, pool) = self.parts_and_pool()?;
+        scan_all_in(&parts, pool, &refs, f)
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
@@ -820,6 +814,17 @@ impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
         let (parts, mut pool) = self.parts_and_handle()?;
         let t = materialize_in(&parts, &mut pool, key, false)?;
         Ok(apply_station_proj(t, proj))
+    }
+
+    fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        let t = materialize_in(&parts, &mut pool, key, true)?;
+        Ok(apply_station_proj(t, proj))
+    }
+
+    fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
+        let (parts, mut pool) = self.parts_and_handle()?;
+        scan_all_in(&parts, &mut pool, &self.refs, f)
     }
 
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {

@@ -16,10 +16,12 @@
 //!                ext-policy always sweeps all five.
 //!   --threads N  client count for ext-concurrency (default: sweep
 //!                1/2/4/8). With N=1 the experiment reproduces the serial
-//!                per-unit counters exactly.
+//!                per-unit counters exactly. Combined with --workload, runs
+//!                the spec over the concurrent surface with N clients.
 //!   --workload   run one declarative workload spec (a JSON file path or a
 //!                built-in name like deep-nav) across the five storage
-//!                models instead of the experiment suite
+//!                models instead of the experiment suite; add --threads N
+//!                to serve it from N client threads
 //!   --list       enumerate experiments, built-in queries and shipped
 //!                workload specs, then exit
 //! ```
@@ -43,7 +45,8 @@ fn main() {
              --threads pins the ext-concurrency client count (default sweep: \
              1/2/4/8 clients over the sharded pool)\n\
              --workload runs one declarative AccessPlan spec (JSON file or \
-             built-in name) across the five storage models\n\
+             built-in name) across the five storage models; with --threads N \
+             it runs over the concurrent surface from N client threads\n\
              --list shows every experiment id, built-in query and shipped \
              workload spec"
         );
@@ -102,7 +105,13 @@ fn main() {
             std::process::exit(2);
         };
         let spec = load_workload(arg);
-        vec![experiments::ext_workload::report_for_spec(&config, &spec).unwrap_or_else(die)]
+        let report = match threads {
+            // An explicit client count runs the spec over the concurrent
+            // surface (N threads × N shards); counters stay invariant.
+            Some(n) => experiments::ext_workload::report_for_spec_concurrent(&config, &spec, n),
+            None => experiments::ext_workload::report_for_spec(&config, &spec),
+        };
+        vec![report.unwrap_or_else(die)]
     } else {
         let only: Option<Vec<String>> = args
             .iter()

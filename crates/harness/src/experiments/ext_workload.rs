@@ -13,6 +13,12 @@
 //! * **scan-then-update** — a full scan that floods the buffer, then
 //!   single-hop update loops. Adversarial for LRU (the scan evicts the
 //!   working set), the classic batch-behind-OLTP shape.
+//! * **drift-gradual / drift-sudden / drift-cycle** — the dynamic
+//!   scenarios: a sliding hot window, an abrupt hot-spot relocation and a
+//!   `phase`-cycled pick distribution. The `ext-drift` experiment studies
+//!   these against the static baseline per policy; here they ride in the
+//!   same sweep so the determinism contract covers the drift vocabulary
+//!   too.
 //!
 //! … across the five storage models × all replacement policies. Reported
 //! per cell: per-unit reads/writes/pages/calls/fixes. The notes verify the
@@ -27,7 +33,9 @@
 //! the harness-selected policy.
 
 use crate::report::{fmt_pages, ExperimentReport, Table};
-use crate::runner::{measure_workload_on, HarnessConfig, WorkloadRow};
+use crate::runner::{
+    measure_workload_concurrent_on, measure_workload_on, HarnessConfig, WorkloadRow,
+};
 use crate::Result;
 use starfish_core::{ModelKind, PolicyKind};
 use starfish_workload::{generate, WorkloadSpec};
@@ -112,10 +120,12 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
              flush), normalized per plan unit",
             config.n_objects, config.buffer_pages
         ),
-        "scenarios come from WorkloadSpec::shipped() — deep-nav (4 hops), \
-         hot-set (90% of roots from 16 objects) and scan-then-update (scan \
-         floods the buffer, then 24 update loops); run any of them, or an \
-         ad-hoc JSON plan, with starfish_repro --workload"
+        "scenarios come from WorkloadSpec::shipped() — the static trio \
+         (deep-nav, hot-set, scan-then-update) plus the drifting trio \
+         (drift-gradual, drift-sudden, drift-cycle — see ext-drift for the \
+         policy study); run any of them, or an ad-hoc JSON plan, with \
+         starfish_repro --workload (add --threads N for the concurrent \
+         surface)"
             .to_string(),
         "deep-nav compounds the per-hop cost difference the paper measured \
          at 2 hops; hot-set is where replacement policies separate (compare \
@@ -152,11 +162,34 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
 /// `starfish_repro --workload <file.json>`.
 pub fn report_for_spec(config: &HarnessConfig, spec: &WorkloadSpec) -> Result<ExperimentReport> {
     let db = generate(&config.dataset());
+    let rows = measure_workload_on(&db, config, &ModelKind::all(), spec)?;
+    spec_report(config, spec, &rows, None)
+}
+
+/// [`report_for_spec`] over the concurrent surface — the report behind
+/// `starfish_repro --workload <spec> --threads N`. Counters must match the
+/// serial report (the executor's thread-count invariance); with 1 thread
+/// they match exactly, physical reads included.
+pub fn report_for_spec_concurrent(
+    config: &HarnessConfig,
+    spec: &WorkloadSpec,
+    threads: usize,
+) -> Result<ExperimentReport> {
+    let db = generate(&config.dataset());
+    let rows = measure_workload_concurrent_on(&db, config, &ModelKind::all(), spec, threads)?;
+    spec_report(config, spec, &rows, Some(threads))
+}
+
+fn spec_report(
+    config: &HarnessConfig,
+    spec: &WorkloadSpec,
+    rows: &[WorkloadRow],
+    threads: Option<usize>,
+) -> Result<ExperimentReport> {
     let mut table = Table::new(headers());
     let mut shape: Option<(u64, Vec<u64>, u64, u64)> = None;
     let mut drifted = false;
-    let rows = measure_workload_on(&db, config, &ModelKind::all(), spec)?;
-    for row in &rows {
+    for row in rows {
         let got = push_row(&mut table, &spec.name, config.policy, row);
         if row.cell.is_none() {
             continue;
@@ -169,11 +202,20 @@ pub fn report_for_spec(config: &HarnessConfig, spec: &WorkloadSpec) -> Result<Ex
     }
 
     let mut notes = vec![
-        format!(
-            "{} objects, {}-page buffer, {} replacement; per-unit counters \
-             over the paper's measurement protocol",
-            config.n_objects, config.buffer_pages, config.policy
-        ),
+        match threads {
+            Some(n) => format!(
+                "{} objects, {}-page buffer ({} shards), {} replacement; \
+                 {n} client threads over the shared surface — counters are \
+                 thread-count invariant, and a 1-thread run reproduces the \
+                 serial measurement exactly",
+                config.n_objects, config.buffer_pages, n, config.policy
+            ),
+            None => format!(
+                "{} objects, {}-page buffer, {} replacement; per-unit counters \
+                 over the paper's measurement protocol",
+                config.n_objects, config.buffer_pages, config.policy
+            ),
+        },
         if spec.description.is_empty() {
             format!("spec: {}", spec.name)
         } else {
@@ -247,5 +289,23 @@ mod tests {
         assert!(report.notes.iter().any(|n| n.contains("spec JSON")));
         // Every model supports key lookups; all cells measured.
         assert!(report.table.rows.iter().all(|r| r[3] == "3"));
+    }
+
+    #[test]
+    fn concurrent_spec_report_matches_serial_counters() {
+        // --workload --threads N: units and fix counts (access counts) are
+        // thread-count invariant, so the 4-thread report's cells agree
+        // with the serial report's.
+        let config = HarnessConfig::fast();
+        let spec = WorkloadSpec::drift_gradual();
+        let serial = report_for_spec(&config, &spec).unwrap();
+        let conc = report_for_spec_concurrent(&config, &spec, 4).unwrap();
+        assert_eq!(serial.table.rows.len(), conc.table.rows.len());
+        for (s, c) in serial.table.rows.iter().zip(&conc.table.rows) {
+            assert_eq!(s[1], c[1], "model order");
+            assert_eq!(s[3], c[3], "units moved across thread counts");
+            assert_eq!(s[8], c[8], "fixes/u moved across thread counts");
+        }
+        assert!(conc.notes.iter().any(|n| n.contains("4 client threads")));
     }
 }

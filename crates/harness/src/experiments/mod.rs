@@ -14,6 +14,7 @@ pub mod ext_buffer;
 pub mod ext_clustering;
 pub mod ext_concurrency;
 pub mod ext_distributed;
+pub mod ext_drift;
 pub mod ext_policy;
 pub mod ext_timing;
 pub mod ext_workload;
@@ -123,7 +124,11 @@ pub const REGISTRY: &[ExperimentInfo] = &[
     },
     ExperimentInfo {
         id: "ext-workload",
-        summary: "declarative non-paper workloads (deep-nav, hot-set, scan-then-update)",
+        summary: "declarative non-paper workloads (static trio + drift scenarios)",
+    },
+    ExperimentInfo {
+        id: "ext-drift",
+        summary: "drifting hot sets and phase changes vs the static baseline",
     },
 ];
 
@@ -165,6 +170,7 @@ pub fn run_one(
         "ext-clustering" => ext_clustering::run(config),
         "ext-alignment" => ext_alignment::run(config),
         "ext-workload" => ext_workload::run(config),
+        "ext-drift" => ext_drift::run(config),
         other => Err(CoreError::NotFound {
             what: format!("experiment '{other}' (run starfish_repro --list for valid ids)"),
         }),

@@ -3,7 +3,9 @@
 
 use crate::Result;
 use serde::Serialize;
-use starfish_core::{make_store, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig};
+use starfish_core::{
+    make_shared_store, make_store, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig,
+};
 use starfish_cost::QueryId;
 use starfish_nf2::station::Station;
 use starfish_workload::{
@@ -243,6 +245,56 @@ pub fn measure_workload_on(
     for &kind in models {
         let (mut store, runner) = load_store(kind, db, config)?;
         let row = match runner.executor().run(store.as_mut(), spec)? {
+            PlanOutcome::Measured(run) => WorkloadRow {
+                model: kind,
+                cell: Some(MeasuredCell::per_unit(&run.snapshot, run.units)),
+                units: run.units,
+                nav_seen: run.nav_seen,
+                scanned: run.scanned,
+                updates: run.updates_applied,
+            },
+            PlanOutcome::Unsupported => WorkloadRow {
+                model: kind,
+                cell: None,
+                units: 0,
+                nav_seen: Vec::new(),
+                scanned: 0,
+                updates: 0,
+            },
+        };
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// [`measure_workload_on`] over the concurrent surface: every model runs
+/// the plan with `threads` client threads sharing a pool of `threads`
+/// lock-striped shards. Answers and fix counts are thread-count invariant
+/// (the executor's contract); with 1 thread the counters reproduce the
+/// serial measurement exactly. A plan shape the concurrent executor
+/// rejects (a loop body consuming the previous iteration's selection)
+/// surfaces as `Err`.
+pub fn measure_workload_concurrent_on(
+    db: &[Station],
+    config: &HarnessConfig,
+    models: &[ModelKind],
+    spec: &WorkloadSpec,
+    threads: usize,
+) -> Result<Vec<WorkloadRow>> {
+    let threads = threads.max(1);
+    let mut out = Vec::with_capacity(models.len());
+    for &kind in models {
+        let mut store = make_shared_store(
+            kind,
+            StoreConfig::with_buffer_pages(config.buffer_pages).policy(config.policy),
+            threads,
+        );
+        let refs = store.load(db)?;
+        let runner = QueryRunner::new(refs, config.query_seed);
+        let run = runner
+            .executor()
+            .run_concurrent(store.as_mut(), spec, threads)?;
+        let row = match run.outcome {
             PlanOutcome::Measured(run) => WorkloadRow {
                 model: kind,
                 cell: Some(MeasuredCell::per_unit(&run.snapshot, run.units)),

@@ -31,11 +31,13 @@
 //! may move when threads race on the cache, mirroring the cross-policy
 //! differential's invariant shape.
 //!
-//! Concurrency is restricted to the queries 1a/2a/2b/3a; the bulk-update
-//! query 3b (and the full scans 1b/1c, which are one set-oriented unit
-//! anyway) stays on the serial surface. For sustained mixed read/write
-//! serving, [`QueryRunner::run_mixed`] drives a [`MixKind`] request stream
-//! through [`crate::Executor::run_stream`] instead.
+//! Every read query runs concurrently — 1a/1b/1c/2a/2b — plus the
+//! single-loop update query 3a. Only the bulk-update query 3b stays on the
+//! serial surface: its per-loop updates interleave with reads, and the
+//! concurrent protocol's deferred update tail would reorder its physical
+//! I/O against the serial oracle. For sustained mixed read/write serving,
+//! [`QueryRunner::run_mixed`] drives a [`MixKind`] request stream through
+//! [`crate::Executor::run_stream`] instead.
 
 use crate::executor::{MixedRun, PlanOutcome, UnitObservation};
 use crate::plan::{MixKind, WorkloadSpec};
@@ -51,8 +53,11 @@ use std::time::Duration;
 /// against a serial run — is the concurrent differential test's job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum UnitAnswer {
-    /// Query 1a: the retrieved (full-projection) object.
+    /// Queries 1a/1b: the retrieved (full-projection) object.
     Retrieval(Tuple),
+    /// Query 1c: the full scan ran as one set-oriented unit (its answer is
+    /// the scanned-object count in the measurement).
+    Scan,
     /// Queries 2a/2b/3a: one navigation loop's full observation.
     Navigation {
         /// The loop's root object.
@@ -76,9 +81,10 @@ impl UnitAnswer {
             records,
         } = obs;
         match query {
-            QueryId::Q1a => {
-                UnitAnswer::Retrieval(retrieved.pop().expect("query 1a units retrieve one object"))
+            QueryId::Q1a | QueryId::Q1b => {
+                UnitAnswer::Retrieval(retrieved.pop().expect("retrieval units fetch one object"))
             }
+            QueryId::Q1c => UnitAnswer::Scan,
             _ => {
                 let children = if hops.is_empty() {
                     Vec::new()
@@ -129,16 +135,13 @@ impl ConcurrentRun {
 }
 
 impl QueryRunner {
-    /// Which queries the concurrent runner executes: the retrieval and
-    /// navigation queries (1a, 2a, 2b) plus the single-loop update query
-    /// 3a, whose navigation *and* update phases both run concurrently (the
-    /// updates over disjoint object partitions through the latched write
-    /// surface).
+    /// Which queries the concurrent runner executes: every read query
+    /// (1a, 1b, 1c, 2a, 2b) plus the single-loop update query 3a, whose
+    /// navigation *and* update phases both run concurrently (the updates
+    /// over disjoint object partitions through the latched write surface).
+    /// Only the bulk-update query 3b stays serial.
     pub fn supports_concurrent(query: QueryId) -> bool {
-        matches!(
-            query,
-            QueryId::Q1a | QueryId::Q2a | QueryId::Q2b | QueryId::Q3a
-        )
+        !matches!(query, QueryId::Q3b)
     }
 
     /// Runs `query` under the measurement protocol with `threads` client
@@ -153,7 +156,7 @@ impl QueryRunner {
         if !Self::supports_concurrent(query) {
             return Err(CoreError::Unsupported {
                 model: "concurrent runner",
-                op: "queries other than 1a/2a/2b/3a",
+                op: "the bulk-update query 3b (serial-surface only)",
             });
         }
         let spec = WorkloadSpec::for_query(query);
@@ -227,7 +230,14 @@ mod tests {
         };
         let db = generate(&params);
         for kind in [ModelKind::Dsm, ModelKind::DasdbsNsm] {
-            for q in [QueryId::Q1a, QueryId::Q2a, QueryId::Q2b, QueryId::Q3a] {
+            for q in [
+                QueryId::Q1a,
+                QueryId::Q1b,
+                QueryId::Q1c,
+                QueryId::Q2a,
+                QueryId::Q2b,
+                QueryId::Q3a,
+            ] {
                 let mut serial = make_store(kind, StoreConfig::default());
                 let refs = serial.load(&db).unwrap();
                 let runner = QueryRunner::new(refs, 7);
@@ -326,7 +336,9 @@ mod tests {
                     assert!(root.oid != Oid(u32::MAX));
                     assert_eq!(grandchildren.len(), root_records.len());
                 }
-                UnitAnswer::Retrieval(_) => panic!("2b units are navigations"),
+                UnitAnswer::Retrieval(_) | UnitAnswer::Scan => {
+                    panic!("2b units are navigations")
+                }
             }
         }
     }

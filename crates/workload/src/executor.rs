@@ -7,13 +7,16 @@
 //!   (§5.1): cold start, stream the ops against the `&mut` surface, flush
 //!   deferred writes at "database disconnect", snapshot the counter deltas.
 //! * [`Executor::run_concurrent`] — the multi-client measurement protocol:
-//!   the plan's unit roots are drawn up front (the *identical* picks the
-//!   serial run makes — same stream, same order), units are dealt
-//!   round-robin to N threads over the `&self`
-//!   [`ConcurrentObjectStore`] surface, per-unit observations are merged
-//!   back in plan order, and `update_roots` ops are **deferred**: applied
-//!   after the read phase, per unit in plan order, partitioned by object
-//!   across the same N threads (so writers never race on an object).
+//!   a planning pass walks the plan with the spec's RNG and pre-draws every
+//!   pick onto per-unit tapes (the *identical* selections the serial run
+//!   makes — same stream, same order), top-level loop iterations are dealt
+//!   whole — scans, key lookups and nested loops included — round-robin to
+//!   N threads over the `&self` [`ConcurrentObjectStore`] surface, the op
+//!   runs between loops execute on the coordinator with carried state,
+//!   per-unit observations are merged back in plan order, and
+//!   `update_roots` ops are **deferred**: applied after the read phase, per
+//!   unit in plan order, partitioned by object across the same N threads
+//!   (so writers never race on an object).
 //! * [`Executor::run_stream`] — the mixed read/write throughput protocol:
 //!   same dealing, but updates run **inline** in the serving threads
 //!   (requests race by design; per-page latches keep every observation
@@ -27,19 +30,20 @@
 //! interleaving (and therefore physical I/O and latch waits), never the
 //! answers or the fix totals.
 
-use crate::plan::{Count, Op, PatchSpec, WorkloadSpec, STREAM_STRIDE};
+use crate::plan::{Drift, Op, PatchSpec, WorkloadSpec, STREAM_STRIDE};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use starfish_core::{ComplexObjectStore, ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
 use starfish_nf2::{Oid, Tuple};
 use starfish_pagestore::IoSnapshot;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-/// A unit's deferred updates: the selection at each `update_roots` op
-/// plus its patch recipe, applied after the concurrent read phase.
-type DeferredUpdates = Vec<(Vec<ObjRef>, PatchSpec)>;
+/// A unit's deferred updates: the selection at each `update_roots` op, its
+/// patch recipe and the top-level loop number the op ran at (which feeds
+/// [`PatchSpec::materialize`]), applied after the concurrent read phase.
+type DeferredUpdates = Vec<(Vec<ObjRef>, PatchSpec, u64)>;
 
 /// The measured result of one plan run.
 #[derive(Clone, Debug, PartialEq)]
@@ -205,17 +209,13 @@ impl Surface for SharedSurface<'_> {
     fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
         self.0.shared_get_by_oid(r.oid, &proj_of(proj))
     }
-    fn get_by_key(&mut self, _r: ObjRef, _proj: &Op) -> Result<Tuple> {
-        Err(CoreError::Unsupported {
-            model: "plan executor",
-            op: "get_by_key on the concurrent surface",
-        })
+    fn get_by_key(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        self.0.shared_get_by_key(r.key, &proj_of(proj))
     }
     fn scan_count(&mut self) -> Result<u64> {
-        Err(CoreError::Unsupported {
-            model: "plan executor",
-            op: "scan_all on the concurrent surface",
-        })
+        let mut n = 0u64;
+        self.0.shared_scan_all(&mut |_| n += 1)?;
+        Ok(n)
     }
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
         self.0.shared_children_of(refs)
@@ -276,25 +276,64 @@ enum Mode<'a> {
     },
 }
 
+/// Where a unit's random picks come from: a live RNG (serial execution and
+/// the concurrent planning pass) or a pre-drawn tape (concurrent unit
+/// execution — the planner already consumed the RNG in serial order, so
+/// units replay their picks and thread counts cannot move the sequence).
+enum PickSource<'a> {
+    /// Draw live from the spec's RNG stream.
+    Rng(&'a mut StdRng),
+    /// Replay pre-drawn selections, in plan order.
+    Tape(&'a mut VecDeque<Vec<ObjRef>>),
+}
+
+impl PickSource<'_> {
+    fn draw(&mut self, refs: &[ObjRef], op: &Op, loop_nr: u64) -> Result<Vec<ObjRef>> {
+        match self {
+            PickSource::Rng(rng) => draw_for_op(refs, rng, op, loop_nr),
+            PickSource::Tape(tape) => tape.pop_front().ok_or_else(|| CoreError::NotFound {
+                what: "a pre-drawn pick (planner/executor traversal mismatch)".into(),
+            }),
+        }
+    }
+}
+
+/// Draws the selection a pick-like op (`pick_random`, `pick_skewed`,
+/// `phase`) produces at top-level iteration `loop_nr`. The one place pick
+/// semantics live — the serial interpreter and the concurrent planner both
+/// call it, so they cannot disagree on RNG consumption.
+fn draw_for_op(refs: &[ObjRef], rng: &mut StdRng, op: &Op, loop_nr: u64) -> Result<Vec<ObjRef>> {
+    match op {
+        Op::PickRandom { n } => (0..*n).map(|_| pick_uniform(refs, rng)).collect(),
+        Op::PickSkewed {
+            hot,
+            pct_hot,
+            drift,
+        } => Ok(vec![pick_skewed(
+            refs, rng, *hot, *pct_hot, *drift, loop_nr,
+        )?]),
+        Op::Phase { every, picks } => {
+            let active = &picks[((loop_nr / (*every).max(1)) as usize) % picks.len().max(1)];
+            draw_for_op(refs, rng, active, loop_nr)
+        }
+        _ => unreachable!("draw_for_op is only called for pick-like ops"),
+    }
+}
+
 /// Streams `ops` over `surf`. The single place op semantics live.
 fn exec_linear<S: Surface>(
     refs: &[ObjRef],
     spec: &WorkloadSpec,
     surf: &mut S,
-    rng: &mut StdRng,
+    picks: &mut PickSource<'_>,
     ctx: &mut Ctx,
     mode: &mut Mode<'_>,
     ops: &[Op],
 ) -> Result<()> {
     for op in ops {
         match op {
-            Op::PickRandom { n } => {
-                ctx.sel = (0..*n)
-                    .map(|_| pick_uniform(refs, rng))
-                    .collect::<Result<_>>()?;
-            }
-            Op::PickSkewed { hot, pct_hot } => {
-                ctx.sel = vec![pick_skewed(refs, rng, *hot, *pct_hot)?];
+            Op::PickRandom { .. } | Op::PickSkewed { .. } | Op::Phase { .. } => {
+                ctx.sel = picks.draw(refs, op, ctx.loop_nr)?;
             }
             Op::ScanAll => {
                 ctx.scanned += surf.scan_count()?;
@@ -309,7 +348,10 @@ fn exec_linear<S: Surface>(
             }
             Op::GetByKey { .. } => {
                 for r in ctx.sel.clone() {
-                    surf.get_by_key(r, op)?;
+                    let t = surf.get_by_key(r, op)?;
+                    if let Mode::Record { obs, .. } = mode {
+                        obs.retrieved.push(t);
+                    }
                 }
             }
             Op::NavigateChildren { depth } => {
@@ -339,7 +381,7 @@ fn exec_linear<S: Surface>(
                             surf.update_roots(&ctx.sel, &patch)?;
                         }
                         Mode::Record { deferred, .. } => {
-                            deferred.push((ctx.sel.clone(), patch.clone()));
+                            deferred.push((ctx.sel.clone(), patch.clone(), ctx.loop_nr));
                         }
                     }
                 }
@@ -356,7 +398,7 @@ fn exec_linear<S: Surface>(
                         ctx.iter_depth = 0;
                         ctx.top_iters += 1;
                     }
-                    exec_linear(refs, spec, surf, rng, ctx, mode, body)?;
+                    exec_linear(refs, spec, surf, picks, ctx, mode, body)?;
                 }
                 ctx.depth -= 1;
             }
@@ -374,21 +416,36 @@ fn pick_uniform(refs: &[ObjRef], rng: &mut StdRng) -> Result<ObjRef> {
     Ok(refs[rng.random_range(0..refs.len())])
 }
 
-fn pick_skewed(refs: &[ObjRef], rng: &mut StdRng, hot: u64, pct_hot: u8) -> Result<ObjRef> {
+fn pick_skewed(
+    refs: &[ObjRef],
+    rng: &mut StdRng,
+    hot: u64,
+    pct_hot: u8,
+    drift: Option<Drift>,
+    loop_nr: u64,
+) -> Result<ObjRef> {
     if refs.is_empty() {
         return Err(CoreError::NotFound {
             what: "objects to pick from (empty database)".into(),
         });
     }
     // Two draws per pick, in a fixed order, so the sequence is identical
-    // wherever the plan runs.
+    // wherever the plan runs — drift only remaps hot draws onto a sliding
+    // window, it never adds or removes a draw (offset 0 ≡ no drift,
+    // byte for byte).
     let in_hot = rng.random_range(0u8..100) < pct_hot;
     let bound = if in_hot {
         (hot as usize).clamp(1, refs.len())
     } else {
         refs.len()
     };
-    Ok(refs[rng.random_range(0..bound)])
+    let idx = rng.random_range(0..bound);
+    if in_hot {
+        let offset = drift.map(|d| d.offset(loop_nr, refs.len())).unwrap_or(0);
+        Ok(refs[(offset + idx) % refs.len()])
+    } else {
+        Ok(refs[idx])
+    }
 }
 
 // ---- shared concurrent helpers ---------------------------------------------
@@ -439,43 +496,307 @@ fn apply_updates_concurrent(
     })
 }
 
-/// The concurrent-executable shape of a plan: one optional top-level loop
-/// whose body starts with a single pick and contains only thread-shareable
-/// ops. Returns `(unit count, leading pick, rest of the body)`.
-fn concurrent_shape(spec: &WorkloadSpec) -> Result<(Count, &Op, &[Op])> {
-    let (count, body): (Count, &[Op]) = match spec.ops.as_slice() {
-        [Op::Loop { count, body }] => (*count, body),
-        ops => (Count::Fixed(1), ops),
-    };
-    let (first, rest) = body.split_first().ok_or(CoreError::Unsupported {
-        model: "plan executor",
-        op: "concurrent execution of an empty plan",
-    })?;
-    match first {
-        Op::PickRandom { n: 1 } | Op::PickSkewed { .. } => {}
-        _ => {
-            return Err(CoreError::Unsupported {
-                model: "plan executor",
-                op: "concurrent execution of plans that do not start with a single pick",
-            })
-        }
-    }
-    for op in rest {
+/// How a run of ops first touches the selection — the shareability test
+/// for dealing loop iterations to threads whole.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SelUse {
+    /// A pick-like op establishes the selection before anything reads it.
+    Establishes,
+    /// A retrieval/navigation/update op reads the selection first — the
+    /// iteration depends on state left by the *previous* iteration, so it
+    /// cannot run on another thread.
+    Consumes,
+    /// Nothing in the run touches the selection.
+    Neither,
+}
+
+fn first_sel_use(ops: &[Op]) -> SelUse {
+    for op in ops {
         match op {
+            Op::PickRandom { .. } | Op::PickSkewed { .. } | Op::Phase { .. } => {
+                return SelUse::Establishes
+            }
             Op::GetByOid { .. }
+            | Op::GetByKey { .. }
             | Op::NavigateChildren { .. }
             | Op::FetchRoots
-            | Op::UpdateRoots { .. }
-            | Op::ColdRestart => {}
-            _ => {
-                return Err(CoreError::Unsupported {
-                    model: "plan executor",
-                    op: "concurrent execution of scan / key-selection / nested-loop ops",
-                })
-            }
+            | Op::UpdateRoots { .. } => return SelUse::Consumes,
+            Op::ScanAll | Op::ColdRestart => {}
+            Op::Loop { body, .. } => match first_sel_use(body) {
+                SelUse::Neither => {}
+                u => return u,
+            },
         }
     }
-    Ok((count, first, rest))
+    SelUse::Neither
+}
+
+/// A top-level slice of the plan, for concurrent execution: every
+/// top-level `loop` becomes a [`Segment::Units`] whose iterations are
+/// dealt to threads whole; the (possibly empty) runs of non-loop ops
+/// between them are [`Segment::Serial`] and run on the coordinator; a plan
+/// with no top-level loop at all is one [`Segment::Whole`] unit.
+enum Segment<'s> {
+    /// Coordinator-run ops between top-level loops.
+    Serial(&'s [Op]),
+    /// One top-level loop: `n` units of `body`, dealt round-robin.
+    Units {
+        /// One iteration of the loop.
+        body: &'s [Op],
+        /// Resolved iteration count.
+        n: u64,
+    },
+    /// The entire (loop-free) plan as a single unit.
+    Whole(&'s [Op]),
+}
+
+/// Splits `spec.ops` into segments and checks every dealt body establishes
+/// its selection before consuming it (else iterations would depend on the
+/// previous iteration's selection and could not move to another thread).
+fn segments_of<'s>(spec: &'s WorkloadSpec, n_objects: usize) -> Result<Vec<Segment<'s>>> {
+    let ops = spec.ops.as_slice();
+    if !ops.iter().any(|op| matches!(op, Op::Loop { .. })) {
+        return Ok(vec![Segment::Whole(ops)]);
+    }
+    let mut out = Vec::new();
+    let mut run_start = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        if let Op::Loop { count, body } = op {
+            if run_start < i {
+                out.push(Segment::Serial(&ops[run_start..i]));
+            }
+            run_start = i + 1;
+            if first_sel_use(body) == SelUse::Consumes {
+                return Err(CoreError::Unsupported {
+                    model: "plan executor",
+                    op: "concurrent execution of a loop whose body consumes the selection \
+                         before establishing it",
+                });
+            }
+            out.push(Segment::Units {
+                body,
+                n: count.resolve(n_objects),
+            });
+        }
+    }
+    if run_start < ops.len() {
+        out.push(Segment::Serial(&ops[run_start..]));
+    }
+    Ok(out)
+}
+
+/// The picks of one dealt unit (or one serial segment), pre-drawn by the
+/// planning pass in serial order.
+struct UnitPlan {
+    /// The unit's top-level loop number (feeds patches, mix gating and
+    /// drift offsets).
+    loop_nr: u64,
+    /// Pre-drawn selections, in traversal order.
+    tape: VecDeque<Vec<ObjRef>>,
+}
+
+/// Mirrors [`exec_linear`]'s traversal, drawing only the pick-like ops —
+/// the RNG consumes exactly what the serial interpreter would, so the
+/// tapes replay the identical access sequence.
+fn plan_picks(
+    refs: &[ObjRef],
+    rng: &mut StdRng,
+    loop_nr: &mut u64,
+    depth: u32,
+    ops: &[Op],
+    out: &mut VecDeque<Vec<ObjRef>>,
+) -> Result<()> {
+    for op in ops {
+        match op {
+            Op::PickRandom { .. } | Op::PickSkewed { .. } | Op::Phase { .. } => {
+                out.push_back(draw_for_op(refs, rng, op, *loop_nr)?);
+            }
+            Op::Loop { count, body } => {
+                let n = count.resolve(refs.len());
+                for i in 0..n {
+                    if depth == 0 {
+                        *loop_nr = i;
+                    }
+                    plan_picks(refs, rng, loop_nr, depth + 1, body, out)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// One segment with its pre-drawn pick tapes.
+struct PlannedSegment<'s> {
+    seg: Segment<'s>,
+    /// One plan per dealt unit ([`Segment::Units`]/[`Segment::Whole`]), or
+    /// exactly one for the coordinator ([`Segment::Serial`]).
+    units: Vec<UnitPlan>,
+}
+
+/// The concurrent execution plan: segments with tapes, drawn by one serial
+/// RNG walk — a pure function of (spec, seed, database), independent of
+/// thread count.
+struct ConcurrentPlan<'s> {
+    segments: Vec<PlannedSegment<'s>>,
+    /// Total dealt units (requests) across all segments.
+    requests: u64,
+    /// Total top-level loop iterations (the `loops` normalization count).
+    top_iters: u64,
+}
+
+fn plan_concurrent<'s>(
+    refs: &[ObjRef],
+    spec: &'s WorkloadSpec,
+    rng: &mut StdRng,
+) -> Result<ConcurrentPlan<'s>> {
+    let segs = segments_of(spec, refs.len())?;
+    let mut planned = Vec::with_capacity(segs.len());
+    let mut loop_nr = 0u64;
+    let mut requests = 0u64;
+    let mut top_iters = 0u64;
+    for seg in segs {
+        let units = match &seg {
+            Segment::Serial(ops) => {
+                let mut tape = VecDeque::new();
+                plan_picks(refs, rng, &mut loop_nr, 0, ops, &mut tape)?;
+                vec![UnitPlan { loop_nr, tape }]
+            }
+            Segment::Units { body, n } => {
+                requests += n;
+                top_iters += n;
+                let mut units = Vec::with_capacity(*n as usize);
+                for i in 0..*n {
+                    loop_nr = i;
+                    let mut tape = VecDeque::new();
+                    plan_picks(refs, rng, &mut loop_nr, 1, body, &mut tape)?;
+                    units.push(UnitPlan { loop_nr: i, tape });
+                }
+                units
+            }
+            Segment::Whole(ops) => {
+                requests += 1;
+                let mut tape = VecDeque::new();
+                plan_picks(refs, rng, &mut loop_nr, 0, ops, &mut tape)?;
+                vec![UnitPlan { loop_nr: 0, tape }]
+            }
+        };
+        planned.push(PlannedSegment { seg, units });
+    }
+    Ok(ConcurrentPlan {
+        segments: planned,
+        requests,
+        top_iters,
+    })
+}
+
+/// Interpreter state carried across segments on the coordinator, so the
+/// concurrent walk replicates the serial `Ctx` persistence exactly (the
+/// selection and navigation hop index a serial run would have after the
+/// same prefix of the plan).
+#[derive(Default)]
+struct Carried {
+    sel: Vec<ObjRef>,
+    iter_depth: usize,
+}
+
+/// What one dealt unit produced, beyond its public observation.
+struct UnitOutcome {
+    obs: UnitObservation,
+    deferred: DeferredUpdates,
+    nav_seen: Vec<u64>,
+    scanned: u64,
+    updates: u64,
+    final_sel: Vec<ObjRef>,
+    final_iter_depth: usize,
+}
+
+/// The sentinel root for units whose plan draws no picks (a pure scan
+/// unit): a fixed reference so observations stay comparable across thread
+/// counts.
+fn root_of_tape(tape: &VecDeque<Vec<ObjRef>>) -> ObjRef {
+    tape.front()
+        .and_then(|sel| sel.first())
+        .copied()
+        .unwrap_or(ObjRef {
+            oid: Oid(0),
+            key: 0,
+        })
+}
+
+/// One unit of work for [`run_unit`]: the ops to execute, its pre-drawn
+/// pick tape, and the interpreter state it starts from. `record` selects
+/// the concurrent measurement protocol (observations + deferred updates)
+/// vs the mixed-stream protocol (inline updates, nothing recorded).
+struct UnitRun<'a> {
+    body: &'a [Op],
+    unit: &'a UnitPlan,
+    depth: u32,
+    init: Carried,
+    record: bool,
+}
+
+/// Runs one dealt unit over the shared surface.
+fn run_unit(
+    store: &dyn ConcurrentObjectStore,
+    refs: &[ObjRef],
+    spec: &WorkloadSpec,
+    run: UnitRun<'_>,
+) -> Result<UnitOutcome> {
+    let UnitRun {
+        body,
+        unit,
+        depth,
+        init,
+        record,
+    } = run;
+    let mut tape = unit.tape.clone();
+    let mut obs = UnitObservation {
+        root: root_of_tape(&tape),
+        retrieved: Vec::new(),
+        hops: Vec::new(),
+        records: Vec::new(),
+    };
+    let mut deferred = Vec::new();
+    let mut ctx = Ctx {
+        sel: init.sel,
+        iter_depth: init.iter_depth,
+        loop_nr: unit.loop_nr,
+        depth,
+        ..Ctx::default()
+    };
+    let mut surf = SharedSurface(store);
+    let mut picks = PickSource::Tape(&mut tape);
+    let mut mode = if record {
+        Mode::Record {
+            obs: &mut obs,
+            deferred: &mut deferred,
+        }
+    } else {
+        Mode::Inline
+    };
+    exec_linear(refs, spec, &mut surf, &mut picks, &mut ctx, &mut mode, body)?;
+    Ok(UnitOutcome {
+        obs,
+        deferred,
+        nav_seen: ctx.nav_seen,
+        scanned: ctx.scanned,
+        updates: ctx.updates,
+        final_sel: ctx.sel,
+        final_iter_depth: ctx.iter_depth,
+    })
+}
+
+/// Aggregate of one full shared-surface walk of a plan's segments.
+struct SharedExec {
+    observations: Vec<UnitObservation>,
+    deferred: DeferredUpdates,
+    nav_seen: Vec<u64>,
+    scanned: u64,
+    updates: u64,
+    top_iters: u64,
+    requests: u64,
+    elapsed: Duration,
 }
 
 // ---- the executor -----------------------------------------------------------
@@ -541,11 +862,12 @@ impl Executor {
 
         let mut ctx = Ctx::default();
         let mut surf = SerialSurface(store);
+        let mut picks = PickSource::Rng(&mut rng);
         match exec_linear(
             &self.refs,
             spec,
             &mut surf,
-            &mut rng,
+            &mut picks,
             &mut ctx,
             &mut Mode::Inline,
             &spec.ops,
@@ -569,177 +891,197 @@ impl Executor {
         }))
     }
 
-    /// Draws the plan's unit roots up front — the exact picks the serial
-    /// run makes, because the leading pick op is the plan's only RNG
-    /// consumer (enforced by [`concurrent_shape`]).
-    fn plan_roots_with(&self, rng: &mut StdRng, pick: &Op, units: u64) -> Result<Vec<ObjRef>> {
-        (0..units)
-            .map(|_| match pick {
-                Op::PickRandom { .. } => pick_uniform(&self.refs, rng),
-                Op::PickSkewed { hot, pct_hot } => pick_skewed(&self.refs, rng, *hot, *pct_hot),
-                _ => unreachable!("concurrent_shape guarantees a pick op"),
-            })
-            .collect()
+    /// Walks the plan's segments over the shared surface: serial segments
+    /// and the planning pass on the coordinator, dealt units round-robin
+    /// across `threads`, outcomes merged back in plan order. `Ok(None)` is
+    /// the paper's "not relevant" marker (an op the model cannot execute).
+    fn exec_shared(
+        &self,
+        store: &dyn ConcurrentObjectStore,
+        spec: &WorkloadSpec,
+        threads: usize,
+        record: bool,
+    ) -> Result<Option<SharedExec>> {
+        let mut rng = self.spec_rng(spec);
+        let plan = plan_concurrent(&self.refs, spec, &mut rng)?;
+
+        let mut agg = SharedExec {
+            observations: Vec::new(),
+            deferred: Vec::new(),
+            nav_seen: Vec::new(),
+            scanned: 0,
+            updates: 0,
+            top_iters: plan.top_iters,
+            requests: plan.requests,
+            elapsed: Duration::ZERO,
+        };
+        let mut carried = Carried::default();
+
+        let t0 = Instant::now();
+        for ps in &plan.segments {
+            let outcomes: Vec<UnitOutcome> = match &ps.seg {
+                // Coordinator-run: inherits the selection / hop index the
+                // serial interpreter would carry into these ops.
+                Segment::Serial(ops) | Segment::Whole(ops) => {
+                    let init = std::mem::take(&mut carried);
+                    let unit = UnitRun {
+                        body: ops,
+                        unit: &ps.units[0],
+                        depth: 0,
+                        init,
+                        record,
+                    };
+                    match run_unit(store, &self.refs, spec, unit) {
+                        Ok(o) => vec![o],
+                        Err(CoreError::Unsupported { .. }) => return Ok(None),
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Dealt units: each iteration establishes (or never reads)
+                // its selection, so it starts from a fresh context.
+                Segment::Units { body, .. } => {
+                    let units = &ps.units;
+                    let exec_one = |i: usize| {
+                        run_unit(
+                            store,
+                            &self.refs,
+                            spec,
+                            UnitRun {
+                                body,
+                                unit: &units[i],
+                                depth: 1,
+                                init: Carried::default(),
+                                record,
+                            },
+                        )
+                    };
+                    type Batch = Result<Vec<(usize, UnitOutcome)>>;
+                    let batches: Vec<Batch> = if threads == 1 {
+                        vec![(0..units.len()).map(|i| Ok((i, exec_one(i)?))).collect()]
+                    } else {
+                        std::thread::scope(|s| {
+                            let handles: Vec<_> = (0..threads)
+                                .map(|t| {
+                                    let exec_one = &exec_one;
+                                    s.spawn(move || -> Batch {
+                                        let mut out = Vec::new();
+                                        for i in (t..units.len()).step_by(threads) {
+                                            out.push((i, exec_one(i)?));
+                                        }
+                                        Ok(out)
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("client thread panicked"))
+                                .collect()
+                        })
+                    };
+                    let mut slots: Vec<Option<UnitOutcome>> =
+                        (0..units.len()).map(|_| None).collect();
+                    for b in batches {
+                        match b {
+                            Ok(items) => {
+                                for (i, o) in items {
+                                    slots[i] = Some(o);
+                                }
+                            }
+                            Err(CoreError::Unsupported { .. }) => return Ok(None),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    slots
+                        .into_iter()
+                        .map(|s| s.expect("every unit executed"))
+                        .collect()
+                }
+            };
+            // Merge in plan order; the last unit's interpreter state is
+            // what a serial run would carry into the next segment.
+            for out in outcomes {
+                for (d, n) in out.nav_seen.iter().enumerate() {
+                    if d >= agg.nav_seen.len() {
+                        agg.nav_seen.resize(d + 1, 0);
+                    }
+                    agg.nav_seen[d] += n;
+                }
+                agg.scanned += out.scanned;
+                agg.updates += out.updates;
+                agg.deferred.extend(out.deferred);
+                carried = Carried {
+                    sel: out.final_sel,
+                    iter_depth: out.final_iter_depth,
+                };
+                agg.observations.push(out.obs);
+            }
+        }
+        agg.elapsed = t0.elapsed();
+        Ok(Some(agg))
     }
 
     /// Runs `spec` with `threads` client threads sharing `store` under the
     /// measurement protocol. See the [module docs](self) for the execution
-    /// model; plans containing scans, key selections or nested loops are
-    /// rejected with [`CoreError::Unsupported`].
+    /// model. Top-level loop iterations are dealt to threads whole — scans,
+    /// key selections and nested loops included; the only rejected shape is
+    /// a loop whose body consumes the previous iteration's selection before
+    /// establishing its own ([`CoreError::Unsupported`]).
     pub fn run_concurrent(
         &self,
         store: &mut dyn ConcurrentObjectStore,
         spec: &WorkloadSpec,
         threads: usize,
     ) -> Result<ConcurrentPlanRun> {
-        let (count, pick, body) = concurrent_shape(spec)?;
         let threads = threads.max(1);
-        let units = count.resolve(self.refs.len());
-
-        let mut rng = self.spec_rng(spec);
-        let roots = self.plan_roots_with(&mut rng, pick, units)?;
-
         store.clear_cache()?;
         store.reset_stats();
         let before = store.snapshot();
 
-        // The concurrent read phase: deal units round-robin to threads and
-        // merge observations back by plan index.
-        type UnitResult = Result<Vec<(usize, UnitObservation, DeferredUpdates)>>;
-        let run_unit = |i: usize, root: ObjRef| -> Result<(UnitObservation, DeferredUpdates)> {
-            let mut obs = UnitObservation {
-                root,
-                retrieved: Vec::new(),
-                hops: Vec::new(),
-                records: Vec::new(),
-            };
-            let mut deferred = Vec::new();
-            let mut ctx = Ctx {
-                sel: vec![root],
-                loop_nr: i as u64,
-                ..Ctx::default()
-            };
-            // The unit body consumes no randomness (the pick was drawn in
-            // the plan phase), so the RNG here is inert.
-            let mut unit_rng = StdRng::seed_from_u64(0);
-            let mut surf = SharedSurface(&*store);
-            exec_linear(
-                &self.refs,
-                spec,
-                &mut surf,
-                &mut unit_rng,
-                &mut ctx,
-                &mut Mode::Record {
-                    obs: &mut obs,
-                    deferred: &mut deferred,
-                },
-                body,
-            )?;
-            Ok((obs, deferred))
-        };
-
-        let t0 = Instant::now();
-        let unit_results: Vec<UnitResult> = if threads == 1 {
-            vec![roots
-                .iter()
-                .enumerate()
-                .map(|(i, &root)| {
-                    let (obs, deferred) = run_unit(i, root)?;
-                    Ok((i, obs, deferred))
+        let exec = match self.exec_shared(&*store, spec, threads, true)? {
+            Some(exec) => exec,
+            // The model does not support an op of the plan (query 1a
+            // under pure NSM) — the paper's "not relevant" marker.
+            None => {
+                return Ok(ConcurrentPlanRun {
+                    outcome: PlanOutcome::Unsupported,
+                    observations: Vec::new(),
+                    elapsed: Duration::ZERO,
+                    threads,
                 })
-                .collect()]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let roots = &roots;
-                        let run_unit = &run_unit;
-                        s.spawn(move || -> UnitResult {
-                            let mut out = Vec::new();
-                            for i in (t..roots.len()).step_by(threads) {
-                                let (obs, deferred) = run_unit(i, roots[i])?;
-                                out.push((i, obs, deferred));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect()
-            })
-        };
-        let elapsed = t0.elapsed();
-
-        let mut slots: Vec<Option<(UnitObservation, DeferredUpdates)>> =
-            (0..roots.len()).map(|_| None).collect();
-        for r in unit_results {
-            match r {
-                Ok(items) => {
-                    for (i, obs, deferred) in items {
-                        slots[i] = Some((obs, deferred));
-                    }
-                }
-                // The model does not support an op of the plan (query 1a
-                // under pure NSM) — the paper's "not relevant" marker.
-                Err(CoreError::Unsupported { .. }) => {
-                    return Ok(ConcurrentPlanRun {
-                        outcome: PlanOutcome::Unsupported,
-                        observations: Vec::new(),
-                        elapsed,
-                        threads,
-                    });
-                }
-                Err(e) => return Err(e),
             }
-        }
-        let mut observations = Vec::with_capacity(roots.len());
-        let mut all_deferred = Vec::with_capacity(roots.len());
-        for s in slots {
-            let (obs, deferred) = s.expect("every unit executed");
-            observations.push(obs);
-            all_deferred.push(deferred);
-        }
+        };
 
         // Deferred write phase: each unit's updates, in plan order, applied
         // by N threads over disjoint object partitions through the latched
         // `&self` write surface. Every occurrence carries the same per-unit
         // patch, so the final bytes are partition-order-independent.
         let mut updates_applied = 0u64;
-        for (i, deferred) in all_deferred.iter().enumerate() {
-            for (sel, patch) in deferred {
-                let patch = RootPatch {
-                    new_name: patch.materialize(i as u64),
-                };
-                apply_updates_concurrent(&*store, sel, &patch, threads)?;
-                updates_applied += 1;
-            }
+        for (sel, patch, loop_nr) in &exec.deferred {
+            let patch = RootPatch {
+                new_name: patch.materialize(*loop_nr),
+            };
+            apply_updates_concurrent(&*store, sel, &patch, threads)?;
+            updates_applied += 1;
         }
 
         // Database disconnect: deferred writes reach the disk and count
         // (the shared flush quiesces writers through the pool's gate).
         store.shared_flush()?;
         let snapshot = store.snapshot() - before;
-        let mut nav_seen: Vec<u64> = Vec::new();
-        for obs in &observations {
-            for (d, hop) in obs.hops.iter().enumerate() {
-                if d >= nav_seen.len() {
-                    nav_seen.resize(d + 1, 0);
-                }
-                nav_seen[d] += hop.len() as u64;
-            }
-        }
+        let units = match spec.unit {
+            crate::plan::NormUnit::Loops => exec.top_iters.max(1),
+            crate::plan::NormUnit::ScannedObjects => exec.scanned.max(1),
+        };
         Ok(ConcurrentPlanRun {
             outcome: PlanOutcome::Measured(PlanRun {
                 snapshot,
-                units: observations.len() as u64,
-                nav_seen,
-                scanned: 0,
+                units,
+                nav_seen: exec.nav_seen,
+                scanned: exec.scanned,
                 updates_applied,
             }),
-            observations,
-            elapsed,
+            observations: exec.observations,
+            elapsed: exec.elapsed,
             threads,
         })
     }
@@ -760,62 +1102,23 @@ impl Executor {
         spec: &WorkloadSpec,
         threads: usize,
     ) -> Result<MixedRun> {
-        let (count, pick, body) = concurrent_shape(spec)?;
         let threads = threads.max(1);
-        let units = count.resolve(self.refs.len());
-
-        let mut rng = self.spec_rng(spec);
-        let roots = self.plan_roots_with(&mut rng, pick, units)?;
-
         store.clear_cache()?;
         store.reset_stats();
         let before = store.snapshot();
-        let has_updates = spec.has_updates();
-        let updates_planned = (0..roots.len())
-            .filter(|&i| has_updates && spec.updates_at(i))
-            .count() as u64;
 
-        let t0 = Instant::now();
-        let serve = |t: usize| -> Result<()> {
-            for i in (t..roots.len()).step_by(threads) {
-                let mut ctx = Ctx {
-                    sel: vec![roots[i]],
-                    loop_nr: i as u64,
-                    ..Ctx::default()
-                };
-                let mut unit_rng = StdRng::seed_from_u64(0);
-                let mut surf = SharedSurface(&*store);
-                exec_linear(
-                    &self.refs,
-                    spec,
-                    &mut surf,
-                    &mut unit_rng,
-                    &mut ctx,
-                    &mut Mode::Inline,
-                    body,
-                )?;
-            }
-            Ok(())
-        };
-        if threads == 1 {
-            serve(0)?;
-        } else {
-            let serve = &serve;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || serve(t))).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect::<Result<Vec<()>>>()
-            })?;
-        }
-        let elapsed = t0.elapsed();
+        let exec =
+            self.exec_shared(&*store, spec, threads, false)?
+                .ok_or(CoreError::Unsupported {
+                    model: "plan executor",
+                    op: "mixed-stream execution of an op the storage model rejects",
+                })?;
 
         store.shared_flush()?;
         Ok(MixedRun {
-            requests: roots.len() as u64,
-            updates: updates_planned,
-            elapsed,
+            requests: exec.requests,
+            updates: exec.updates,
+            elapsed: exec.elapsed,
             threads,
             snapshot: store.snapshot() - before,
         })
@@ -834,7 +1137,7 @@ impl crate::plan::NormUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{MixKind, NormUnit, ProjSpec};
+    use crate::plan::{Count, MixKind, NormUnit, ProjSpec};
     use crate::{generate, DatasetParams};
     use starfish_core::{make_shared_store, make_store, ModelKind, StoreConfig};
     use starfish_nf2::Key;
@@ -937,20 +1240,55 @@ mod tests {
         let mut store = make_store(ModelKind::Dsm, StoreConfig::default());
         let refs = store.load(&db).unwrap();
         let exec = Executor::new(refs.clone(), 7);
-        // Draw the hot-set plan's roots through the concurrent planner and
+        // Draw the hot-set pick through the shared pick interpreter and
         // check the skew is real.
         let spec = WorkloadSpec::hot_set();
-        let (count, pick, _) = concurrent_shape(&spec).unwrap();
+        let pick = Op::PickSkewed {
+            hot: 16,
+            pct_hot: 90,
+            drift: None,
+        };
         let mut rng = exec.spec_rng(&spec);
-        let roots = exec
-            .plan_roots_with(&mut rng, pick, count.resolve(refs.len()) * 20)
-            .unwrap();
+        let roots: Vec<ObjRef> = (0..2400u64)
+            .map(|l| draw_for_op(&refs, &mut rng, &pick, l).unwrap()[0])
+            .collect();
         let hot_hits = roots.iter().filter(|r| (r.oid.0 as u64) < 16).count();
         assert!(
             hot_hits * 10 > roots.len() * 7,
             "expected ≥70% hot picks, got {hot_hits}/{}",
             roots.len()
         );
+    }
+
+    #[test]
+    fn drift_slides_the_hot_window() {
+        // With drift, late iterations concentrate on a *shifted* window;
+        // without, the window never moves. Same stream, same draws.
+        let db = small_db();
+        let mut store = make_store(ModelKind::Dsm, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let n = refs.len();
+        let drifting = Op::PickSkewed {
+            hot: 8,
+            pct_hot: 100,
+            drift: Some(Drift {
+                shift: 10,
+                period: 1,
+            }),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in [0u64, 3] {
+            let offset = (t as usize * 10) % n;
+            for _ in 0..40 {
+                let r = draw_for_op(&refs, &mut rng, &drifting, t).unwrap()[0];
+                let pos = refs.iter().position(|x| x == &r).unwrap();
+                let rel = (pos + n - offset) % n;
+                assert!(
+                    rel < 8,
+                    "t={t}: pick at {pos} outside window of offset {offset}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1011,18 +1349,80 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_rejects_unshareable_plans() {
+    fn concurrent_accepts_scan_key_and_nested_loop_plans() {
+        // The shapes the pre-drift executor rejected: key selection, full
+        // scans and nested loops all deal to threads now, with serial-equal
+        // answers at any thread count (read-only, so exact equality holds).
+        let nested = WorkloadSpec {
+            name: "nested".into(),
+            description: String::new(),
+            stream: 91,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(5),
+                body: vec![
+                    Op::PickRandom { n: 1 },
+                    Op::Loop {
+                        count: Count::Fixed(2),
+                        body: vec![
+                            Op::PickRandom { n: 2 },
+                            Op::GetByOid {
+                                proj: ProjSpec::All,
+                            },
+                        ],
+                    },
+                ],
+            }],
+        };
+        let db = small_db();
+        for spec in [WorkloadSpec::q1b(), WorkloadSpec::q1c(), nested] {
+            let mut serial = make_store(ModelKind::Dsm, StoreConfig::default());
+            let refs = serial.load(&db).unwrap();
+            let want = Executor::new(refs, 7).run(serial.as_mut(), &spec).unwrap();
+
+            let mut base: Option<Vec<UnitObservation>> = None;
+            for threads in [1usize, 4] {
+                let mut shared = make_shared_store(ModelKind::Dsm, StoreConfig::default(), 2);
+                let refs = shared.load(&db).unwrap();
+                let got = Executor::new(refs, 7)
+                    .run_concurrent(shared.as_mut(), &spec, threads)
+                    .unwrap();
+                assert_eq!(got.outcome, want, "{}@{threads}", spec.name);
+                match &base {
+                    None => base = Some(got.observations),
+                    Some(w) => assert_eq!(&got.observations, w, "{}@{threads}", spec.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_rejects_consume_before_establish_loops() {
+        // A loop body that reads the selection before establishing one
+        // depends on the previous iteration — the one undealable shape.
+        let spec = WorkloadSpec {
+            name: "carry".into(),
+            description: String::new(),
+            stream: 92,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![
+                Op::PickRandom { n: 1 },
+                Op::Loop {
+                    count: Count::Fixed(3),
+                    body: vec![Op::NavigateChildren { depth: 1 }],
+                },
+            ],
+        };
         let db = small_db();
         let mut store = make_shared_store(ModelKind::Dsm, StoreConfig::default(), 2);
         let refs = store.load(&db).unwrap();
         let exec = Executor::new(refs, 7);
-        for spec in [WorkloadSpec::q1b(), WorkloadSpec::q1c()] {
-            assert!(
-                exec.run_concurrent(store.as_mut(), &spec, 2).is_err(),
-                "{} must be rejected",
-                spec.name
-            );
-        }
+        assert!(matches!(
+            exec.run_concurrent(store.as_mut(), &spec, 2),
+            Err(CoreError::Unsupported { .. })
+        ));
     }
 
     #[test]

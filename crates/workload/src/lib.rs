@@ -43,7 +43,9 @@ mod stats;
 pub use concurrent::{ConcurrentRun, UnitAnswer};
 pub use executor::{ConcurrentPlanRun, Executor, MixedRun, PlanOutcome, PlanRun, UnitObservation};
 pub use generator::{generate, DatasetParams};
-pub use plan::{Count, MixKind, NormUnit, Op, PatchSpec, ProjSpec, WorkloadSpec, Q1A_SAMPLE};
+pub use plan::{
+    Count, Drift, MixKind, NormUnit, Op, PatchSpec, ProjSpec, WorkloadSpec, Q1A_SAMPLE,
+};
 pub use queries::{Measurement, QueryOutcome, QueryRunner};
 pub use stats::DatasetStats;
 

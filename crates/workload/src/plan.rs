@@ -43,6 +43,14 @@
 //! rule for `k = 5`) or `{"sample_capped": c}` (`max(1, min(c, objects))`,
 //! the query-1a sample rule). `mix` is optional (`"read-only"`, `"50-50"`,
 //! `"update-heavy"`) and gates every `update_roots` op by request index.
+//!
+//! Dynamic (drifting) workloads: `pick_skewed` takes an optional
+//! `"drift": {"shift": s, "period": p}` (the hot window slides `s` objects
+//! every `p` top-level loops — [`Drift`]), and
+//! `{"op": "phase", "every": n, "picks": [...]}` cycles between pick
+//! distributions every `n` loops ([`Op::Phase`]). Parsing is strict:
+//! required fields must be present and well-typed, `pct_hot` must be 0–100,
+//! and unrecognized fields anywhere in the document are errors.
 
 use starfish_cost::QueryId;
 use starfish_nf2::Projection;
@@ -130,6 +138,34 @@ impl PatchSpec {
     }
 }
 
+/// Hot-set rotation for [`Op::PickSkewed`]: the hot window slides by
+/// `shift` objects every `period` top-level iterations (DOEF-style drift —
+/// the moving hot spots of He & Darmont's dynamic evaluation framework).
+///
+/// At top-level iteration `t` the hot window starts at offset
+/// `(t / period) · shift mod objects` instead of 0; the cold branch stays
+/// uniform over the whole database. `shift` and `period` must both be
+/// ≥ 1. A window that never moves within the run (`period` larger than the
+/// loop count) is byte-identical to a drift-free `PickSkewed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Drift {
+    /// Objects the hot window slides by per step.
+    pub shift: u64,
+    /// Top-level iterations between steps.
+    pub period: u64,
+}
+
+impl Drift {
+    /// The hot-window start offset at top-level iteration `t` over a
+    /// database of `n_objects`.
+    pub fn offset(self, t: u64, n_objects: usize) -> usize {
+        if n_objects == 0 {
+            return 0;
+        }
+        ((t / self.period.max(1)).wrapping_mul(self.shift) % n_objects as u64) as usize
+    }
+}
+
 /// One step of an access plan.
 ///
 /// Ops stream over a *selection* — the working set of object references the
@@ -145,13 +181,30 @@ pub enum Op {
         n: u64,
     },
     /// Selection ← one object, skewed: with probability `pct_hot`% a
-    /// uniform pick from the first `hot` loaded objects (the hot set),
-    /// otherwise uniform over the whole database. Two RNG draws per pick.
+    /// uniform pick from a `hot`-object hot window (starting at object 0,
+    /// or sliding under [`Drift`]), otherwise uniform over the whole
+    /// database. Two RNG draws per pick, drift or not — so enabling drift
+    /// never changes *which* draws are made, only how hot draws map to
+    /// objects.
     PickSkewed {
         /// Hot-set size (clamped to the database size).
         hot: u64,
         /// Probability (percent, 0–100) of drawing from the hot set.
         pct_hot: u8,
+        /// Optional hot-window rotation (`None` = the window stays at the
+        /// first `hot` objects, the historical behaviour).
+        drift: Option<Drift>,
+    },
+    /// Selection ← one object from the pick distribution active for the
+    /// current top-level iteration `t`: `picks[(t / every) mod picks.len()]`.
+    /// Cycling through phases models sudden workload shifts (2 picks, a
+    /// switch point mid-run) and periodic regimes (k picks cycling).
+    /// `picks` entries must be `pick_random` or `pick_skewed`.
+    Phase {
+        /// Top-level iterations per phase.
+        every: u64,
+        /// The pick distributions cycled through.
+        picks: Vec<Op>,
     },
     /// Materialize every object (the query-1c full scan). Records the
     /// object count for `scanned-objects` normalization.
@@ -308,13 +361,40 @@ impl WorkloadSpec {
                     Op::PickRandom { n } if *n == 0 => {
                         return Err("pick_random needs n >= 1".into());
                     }
-                    Op::PickSkewed { hot, pct_hot } => {
+                    Op::PickSkewed {
+                        hot,
+                        pct_hot,
+                        drift,
+                    } => {
                         if *hot == 0 {
                             return Err("pick_skewed needs hot >= 1".into());
                         }
                         if *pct_hot > 100 {
                             return Err("pick_skewed pct_hot is a percentage (0-100)".into());
                         }
+                        if let Some(d) = drift {
+                            if d.shift == 0 {
+                                return Err("drift needs shift >= 1".into());
+                            }
+                            if d.period == 0 {
+                                return Err("drift needs period >= 1".into());
+                            }
+                        }
+                    }
+                    Op::Phase { every, picks } => {
+                        if *every == 0 {
+                            return Err("phase needs every >= 1".into());
+                        }
+                        if picks.is_empty() {
+                            return Err("phase needs a non-empty picks list".into());
+                        }
+                        if picks
+                            .iter()
+                            .any(|p| !matches!(p, Op::PickRandom { .. } | Op::PickSkewed { .. }))
+                        {
+                            return Err("phase picks must be pick_random or pick_skewed".into());
+                        }
+                        check(picks, depth)?;
                     }
                     Op::NavigateChildren { depth } => {
                         if *depth == 0 {
@@ -543,6 +623,7 @@ impl WorkloadSpec {
                     Op::PickSkewed {
                         hot: 16,
                         pct_hot: 90,
+                        drift: None,
                     },
                     Op::NavigateChildren { depth: 2 },
                     Op::FetchRoots,
@@ -578,9 +659,118 @@ impl WorkloadSpec {
         }
     }
 
-    /// The shipped non-paper scenarios, in `ext-workload` sweep order.
+    /// Gradual drift: the hot-set workload with a window that slides 4
+    /// objects every 4 loops — by the end of the run the hot spot has
+    /// migrated across 120 objects, the DOEF "moving window" regime where
+    /// recency-based policies must keep re-learning the working set.
+    pub fn drift_gradual() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "drift-gradual".into(),
+            description: "120 navigation loops, 90% of roots from a 16-object hot window \
+                          sliding 4 objects every 4 loops"
+                .into(),
+            stream: 14,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(120),
+                body: vec![
+                    Op::PickSkewed {
+                        hot: 16,
+                        pct_hot: 90,
+                        drift: Some(Drift {
+                            shift: 4,
+                            period: 4,
+                        }),
+                    },
+                    Op::NavigateChildren { depth: 2 },
+                    Op::FetchRoots,
+                ],
+            }],
+        }
+    }
+
+    /// Sudden shift: the hot window jumps 137 objects every 60 loops —
+    /// two abrupt hot-spot relocations over the run, the phase-change
+    /// regime where a policy that over-commits to the old hot set pays for
+    /// the whole next phase.
+    pub fn drift_sudden() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "drift-sudden".into(),
+            description: "120 navigation loops, the 16-object hot window jumping 137 \
+                          objects every 60 loops"
+                .into(),
+            stream: 15,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(120),
+                body: vec![
+                    Op::PickSkewed {
+                        hot: 16,
+                        pct_hot: 90,
+                        drift: Some(Drift {
+                            shift: 137,
+                            period: 60,
+                        }),
+                    },
+                    Op::NavigateChildren { depth: 2 },
+                    Op::FetchRoots,
+                ],
+            }],
+        }
+    }
+
+    /// Periodic cycling: a `phase` op rotating through three pick
+    /// distributions every 20 loops — tight hot set, uniform, wide warm
+    /// set — so the buffer alternates between cacheable and scan-like
+    /// regimes six times per run.
+    pub fn drift_cycle() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "drift-cycle".into(),
+            description: "120 navigation loops cycling every 20 loops between a tight hot \
+                          set, uniform picks and a wide warm set"
+                .into(),
+            stream: 16,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(120),
+                body: vec![
+                    Op::Phase {
+                        every: 20,
+                        picks: vec![
+                            Op::PickSkewed {
+                                hot: 16,
+                                pct_hot: 90,
+                                drift: None,
+                            },
+                            Op::PickRandom { n: 1 },
+                            Op::PickSkewed {
+                                hot: 48,
+                                pct_hot: 70,
+                                drift: None,
+                            },
+                        ],
+                    },
+                    Op::NavigateChildren { depth: 2 },
+                    Op::FetchRoots,
+                ],
+            }],
+        }
+    }
+
+    /// The shipped non-paper scenarios, in `ext-workload` sweep order: the
+    /// static trio, then the three dynamic (drifting) scenarios.
     pub fn shipped() -> Vec<WorkloadSpec> {
-        vec![Self::deep_nav(), Self::hot_set(), Self::scan_then_update()]
+        vec![
+            Self::deep_nav(),
+            Self::hot_set(),
+            Self::scan_then_update(),
+            Self::drift_gradual(),
+            Self::drift_sudden(),
+            Self::drift_cycle(),
+        ]
     }
 
     /// Looks up a built-in spec by name: the paper queries (`"q1a"` …
@@ -622,6 +812,23 @@ fn num(n: u64) -> Value {
     Value::Number(n as f64)
 }
 
+/// Rejects unrecognized fields in a JSON object — a typo'd key (`"hots"`
+/// for `"hot"`, `"drifts"` for `"drift"`) must fail loudly instead of
+/// silently running a different workload than the one the user wrote.
+fn check_keys(v: &Value, what: &str, allowed: &[&str]) -> Result<(), String> {
+    if let Some(members) = v.as_object() {
+        for (k, _) in members {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "{what}: unknown field \"{k}\" (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Count {
     fn to_value(self) -> Value {
         match self {
@@ -635,6 +842,7 @@ impl Count {
         if let Some(n) = v.as_u64() {
             return Ok(Count::Fixed(n));
         }
+        check_keys(v, "count", &["fixed", "sample_capped", "objects_over"])?;
         if let Some(n) = v.get("fixed").and_then(Value::as_u64) {
             return Ok(Count::Fixed(n));
         }
@@ -685,6 +893,7 @@ impl PatchSpec {
                 if v.as_str() == Some("loop-name") {
                     Ok(PatchSpec::LoopName)
                 } else if let Some(p) = v.get("prefixed").and_then(Value::as_str) {
+                    check_keys(v, "patch", &["prefixed"])?;
                     Ok(PatchSpec::Prefixed(p.to_string()))
                 } else {
                     Err("patch must be \"loop-name\" or {\"prefixed\": \"…\"}".into())
@@ -708,10 +917,31 @@ impl Op {
                 ("op", Value::String("pick_random".into())),
                 ("n", num(*n)),
             ]),
-            Op::PickSkewed { hot, pct_hot } => obj(vec![
-                ("op", Value::String("pick_skewed".into())),
-                ("hot", num(*hot)),
-                ("pct_hot", num(*pct_hot as u64)),
+            Op::PickSkewed {
+                hot,
+                pct_hot,
+                drift,
+            } => {
+                let mut members = vec![
+                    ("op", Value::String("pick_skewed".into())),
+                    ("hot", num(*hot)),
+                    ("pct_hot", num(*pct_hot as u64)),
+                ];
+                if let Some(d) = drift {
+                    members.push((
+                        "drift",
+                        obj(vec![("shift", num(d.shift)), ("period", num(d.period))]),
+                    ));
+                }
+                obj(members)
+            }
+            Op::Phase { every, picks } => obj(vec![
+                ("op", Value::String("phase".into())),
+                ("every", num(*every)),
+                (
+                    "picks",
+                    Value::Array(picks.iter().map(Op::to_value).collect()),
+                ),
             ]),
             Op::ScanAll => obj(vec![("op", Value::String("scan_all".into()))]),
             Op::GetByOid { proj } => obj(vec![
@@ -748,40 +978,113 @@ impl Op {
             .get("op")
             .and_then(Value::as_str)
             .ok_or("every op needs an \"op\" string field")?;
+        let keys = |allowed: &[&str]| check_keys(v, kind, allowed);
         match kind {
-            "pick_random" => Ok(Op::PickRandom {
-                n: v.get("n").and_then(Value::as_u64).unwrap_or(1),
-            }),
-            "pick_skewed" => Ok(Op::PickSkewed {
-                hot: v
-                    .get("hot")
-                    .and_then(Value::as_u64)
-                    .ok_or("pick_skewed needs \"hot\"")?,
-                pct_hot: v
+            "pick_random" => {
+                keys(&["op", "n"])?;
+                Ok(Op::PickRandom {
+                    // Required and numeric: a missing or mistyped "n" used
+                    // to silently default to 1 and measure the wrong plan.
+                    n: v.get("n")
+                        .and_then(Value::as_u64)
+                        .ok_or("pick_random needs a numeric \"n\"")?,
+                })
+            }
+            "pick_skewed" => {
+                keys(&["op", "hot", "pct_hot", "drift"])?;
+                let pct = v
                     .get("pct_hot")
                     .and_then(Value::as_u64)
-                    .filter(|p| *p <= 100)
-                    .ok_or("pick_skewed needs \"pct_hot\" (0-100)")? as u8,
-            }),
-            "scan_all" => Ok(Op::ScanAll),
-            "get_by_oid" => Ok(Op::GetByOid {
-                proj: ProjSpec::from_value(v.get("proj"))?,
-            }),
-            "get_by_key" => Ok(Op::GetByKey {
-                proj: ProjSpec::from_value(v.get("proj"))?,
-            }),
-            "navigate_children" => Ok(Op::NavigateChildren {
-                depth: v
-                    .get("depth")
-                    .and_then(Value::as_u64)
-                    .ok_or("navigate_children needs \"depth\"")? as u32,
-            }),
-            "fetch_roots" => Ok(Op::FetchRoots),
-            "update_roots" => Ok(Op::UpdateRoots {
-                patch: PatchSpec::from_value(v.get("patch"))?,
-            }),
-            "cold_restart" => Ok(Op::ColdRestart),
+                    .ok_or("pick_skewed needs \"pct_hot\" (0-100)")?;
+                // Range-check before the u8 cast: 300 must be an error,
+                // not a silent truncation to 44.
+                if pct > 100 {
+                    return Err("pick_skewed pct_hot is a percentage (0-100)".into());
+                }
+                let drift = match v.get("drift") {
+                    None => None,
+                    Some(d) => {
+                        check_keys(d, "drift", &["shift", "period"])?;
+                        Some(Drift {
+                            shift: d
+                                .get("shift")
+                                .and_then(Value::as_u64)
+                                .ok_or("drift needs a numeric \"shift\"")?,
+                            period: d
+                                .get("period")
+                                .and_then(Value::as_u64)
+                                .ok_or("drift needs a numeric \"period\"")?,
+                        })
+                    }
+                };
+                Ok(Op::PickSkewed {
+                    hot: v
+                        .get("hot")
+                        .and_then(Value::as_u64)
+                        .ok_or("pick_skewed needs \"hot\"")?,
+                    pct_hot: pct as u8,
+                    drift,
+                })
+            }
+            "phase" => {
+                keys(&["op", "every", "picks"])?;
+                let picks = v
+                    .get("picks")
+                    .and_then(Value::as_array)
+                    .ok_or("phase needs a \"picks\" array")?
+                    .iter()
+                    .map(Op::from_value)
+                    .collect::<Result<Vec<Op>, String>>()?;
+                Ok(Op::Phase {
+                    every: v
+                        .get("every")
+                        .and_then(Value::as_u64)
+                        .ok_or("phase needs a numeric \"every\"")?,
+                    picks,
+                })
+            }
+            "scan_all" => {
+                keys(&["op"])?;
+                Ok(Op::ScanAll)
+            }
+            "get_by_oid" => {
+                keys(&["op", "proj"])?;
+                Ok(Op::GetByOid {
+                    proj: ProjSpec::from_value(v.get("proj"))?,
+                })
+            }
+            "get_by_key" => {
+                keys(&["op", "proj"])?;
+                Ok(Op::GetByKey {
+                    proj: ProjSpec::from_value(v.get("proj"))?,
+                })
+            }
+            "navigate_children" => {
+                keys(&["op", "depth"])?;
+                Ok(Op::NavigateChildren {
+                    depth: v
+                        .get("depth")
+                        .and_then(Value::as_u64)
+                        .ok_or("navigate_children needs \"depth\"")?
+                        as u32,
+                })
+            }
+            "fetch_roots" => {
+                keys(&["op"])?;
+                Ok(Op::FetchRoots)
+            }
+            "update_roots" => {
+                keys(&["op", "patch"])?;
+                Ok(Op::UpdateRoots {
+                    patch: PatchSpec::from_value(v.get("patch"))?,
+                })
+            }
+            "cold_restart" => {
+                keys(&["op"])?;
+                Ok(Op::ColdRestart)
+            }
             "loop" => {
+                keys(&["op", "count", "body"])?;
                 let count =
                     Count::from_value(v.get("count").ok_or("loop needs a \"count\" field")?)?;
                 let body = v
@@ -830,6 +1133,11 @@ impl WorkloadSpec {
     /// Parses and validates a spec from its JSON document form.
     pub fn from_json(s: &str) -> Result<WorkloadSpec, String> {
         let v: Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        check_keys(
+            &v,
+            "spec",
+            &["name", "description", "stream", "unit", "mix", "ops"],
+        )?;
         let name = v
             .get("name")
             .and_then(Value::as_str)
@@ -968,6 +1276,84 @@ mod tests {
         assert!(WorkloadSpec::from_json(bad_depth)
             .unwrap_err()
             .contains("depth"));
+    }
+
+    #[test]
+    fn missing_or_mistyped_pick_random_n_is_an_error() {
+        let missing = r#"{"name":"x","stream":9,"ops":[{"op":"pick_random"}]}"#;
+        assert!(WorkloadSpec::from_json(missing)
+            .unwrap_err()
+            .contains("pick_random needs"));
+        let mistyped = r#"{"name":"x","stream":9,"ops":[{"op":"pick_random","n":"one"}]}"#;
+        assert!(WorkloadSpec::from_json(mistyped)
+            .unwrap_err()
+            .contains("pick_random needs"));
+    }
+
+    #[test]
+    fn out_of_range_pct_hot_is_rejected_not_truncated() {
+        // 300 as u8 would be 44 — a valid-looking percentage. It must be a
+        // range error instead.
+        let over = r#"{"name":"x","stream":9,"ops":[{"op":"pick_skewed","hot":8,"pct_hot":300}]}"#;
+        assert!(WorkloadSpec::from_json(over).unwrap_err().contains("0-100"));
+    }
+
+    #[test]
+    fn unknown_op_fields_are_rejected() {
+        let typo = r#"{"name":"x","stream":9,"ops":[{"op":"pick_skewed","hots":8,"pct_hot":90}]}"#;
+        let err = WorkloadSpec::from_json(typo).unwrap_err();
+        assert!(err.contains("hots"), "{err}");
+        let spec_typo = r#"{"name":"x","stream":9,"opps":[],"ops":[]}"#;
+        assert!(WorkloadSpec::from_json(spec_typo)
+            .unwrap_err()
+            .contains("opps"));
+        let drift_typo = r#"{"name":"x","stream":9,"ops":[
+            {"op":"pick_skewed","hot":8,"pct_hot":90,"drift":{"shift":2,"periods":6}}]}"#;
+        assert!(WorkloadSpec::from_json(drift_typo)
+            .unwrap_err()
+            .contains("periods"));
+    }
+
+    #[test]
+    fn drift_offsets_slide_and_wrap() {
+        let d = Drift {
+            shift: 4,
+            period: 8,
+        };
+        assert_eq!(d.offset(0, 300), 0);
+        assert_eq!(d.offset(7, 300), 0, "no move within the first period");
+        assert_eq!(d.offset(8, 300), 4);
+        assert_eq!(d.offset(16, 300), 8);
+        assert_eq!(
+            Drift {
+                shift: 137,
+                period: 60
+            }
+            .offset(60, 300),
+            137
+        );
+        assert_eq!(
+            Drift {
+                shift: 200,
+                period: 1
+            }
+            .offset(2, 300),
+            100,
+            "wraps modulo the database size"
+        );
+        assert_eq!(d.offset(50, 0), 0, "empty database never indexes");
+    }
+
+    #[test]
+    fn phase_validation_rejects_non_pick_members() {
+        let mut spec = WorkloadSpec::drift_cycle();
+        spec.validate().unwrap();
+        if let Op::Loop { body, .. } = &mut spec.ops[0] {
+            if let Op::Phase { picks, .. } = &mut body[0] {
+                picks.push(Op::ScanAll);
+            }
+        }
+        assert!(spec.validate().unwrap_err().contains("phase picks"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use proptest::prelude::*;
 use starfish_core::{make_shared_store, make_store, ModelKind, StoreConfig};
 use starfish_workload::{
-    generate, Count, DatasetParams, Executor, MixKind, NormUnit, Op, PatchSpec, PlanOutcome,
+    generate, Count, DatasetParams, Drift, Executor, MixKind, NormUnit, Op, PatchSpec, PlanOutcome,
     ProjSpec, WorkloadSpec,
 };
 
@@ -33,15 +33,32 @@ fn arb_patch() -> impl Strategy<Value = PatchSpec> {
     ]
 }
 
+fn arb_drift() -> impl Strategy<Value = Option<Drift>> {
+    prop_oneof![
+        Just(None),
+        ((1u64..60), (1u64..8)).prop_map(|(shift, period)| Some(Drift { shift, period })),
+    ]
+}
+
+/// Selection-establishing ops — the vocabulary `phase` may cycle between.
+fn arb_pick() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..3).prop_map(|n| Op::PickRandom { n }),
+        ((1u64..24), (0u64..101), arb_drift()).prop_map(|(hot, pct, drift)| Op::PickSkewed {
+            hot,
+            pct_hot: pct as u8,
+            drift,
+        }),
+    ]
+}
+
 /// Simple (non-loop) ops. Retrieval/navigation ops tolerate an empty
 /// selection, so any order is executable.
 fn arb_simple_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u64..3).prop_map(|n| Op::PickRandom { n }),
-        ((1u64..24), (0u64..101)).prop_map(|(hot, pct)| Op::PickSkewed {
-            hot,
-            pct_hot: pct as u8,
-        }),
+        arb_pick(),
+        ((1u64..6), proptest::collection::vec(arb_pick(), 1..4))
+            .prop_map(|(every, picks)| Op::Phase { every, picks }),
         Just(Op::ScanAll),
         arb_proj().prop_map(|proj| Op::GetByOid { proj }),
         arb_proj().prop_map(|proj| Op::GetByKey { proj }),
@@ -160,18 +177,26 @@ proptest! {
         prop_assert_eq!(back, spec);
     }
 
-    /// Concurrent-shaped specs at 1 thread × 1 shard equal their serial
-    /// measurement, counter for counter.
+    /// Concurrent plans at 1 thread × 1 shard equal their serial
+    /// measurement, counter for counter — including under drifting and
+    /// phase-switching picks.
     #[test]
     fn one_thread_concurrent_equals_serial(
+        pick in arb_pick(),
+        phased in any::<bool>(),
         depth in 1u32..4,
         loops in 1u64..6,
         stream in 0u64..50,
         update in any::<bool>(),
         seed in 0u64..1000,
     ) {
+        let pick = if phased {
+            Op::Phase { every: 2, picks: vec![pick, Op::PickRandom { n: 1 }] }
+        } else {
+            pick
+        };
         let mut body = vec![
-            Op::PickRandom { n: 1 },
+            pick,
             Op::NavigateChildren { depth },
             Op::FetchRoots,
         ];
@@ -200,5 +225,79 @@ proptest! {
             prop_assert_eq!(&got.outcome, &want, "{}", kind);
             prop_assert_eq!(got.observations.len() as u64, loops);
         }
+    }
+
+    /// Drift whose window never actually moves within the run (period
+    /// longer than the loop count, so the offset stays 0) measures
+    /// byte-identically to the legacy no-drift `pick_skewed`.
+    #[test]
+    fn dormant_drift_is_byte_identical_to_legacy(
+        hot in 1u64..24,
+        pct in 0u64..101,
+        shift in 1u64..100,
+        loops in 1u64..8,
+        seed in 0u64..1000,
+    ) {
+        let spec_with = |drift| WorkloadSpec {
+            name: "prop-drift".into(),
+            description: String::new(),
+            stream: 21,
+            unit: NormUnit::Loops,
+            mix: None,
+            ops: vec![Op::Loop {
+                count: Count::Fixed(loops),
+                body: vec![
+                    Op::PickSkewed { hot, pct_hot: pct as u8, drift },
+                    Op::NavigateChildren { depth: 2 },
+                    Op::FetchRoots,
+                ],
+            }],
+        };
+        let legacy = spec_with(None);
+        let dormant = spec_with(Some(Drift { shift, period: loops + 1 }));
+        let db = small_db();
+        let mut store = make_store(ModelKind::DasdbsNsm, StoreConfig::default());
+        let refs = store.load(&db).unwrap();
+        let exec = Executor::new(refs, seed);
+        let a = exec.run(store.as_mut(), &legacy).unwrap();
+        let b = exec.run(store.as_mut(), &dormant).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Malformed documents must be rejected with a pointed error, never
+/// silently coerced into a runnable (but wrong) plan.
+#[test]
+fn malformed_specs_are_rejected() {
+    let cases: [(&str, &str); 7] = [
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"pick_random"}]}"#,
+            "pick_random needs",
+        ),
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"pick_random","n":"three"}]}"#,
+            "pick_random needs",
+        ),
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"pick_skewed","hot":8,"pct_hot":300}]}"#,
+            "0-100",
+        ),
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"pick_skewed","hot":8,"pct_hot":90,"sticky":true}]}"#,
+            "sticky",
+        ),
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"pick_skewed","hot":8,"pct_hot":90,"drift":{"shift":2,"cadence":4}}]}"#,
+            "cadence",
+        ),
+        (
+            r#"{"name":"m","stream":1,"ops":[{"op":"phase","every":4,"picks":[{"op":"fetch_roots"}]}]}"#,
+            "phase",
+        ),
+        (r#"{"name":"m","stream":1,"threads":4,"ops":[]}"#, "threads"),
+    ];
+    for (doc, needle) in cases {
+        let err = WorkloadSpec::from_json(doc).expect_err(&format!("must reject: {doc}"));
+        assert!(err.contains(needle), "error for {doc} was: {err}");
     }
 }

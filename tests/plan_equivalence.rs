@@ -175,7 +175,14 @@ fn plan_built_queries_match_the_legacy_runner_exactly() {
 fn one_thread_concurrent_plans_match_the_legacy_runner_exactly() {
     let db = db();
     for kind in ModelKind::all() {
-        for query in [QueryId::Q1a, QueryId::Q2a, QueryId::Q2b, QueryId::Q3a] {
+        for query in [
+            QueryId::Q1a,
+            QueryId::Q1b,
+            QueryId::Q1c,
+            QueryId::Q2a,
+            QueryId::Q2b,
+            QueryId::Q3a,
+        ] {
             let mut store = make_store(kind, StoreConfig::with_buffer_pages(BUFFER_PAGES));
             let refs = store.load(&db).unwrap();
             let want = legacy_run(store.as_mut(), &refs, QUERY_SEED, query);
@@ -202,6 +209,18 @@ fn checked_in_spec_files_match_the_shipped_constructors() {
         (
             "examples/workloads/scan_then_update.json",
             WorkloadSpec::scan_then_update(),
+        ),
+        (
+            "examples/workloads/drift_gradual.json",
+            WorkloadSpec::drift_gradual(),
+        ),
+        (
+            "examples/workloads/drift_sudden.json",
+            WorkloadSpec::drift_sudden(),
+        ),
+        (
+            "examples/workloads/drift_cycle.json",
+            WorkloadSpec::drift_cycle(),
         ),
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
