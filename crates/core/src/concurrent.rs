@@ -92,6 +92,20 @@ pub trait ConcurrentObjectStore: ComplexObjectStore + Send + Sync {
     fn shard_count(&self) -> usize {
         self.shard_stats().len()
     }
+
+    /// Simulated crash: drops the pool's volatile state (cache frames,
+    /// unflushed WAL buffers) without flushing. The data disk and the
+    /// durable log survive. Committed updates are recoverable via
+    /// [`recover`](Self::recover); uncommitted ones are gone — exactly a
+    /// process kill. Quiesces in-flight writers first so no latched update
+    /// is torn mid-op.
+    fn simulate_crash(&self);
+
+    /// Recovery-on-open: replays the committed tail of the WAL onto the
+    /// data disk and checkpoints. Returns the number of pages replayed
+    /// (always 0 with the WAL disabled). Call after
+    /// [`simulate_crash`](Self::simulate_crash), before serving.
+    fn recover(&self) -> Result<usize>;
 }
 
 /// Builds an empty store of `kind` over a [`SharedPoolHandle`] with

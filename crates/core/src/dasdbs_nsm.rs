@@ -294,7 +294,7 @@ fn update_roots_in(
     let schema = dnsm_station_schema();
     for r in refs {
         let e = parts.entry(r.key)?;
-        pool.with_latched(&[e.station.page], LatchMode::Exclusive, |pool| {
+        let res = pool.with_latched(&[e.station.page], LatchMode::Exclusive, |pool| {
             let bytes = parts.station.read(pool, e.station)?;
             let mut t = decode(&bytes, &schema)?;
             let old = t.values[3].as_str().map(str::len).unwrap_or(0);
@@ -310,7 +310,16 @@ fn update_roots_in(
             Ok(parts
                 .station
                 .update(pool, e.station, &encode(&t, &schema)?)?)
-        })?;
+        });
+        // Each root RMW is one op: commit (durable on WAL pools) or drop
+        // its buffered images.
+        match res {
+            Ok(()) => pool.log_commit()?,
+            Err(e) => {
+                pool.log_abort();
+                return Err(e);
+            }
+        }
     }
     Ok(())
 }
@@ -725,6 +734,14 @@ impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
 
     fn shard_stats(&self) -> Vec<BufferStats> {
         self.pool.pool().shard_stats()
+    }
+
+    fn simulate_crash(&self) {
+        self.pool.pool().crash_volatile()
+    }
+
+    fn recover(&self) -> Result<usize> {
+        self.pool.pool().recover().map_err(Into::into)
     }
 }
 

@@ -232,7 +232,7 @@ fn replace_tuple_in(
     patch: &RootPatch,
 ) -> Result<()> {
     let pages = file.latch_pages_of(ord)?;
-    pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
+    let res = pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
         let full = read_object_in(false, file, schema, pool, ord, &Projection::All)?;
         let mut station = Station::from_tuple(&full)?;
         if station.name.len() != patch.new_name.len() {
@@ -246,7 +246,19 @@ fn replace_tuple_in(
         station.name = patch.new_name.clone();
         let (bytes, layout) = encode_with_layout(&station.to_tuple(), schema)?;
         file.rewrite_full(pool, ord, &bytes, &layout)
-    })
+    });
+    // The op boundary: make the update durable (WAL pools flush or group-
+    // commit here; everything else no-ops), or drop its buffered images.
+    match res {
+        Ok(v) => {
+            pool.log_commit()?;
+            Ok(v)
+        }
+        Err(e) => {
+            pool.log_abort();
+            Err(e)
+        }
+    }
 }
 
 /// DASDBS-DSM update path: `change attribute` on `Name` + page-pool write,
@@ -260,7 +272,7 @@ fn change_attribute_in(
     patch: &RootPatch,
 ) -> Result<()> {
     let pages = file.latch_pages_of(ord)?;
-    pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
+    let res = pool.with_latched(&pages, LatchMode::Exclusive, |pool| {
         let name_proj = Projection::Attrs(vec![(attr::NAME, Projection::All)]);
         let layout = match file.read_projected(pool, ord, |l| name_proj.byte_ranges(l))? {
             ReadPayload::Sparse(bytes, layout) => {
@@ -304,7 +316,17 @@ fn change_attribute_in(
         // only a single page in size" (§5.3).
         pool.write_pool_pages(scratch, 1)?;
         Ok(())
-    })
+    });
+    match res {
+        Ok(v) => {
+            pool.log_commit()?;
+            Ok(v)
+        }
+        Err(e) => {
+            pool.log_abort();
+            Err(e)
+        }
+    }
 }
 
 /// Immutable borrows of everything the direct models' update path needs
@@ -631,6 +653,14 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
 
     fn shard_stats(&self) -> Vec<BufferStats> {
         self.pool.pool().shard_stats()
+    }
+
+    fn simulate_crash(&self) {
+        self.pool.pool().crash_volatile()
+    }
+
+    fn recover(&self) -> Result<usize> {
+        self.pool.pool().recover().map_err(Into::into)
     }
 }
 

@@ -41,7 +41,9 @@ pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 // higher layers (harness, repro binary) can select a replacement policy
 // and consume measurements without depending on the substrate crate
 // directly.
-pub use starfish_pagestore::{BufferConfig, IoSnapshot, PolicyKind, SharedPoolHandle};
+pub use starfish_pagestore::{
+    BufferConfig, FsyncMode, IoSnapshot, PolicyKind, SharedPoolHandle, WalConfig,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -139,6 +141,14 @@ impl StoreConfig {
     /// Enables the sub-tuple-aligned (wasteful, DASDBS-faithful) layout.
     pub fn aligned(mut self) -> Self {
         self.aligned_subtuples = true;
+        self
+    }
+
+    /// Sets the write-ahead-log configuration. Only shared pools
+    /// ([`make_shared_store`]) act on it; the exclusive [`make_store`]
+    /// surface never logs, keeping the serial measurements byte-identical.
+    pub fn wal(mut self, wal: WalConfig) -> Self {
+        self.buffer.wal = wal;
         self
     }
 }

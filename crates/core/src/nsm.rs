@@ -232,7 +232,7 @@ fn update_roots_in(
             .ok_or_else(|| CoreError::NotFound {
                 what: format!("key {}", r.key),
             })?;
-        pool.with_latched(&[rid.page], LatchMode::Exclusive, |pool| {
+        let res = pool.with_latched(&[rid.page], LatchMode::Exclusive, |pool| {
             let bytes = station.read(pool, rid)?;
             let mut t = decode(&bytes, &schema)?;
             let old = t.values[3].as_str().map(str::len).unwrap_or(0);
@@ -246,7 +246,16 @@ fn update_roots_in(
             }
             t.values[3] = Value::Str(patch.new_name.clone());
             Ok(station.update(pool, rid, &encode(&t, &schema)?)?)
-        })?;
+        });
+        // Each root RMW is one op: commit (durable on WAL pools) or drop
+        // its buffered images.
+        match res {
+            Ok(()) => pool.log_commit()?,
+            Err(e) => {
+                pool.log_abort();
+                return Err(e);
+            }
+        }
     }
     Ok(())
 }
@@ -854,6 +863,14 @@ impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
 
     fn shard_stats(&self) -> Vec<BufferStats> {
         self.pool.pool().shard_stats()
+    }
+
+    fn simulate_crash(&self) {
+        self.pool.pool().crash_volatile()
+    }
+
+    fn recover(&self) -> Result<usize> {
+        self.pool.pool().recover().map_err(Into::into)
     }
 }
 

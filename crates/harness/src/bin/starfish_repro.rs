@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--json]
-//!                [--seed N] [--policy <name>] [--threads N]
+//!                [--seed N] [--policy <name>] [--threads N] [--fsync M]
 //!                [--workload <file.json>|<builtin>] [--list]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
@@ -18,6 +18,10 @@
 //!                1/2/4/8). With N=1 the experiment reproduces the serial
 //!                per-unit counters exactly. Combined with --workload, runs
 //!                the spec over the concurrent surface with N clients.
+//!   --fsync M    restrict ext-durability to one WAL flush mode: per
+//!                (flush the log on every commit) or group (leader
+//!                flushes a batch). Default: sweep both. Other
+//!                experiments run with the WAL off and ignore it.
 //!   --workload   run one declarative workload spec (a JSON file path or a
 //!                built-in name like deep-nav) across the five storage
 //!                models instead of the experiment suite; add --threads N
@@ -27,7 +31,7 @@
 //! ```
 
 use starfish_harness::experiments;
-use starfish_harness::runner::{parse_threads, HarnessConfig};
+use starfish_harness::runner::{parse_fsync, parse_threads, HarnessConfig};
 use starfish_workload::WorkloadSpec;
 
 fn main() {
@@ -35,7 +39,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "starfish-repro [--fast] [--only <ids>] [--markdown] [--json] [--seed N] \
-             [--policy lru|clock|mru|fifo|lru2] [--threads N] \
+             [--policy lru|clock|mru|fifo|lru2] [--threads N] [--fsync per|group] \
              [--workload <file.json>|<name>] [--list]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
              I/Os for Complex Object Processing' (ICDE 1993)\n\
@@ -44,6 +48,9 @@ fn main() {
              ext-policy experiment sweeps all five policies regardless\n\
              --threads pins the ext-concurrency client count (default sweep: \
              1/2/4/8 clients over the sharded pool)\n\
+             --fsync restricts the ext-durability WAL sweep to one flush mode \
+             (per = flush on every commit, group = leader flushes a batch; \
+             default both)\n\
              --workload runs one declarative AccessPlan spec (JSON file or \
              built-in name) across the five storage models; with --threads N \
              it runs over the concurrent surface from N client threads\n\
@@ -77,6 +84,13 @@ fn main() {
                 eprintln!("starfish-repro: --policy needs a value");
                 std::process::exit(2);
             }
+        }
+    }
+    match parse_fsync(&args) {
+        Ok(fsync) => config.fsync = fsync,
+        Err(msg) => {
+            eprintln!("starfish-repro: {msg}");
+            std::process::exit(2);
         }
     }
     let threads: Option<usize> = match parse_threads(&args) {
@@ -151,10 +165,20 @@ fn main() {
 
 /// Resolves a `--workload` argument: a JSON file path first, then a
 /// built-in spec name.
+///
+/// An argument that *looks* like a file path (contains a separator or ends
+/// in `.json`) is treated as one even when it does not exist, so a typo'd
+/// path reports the path and the OS error instead of the misleading
+/// "neither a file nor a built-in" catch-all.
 fn load_workload(arg: &str) -> WorkloadSpec {
-    if std::path::Path::new(arg).exists() {
+    let file_like = arg.contains(std::path::MAIN_SEPARATOR)
+        || arg.contains('/')
+        || std::path::Path::new(arg)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+    if file_like || std::path::Path::new(arg).exists() {
         let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
-            eprintln!("starfish-repro: cannot read {arg}: {e}");
+            eprintln!("starfish-repro: cannot read workload file '{arg}': {e}");
             std::process::exit(2);
         });
         WorkloadSpec::from_json(&text).unwrap_or_else(|e| {

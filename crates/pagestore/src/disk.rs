@@ -123,6 +123,17 @@ impl Default for SimDisk {
     }
 }
 
+/// FNV-1a over a byte slice — the primitive behind page-array fingerprints
+/// and the WAL's record/header checksums.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// FNV-1a over a page array — shared by [`SimDisk`] and the shared disk so
 /// their fingerprints are comparable for identical content.
 pub(crate) fn fnv1a_pages(pages: &[[u8; PAGE_SIZE]]) -> u64 {

@@ -37,6 +37,13 @@ pub enum StoreError {
         /// Description.
         detail: String,
     },
+    /// A flush found a page marked dirty whose frame is not resident — a
+    /// bookkeeping invariant violation. Surfaced as an error instead of a
+    /// process-aborting panic so callers can report and recover.
+    DirtyNotResident {
+        /// The page the dirty list named.
+        page: PageId,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -53,6 +60,9 @@ impl fmt::Display for StoreError {
                 write!(f, "in-place update changed record size: {old} -> {new}")
             }
             StoreError::Corrupt { detail } => write!(f, "corrupt page: {detail}"),
+            StoreError::DirtyNotResident { page } => {
+                write!(f, "dirty page {page} is not resident at flush time")
+            }
         }
     }
 }

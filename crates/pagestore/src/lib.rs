@@ -37,7 +37,13 @@
 //!   RID access, in-place update and full scans;
 //! * [`SpannedStore`] — large-object storage: header page(s) holding the
 //!   object directory, disjoint contiguous data pages holding the bytes,
-//!   with whole-object, header-only and byte-range reads.
+//!   with whole-object, header-only and byte-range reads;
+//! * [`wal`](crate::WalConfig) — an optional redo-only write-ahead log
+//!   under the shared pool: checksummed, LSN-stamped page after-images in
+//!   multi-page log segments, per-commit or group-commit flushing, and
+//!   recovery-on-open replaying the committed tail past the last
+//!   checkpoint. Disabled by default; off, every counter and code path is
+//!   byte-identical to the pre-WAL pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,6 +59,7 @@ mod shared;
 pub mod slotted;
 mod spanned;
 mod stats;
+mod wal;
 
 pub use buffer::{BufferConfig, BufferPool, MAX_PAGES_PER_WRITE_CALL};
 pub use cache::PageCache;
@@ -64,6 +71,7 @@ pub use policy::{PolicyKind, ReplacementPolicy};
 pub use shared::{SharedBufferPool, SharedPoolHandle};
 pub use spanned::{SpannedRecord, SpannedStore};
 pub use stats::{BufferStats, DiskStats, IoSnapshot};
+pub use wal::{FsyncMode, WalConfig, WalStats, DEFAULT_SEGMENT_PAGES};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StoreError>;

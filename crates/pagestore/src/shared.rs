@@ -55,6 +55,7 @@ use crate::cache::PageCache;
 use crate::disk::DiskOps;
 use crate::latch::{distinct_pids, LatchMode, LatchTable};
 use crate::stats::{BufferStats, DiskStats, IoSnapshot};
+use crate::wal::{Wal, WalConfig};
 use crate::{BufferConfig, PageId, PolicyKind, Result, StoreError, PAGE_SIZE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
@@ -222,14 +223,25 @@ pub struct SharedBufferPool {
     gate_waits: AtomicU64,
     policy: PolicyKind,
     capacity: usize,
+    /// The write-ahead log, when durability is enabled ([`WalConfig`]).
+    /// `None` keeps every code path and counter byte-identical to the
+    /// pre-WAL pool.
+    wal: Option<Wal>,
 }
 
 impl SharedBufferPool {
     /// Creates a pool of `capacity` total pages split over `shards` shards,
-    /// each running its own `policy` instance.
+    /// each running its own `policy` instance, with the WAL disabled.
     ///
     /// `capacity` must be at least `shards` so every shard can hold a page.
     pub fn new(capacity: usize, policy: PolicyKind, shards: usize) -> Self {
+        Self::with_wal(capacity, policy, shards, WalConfig::default())
+    }
+
+    /// Like [`Self::new`] but honoring a [`WalConfig`]: when `wal.enabled`,
+    /// every latched update is redo-logged and survives
+    /// [`Self::crash_volatile`] + [`Self::recover`].
+    pub fn with_wal(capacity: usize, policy: PolicyKind, shards: usize, wal: WalConfig) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(
             capacity >= shards,
@@ -255,6 +267,7 @@ impl SharedBufferPool {
             gate_waits: AtomicU64::new(0),
             policy,
             capacity,
+            wal: wal.enabled.then(|| Wal::new(wal)),
         }
     }
 
@@ -353,6 +366,11 @@ impl SharedBufferPool {
     /// The mutation is atomic under the shard mutex; conflicting foreign
     /// latches (exclusive by another thread, or any shared group) are
     /// waited out first.
+    ///
+    /// With the WAL enabled, the page's after-image is buffered into the
+    /// calling thread's active op (made durable at [`Self::log_commit`])
+    /// and the frame is stamped with the image's LSN. The log mutex is
+    /// taken *after* the shard mutex — last in the lock order.
     pub fn with_page_mut<R>(
         &self,
         pid: PageId,
@@ -360,7 +378,12 @@ impl SharedBufferPool {
     ) -> Result<R> {
         let mut st = self.lock_for_write(pid);
         let slot = st.core.fix(&mut &self.disk, pid, true)?;
-        Ok(f(&mut st.core.frame_mut(slot).data))
+        let r = f(&mut st.core.frame_mut(slot).data);
+        if let Some(wal) = &self.wal {
+            let frame = st.core.frame_mut(slot);
+            frame.lsn = wal.note_page_write(pid, &frame.data);
+        }
+        Ok(r)
     }
 
     /// Fixes and pins `pid` in its shard; pinned frames are never eviction
@@ -606,8 +629,22 @@ impl SharedBufferPool {
             let mut guards = self.lock_all();
             self.flush_locked(&mut guards)
         };
+        if result.is_ok() {
+            self.checkpoint_wal();
+        }
         self.release_quiesce();
         result
+    }
+
+    /// Checkpoints the WAL (no-op when disabled). Called only while the
+    /// writer gate is held and *after* a successful flush: every committed
+    /// image is on the data disk, so the log tail can be discarded. The
+    /// gate guarantees no latched update is mid-op; un-gated single-page
+    /// writers (the single-threaded load phase) must not race a flush.
+    fn checkpoint_wal(&self) {
+        if let Some(wal) = &self.wal {
+            wal.checkpoint();
+        }
     }
 
     fn flush_locked(&self, guards: &mut [MutexGuard<'_, ShardState>]) -> Result<()> {
@@ -617,32 +654,24 @@ impl SharedBufferPool {
         );
         let mut dirty: Vec<PageId> = guards.iter().flat_map(|g| g.core.dirty_pages()).collect();
         dirty.sort_unstable();
-        let mut i = 0;
-        while i < dirty.len() {
-            let start = dirty[i];
-            let mut len = 1u32;
-            while i + (len as usize) < dirty.len()
-                && dirty[i + len as usize].0 == start.0 + len
-                && len < MAX_PAGES_PER_WRITE_CALL
-            {
-                len += 1;
-            }
-            {
-                let guards = &*guards;
-                self.disk.write_run(start, len, &mut |j| {
-                    let pid = start.offset(j);
+        {
+            let guards = &*guards;
+            flush_dirty_runs(
+                &dirty,
+                |pid| {
                     let core = &guards[self.shard_of(pid)].core;
-                    let slot = core.slot_of(pid).expect("dirty page resident");
-                    core.frame(slot).data
-                })?;
-            }
-            for j in 0..len {
-                let pid = start.offset(j);
-                let core = &mut guards[self.shard_of(pid)].core;
-                let slot = core.slot_of(pid).expect("dirty page resident");
+                    core.slot_of(pid).map(|slot| core.frame(slot).data)
+                },
+                |start, len, images| self.disk.write_run(start, len, &mut |j| images[j as usize]),
+            )?;
+        }
+        // Clear dirty bits only after every run reached the disk; a failed
+        // flush leaves all pages dirty and therefore retryable.
+        for &pid in &dirty {
+            let core = &mut guards[self.shard_of(pid)].core;
+            if let Some(slot) = core.slot_of(pid) {
                 core.frame_mut(slot).dirty = false;
             }
-            i += len as usize;
         }
         Ok(())
     }
@@ -664,15 +693,121 @@ impl SharedBufferPool {
             }
             r
         };
+        if result.is_ok() {
+            self.checkpoint_wal();
+        }
+        self.release_quiesce();
+        result
+    }
+
+    /// Commits the calling thread's active WAL op: its buffered page
+    /// after-images become durable (flushed immediately under
+    /// [`FsyncMode::PerCommit`](crate::FsyncMode::PerCommit), or as part
+    /// of a group flush under
+    /// [`FsyncMode::Group`](crate::FsyncMode::Group)). Returns once the op
+    /// is durable. A no-op (and the only behavior) with the WAL disabled.
+    /// Must be called while holding **no** shard mutex or latch.
+    pub fn log_commit(&self) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.commit(),
+            None => Ok(()),
+        }
+    }
+
+    /// Discards the calling thread's active WAL op buffer (failed update):
+    /// its images never reach the log. A no-op with the WAL disabled.
+    pub fn log_abort(&self) {
+        if let Some(wal) = &self.wal {
+            wal.abort();
+        }
+    }
+
+    /// True when this pool carries a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// LSN stamped on `pid`'s resident frame by its last logged mutation
+    /// (`None` if not cached; `0` if cached but never logged).
+    pub fn page_lsn(&self, pid: PageId) -> Option<u64> {
+        let st = self.shard(self.shard_of(pid));
+        st.core.slot_of(pid).map(|slot| st.core.frame(slot).lsn)
+    }
+
+    /// Simulated crash: drops every cached frame **without flushing** and
+    /// discards the WAL's volatile state (active op buffers, unflushed
+    /// group-commit queue). The data disk and the durable log content
+    /// survive — exactly the state a process kill leaves behind. Writers
+    /// are quiesced first so no latched update is torn mid-op; ops that
+    /// committed before the crash are recoverable, uncommitted ones are
+    /// gone.
+    pub fn crash_volatile(&self) {
+        self.quiesce_writers();
+        {
+            let mut guards = self.lock_all();
+            for g in guards.iter_mut() {
+                g.core.drop_all();
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.crash();
+        }
+        self.release_quiesce();
+    }
+
+    /// Recovery-on-open: scans the durable log tail past the last
+    /// checkpoint (counted log reads), replays the final committed image
+    /// of every logged page onto the data disk in contiguous runs of at
+    /// most [`MAX_PAGES_PER_WRITE_CALL`] pages (counted data writes, the
+    /// same grouping a flush produces), then checkpoints. Returns the
+    /// number of pages replayed. Intended for a freshly
+    /// [crashed](Self::crash_volatile) (or newly opened) pool: the cache
+    /// must hold no dirty pre-crash frames.
+    pub fn recover(&self) -> Result<usize> {
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        self.quiesce_writers();
+        let result = (|| {
+            let images = wal.recovered_images()?;
+            let mut i = 0;
+            while i < images.len() {
+                let start = images[i].0;
+                let mut len = 1u32;
+                while i + (len as usize) < images.len()
+                    && images[i + len as usize].0 .0 == start.0 + len
+                    && len < MAX_PAGES_PER_WRITE_CALL
+                {
+                    len += 1;
+                }
+                self.disk
+                    .write_run(start, len, &mut |j| *images[i + j as usize].2)?;
+                i += len as usize;
+            }
+            wal.checkpoint();
+            Ok(images.len())
+        })();
         self.release_quiesce();
         result
     }
 
     /// Combined disk + merged shard counters — drop-in compatible with
     /// [`BufferPool::snapshot`](crate::BufferPool::snapshot), so every
-    /// existing per-unit metric works over the shared pool.
+    /// existing per-unit metric works over the shared pool. With the WAL
+    /// enabled the `log_*`/`commits` fields carry its counters; disabled,
+    /// they stay zero and the snapshot is byte-identical to the pre-WAL
+    /// pool's.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot::combine(self.disk.stats(), self.buffer_stats())
+        let mut s = IoSnapshot::combine(self.disk.stats(), self.buffer_stats());
+        if let Some(wal) = &self.wal {
+            let w = wal.stats();
+            s.log_write_calls = w.log_write_calls;
+            s.log_pages_written = w.log_pages_written;
+            s.log_read_calls = w.log_read_calls;
+            s.log_pages_read = w.log_pages_read;
+            s.commits = w.commits;
+        }
+        s
     }
 
     /// Merged buffer counters over all shards, including the latch
@@ -718,14 +853,55 @@ impl SharedBufferPool {
             .sum()
     }
 
-    /// Resets disk and shard counters (cache content is kept).
+    /// Resets disk, shard, and WAL counters (cache and log content kept).
     pub fn reset_stats(&self) {
         self.disk.reset_stats();
         self.gate_waits.store(0, Ordering::Relaxed);
         for i in 0..self.shards.len() {
             self.shard(i).core.stats = BufferStats::default();
         }
+        if let Some(wal) = &self.wal {
+            wal.reset_stats();
+        }
     }
+}
+
+/// Groups `dirty` (sorted ascending, deduplicated) into contiguous runs of
+/// at most [`MAX_PAGES_PER_WRITE_CALL`] pages and hands each run's
+/// pre-collected images to `write`.
+///
+/// `image` returning `None` for a page the dirty list named is a
+/// bookkeeping invariant violation (a dirty page must be resident); it
+/// surfaces as [`StoreError::DirtyNotResident`] *before* any byte of that
+/// run is written. This used to be a process-aborting
+/// `expect("dirty page resident")` inside the write-call source closure —
+/// unreachable through the pool's public API (the dirty list is derived
+/// from the frames under the same locks), but defended here as an error so
+/// a future bookkeeping bug reports instead of aborting mid-flush.
+fn flush_dirty_runs(
+    dirty: &[PageId],
+    mut image: impl FnMut(PageId) -> Option<[u8; PAGE_SIZE]>,
+    mut write: impl FnMut(PageId, u32, &[[u8; PAGE_SIZE]]) -> Result<()>,
+) -> Result<()> {
+    let mut i = 0;
+    while i < dirty.len() {
+        let start = dirty[i];
+        let mut len = 1u32;
+        while i + (len as usize) < dirty.len()
+            && dirty[i + len as usize].0 == start.0 + len
+            && len < MAX_PAGES_PER_WRITE_CALL
+        {
+            len += 1;
+        }
+        let mut images = Vec::with_capacity(len as usize);
+        for j in 0..len {
+            let pid = start.offset(j);
+            images.push(image(pid).ok_or(StoreError::DirtyNotResident { page: pid })?);
+        }
+        write(start, len, &images)?;
+        i += len as usize;
+    }
+    Ok(())
 }
 
 /// A cloneable handle to a [`SharedBufferPool`].
@@ -740,11 +916,16 @@ pub struct SharedPoolHandle {
 }
 
 impl SharedPoolHandle {
-    /// Builds a fresh shared pool from a buffer configuration and a shard
-    /// count.
+    /// Builds a fresh shared pool from a buffer configuration (including
+    /// its [`WalConfig`]) and a shard count.
     pub fn new(config: BufferConfig, shards: usize) -> Self {
         SharedPoolHandle {
-            pool: Arc::new(SharedBufferPool::new(config.pages, config.policy, shards)),
+            pool: Arc::new(SharedBufferPool::with_wal(
+                config.pages,
+                config.policy,
+                shards,
+                config.wal,
+            )),
         }
     }
 
@@ -833,6 +1014,14 @@ impl PageCache for SharedPoolHandle {
 
     fn disk_checksum(&self) -> u64 {
         self.pool.disk_checksum()
+    }
+
+    fn log_commit(&mut self) -> Result<()> {
+        self.pool.log_commit()
+    }
+
+    fn log_abort(&mut self) {
+        self.pool.log_abort()
     }
 }
 
@@ -1174,5 +1363,156 @@ mod tests {
         assert_eq!(p.disk_checksum(), before, "dirty page not on disk yet");
         p.flush_all().unwrap();
         assert_ne!(p.disk_checksum(), before, "flush changed the disk");
+    }
+
+    /// Regression: a dirty page whose frame is missing at flush time used
+    /// to hit `expect("dirty page resident")` *inside* the disk write-call
+    /// source closure, aborting the process. The run planner now reports
+    /// `DirtyNotResident` before writing a byte of the affected run.
+    #[test]
+    fn flush_with_nonresident_dirty_page_errors_instead_of_panicking() {
+        let dirty = [PageId(0), PageId(1), PageId(2)];
+        let mut written = 0u32;
+        let err = flush_dirty_runs(
+            &dirty,
+            |pid| (pid != PageId(1)).then_some([0u8; PAGE_SIZE]),
+            |_, len, _| {
+                written += len;
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, StoreError::DirtyNotResident { page: PageId(1) });
+        assert_eq!(written, 0, "no byte of the broken run was written");
+        // The healthy path still groups into MAX_PAGES_PER_WRITE_CALL runs.
+        let many: Vec<PageId> = (0..MAX_PAGES_PER_WRITE_CALL + 3).map(PageId).collect();
+        let mut calls = Vec::new();
+        flush_dirty_runs(
+            &many,
+            |_| Some([0u8; PAGE_SIZE]),
+            |start, len, images| {
+                assert_eq!(images.len(), len as usize);
+                calls.push((start, len));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            calls,
+            vec![
+                (PageId(0), MAX_PAGES_PER_WRITE_CALL),
+                (PageId(MAX_PAGES_PER_WRITE_CALL), 3)
+            ]
+        );
+    }
+
+    fn wal_pool(shards: usize, cap: usize, pages: u32) -> SharedBufferPool {
+        let p = SharedBufferPool::with_wal(
+            cap,
+            PolicyKind::Lru,
+            shards,
+            WalConfig::enabled(crate::wal::FsyncMode::PerCommit),
+        );
+        p.alloc_extent(pages);
+        p
+    }
+
+    #[test]
+    fn committed_updates_survive_a_crash() {
+        let p = wal_pool(2, 8, 8);
+        p.with_page_mut(PageId(3), |b| b[0] = 7).unwrap();
+        p.with_page_mut(PageId(5), |b| b[0] = 9).unwrap();
+        p.log_commit().unwrap();
+        assert!(p.page_lsn(PageId(3)).unwrap() > 0, "frame stamped");
+        let before = p.disk_checksum();
+        p.crash_volatile();
+        assert_eq!(p.cached_pages(), 0, "crash dropped the cache");
+        assert_eq!(p.disk_checksum(), before, "crash never touches the disk");
+        assert_eq!(p.recover().unwrap(), 2);
+        p.with_page(PageId(3), |b| assert_eq!(b[0], 7)).unwrap();
+        p.with_page(PageId(5), |b| assert_eq!(b[0], 9)).unwrap();
+        let s = p.snapshot();
+        assert_eq!(s.commits, 1);
+        assert!(s.log_write_calls >= 1, "commit flushed the log");
+        assert!(s.log_read_calls >= 1, "recovery scanned the log");
+    }
+
+    #[test]
+    fn uncommitted_updates_are_lost_at_crash() {
+        let p = wal_pool(2, 8, 8);
+        p.with_page_mut(PageId(1), |b| b[0] = 7).unwrap();
+        p.log_commit().unwrap();
+        p.with_page_mut(PageId(2), |b| b[0] = 8).unwrap(); // never committed
+        p.crash_volatile();
+        assert_eq!(p.recover().unwrap(), 1, "only the committed page replays");
+        p.with_page(PageId(1), |b| assert_eq!(b[0], 7)).unwrap();
+        p.with_page(PageId(2), |b| assert_eq!(b[0], 0)).unwrap();
+    }
+
+    #[test]
+    fn flush_checkpoints_and_truncates_the_log() {
+        let p = wal_pool(2, 8, 8);
+        p.with_page_mut(PageId(0), |b| b[0] = 1).unwrap();
+        p.log_commit().unwrap();
+        p.flush_all().unwrap();
+        // The image is on the data disk; the log tail was discarded, so a
+        // crash + recovery replays nothing and loses nothing.
+        p.crash_volatile();
+        assert_eq!(p.recover().unwrap(), 0);
+        p.with_page(PageId(0), |b| assert_eq!(b[0], 1)).unwrap();
+    }
+
+    #[test]
+    fn wal_off_pool_reports_zero_log_counters_and_recovers_nothing() {
+        let p = pool(2, 8, 8);
+        assert!(!p.wal_enabled());
+        p.with_page_mut(PageId(0), |b| b[0] = 1).unwrap();
+        p.log_commit().unwrap();
+        p.log_abort();
+        p.flush_all().unwrap();
+        assert_eq!(p.recover().unwrap(), 0);
+        let s = p.snapshot();
+        assert_eq!(s.log_write_calls, 0);
+        assert_eq!(s.log_pages_written, 0);
+        assert_eq!(s.log_read_calls, 0);
+        assert_eq!(s.log_pages_read, 0);
+        assert_eq!(s.commits, 0);
+    }
+
+    #[test]
+    fn group_commit_pool_survives_concurrent_writer_crash() {
+        let p = SharedBufferPool::with_wal(
+            32,
+            PolicyKind::Lru,
+            4,
+            WalConfig::enabled(crate::wal::FsyncMode::Group),
+        );
+        let first = p.alloc_extent(32);
+        thread::scope(|s| {
+            for t in 0..8u32 {
+                let p = &p;
+                s.spawn(move || {
+                    for k in 0..4u32 {
+                        let pid = first.offset(t * 4 + k);
+                        p.latch_pages(&[pid], LatchMode::Exclusive).unwrap();
+                        p.with_page_mut(pid, |b| b[0] = (t * 4 + k) as u8).unwrap();
+                        p.unlatch_pages(&[pid], LatchMode::Exclusive);
+                        p.log_commit().unwrap();
+                    }
+                });
+            }
+        });
+        let s = p.snapshot();
+        assert_eq!(s.commits, 32);
+        assert!(
+            s.log_write_calls <= s.commits,
+            "group commit never flushes more than once per commit"
+        );
+        p.crash_volatile();
+        assert_eq!(p.recover().unwrap(), 32);
+        for i in 0..32 {
+            p.with_page(first.offset(i), |b| assert_eq!(b[0], i as u8))
+                .unwrap();
+        }
     }
 }

@@ -85,10 +85,23 @@ pub struct IoSnapshot {
     pub latch_exclusive: u64,
     /// Latch-contention waits (scheduling-dependent; zero single-client).
     pub latch_waits: u64,
+    /// Log-device write calls (each is one flush — one modeled fsync).
+    /// Zero whenever the WAL is disabled, so pre-WAL measurements are
+    /// byte-identical.
+    pub log_write_calls: u64,
+    /// Log pages written.
+    pub log_pages_written: u64,
+    /// Log-device read calls (recovery scans).
+    pub log_read_calls: u64,
+    /// Log pages read.
+    pub log_pages_read: u64,
+    /// Committed (durably logged) update ops.
+    pub commits: u64,
 }
 
 impl IoSnapshot {
-    /// Combines raw disk and buffer counters.
+    /// Combines raw disk and buffer counters. The `log_*`/`commits`
+    /// fields start at zero; the shared pool overlays its WAL counters.
     pub fn combine(disk: DiskStats, buf: BufferStats) -> IoSnapshot {
         IoSnapshot {
             read_calls: disk.read_calls,
@@ -101,6 +114,7 @@ impl IoSnapshot {
             latch_shared: buf.latch_shared,
             latch_exclusive: buf.latch_exclusive,
             latch_waits: buf.latch_waits,
+            ..Default::default()
         }
     }
 
@@ -149,6 +163,11 @@ impl Sub for IoSnapshot {
             latch_shared: self.latch_shared.saturating_sub(rhs.latch_shared),
             latch_exclusive: self.latch_exclusive.saturating_sub(rhs.latch_exclusive),
             latch_waits: self.latch_waits.saturating_sub(rhs.latch_waits),
+            log_write_calls: self.log_write_calls.saturating_sub(rhs.log_write_calls),
+            log_pages_written: self.log_pages_written.saturating_sub(rhs.log_pages_written),
+            log_read_calls: self.log_read_calls.saturating_sub(rhs.log_read_calls),
+            log_pages_read: self.log_pages_read.saturating_sub(rhs.log_pages_read),
+            commits: self.commits.saturating_sub(rhs.commits),
         }
     }
 }
@@ -195,9 +214,16 @@ mod tests {
             latch_shared: 4,
             latch_exclusive: 2,
             latch_waits: 1,
+            log_write_calls: 2,
+            log_pages_written: 3,
+            commits: 2,
+            ..Default::default()
         };
         let d = after - before;
         assert_eq!(d.read_calls, 5);
+        assert_eq!(d.log_write_calls, 2);
+        assert_eq!(d.log_pages_written, 3);
+        assert_eq!(d.commits, 2);
         assert_eq!(d.latch_shared, 4);
         assert_eq!(d.latch_exclusive, 2);
         assert_eq!(d.latch_waits, 1);

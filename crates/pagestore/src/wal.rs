@@ -1,0 +1,800 @@
+//! Write-ahead logging with group commit for the shared pool.
+//!
+//! PR 4 gave the pool concurrent writers, but their updates lived only in
+//! cached frames until the next [`crate::SharedBufferPool::flush_all`] — a
+//! crash in between silently lost committed writes. This module closes
+//! that hole with a redo-only, physical write-ahead log:
+//!
+//! * every mutation through the shared pool's write path captures the
+//!   page's **after-image** into a per-thread op buffer, stamped with a
+//!   monotonically increasing **LSN** that is also recorded in the frame
+//!   table;
+//! * [`Wal::commit`] moves the op's images (coalesced per page — redo only
+//!   needs the final image) into the durable-pending queue and forces them
+//!   to the log device before returning, so a committed op can never be
+//!   lost;
+//! * under [`FsyncMode::Group`] a **leader** thread flushes the whole
+//!   pending queue in one device write while followers wait on a condvar
+//!   until their commit LSN is durable — N concurrent committers amortize
+//!   one log flush (one "fsync") across the batch, the classic group
+//!   commit. [`FsyncMode::PerCommit`] forces one flush per commit instead
+//!   (the baseline the `ext-durability` experiment compares against);
+//! * the log device is organized in **multi-page segments** following the
+//!   SNIPPETS.md storage spec: a versioned, checksummed header carrying
+//!   the segment's `PageRange`, then length-prefixed records streamed
+//!   across the segment's pages. Records themselves carry an FNV-1a
+//!   checksum, so recovery can detect corruption and a torn tail;
+//! * a **checkpoint** (taken by `flush_all`/`clear_cache` while the PR-4
+//!   writer gate has the pool quiesced — the gate doubles as the
+//!   checkpoint barrier) truncates the log: everything it described is on
+//!   the data disk;
+//! * [`Wal::recovered_images`] replays the tail past the last checkpoint:
+//!   it re-reads the surviving segments (counted log I/O), validates every
+//!   header and record checksum, and yields the final committed image per
+//!   page in LSN order.
+//!
+//! The log device is separate from the data disk and keeps its own I/O
+//! counters, surfaced as the `log_*` fields of [`crate::IoSnapshot`] — the
+//! paper's physical-I/O accounting extended to the durability path. Lock
+//! order: the WAL mutex is the **last** lock in the pool's total order
+//! (gate → shards ascending → disk → log), so logging from under a shard
+//! mutex and committing from no lock at all both compose deadlock-free.
+
+use crate::disk::fnv1a_bytes;
+use crate::{PageId, Result, StoreError, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::ThreadId;
+
+/// When a commit's log records are forced to the device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FsyncMode {
+    /// Every commit issues its own log flush — durability with zero
+    /// batching, the per-op-fsync baseline.
+    PerCommit,
+    /// Group commit: one leader flushes the whole pending queue, followers
+    /// wait until their commit LSN is durable. Concurrent committers
+    /// amortize one flush across the batch (the default).
+    #[default]
+    Group,
+}
+
+impl FsyncMode {
+    /// Canonical display name (`per-commit` / `group`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncMode::PerCommit => "per-commit",
+            FsyncMode::Group => "group",
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FsyncMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "per" | "per-commit" | "percommit" | "per_commit" => Ok(FsyncMode::PerCommit),
+            "group" => Ok(FsyncMode::Group),
+            other => Err(format!(
+                "unknown fsync mode '{other}' (expected one of: per, group)"
+            )),
+        }
+    }
+}
+
+/// Write-ahead-log configuration, carried inside
+/// [`crate::BufferConfig`]. Default: disabled — the WAL is strictly
+/// opt-in, so every measurement that predates it stays byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Log mutations and require commits to be durable.
+    pub enabled: bool,
+    /// Commit-flush batching discipline.
+    pub fsync: FsyncMode,
+    /// Pages per log segment (min 2: a segment must fit its header plus
+    /// one full page-image record).
+    pub segment_pages: u32,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            enabled: false,
+            fsync: FsyncMode::default(),
+            segment_pages: DEFAULT_SEGMENT_PAGES,
+        }
+    }
+}
+
+impl WalConfig {
+    /// An enabled configuration with the given fsync mode and default
+    /// segment size.
+    pub fn enabled(fsync: FsyncMode) -> Self {
+        WalConfig {
+            enabled: true,
+            fsync,
+            ..Default::default()
+        }
+    }
+}
+
+/// Default pages per log segment (32 KiB at the 2 KiB page size).
+pub const DEFAULT_SEGMENT_PAGES: u32 = 16;
+
+/// One recovered page: id, image LSN, committed after-image.
+pub(crate) type RecoveredImage = (PageId, u64, Box<[u8; PAGE_SIZE]>);
+
+/// Cumulative physical I/O and commit counters of the log device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Log-device write calls (each is one flush — one modeled fsync).
+    pub log_write_calls: u64,
+    /// Log pages written across those calls.
+    pub log_pages_written: u64,
+    /// Log-device read calls (recovery scans).
+    pub log_read_calls: u64,
+    /// Log pages read across those calls.
+    pub log_pages_read: u64,
+    /// Committed ops.
+    pub commits: u64,
+}
+
+// ---------------------------------------------------------------------------
+// On-device format (SNIPPETS.md multi-page storage spec)
+// ---------------------------------------------------------------------------
+
+/// Magic at byte 0 of every segment header.
+const SEGMENT_MAGIC: [u8; 8] = *b"SFWAL001";
+/// Format version in the segment header.
+const SEGMENT_VERSION: u32 = 1;
+/// Segment header size: magic (8) + version (4) + PageRange start (4) +
+/// PageRange num (4) + used bytes (4) + checksum (4).
+const SEGMENT_HEADER_SIZE: usize = 28;
+
+/// A contiguous run of log pages, as stored in a segment header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PageRange {
+    /// First log page of the segment.
+    start_page: u32,
+    /// Pages in the segment.
+    num_pages: u32,
+}
+
+/// Record kinds. A record is `[len: u32 LE][payload]` with payload
+/// `[kind: u8][lsn: u64 LE][body][checksum: u64 LE]`; the checksum is
+/// FNV-1a over everything before it.
+const REC_PAGE_IMAGE: u8 = 1;
+const REC_COMMIT: u8 = 2;
+const REC_CHECKPOINT: u8 = 3;
+
+fn encode_record(kind: u8, lsn: u64, body: &[u8]) -> Vec<u8> {
+    let payload_len = 1 + 8 + body.len() + 8;
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(body);
+    let sum = fnv1a_bytes(&out[4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// A decoded log record.
+#[derive(Debug)]
+enum Record {
+    PageImage {
+        lsn: u64,
+        pid: PageId,
+        image: Box<[u8; PAGE_SIZE]>,
+    },
+    Commit {
+        lsn: u64,
+    },
+    /// The on-disk record carries the checkpoint LSN too; recovery only
+    /// needs the marker (everything before it is already on the data disk).
+    Checkpoint,
+}
+
+fn corrupt(detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<Record> {
+    if payload.len() < 1 + 8 + 8 {
+        return Err(corrupt("log record shorter than its fixed fields"));
+    }
+    let (data, sum_bytes) = payload.split_at(payload.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    // Checksum covers the length prefix too; re-derive it.
+    let mut prefixed = Vec::with_capacity(4 + data.len());
+    prefixed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    prefixed.extend_from_slice(data);
+    if fnv1a_bytes(&prefixed[4..]) != want {
+        return Err(corrupt("log record checksum mismatch"));
+    }
+    let kind = data[0];
+    let lsn = u64::from_le_bytes(data[1..9].try_into().expect("8 bytes"));
+    let body = &data[9..];
+    match kind {
+        REC_PAGE_IMAGE => {
+            if body.len() != 4 + PAGE_SIZE {
+                return Err(corrupt(format!(
+                    "page-image record body is {} bytes, expected {}",
+                    body.len(),
+                    4 + PAGE_SIZE
+                )));
+            }
+            let pid = PageId(u32::from_le_bytes(body[..4].try_into().expect("4 bytes")));
+            let mut image = Box::new([0u8; PAGE_SIZE]);
+            image.copy_from_slice(&body[4..]);
+            Ok(Record::PageImage { lsn, pid, image })
+        }
+        REC_COMMIT => Ok(Record::Commit { lsn }),
+        REC_CHECKPOINT => Ok(Record::Checkpoint),
+        other => Err(corrupt(format!("unknown log record kind {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log device
+// ---------------------------------------------------------------------------
+
+/// The simulated log device: segments of `segment_pages` pages, each with
+/// a checksummed header and a byte stream of records. Content only reaches
+/// the device at flush time, so device content ≡ durable log.
+struct LogDevice {
+    segment_pages: u32,
+    pages: Vec<[u8; PAGE_SIZE]>,
+    /// First page of the currently open segment.
+    seg_start: u32,
+    /// Record bytes appended to the open segment.
+    seg_used: u32,
+    /// Device pages touched since the last flush accounting.
+    touched: Vec<u32>,
+    stats: WalStats,
+}
+
+impl LogDevice {
+    fn new(segment_pages: u32) -> Self {
+        let mut d = LogDevice {
+            segment_pages: segment_pages.max(2),
+            pages: Vec::new(),
+            seg_start: 0,
+            seg_used: 0,
+            touched: Vec::new(),
+            stats: WalStats::default(),
+        };
+        d.open_segment();
+        d
+    }
+
+    fn seg_capacity(&self) -> u32 {
+        self.segment_pages * PAGE_SIZE as u32 - SEGMENT_HEADER_SIZE as u32
+    }
+
+    fn open_segment(&mut self) {
+        self.seg_start = self.pages.len() as u32;
+        self.seg_used = 0;
+        self.pages.resize(
+            self.pages.len() + self.segment_pages as usize,
+            [0u8; PAGE_SIZE],
+        );
+        self.write_header();
+    }
+
+    /// Serializes the open segment's header (magic, version, `PageRange`,
+    /// used bytes, checksum) into its first page.
+    fn write_header(&mut self) {
+        let mut h = [0u8; SEGMENT_HEADER_SIZE];
+        h[..8].copy_from_slice(&SEGMENT_MAGIC);
+        h[8..12].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        h[12..16].copy_from_slice(&self.seg_start.to_le_bytes());
+        h[16..20].copy_from_slice(&self.segment_pages.to_le_bytes());
+        h[20..24].copy_from_slice(&self.seg_used.to_le_bytes());
+        let sum = (fnv1a_bytes(&h[..24]) & 0xFFFF_FFFF) as u32;
+        h[24..28].copy_from_slice(&sum.to_le_bytes());
+        self.pages[self.seg_start as usize][..SEGMENT_HEADER_SIZE].copy_from_slice(&h);
+        self.touch(self.seg_start);
+    }
+
+    fn touch(&mut self, page: u32) {
+        if !self.touched.contains(&page) {
+            self.touched.push(page);
+        }
+    }
+
+    /// Appends one encoded record to the open segment, sealing it and
+    /// opening a new one when the record does not fit.
+    fn append(&mut self, rec: &[u8]) {
+        debug_assert!(
+            rec.len() as u32 <= self.seg_capacity(),
+            "record larger than a whole segment"
+        );
+        if self.seg_used + rec.len() as u32 > self.seg_capacity() {
+            self.open_segment();
+        }
+        let base = SEGMENT_HEADER_SIZE as u32 + self.seg_used;
+        for (i, &b) in rec.iter().enumerate() {
+            let off = base + i as u32;
+            let page = self.seg_start + off / PAGE_SIZE as u32;
+            self.pages[page as usize][(off % PAGE_SIZE as u32) as usize] = b;
+            self.touch(page);
+        }
+        self.seg_used += rec.len() as u32;
+        self.write_header();
+    }
+
+    /// Accounts one device write call ("fsync") covering every page
+    /// touched since the previous flush. No-op when nothing was appended.
+    fn flush(&mut self) {
+        if self.touched.is_empty() {
+            return;
+        }
+        self.stats.log_write_calls += 1;
+        self.stats.log_pages_written += self.touched.len() as u64;
+        self.touched.clear();
+    }
+
+    /// Drops all log content and starts a fresh first segment (checkpoint
+    /// truncation). Counters are cumulative and survive.
+    fn truncate(&mut self) {
+        self.pages.clear();
+        self.touched.clear();
+        self.open_segment();
+    }
+
+    /// Reads every segment back (counted log I/O), validating headers, and
+    /// returns the decoded records in append order.
+    fn read_all(&mut self) -> Result<Vec<Record>> {
+        let mut records = Vec::new();
+        let mut seg = 0u32;
+        while (seg as usize) < self.pages.len() {
+            let head = &self.pages[seg as usize];
+            if head[..8] != SEGMENT_MAGIC {
+                return Err(corrupt(format!("log segment at page {seg}: bad magic")));
+            }
+            let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+            if version != SEGMENT_VERSION {
+                return Err(corrupt(format!(
+                    "log segment at page {seg}: version {version}, expected {SEGMENT_VERSION}"
+                )));
+            }
+            let range = PageRange {
+                start_page: u32::from_le_bytes(head[12..16].try_into().expect("4 bytes")),
+                num_pages: u32::from_le_bytes(head[16..20].try_into().expect("4 bytes")),
+            };
+            let used = u32::from_le_bytes(head[20..24].try_into().expect("4 bytes"));
+            let sum = u32::from_le_bytes(head[24..28].try_into().expect("4 bytes"));
+            if (fnv1a_bytes(&head[..24]) & 0xFFFF_FFFF) as u32 != sum {
+                return Err(corrupt(format!(
+                    "log segment at page {seg}: header checksum mismatch"
+                )));
+            }
+            if range.start_page != seg || range.num_pages != self.segment_pages {
+                return Err(corrupt(format!(
+                    "log segment at page {seg}: header PageRange {}+{} does not match",
+                    range.start_page, range.num_pages
+                )));
+            }
+            // One read call per segment, sized to the pages the records
+            // actually occupy.
+            let used_pages = ((SEGMENT_HEADER_SIZE as u32 + used).div_ceil(PAGE_SIZE as u32))
+                .clamp(1, self.segment_pages);
+            self.stats.log_read_calls += 1;
+            self.stats.log_pages_read += used_pages as u64;
+            // Re-assemble the segment's record byte stream.
+            let mut bytes = Vec::with_capacity(used as usize);
+            for i in 0..used {
+                let off = SEGMENT_HEADER_SIZE as u32 + i;
+                let page = seg + off / PAGE_SIZE as u32;
+                bytes.push(self.pages[page as usize][(off % PAGE_SIZE as u32) as usize]);
+            }
+            let mut pos = 0usize;
+            while pos + 4 <= bytes.len() {
+                let len =
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if len == 0 {
+                    break; // zeroed tail
+                }
+                if pos + 4 + len > bytes.len() {
+                    return Err(corrupt("log record runs past the segment's used bytes"));
+                }
+                records.push(decode_record(&bytes[pos + 4..pos + 4 + len])?);
+                pos += 4 + len;
+            }
+            seg += self.segment_pages;
+        }
+        Ok(records)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The WAL proper
+// ---------------------------------------------------------------------------
+
+/// One page's buffered after-image inside an active (uncommitted) op.
+struct BufferedImage {
+    lsn: u64,
+    image: Box<[u8; PAGE_SIZE]>,
+}
+
+/// One committed-but-possibly-not-yet-durable op in the pending queue.
+struct PendingOp {
+    commit_lsn: u64,
+    /// Final after-image per page, ascending `PageId`.
+    pages: Vec<(PageId, BufferedImage)>,
+}
+
+struct WalState {
+    device: LogDevice,
+    /// Per-thread active op buffers, coalesced by page (redo only needs
+    /// the final image a thread wrote within one op).
+    active: HashMap<ThreadId, BTreeMap<PageId, BufferedImage>>,
+    /// Committed ops waiting for a leader to flush them.
+    pending: Vec<PendingOp>,
+    /// A group-commit leader is currently flushing.
+    flushing: bool,
+    /// Every commit LSN ≤ this is durable on the device.
+    durable_lsn: u64,
+    commits: u64,
+}
+
+/// The write-ahead log of one [`crate::SharedBufferPool`]. See the
+/// [module docs](self).
+pub(crate) struct Wal {
+    config: WalConfig,
+    state: Mutex<WalState>,
+    /// Followers wait here for the leader's durable-LSN advance.
+    cond: Condvar,
+    next_lsn: AtomicU64,
+}
+
+impl Wal {
+    pub(crate) fn new(config: WalConfig) -> Self {
+        Wal {
+            config,
+            state: Mutex::new(WalState {
+                device: LogDevice::new(config.segment_pages),
+                active: HashMap::new(),
+                pending: Vec::new(),
+                flushing: false,
+                durable_lsn: 0,
+                commits: 0,
+            }),
+            cond: Condvar::new(),
+            next_lsn: AtomicU64::new(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalState> {
+        self.state.lock().expect("wal mutex poisoned")
+    }
+
+    /// Captures `data` as the calling thread's after-image of `pid`,
+    /// returning the stamped LSN (recorded in the frame table by the
+    /// caller). Called under a shard mutex — the WAL mutex is last in the
+    /// lock order, so this composes deadlock-free.
+    pub(crate) fn note_page_write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) -> u64 {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.lock();
+        st.active
+            .entry(std::thread::current().id())
+            .or_default()
+            .insert(
+                pid,
+                BufferedImage {
+                    lsn,
+                    image: Box::new(*data),
+                },
+            );
+        lsn
+    }
+
+    /// Commits the calling thread's active op: moves its images into the
+    /// pending queue and returns once they are durable on the log device.
+    /// Under [`FsyncMode::Group`], one leader flushes the whole queue
+    /// while followers wait — the group commit.
+    pub(crate) fn commit(&self) -> Result<()> {
+        let tid = std::thread::current().id();
+        let mut st = self.lock();
+        let Some(buf) = st.active.remove(&tid).filter(|b| !b.is_empty()) else {
+            return Ok(()); // nothing buffered (e.g. a checkpoint raced us)
+        };
+        let commit_lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+        st.pending.push(PendingOp {
+            commit_lsn,
+            pages: buf.into_iter().collect(),
+        });
+        st.commits += 1;
+        match self.config.fsync {
+            FsyncMode::PerCommit => {
+                Self::flush_pending(&mut st);
+                Ok(())
+            }
+            FsyncMode::Group => {
+                loop {
+                    if st.durable_lsn >= commit_lsn {
+                        return Ok(());
+                    }
+                    if !st.flushing {
+                        st.flushing = true;
+                        drop(st);
+                        // Batching window: give racing committers a chance
+                        // to enqueue before the leader flushes for all.
+                        std::thread::yield_now();
+                        let mut st = self.lock();
+                        Self::flush_pending(&mut st);
+                        st.flushing = false;
+                        drop(st);
+                        self.cond.notify_all();
+                        return Ok(());
+                    }
+                    st = self.cond.wait(st).expect("wal mutex poisoned");
+                }
+            }
+        }
+    }
+
+    /// Discards the calling thread's active op buffer (the op failed after
+    /// buffering — its images must not leak into the next commit).
+    pub(crate) fn abort(&self) {
+        self.lock().active.remove(&std::thread::current().id());
+    }
+
+    /// Serializes every pending op into the device and flushes in one
+    /// write call, advancing the durable LSN.
+    fn flush_pending(st: &mut WalState) {
+        if st.pending.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut st.pending);
+        let mut high = st.durable_lsn;
+        for op in ops {
+            for (pid, img) in &op.pages {
+                let mut body = Vec::with_capacity(4 + PAGE_SIZE);
+                body.extend_from_slice(&pid.0.to_le_bytes());
+                body.extend_from_slice(&img.image[..]);
+                let rec = encode_record(REC_PAGE_IMAGE, img.lsn, &body);
+                st.device.append(&rec);
+            }
+            st.device
+                .append(&encode_record(REC_COMMIT, op.commit_lsn, &[]));
+            high = high.max(op.commit_lsn);
+        }
+        st.device.flush();
+        st.durable_lsn = high;
+    }
+
+    /// Checkpoint: everything logged so far is on the data disk (the
+    /// caller flushed the pool under the writer gate), so the log
+    /// truncates to a fresh segment holding one checkpoint record. Active
+    /// buffers and pending ops are dropped — their effects are durable via
+    /// the data-disk flush.
+    pub(crate) fn checkpoint(&self) {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.lock();
+        st.active.clear();
+        st.pending.clear();
+        st.durable_lsn = lsn;
+        st.device.truncate();
+        st.device.append(&encode_record(REC_CHECKPOINT, lsn, &[]));
+        st.device.flush();
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Simulated crash: volatile state (active op buffers, pending commits
+    /// that never reached the device) is lost; durable device content
+    /// survives untouched.
+    pub(crate) fn crash(&self) {
+        let mut st = self.lock();
+        st.active.clear();
+        st.pending.clear();
+        st.flushing = false;
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Recovery scan: re-reads the whole surviving log (counted log I/O),
+    /// validates it, and returns the final committed after-image per page
+    /// — last LSN wins — for everything past the last checkpoint, in
+    /// ascending `PageId` order. Images are applied only once their op's
+    /// commit marker is seen; a trailing run of images with no commit
+    /// record (a torn final flush) is ignored, not an error.
+    pub(crate) fn recovered_images(&self) -> Result<Vec<RecoveredImage>> {
+        let mut st = self.lock();
+        let records = st.device.read_all()?;
+        let mut images: BTreeMap<PageId, (u64, Box<[u8; PAGE_SIZE]>)> = BTreeMap::new();
+        let mut staged: Vec<RecoveredImage> = Vec::new();
+        for rec in records {
+            match rec {
+                Record::Checkpoint => {
+                    images.clear();
+                    staged.clear();
+                }
+                Record::PageImage { lsn, pid, image } => staged.push((pid, lsn, image)),
+                Record::Commit { lsn } => {
+                    for (pid, ilsn, image) in staged.drain(..) {
+                        if ilsn >= lsn {
+                            return Err(corrupt(format!(
+                                "page image lsn {ilsn} not covered by commit lsn {lsn}"
+                            )));
+                        }
+                        match images.get(&pid) {
+                            Some((prev, _)) if *prev > ilsn => {}
+                            _ => {
+                                images.insert(pid, (ilsn, image));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(images
+            .into_iter()
+            .map(|(pid, (lsn, image))| (pid, lsn, image))
+            .collect())
+    }
+
+    pub(crate) fn stats(&self) -> WalStats {
+        let st = self.lock();
+        let mut s = st.device.stats;
+        s.commits = st.commits;
+        s
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        let mut st = self.lock();
+        st.device.stats = WalStats::default();
+        st.commits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(b: u8) -> [u8; PAGE_SIZE] {
+        [b; PAGE_SIZE]
+    }
+
+    #[test]
+    fn commit_makes_images_recoverable() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        let l1 = wal.note_page_write(PageId(3), &image(7));
+        let l2 = wal.note_page_write(PageId(1), &image(9));
+        assert!(l2 > l1);
+        wal.commit().unwrap();
+        let got = wal.recovered_images().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, PageId(1));
+        assert_eq!(got[0].2[0], 9);
+        assert_eq!(got[1].0, PageId(3));
+        assert_eq!(got[1].2[0], 7);
+    }
+
+    #[test]
+    fn uncommitted_and_aborted_ops_never_surface() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.abort();
+        wal.note_page_write(PageId(2), &image(2));
+        wal.crash(); // volatile buffer lost
+        assert!(wal.recovered_images().unwrap().is_empty());
+    }
+
+    #[test]
+    fn last_image_per_page_wins_within_and_across_ops() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::Group));
+        wal.note_page_write(PageId(5), &image(1));
+        wal.note_page_write(PageId(5), &image(2)); // coalesced in-op
+        wal.commit().unwrap();
+        wal.note_page_write(PageId(5), &image(3));
+        wal.commit().unwrap();
+        let got = wal.recovered_images().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2[0], 3);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_tail() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.commit().unwrap();
+        wal.checkpoint();
+        assert!(wal.recovered_images().unwrap().is_empty());
+        wal.note_page_write(PageId(1), &image(4));
+        wal.commit().unwrap();
+        let got = wal.recovered_images().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, PageId(1));
+    }
+
+    #[test]
+    fn records_span_segment_boundaries() {
+        // 2-page segments: one page image (~2 KiB + framing) per segment,
+        // so three commits force at least two segment rollovers.
+        let config = WalConfig {
+            enabled: true,
+            fsync: FsyncMode::PerCommit,
+            segment_pages: 2,
+        };
+        let wal = Wal::new(config);
+        for i in 0..3u8 {
+            wal.note_page_write(PageId(i as u32), &image(i + 1));
+            wal.commit().unwrap();
+        }
+        let got = wal.recovered_images().unwrap();
+        assert_eq!(got.len(), 3);
+        for (i, (pid, _, img)) in got.iter().enumerate() {
+            assert_eq!(*pid, PageId(i as u32));
+            assert_eq!(img[0], i as u8 + 1);
+        }
+        let s = wal.stats();
+        assert!(s.log_read_calls >= 2, "multiple segments scanned: {s:?}");
+    }
+
+    #[test]
+    fn flush_accounting_counts_calls_and_pages() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.commit().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.log_write_calls, 1, "one commit = one flush");
+        assert!(s.log_pages_written >= 1);
+        assert_eq!(s.commits, 1);
+        wal.reset_stats();
+        assert_eq!(wal.stats(), WalStats::default());
+    }
+
+    #[test]
+    fn corrupted_record_is_detected() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.commit().unwrap();
+        {
+            // Flip a byte inside the first record's payload.
+            let mut st = wal.lock();
+            let p = st.device.seg_start as usize;
+            st.device.pages[p][SEGMENT_HEADER_SIZE + 20] ^= 0xFF;
+        }
+        let err = wal.recovered_images().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn group_commit_amortizes_flushes_across_threads() {
+        use std::sync::Arc;
+        let wal = Arc::new(Wal::new(WalConfig::enabled(FsyncMode::Group)));
+        let threads: Vec<_> = (0..8u32)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    wal.note_page_write(PageId(i), &image(i as u8));
+                    wal.commit().unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.commits, 8);
+        // Scheduling decides the exact batching, but a flush can never
+        // outnumber the commits, and all 8 images must be recoverable.
+        assert!(s.log_write_calls <= 8);
+        assert_eq!(wal.recovered_images().unwrap().len(), 8);
+    }
+}

@@ -352,6 +352,13 @@ impl WorkloadSpec {
         if self.name.is_empty() {
             return Err("spec needs a non-empty name".into());
         }
+        if self.ops.is_empty() {
+            return Err(
+                "spec needs a non-empty \"ops\" list — a workload with no operations \
+                 measures nothing (did the file's \"ops\" array come out empty?)"
+                    .into(),
+            );
+        }
         fn check(ops: &[Op], depth: u32) -> Result<(), String> {
             if depth > 4 {
                 return Err("loops nest deeper than 4".into());

@@ -269,7 +269,7 @@ proptest! {
 /// silently coerced into a runnable (but wrong) plan.
 #[test]
 fn malformed_specs_are_rejected() {
-    let cases: [(&str, &str); 7] = [
+    let cases: [(&str, &str); 8] = [
         (
             r#"{"name":"m","stream":1,"ops":[{"op":"pick_random"}]}"#,
             "pick_random needs",
@@ -295,6 +295,9 @@ fn malformed_specs_are_rejected() {
             "phase",
         ),
         (r#"{"name":"m","stream":1,"threads":4,"ops":[]}"#, "threads"),
+        // An op-less plan parses but measures nothing; validation names the
+        // empty "ops" list instead of silently running a no-op workload.
+        (r#"{"name":"m","stream":1,"ops":[]}"#, "non-empty \"ops\""),
     ];
     for (doc, needle) in cases {
         let err = WorkloadSpec::from_json(doc).expect_err(&format!("must reject: {doc}"));

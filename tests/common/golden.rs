@@ -1,0 +1,84 @@
+//! The golden I/O-call table shared between integration suites.
+//!
+//! `tests/golden_io_calls.rs` pins the serial pipeline against these
+//! constants; `tests/crash_differential.rs` re-pins them through the
+//! WAL-off shared pool (golden identity: the durability plumbing must not
+//! move a single counter while disabled). Extracted here so the two suites
+//! cannot drift apart.
+//!
+//! To regenerate after an *intentional* protocol change, run
+//! `cargo run --release --example golden_dump` and paste its
+//! `io_calls` section here — with a PR note explaining why the calls
+//! moved.
+
+use starfish::core::ModelKind;
+use starfish::cost::QueryId;
+
+/// One golden cell: model paper-name, query label, `io_calls` (`None` =
+/// unsupported, i.e. query 1a under pure NSM).
+pub type GoldenCell = (&'static str, &'static str, Option<u64>);
+
+/// Captured at the fast scale (300 objects, 240-page buffer, dataset seed
+/// 4242, query seed 1993) — regenerate via `examples/golden_dump.rs`.
+pub const GOLDEN_IO_CALLS_FAST: &[GoldenCell] = &[
+    ("DSM", "1a", Some(46)),
+    ("DSM", "1b", Some(549)),
+    ("DSM", "1c", Some(549)),
+    ("DSM", "2a", Some(42)),
+    ("DSM", "2b", Some(1817)),
+    ("DSM", "3a", Some(59)),
+    ("DSM", "3b", Some(4424)),
+    ("DASDBS-DSM", "1a", Some(46)),
+    ("DASDBS-DSM", "1b", Some(549)),
+    ("DASDBS-DSM", "1c", Some(549)),
+    ("DASDBS-DSM", "2a", Some(42)),
+    ("DASDBS-DSM", "2b", Some(1316)),
+    ("DASDBS-DSM", "3a", Some(80)),
+    ("DASDBS-DSM", "3b", Some(2921)),
+    ("NSM", "1a", None),
+    ("NSM", "1b", Some(726)),
+    ("NSM", "1c", Some(726)),
+    ("NSM", "2a", Some(136)),
+    ("NSM", "2b", Some(136)),
+    ("NSM", "3a", Some(142)),
+    ("NSM", "3b", Some(137)),
+    ("NSM+index", "1a", Some(145)),
+    ("NSM+index", "1b", Some(27)),
+    ("NSM+index", "1c", Some(726)),
+    ("NSM+index", "2a", Some(19)),
+    ("NSM+index", "2b", Some(133)),
+    ("NSM+index", "3a", Some(25)),
+    ("NSM+index", "3b", Some(134)),
+    ("DASDBS-NSM", "1a", Some(116)),
+    ("DASDBS-NSM", "1b", Some(27)),
+    ("DASDBS-NSM", "1c", Some(686)),
+    ("DASDBS-NSM", "2a", Some(17)),
+    ("DASDBS-NSM", "2b", Some(148)),
+    ("DASDBS-NSM", "3a", Some(23)),
+    ("DASDBS-NSM", "3b", Some(149)),
+];
+
+/// Looks up a model by its paper name, panicking on an unknown one.
+pub fn model_by_name(name: &str) -> ModelKind {
+    ModelKind::all()
+        .into_iter()
+        .find(|k| k.paper_name() == name)
+        .unwrap_or_else(|| panic!("unknown model {name}"))
+}
+
+/// Looks up a query by its `1a`-style label, panicking on an unknown one.
+pub fn query_by_label(label: &str) -> QueryId {
+    QueryId::all()
+        .into_iter()
+        .find(|q| format!("{q}") == label)
+        .unwrap_or_else(|| panic!("unknown query {label}"))
+}
+
+/// The expected `io_calls` for one model × query cell.
+pub fn golden_io_calls(kind: ModelKind, q: QueryId) -> Option<u64> {
+    GOLDEN_IO_CALLS_FAST
+        .iter()
+        .find(|(m, ql, _)| model_by_name(m) == kind && query_by_label(ql) == q)
+        .unwrap_or_else(|| panic!("golden table misses {kind}/{q}"))
+        .2
+}

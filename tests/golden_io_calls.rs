@@ -10,72 +10,20 @@
 //! page count intact and still silently degenerate the call grouping —
 //! this table makes that impossible.
 //!
-//! To regenerate after an *intentional* protocol change, run
+//! The golden constants live in `tests/common/golden.rs`, shared with the
+//! WAL-off golden-identity check in `tests/crash_differential.rs`. To
+//! regenerate after an *intentional* protocol change, run
 //! `cargo run --release --example golden_dump` and paste its
-//! `io_calls` section here — with a PR note explaining why the calls
+//! `io_calls` section there — with a PR note explaining why the calls
 //! moved.
 
 use starfish::core::{make_store, ModelKind, StoreConfig};
 use starfish::cost::QueryId;
 use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
 
-/// One golden cell: model paper-name, query label, `io_calls` (`None` =
-/// unsupported, i.e. query 1a under pure NSM).
-type GoldenCell = (&'static str, &'static str, Option<u64>);
-
-/// Captured at the fast scale (300 objects, 240-page buffer, dataset seed
-/// 4242, query seed 1993) — regenerate via `examples/golden_dump.rs`.
-const GOLDEN_IO_CALLS_FAST: &[GoldenCell] = &[
-    ("DSM", "1a", Some(46)),
-    ("DSM", "1b", Some(549)),
-    ("DSM", "1c", Some(549)),
-    ("DSM", "2a", Some(42)),
-    ("DSM", "2b", Some(1817)),
-    ("DSM", "3a", Some(59)),
-    ("DSM", "3b", Some(4424)),
-    ("DASDBS-DSM", "1a", Some(46)),
-    ("DASDBS-DSM", "1b", Some(549)),
-    ("DASDBS-DSM", "1c", Some(549)),
-    ("DASDBS-DSM", "2a", Some(42)),
-    ("DASDBS-DSM", "2b", Some(1316)),
-    ("DASDBS-DSM", "3a", Some(80)),
-    ("DASDBS-DSM", "3b", Some(2921)),
-    ("NSM", "1a", None),
-    ("NSM", "1b", Some(726)),
-    ("NSM", "1c", Some(726)),
-    ("NSM", "2a", Some(136)),
-    ("NSM", "2b", Some(136)),
-    ("NSM", "3a", Some(142)),
-    ("NSM", "3b", Some(137)),
-    ("NSM+index", "1a", Some(145)),
-    ("NSM+index", "1b", Some(27)),
-    ("NSM+index", "1c", Some(726)),
-    ("NSM+index", "2a", Some(19)),
-    ("NSM+index", "2b", Some(133)),
-    ("NSM+index", "3a", Some(25)),
-    ("NSM+index", "3b", Some(134)),
-    ("DASDBS-NSM", "1a", Some(116)),
-    ("DASDBS-NSM", "1b", Some(27)),
-    ("DASDBS-NSM", "1c", Some(686)),
-    ("DASDBS-NSM", "2a", Some(17)),
-    ("DASDBS-NSM", "2b", Some(148)),
-    ("DASDBS-NSM", "3a", Some(23)),
-    ("DASDBS-NSM", "3b", Some(149)),
-];
-
-fn model_by_name(name: &str) -> ModelKind {
-    ModelKind::all()
-        .into_iter()
-        .find(|k| k.paper_name() == name)
-        .unwrap_or_else(|| panic!("unknown model {name}"))
-}
-
-fn query_by_label(label: &str) -> QueryId {
-    QueryId::all()
-        .into_iter()
-        .find(|q| format!("{q}") == label)
-        .unwrap_or_else(|| panic!("unknown query {label}"))
-}
+#[path = "common/golden.rs"]
+mod golden;
+use golden::{golden_io_calls, GOLDEN_IO_CALLS_FAST};
 
 #[test]
 fn io_call_counts_match_golden_table_fast_scale() {
@@ -90,11 +38,7 @@ fn io_call_counts_match_golden_table_fast_scale() {
         let refs = store.load(&db).unwrap();
         let runner = QueryRunner::new(refs, 1993);
         for q in QueryId::all() {
-            let expect = GOLDEN_IO_CALLS_FAST
-                .iter()
-                .find(|(m, ql, _)| model_by_name(m) == kind && query_by_label(ql) == q)
-                .unwrap_or_else(|| panic!("golden table misses {kind}/{q}"))
-                .2;
+            let expect = golden_io_calls(kind, q);
             let got = match runner.run(store.as_mut(), q).unwrap() {
                 QueryOutcome::Measured(m) => Some(m.snapshot.io_calls()),
                 QueryOutcome::Unsupported => None,
