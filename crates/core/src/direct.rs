@@ -662,6 +662,10 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
     fn recover(&self) -> Result<usize> {
         self.pool.pool().recover().map_err(Into::into)
     }
+
+    fn damage_log_tail(&self, bytes: u32) {
+        self.pool.pool().truncate_log_tail(bytes)
+    }
 }
 
 #[cfg(test)]

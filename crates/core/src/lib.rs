@@ -28,7 +28,10 @@ mod object_file;
 mod partitioned;
 mod traits;
 
-pub use concurrent::{make_shared_store, ConcurrentObjectStore};
+pub use concurrent::{
+    make_shared_store, with_reactor, ConcurrentObjectStore, QueryRequest, QueryResponse, Reactor,
+    Ticket,
+};
 pub use dasdbs_nsm::DasdbsNsmStore;
 pub use direct::DirectStore;
 pub use error::CoreError;
@@ -42,7 +45,7 @@ pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 // and consume measurements without depending on the substrate crate
 // directly.
 pub use starfish_pagestore::{
-    BufferConfig, FsyncMode, IoSnapshot, PolicyKind, SharedPoolHandle, WalConfig,
+    BufferConfig, FsyncMode, IoEngineConfig, IoSnapshot, PolicyKind, SharedPoolHandle, WalConfig,
 };
 
 /// Result alias used throughout the crate.
@@ -149,6 +152,15 @@ impl StoreConfig {
     /// surface never logs, keeping the serial measurements byte-identical.
     pub fn wal(mut self, wal: WalConfig) -> Self {
         self.buffer.wal = wal;
+        self
+    }
+
+    /// Sets the batched-I/O-engine configuration. Like the WAL, only
+    /// shared pools ([`make_shared_store`]) act on it; disabled (the
+    /// default) every miss stays on the synchronous path and all engine
+    /// counters read zero.
+    pub fn io_engine(mut self, io: IoEngineConfig) -> Self {
+        self.buffer.io = io;
         self
     }
 }

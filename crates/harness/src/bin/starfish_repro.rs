@@ -4,7 +4,8 @@
 //! ```text
 //! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--json]
 //!                [--seed N] [--policy <name>] [--threads N] [--fsync M]
-//!                [--workload <file.json>|<builtin>] [--list]
+//!                [--queue-depth N] [--workload <file.json>|<builtin>]
+//!                [--list]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
 //!   --only       run a subset of experiments (ids from --list)
@@ -22,6 +23,11 @@
 //!                (flush the log on every commit) or group (leader
 //!                flushes a batch). Default: sweep both. Other
 //!                experiments run with the WAL off and ignore it.
+//!   --queue-depth N
+//!                cap the queue depths ext-concurrency's batched-I/O
+//!                sweep drives (default 8: depths 1/2/4/8 with the
+//!                submission/completion engine enabled). Other
+//!                experiments run with the engine off and ignore it.
 //!   --workload   run one declarative workload spec (a JSON file path or a
 //!                built-in name like deep-nav) across the five storage
 //!                models instead of the experiment suite; add --threads N
@@ -31,7 +37,7 @@
 //! ```
 
 use starfish_harness::experiments;
-use starfish_harness::runner::{parse_fsync, parse_threads, HarnessConfig};
+use starfish_harness::runner::{parse_fsync, parse_queue_depth, parse_threads, HarnessConfig};
 use starfish_workload::WorkloadSpec;
 
 fn main() {
@@ -40,7 +46,7 @@ fn main() {
         println!(
             "starfish-repro [--fast] [--only <ids>] [--markdown] [--json] [--seed N] \
              [--policy lru|clock|mru|fifo|lru2] [--threads N] [--fsync per|group] \
-             [--workload <file.json>|<name>] [--list]\n\
+             [--queue-depth N] [--workload <file.json>|<name>] [--list]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
              I/Os for Complex Object Processing' (ICDE 1993)\n\
              --policy selects the buffer-replacement policy behind every \
@@ -51,6 +57,9 @@ fn main() {
              --fsync restricts the ext-durability WAL sweep to one flush mode \
              (per = flush on every commit, group = leader flushes a batch; \
              default both)\n\
+             --queue-depth caps the queue depths of ext-concurrency's \
+             batched-I/O sweep (submission/completion engine enabled, client \
+             count = queue depth; default cap 8)\n\
              --workload runs one declarative AccessPlan spec (JSON file or \
              built-in name) across the five storage models; with --threads N \
              it runs over the concurrent surface from N client threads\n\
@@ -88,6 +97,13 @@ fn main() {
     }
     match parse_fsync(&args) {
         Ok(fsync) => config.fsync = fsync,
+        Err(msg) => {
+            eprintln!("starfish-repro: {msg}");
+            std::process::exit(2);
+        }
+    }
+    match parse_queue_depth(&args) {
+        Ok(depth) => config.queue_depth = depth,
         Err(msg) => {
             eprintln!("starfish-repro: {msg}");
             std::process::exit(2);

@@ -31,6 +31,11 @@ pub struct HarnessConfig {
     /// that mode (the CLI's `--fsync`). Every other experiment runs with
     /// the WAL off and ignores this.
     pub fsync: Option<FsyncMode>,
+    /// Cap on the queue depths the concurrency experiment's batched-I/O
+    /// sweep drives (`None` = the default cap of 8; the CLI's
+    /// `--queue-depth`). Every other experiment runs with the engine off
+    /// and ignores this.
+    pub queue_depth: Option<usize>,
 }
 
 impl Default for HarnessConfig {
@@ -42,6 +47,7 @@ impl Default for HarnessConfig {
             dataset_seed: 4242,
             query_seed: 1993,
             fsync: None,
+            queue_depth: None,
         }
     }
 }
@@ -88,6 +94,27 @@ pub fn parse_threads(args: &[String]) -> std::result::Result<Option<usize>, Stri
             args[i + 1]
         )),
         None => Err("--threads needs a client count >= 1".into()),
+    }
+}
+
+/// Parses the `--queue-depth` argument out of a CLI argument list.
+///
+/// Returns `Ok(None)` when the flag is absent (the concurrency experiment
+/// sweeps up to its default depth cap), `Ok(Some(n))` for a valid
+/// `--queue-depth n`, and `Err` with a user-facing message for a missing,
+/// non-numeric or **zero** value — a zero-depth queue can hold no request.
+pub fn parse_queue_depth(args: &[String]) -> std::result::Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--queue-depth") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Ok(Some(n)),
+        Some(Ok(0)) => Err("--queue-depth needs a depth >= 1 (got 0)".into()),
+        Some(_) => Err(format!(
+            "--queue-depth needs a depth >= 1 (got '{}')",
+            args[i + 1]
+        )),
+        None => Err("--queue-depth needs a depth >= 1".into()),
     }
 }
 
@@ -377,6 +404,25 @@ mod tests {
         assert!(parse_threads(&args(&["--threads"])).is_err());
         assert!(parse_threads(&args(&["--threads", "many"])).is_err());
         assert!(parse_threads(&args(&["--threads", "-2"])).is_err());
+    }
+
+    #[test]
+    fn parse_queue_depth_accepts_positive_depths_only() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_queue_depth(&args(&["--fast"])), Ok(None));
+        assert_eq!(
+            parse_queue_depth(&args(&["--queue-depth", "8"])),
+            Ok(Some(8))
+        );
+        assert_eq!(
+            parse_queue_depth(&args(&["--fast", "--queue-depth", "1"])),
+            Ok(Some(1))
+        );
+        let err = parse_queue_depth(&args(&["--queue-depth", "0"])).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        assert!(parse_queue_depth(&args(&["--queue-depth"])).is_err());
+        assert!(parse_queue_depth(&args(&["--queue-depth", "deep"])).is_err());
+        assert!(parse_queue_depth(&args(&["--queue-depth", "-4"])).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::disk::DiskOps;
+use crate::ioengine::IoEngineConfig;
 use crate::latch::{distinct_pids, LatchMode};
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferStats, IoSnapshot};
@@ -30,6 +31,10 @@ pub struct BufferConfig {
     /// pool acts on it; the exclusive [`BufferPool`] is measurement-only
     /// and never logs, so pre-WAL counters stay byte-identical.
     pub wal: WalConfig,
+    /// Batched-read-engine configuration (default: disabled). Like the
+    /// WAL, only the shared pool acts on it: the exclusive [`BufferPool`]
+    /// serves exactly one client and has nothing to batch across.
+    pub io: IoEngineConfig,
 }
 
 impl Default for BufferConfig {
@@ -38,6 +43,7 @@ impl Default for BufferConfig {
             pages: DEFAULT_BUFFER_PAGES,
             policy: PolicyKind::Lru,
             wal: WalConfig::default(),
+            io: IoEngineConfig::default(),
         }
     }
 }
@@ -60,6 +66,12 @@ impl BufferConfig {
     /// Sets the write-ahead-log configuration.
     pub fn wal(mut self, wal: WalConfig) -> Self {
         self.wal = wal;
+        self
+    }
+
+    /// Sets the batched-read-engine configuration.
+    pub fn io(mut self, io: IoEngineConfig) -> Self {
+        self.io = io;
         self
     }
 
@@ -186,6 +198,20 @@ impl PoolCore {
             self.frame_mut(slot).dirty = true;
         }
         Ok(slot)
+    }
+
+    /// Counts a fix that the batched I/O engine satisfied: the access
+    /// triggered a physical read (through the drain batch), so it is a
+    /// miss, exactly as [`PoolCore::fix`]'s miss arm counts one — and like
+    /// that arm it does **not** bump the policy (the frame's `on_insert`
+    /// from the install is its access event, keeping LRU-2/CLOCK histories
+    /// identical to the synchronous path).
+    pub(crate) fn fix_engine_miss(&mut self, slot: usize, dirty: bool) {
+        self.stats.fixes += 1;
+        self.stats.misses += 1;
+        if dirty {
+            self.frame_mut(slot).dirty = true;
+        }
     }
 
     /// Releases one pin on `pid`. Returns `false` (and does nothing) if the

@@ -38,6 +38,13 @@
 //! * [`SpannedStore`] — large-object storage: header page(s) holding the
 //!   object directory, disjoint contiguous data pages holding the bytes,
 //!   with whole-object, header-only and byte-range reads;
+//! * [`ioengine`](crate::IoEngineConfig) — an optional io_uring-style
+//!   submission/completion layer for buffer misses: concurrent misses
+//!   queue, a leader drains the queue, coalesces adjacent page ids into
+//!   multi-page `read_run` calls, and fills frames on completion while
+//!   waiters park off the shard mutexes. Disabled by default; off, the
+//!   miss path and every counter are byte-identical to the synchronous
+//!   pool;
 //! * [`wal`](crate::WalConfig) — an optional redo-only write-ahead log
 //!   under the shared pool: checksummed, LSN-stamped page after-images in
 //!   multi-page log segments, per-commit or group-commit flushing, and
@@ -53,6 +60,7 @@ mod cache;
 mod disk;
 mod error;
 mod heap;
+mod ioengine;
 pub mod latch;
 pub mod policy;
 mod shared;
@@ -66,6 +74,7 @@ pub use cache::PageCache;
 pub use disk::SimDisk;
 pub use error::StoreError;
 pub use heap::{HeapFile, Rid};
+pub use ioengine::{IoEngineConfig, DEFAULT_MAX_BATCH_PAGES};
 pub use latch::LatchMode;
 pub use policy::{PolicyKind, ReplacementPolicy};
 pub use shared::{SharedBufferPool, SharedPoolHandle};

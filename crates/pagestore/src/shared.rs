@@ -49,10 +49,34 @@
 //!   (in-flight exclusive groups finish, new ones are held off) instead of
 //!   assuming them absent, then flush under all shard locks — concurrent
 //!   readers keep running and simply go cold after a restart.
+//!
+//! # Batched reads
+//!
+//! With [`IoEngineConfig::enabled`], buffer misses route through the
+//! [`crate::ioengine`] submission/completion layer: the missing fixer
+//! releases its shard mutex and parks on a completion token while a
+//! drain leader coalesces queued misses into multi-page `read_run` calls
+//! and fills the frames (shard locks held only for the install, never
+//! across the disk read). The engine mutex sits outside the lock order —
+//! it is never held while a shard mutex is acquired. Disabled (default),
+//! the miss path is the synchronous one, byte-identical in code and
+//! counters to the pre-engine pool.
+//!
+//! # Lock poisoning
+//!
+//! Every mutex/condvar acquisition here recovers from poisoning
+//! (`unwrap_or_else(|e| e.into_inner())`) instead of propagating the panic.
+//! Shard, gate, and disk state are kept consistent by this module's own
+//! invariants — critical sections never leave frames half-installed — and
+//! the latched write surface already unwinds cleanly
+//! ([`PageCache::with_latched`] releases latches on panic). Propagating
+//! poison would turn one panicked client into a pool-wide panic storm and
+//! leave threads parked in `Condvar::wait` wedged forever.
 
 use crate::buffer::{PoolCore, MAX_PAGES_PER_WRITE_CALL};
 use crate::cache::PageCache;
 use crate::disk::DiskOps;
+use crate::ioengine::{IoEngine, IoEngineConfig};
 use crate::latch::{distinct_pids, LatchMode, LatchTable};
 use crate::stats::{BufferStats, DiskStats, IoSnapshot};
 use crate::wal::{Wal, WalConfig};
@@ -82,14 +106,14 @@ impl SharedDisk {
     }
 
     fn alloc_extent(&self, n: u32) -> PageId {
-        let mut pages = self.pages.write().expect("disk lock poisoned");
+        let mut pages = self.pages.write().unwrap_or_else(|e| e.into_inner());
         let len = pages.len();
         pages.resize(len + n as usize, [0u8; PAGE_SIZE]);
         PageId(len as u32)
     }
 
     fn allocated_pages(&self) -> u32 {
-        self.pages.read().expect("disk lock poisoned").len() as u32
+        self.pages.read().unwrap_or_else(|e| e.into_inner()).len() as u32
     }
 
     fn check(len: usize, first: PageId, n: u32) -> Result<()> {
@@ -109,7 +133,12 @@ impl SharedDisk {
         n: u32,
         sink: &mut dyn FnMut(u32, &[u8; PAGE_SIZE]),
     ) -> Result<()> {
-        let pages = self.pages.read().expect("disk lock poisoned");
+        // Zero-length runs are validated no-ops: no bounds check, no call
+        // counted (mirrors `SimDisk::read_run`).
+        if n == 0 {
+            return Ok(());
+        }
+        let pages = self.pages.read().unwrap_or_else(|e| e.into_inner());
         Self::check(pages.len(), first, n)?;
         self.read_calls.fetch_add(1, Ordering::Relaxed);
         self.pages_read.fetch_add(n as u64, Ordering::Relaxed);
@@ -125,7 +154,10 @@ impl SharedDisk {
         n: u32,
         source: &mut dyn FnMut(u32) -> [u8; PAGE_SIZE],
     ) -> Result<()> {
-        let mut pages = self.pages.write().expect("disk lock poisoned");
+        if n == 0 {
+            return Ok(());
+        }
+        let mut pages = self.pages.write().unwrap_or_else(|e| e.into_inner());
         Self::check(pages.len(), first, n)?;
         self.write_calls.fetch_add(1, Ordering::Relaxed);
         self.pages_written.fetch_add(n as u64, Ordering::Relaxed);
@@ -136,7 +168,10 @@ impl SharedDisk {
     }
 
     fn write_run_noop(&self, first: PageId, n: u32) -> Result<()> {
-        let pages = self.pages.read().expect("disk lock poisoned");
+        if n == 0 {
+            return Ok(());
+        }
+        let pages = self.pages.read().unwrap_or_else(|e| e.into_inner());
         Self::check(pages.len(), first, n)?;
         self.write_calls.fetch_add(1, Ordering::Relaxed);
         self.pages_written.fetch_add(n as u64, Ordering::Relaxed);
@@ -144,7 +179,7 @@ impl SharedDisk {
     }
 
     fn checksum(&self) -> u64 {
-        crate::disk::fnv1a_pages(&self.pages.read().expect("disk lock poisoned"))
+        crate::disk::fnv1a_pages(&self.pages.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     fn stats(&self) -> DiskStats {
@@ -227,6 +262,10 @@ pub struct SharedBufferPool {
     /// `None` keeps every code path and counter byte-identical to the
     /// pre-WAL pool.
     wal: Option<Wal>,
+    /// The batched read engine, when enabled ([`IoEngineConfig`]). `None`
+    /// keeps the synchronous miss path and its counters byte-identical to
+    /// the pre-engine pool.
+    engine: Option<IoEngine>,
 }
 
 impl SharedBufferPool {
@@ -242,6 +281,18 @@ impl SharedBufferPool {
     /// every latched update is redo-logged and survives
     /// [`Self::crash_volatile`] + [`Self::recover`].
     pub fn with_wal(capacity: usize, policy: PolicyKind, shards: usize, wal: WalConfig) -> Self {
+        Self::with_config(capacity, policy, shards, wal, IoEngineConfig::default())
+    }
+
+    /// The full constructor: capacity, policy, shard count, WAL, and
+    /// batched-read-engine configuration.
+    pub fn with_config(
+        capacity: usize,
+        policy: PolicyKind,
+        shards: usize,
+        wal: WalConfig,
+        io: IoEngineConfig,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(
             capacity >= shards,
@@ -268,6 +319,7 @@ impl SharedBufferPool {
             policy,
             capacity,
             wal: wal.enabled.then(|| Wal::new(wal)),
+            engine: io.enabled.then(|| IoEngine::new(io)),
         }
     }
 
@@ -294,7 +346,10 @@ impl SharedBufferPool {
     }
 
     fn shard(&self, i: usize) -> MutexGuard<'_, ShardState> {
-        self.shards[i].state.lock().expect("shard mutex poisoned")
+        self.shards[i]
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Locks `pid`'s shard and waits until no *foreign* latch blocks a read
@@ -302,14 +357,14 @@ impl SharedBufferPool {
     /// holds no other lock or latch.
     fn lock_for_read(&self, pid: PageId) -> MutexGuard<'_, ShardState> {
         let sh = &self.shards[self.shard_of(pid)];
-        let mut st = sh.state.lock().expect("shard mutex poisoned");
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut waited = false;
         while st.latches.blocks_read(pid) {
             if !waited {
                 st.core.stats.latch_waits += 1;
                 waited = true;
             }
-            st = sh.cond.wait(st).expect("shard mutex poisoned");
+            st = sh.cond.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st
     }
@@ -318,14 +373,14 @@ impl SharedBufferPool {
     /// shared latches.
     fn lock_for_write(&self, pid: PageId) -> MutexGuard<'_, ShardState> {
         let sh = &self.shards[self.shard_of(pid)];
-        let mut st = sh.state.lock().expect("shard mutex poisoned");
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut waited = false;
         while st.latches.blocks_write(pid) {
             if !waited {
                 st.core.stats.latch_waits += 1;
                 waited = true;
             }
-            st = sh.cond.wait(st).expect("shard mutex poisoned");
+            st = sh.cond.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st
     }
@@ -334,7 +389,7 @@ impl SharedBufferPool {
     fn lock_all(&self) -> Vec<MutexGuard<'_, ShardState>> {
         self.shards
             .iter()
-            .map(|s| s.state.lock().expect("shard mutex poisoned"))
+            .map(|s| s.state.lock().unwrap_or_else(|e| e.into_inner()))
             .collect()
     }
 
@@ -353,12 +408,90 @@ impl SharedBufferPool {
         self.disk.checksum()
     }
 
+    /// Fixes `pid` under its shard lock, routing misses through the
+    /// batched read engine when one is enabled. Returns the owning shard's
+    /// guard plus the frame slot, with the fix counted.
+    ///
+    /// Engine off, this is the synchronous path verbatim: one shard lock,
+    /// and a miss reads under it. Engine on, a miss **releases the shard
+    /// mutex** and parks on the engine ([`IoEngine::read_page`]); once the
+    /// completion fires, the shard is re-locked and the (engine-installed)
+    /// frame is counted as a miss. An eviction can beat the re-lock, in
+    /// which case the request is simply resubmitted.
+    fn fix_in_shard(
+        &self,
+        pid: PageId,
+        write: bool,
+    ) -> Result<(MutexGuard<'_, ShardState>, usize)> {
+        let mut st = self.lock_for_mode(pid, write);
+        let Some(engine) = &self.engine else {
+            let slot = st.core.fix(&mut &self.disk, pid, write)?;
+            return Ok((st, slot));
+        };
+        loop {
+            if st.core.is_cached(pid) {
+                // Resident: the ordinary (hit-counting) fix.
+                let slot = st.core.fix(&mut &self.disk, pid, write)?;
+                return Ok((st, slot));
+            }
+            drop(st);
+            engine.read_page(pid, |runs| self.install_runs(runs))?;
+            st = self.lock_for_mode(pid, write);
+            if let Some(slot) = st.core.slot_of(pid) {
+                st.core.fix_engine_miss(slot, write);
+                return Ok((st, slot));
+            }
+            // Evicted between completion and re-lock: go around again. The
+            // next round's residency check keeps this loop from spinning —
+            // either the page is back (someone re-read it) or we resubmit.
+        }
+    }
+
+    /// Leader-side completion fill for a drained batch: for each coalesced
+    /// run, read it from the shared disk in **one call with no shard mutex
+    /// held**, then install the frames that are still missing under their
+    /// shard locks (pages that raced into the cache keep their authoritative
+    /// frames; the freshly read image is dropped).
+    fn install_runs(&self, runs: &[(PageId, u32)]) -> Result<()> {
+        for &(first, n) in runs {
+            let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
+            self.disk
+                .read_run(first, n, &mut |_, data| images.push(*data))?;
+            let mut guards = self.lock_involved(first, n);
+            let mut missing = vec![false; n as usize];
+            let mut per_guard = vec![0usize; guards.len()];
+            for i in 0..n {
+                let pid = first.offset(i);
+                let g = guard_pos(&guards, self.shard_of(pid));
+                if !guards[g].1.core.is_cached(pid) {
+                    missing[i as usize] = true;
+                    per_guard[g] += 1;
+                }
+            }
+            for (g, &m) in per_guard.iter().enumerate() {
+                if m > 0 {
+                    guards[g].1.core.make_room(&mut &self.disk, m)?;
+                }
+            }
+            for (i, data) in images.into_iter().enumerate() {
+                if !missing[i] {
+                    continue;
+                }
+                let pid = first.offset(i as u32);
+                let g = guard_pos(&guards, self.shard_of(pid));
+                guards[g].1.core.insert_frame(pid, data);
+            }
+        }
+        Ok(())
+    }
+
     /// Fixes `pid` for reading and passes its content to `f`. One shard
     /// lock; concurrent fixes to other shards proceed in parallel. Waits
-    /// for a conflicting foreign exclusive latch.
+    /// for a conflicting foreign exclusive latch. With the batched read
+    /// engine enabled, a miss parks on a completion token instead of
+    /// reading under the shard mutex (see [`Self::fix_in_shard`]).
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
-        let mut st = self.lock_for_read(pid);
-        let slot = st.core.fix(&mut &self.disk, pid, false)?;
+        let (st, slot) = self.fix_in_shard(pid, false)?;
         Ok(f(&st.core.frame(slot).data))
     }
 
@@ -376,8 +509,7 @@ impl SharedBufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let mut st = self.lock_for_write(pid);
-        let slot = st.core.fix(&mut &self.disk, pid, true)?;
+        let (mut st, slot) = self.fix_in_shard(pid, true)?;
         let r = f(&mut st.core.frame_mut(slot).data);
         if let Some(wal) = &self.wal {
             let frame = st.core.frame_mut(slot);
@@ -389,8 +521,7 @@ impl SharedBufferPool {
     /// Fixes and pins `pid` in its shard; pinned frames are never eviction
     /// victims until [`SharedBufferPool::unpin`]. Pins nest.
     pub fn pin(&self, pid: PageId) -> Result<()> {
-        let mut st = self.lock_for_read(pid);
-        let slot = st.core.fix(&mut &self.disk, pid, false)?;
+        let (mut st, slot) = self.fix_in_shard(pid, false)?;
         st.core.frame_mut(slot).pins += 1;
         Ok(())
     }
@@ -427,7 +558,7 @@ impl SharedBufferPool {
         while i < ordered.len() {
             let s = ordered[i].0;
             let sh = &self.shards[s];
-            let mut st = sh.state.lock().expect("shard mutex poisoned");
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
             let mut granted = 0u64;
             while i < ordered.len() && ordered[i].0 == s {
                 let pid = ordered[i].1;
@@ -437,7 +568,7 @@ impl SharedBufferPool {
                         st.core.stats.latch_waits += 1;
                         waited = true;
                     }
-                    st = sh.cond.wait(st).expect("shard mutex poisoned");
+                    st = sh.cond.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
                 st.latches.grant(pid, mode);
                 granted += 1;
@@ -462,7 +593,7 @@ impl SharedBufferPool {
         while i < ordered.len() {
             let s = ordered[i].0;
             let sh = &self.shards[s];
-            let mut st = sh.state.lock().expect("shard mutex poisoned");
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
             while i < ordered.len() && ordered[i].0 == s {
                 st.latches.release(ordered[i].1, mode);
                 i += 1;
@@ -490,15 +621,15 @@ impl SharedBufferPool {
     }
 
     fn enter_exclusive_group(&self) {
-        let mut g = self.gate.lock().expect("gate poisoned");
+        let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
         while g.draining {
-            g = self.gate_cond.wait(g).expect("gate poisoned");
+            g = self.gate_cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         g.active_exclusive += 1;
     }
 
     fn exit_exclusive_group(&self) {
-        let mut g = self.gate.lock().expect("gate poisoned");
+        let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(g.active_exclusive > 0, "unbalanced exclusive group");
         g.active_exclusive = g.active_exclusive.saturating_sub(1);
         drop(g);
@@ -509,10 +640,10 @@ impl SharedBufferPool {
     /// holds off new ones until [`Self::release_quiesce`]. Never called
     /// while holding a shard mutex, so draining writers can complete.
     fn quiesce_writers(&self) {
-        let mut g = self.gate.lock().expect("gate poisoned");
+        let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
         while g.draining {
             // Another flush/restart is draining; take over afterwards.
-            g = self.gate_cond.wait(g).expect("gate poisoned");
+            g = self.gate_cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         g.draining = true;
         let mut waited = false;
@@ -521,91 +652,118 @@ impl SharedBufferPool {
                 self.gate_waits.fetch_add(1, Ordering::Relaxed);
                 waited = true;
             }
-            g = self.gate_cond.wait(g).expect("gate poisoned");
+            g = self.gate_cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn release_quiesce(&self) {
-        let mut g = self.gate.lock().expect("gate poisoned");
+        let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(g.draining, "unbalanced quiesce");
         g.draining = false;
         drop(g);
         self.gate_cond.notify_all();
     }
 
+    /// [`Self::lock_for_read`] or [`Self::lock_for_write`], by flag.
+    fn lock_for_mode(&self, pid: PageId, write: bool) -> MutexGuard<'_, ShardState> {
+        if write {
+            self.lock_for_write(pid)
+        } else {
+            self.lock_for_read(pid)
+        }
+    }
+
+    /// Locks every shard owning a page of `[first, first+n)`, in ascending
+    /// shard order (the global lock order). Returns `(shard index, guard)`
+    /// pairs; resolve a page's guard with [`guard_pos`].
+    fn lock_involved(&self, first: PageId, n: u32) -> Vec<(usize, MutexGuard<'_, ShardState>)> {
+        let mut involved: Vec<usize> = (0..n).map(|i| self.shard_of(first.offset(i))).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        involved
+            .into_iter()
+            .map(|s| {
+                (
+                    s,
+                    self.shards[s]
+                        .state
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()),
+                )
+            })
+            .collect()
+    }
+
     /// Ensures the run `[first, first+n)` is cached: one read call per
-    /// maximal contiguous missing sub-run, with the loaded frames
-    /// distributed to their owning shards. Does not count fixes.
+    /// maximal contiguous missing sub-run — disk-adjacent missing fragments
+    /// merge into a single call even when their pages hash to different
+    /// shards. Does not count fixes.
+    ///
+    /// Every involved shard is locked up front (ascending, the lock order),
+    /// so residency is decided **coherently for the whole run**. The old
+    /// implementation probed residency one page at a time, re-locking per
+    /// page: concurrent evictions between the probe and the load could
+    /// split one maximal missing run into several disk calls, and the
+    /// touch/probe pass cost two lock acquisitions per page. Per-position
+    /// policy-event order (touch resident pages as encountered, insert
+    /// missing runs as loaded) is identical to `BufferPool::prefetch_run`,
+    /// which is what keeps a 1-shard pool counter-exact against the serial
+    /// pool.
     pub fn prefetch_run(&self, first: PageId, n: u32) -> Result<()> {
-        let mut i = 0;
+        if n == 0 {
+            return Ok(());
+        }
+        let mut guards = self.lock_involved(first, n);
+        let mut i = 0u32;
         while i < n {
             let pid = first.offset(i);
-            if self.shard(self.shard_of(pid)).core.touch(pid) {
+            let g = guard_pos(&guards, self.shard_of(pid));
+            if guards[g].1.core.touch(pid) {
                 i += 1;
                 continue;
             }
-            // Extend the missing run as far as possible.
-            let mut len = 1;
-            while i + len < n && !self.is_cached(first.offset(i + len)) {
+            // Extend the missing run as far as possible (coherent: nothing
+            // can race in or out while the shard locks are held).
+            let mut len = 1u32;
+            while i + len < n {
+                let q = first.offset(i + len);
+                let gq = guard_pos(&guards, self.shard_of(q));
+                if guards[gq].1.core.is_cached(q) {
+                    break;
+                }
                 len += 1;
             }
-            self.load_run(first.offset(i), len)?;
+            self.load_missing_locked(&mut guards, first.offset(i), len)?;
             i += len;
         }
         Ok(())
     }
 
-    /// Loads the run `[first, first+n)` in one read call, installing each
-    /// page in its owning shard. Pages that raced into the cache since the
-    /// caller's residency check are skipped (their frames are
-    /// authoritative; the disk content is identical).
-    fn load_run(&self, first: PageId, n: u32) -> Result<()> {
-        // Lock every involved shard in ascending order (the lock order).
-        let mut involved: Vec<usize> = (0..n).map(|i| self.shard_of(first.offset(i))).collect();
-        involved.sort_unstable();
-        involved.dedup();
-        let mut guards: Vec<(usize, MutexGuard<'_, ShardState>)> = involved
-            .into_iter()
-            .map(|s| {
-                (
-                    s,
-                    self.shards[s].state.lock().expect("shard mutex poisoned"),
-                )
-            })
-            .collect();
-        let guard_pos = |guards: &Vec<(usize, MutexGuard<'_, ShardState>)>, s: usize| {
-            guards.iter().position(|(i, _)| *i == s).expect("locked")
-        };
-        // Which pages are (still) missing, per shard, under the locks.
-        let mut missing = vec![false; n as usize];
-        let mut missing_per_guard = vec![0usize; guards.len()];
-        for i in 0..n {
-            let pid = first.offset(i);
-            let g = guard_pos(&guards, self.shard_of(pid));
-            if !guards[g].1.core.is_cached(pid) {
-                missing[i as usize] = true;
-                missing_per_guard[g] += 1;
-            }
+    /// Loads the all-missing run `[sub_first, sub_first+len)` in one read
+    /// call under already-held shard guards: make room per shard (evictions
+    /// may write — the same order `BufferPool::load_run` uses), one disk
+    /// read, then install each frame in its owning shard.
+    fn load_missing_locked(
+        &self,
+        guards: &mut [(usize, MutexGuard<'_, ShardState>)],
+        sub_first: PageId,
+        len: u32,
+    ) -> Result<()> {
+        let mut per_guard = vec![0usize; guards.len()];
+        for j in 0..len {
+            per_guard[guard_pos(guards, self.shard_of(sub_first.offset(j)))] += 1;
         }
-        if missing.iter().all(|m| !m) {
-            return Ok(());
-        }
-        // Make room first (evictions may write), then read the run in one
-        // call — the same order BufferPool::load_run uses.
-        for (g, &m) in missing_per_guard.iter().enumerate() {
+        for (g, &m) in per_guard.iter().enumerate() {
             if m > 0 {
                 guards[g].1.core.make_room(&mut &self.disk, m)?;
             }
         }
-        let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(n as usize);
+        let mut images: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(len as usize);
         self.disk
-            .read_run(first, n, &mut |_, data| images.push(*data))?;
-        for (i, data) in images.into_iter().enumerate() {
-            if !missing[i] {
-                continue;
-            }
-            let pid = first.offset(i as u32);
-            let g = guard_pos(&guards, self.shard_of(pid));
+            .read_run(sub_first, len, &mut |_, data| images.push(*data))?;
+        for (j, data) in images.into_iter().enumerate() {
+            let pid = sub_first.offset(j as u32);
+            let g = guard_pos(guards, self.shard_of(pid));
             guards[g].1.core.insert_frame(pid, data);
         }
         Ok(())
@@ -727,6 +885,18 @@ impl SharedBufferPool {
         self.wal.is_some()
     }
 
+    /// Crash-test hook: tears `bytes` record bytes off the end of the
+    /// durable log, as a crash that interrupted the final flush mid-record
+    /// would leave it. The torn record must read back as end-of-log during
+    /// [`recover`](Self::recover), not as corruption. No-op with the WAL
+    /// disabled.
+    #[doc(hidden)]
+    pub fn truncate_log_tail(&self, bytes: u32) {
+        if let Some(wal) = &self.wal {
+            wal.truncate_log_tail(bytes);
+        }
+    }
+
     /// LSN stamped on `pid`'s resident frame by its last logged mutation
     /// (`None` if not cached; `0` if cached but never logged).
     pub fn page_lsn(&self, pid: PageId) -> Option<u64> {
@@ -807,6 +977,12 @@ impl SharedBufferPool {
             s.log_pages_read = w.log_pages_read;
             s.commits = w.commits;
         }
+        if let Some(engine) = &self.engine {
+            let c = engine.counters();
+            s.batched_read_calls = c.batched_read_calls;
+            s.coalesced_pages = c.coalesced_pages;
+            s.max_queue_depth = c.max_queue_depth;
+        }
         s
     }
 
@@ -863,7 +1039,21 @@ impl SharedBufferPool {
         if let Some(wal) = &self.wal {
             wal.reset_stats();
         }
+        if let Some(engine) = &self.engine {
+            engine.reset_counters();
+        }
     }
+
+    /// True when this pool routes misses through the batched read engine.
+    pub fn io_engine_enabled(&self) -> bool {
+        self.engine.is_some()
+    }
+}
+
+/// Position of shard `s` in a [`SharedBufferPool::lock_involved`] guard
+/// list (the caller locked it, so the lookup cannot fail).
+fn guard_pos(guards: &[(usize, MutexGuard<'_, ShardState>)], s: usize) -> usize {
+    guards.iter().position(|(i, _)| *i == s).expect("locked")
 }
 
 /// Groups `dirty` (sorted ascending, deduplicated) into contiguous runs of
@@ -917,14 +1107,15 @@ pub struct SharedPoolHandle {
 
 impl SharedPoolHandle {
     /// Builds a fresh shared pool from a buffer configuration (including
-    /// its [`WalConfig`]) and a shard count.
+    /// its [`WalConfig`] and [`IoEngineConfig`]) and a shard count.
     pub fn new(config: BufferConfig, shards: usize) -> Self {
         SharedPoolHandle {
-            pool: Arc::new(SharedBufferPool::with_wal(
+            pool: Arc::new(SharedBufferPool::with_config(
                 config.pages,
                 config.policy,
                 shards,
                 config.wal,
+                config.io,
             )),
         }
     }
@@ -1404,6 +1595,115 @@ mod tests {
                 (PageId(MAX_PAGES_PER_WRITE_CALL), 3)
             ]
         );
+    }
+
+    /// Regression: poisoned shard/gate mutexes used to cascade — one
+    /// panicked client turned every later `expect("... poisoned")` into a
+    /// panic and left `cond.wait`ers wedged. Poison is now recovered
+    /// (`unwrap_or_else(|e| e.into_inner())`): a second thread's fix, a
+    /// mutation, and a flush all proceed after a closure panic.
+    #[test]
+    fn panicked_client_does_not_wedge_other_fixes() {
+        // One shard, so the panicking fix poisons the same mutex every
+        // later operation needs.
+        let p = pool(1, 8, 8);
+        p.with_page_mut(PageId(1), |b| b[0] = 7).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<u8> = p.with_page(PageId(0), |_| panic!("client died mid-read"));
+        }));
+        assert!(panicked.is_err(), "panic must propagate to the dead client");
+        thread::scope(|s| {
+            let reader = s.spawn(|| p.with_page(PageId(1), |b| b[0]).unwrap());
+            assert_eq!(reader.join().unwrap(), 7, "second thread's fix wedged");
+        });
+        p.with_page_mut(PageId(2), |b| b[0] = 9).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.with_page(PageId(2), |b| assert_eq!(b[0], 9)).unwrap();
+    }
+
+    fn engine_pool(shards: usize, cap: usize, pages: u32) -> SharedBufferPool {
+        let p = SharedBufferPool::with_config(
+            cap,
+            PolicyKind::Lru,
+            shards,
+            WalConfig::default(),
+            IoEngineConfig::enabled(),
+        );
+        p.alloc_extent(pages);
+        p
+    }
+
+    /// Single-threaded, the engine path must reproduce the synchronous
+    /// pool's legacy counters exactly (every miss is a solo batch of one
+    /// page) while populating the new engine counters — the differential
+    /// the golden-identity suites rely on, in miniature.
+    #[test]
+    fn engine_on_single_thread_matches_engine_off_counters() {
+        let tape: Vec<u32> = vec![0, 1, 2, 1, 5, 0, 7, 6, 5, 3, 3, 9, 0];
+        let on = engine_pool(2, 4, 10);
+        let off = pool(2, 4, 10);
+        assert!(on.io_engine_enabled() && !off.io_engine_enabled());
+        for &i in &tape {
+            on.with_page_mut(PageId(i), |b| b[0] = i as u8).unwrap();
+            off.with_page_mut(PageId(i), |b| b[0] = i as u8).unwrap();
+        }
+        on.flush_all().unwrap();
+        off.flush_all().unwrap();
+        let (a, b) = (on.snapshot(), off.snapshot());
+        assert_eq!((a.fixes, a.hits, a.misses), (b.fixes, b.hits, b.misses));
+        assert_eq!(a.read_calls, b.read_calls);
+        assert_eq!(a.pages_read, b.pages_read);
+        assert_eq!(a.write_calls, b.write_calls);
+        assert_eq!(a.pages_written, b.pages_written);
+        assert_eq!(on.disk_checksum(), off.disk_checksum());
+        assert_eq!(a.batched_read_calls, a.misses, "each miss = one solo batch");
+        assert_eq!(a.max_queue_depth, 1, "never more than one request queued");
+        assert_eq!(a.coalesced_pages, 0, "solo batches coalesce nothing");
+        assert_eq!(
+            (b.batched_read_calls, b.coalesced_pages, b.max_queue_depth),
+            (0, 0, 0),
+            "engine-off pool must report zero engine counters"
+        );
+    }
+
+    /// Concurrent misses through the engine stay correct (every read sees
+    /// its page's content), keep `fixes = hits + misses`, and the drain
+    /// path accounts its calls.
+    #[test]
+    fn engine_serves_concurrent_misses_correctly() {
+        let p = engine_pool(4, 96, 64);
+        for i in 0..64 {
+            p.with_page_mut(PageId(i), |b| b[100] = i as u8).unwrap();
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.reset_stats();
+        thread::scope(|s| {
+            for t in 0..8u32 {
+                let p = &p;
+                s.spawn(move || {
+                    for round in 0..100u32 {
+                        let i = (t * 11 + round * 7) % 64;
+                        p.with_page(PageId(i), |b| assert_eq!(b[100], i as u8))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let snap = p.snapshot();
+        assert_eq!(snap.fixes, 800);
+        assert_eq!(snap.fixes, snap.hits + snap.misses);
+        assert!(
+            snap.batched_read_calls >= 1,
+            "misses went through the engine"
+        );
+        assert!(snap.max_queue_depth >= 1);
+        // Every page was read at least once; overlapping batches may read a
+        // page a second time (the install then skips the resident frame).
+        assert!(snap.pages_read >= 64);
+        p.reset_stats();
+        assert_eq!(p.snapshot().batched_read_calls, 0, "reset clears engine");
     }
 
     fn wal_pool(shards: usize, cap: usize, pages: u32) -> SharedBufferPool {

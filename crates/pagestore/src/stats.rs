@@ -97,11 +97,24 @@ pub struct IoSnapshot {
     pub log_pages_read: u64,
     /// Committed (durably logged) update ops.
     pub commits: u64,
+    /// Physical read calls issued by the batched I/O engine's drain path.
+    /// Zero whenever batching is disabled, so paper measurements are
+    /// byte-identical.
+    pub batched_read_calls: u64,
+    /// Pages transferred by engine read calls that merged ≥ 2 queued
+    /// requests into one multi-page run (the coalescing win; zero with
+    /// batching off).
+    pub coalesced_pages: u64,
+    /// High-water mark of the engine's submission queue (requests queued at
+    /// once; zero with batching off). Scheduling-dependent under
+    /// contention, like `latch_waits`.
+    pub max_queue_depth: u64,
 }
 
 impl IoSnapshot {
-    /// Combines raw disk and buffer counters. The `log_*`/`commits`
-    /// fields start at zero; the shared pool overlays its WAL counters.
+    /// Combines raw disk and buffer counters. The `log_*`/`commits` and
+    /// I/O-engine fields start at zero; the shared pool overlays its WAL
+    /// and engine counters.
     pub fn combine(disk: DiskStats, buf: BufferStats) -> IoSnapshot {
         IoSnapshot {
             read_calls: disk.read_calls,
@@ -168,6 +181,13 @@ impl Sub for IoSnapshot {
             log_read_calls: self.log_read_calls.saturating_sub(rhs.log_read_calls),
             log_pages_read: self.log_pages_read.saturating_sub(rhs.log_pages_read),
             commits: self.commits.saturating_sub(rhs.commits),
+            batched_read_calls: self
+                .batched_read_calls
+                .saturating_sub(rhs.batched_read_calls),
+            coalesced_pages: self.coalesced_pages.saturating_sub(rhs.coalesced_pages),
+            // A high-water mark is not additive; deltas clamp like the rest
+            // so `after - before` stays well-defined.
+            max_queue_depth: self.max_queue_depth.saturating_sub(rhs.max_queue_depth),
         }
     }
 }

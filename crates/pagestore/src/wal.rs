@@ -355,6 +355,23 @@ impl LogDevice {
         self.open_segment();
     }
 
+    /// Crash-test hook: tears `n` record bytes off the open (last)
+    /// segment's tail — the device acknowledged only `seg_used - n` bytes,
+    /// so the header's used count rewinds and the dropped bytes zero. A
+    /// record cut by the tear survives partially and must read back as
+    /// end-of-log, not corruption.
+    fn truncate_tail(&mut self, n: u32) {
+        let dropped = n.min(self.seg_used);
+        self.seg_used -= dropped;
+        for i in 0..dropped {
+            let off = SEGMENT_HEADER_SIZE as u32 + self.seg_used + i;
+            let page = self.seg_start + off / PAGE_SIZE as u32;
+            self.pages[page as usize][(off % PAGE_SIZE as u32) as usize] = 0;
+        }
+        self.write_header();
+        self.touched.clear();
+    }
+
     /// Reads every segment back (counted log I/O), validating headers, and
     /// returns the decoded records in append order.
     fn read_all(&mut self) -> Result<Vec<Record>> {
@@ -401,6 +418,11 @@ impl LogDevice {
                 let page = seg + off / PAGE_SIZE as u32;
                 bytes.push(self.pages[page as usize][(off % PAGE_SIZE as u32) as usize]);
             }
+            // Torn-tail tolerance applies only to the *last* segment: a
+            // crash can tear the final record of the final flush, but any
+            // damage with a later segment (or a later record — checked via
+            // position below) after it is real corruption.
+            let last_segment = (seg + self.segment_pages) as usize >= self.pages.len();
             let mut pos = 0usize;
             while pos + 4 <= bytes.len() {
                 let len =
@@ -409,9 +431,20 @@ impl LogDevice {
                     break; // zeroed tail
                 }
                 if pos + 4 + len > bytes.len() {
+                    if last_segment {
+                        break; // torn final record: end of log, not an error
+                    }
                     return Err(corrupt("log record runs past the segment's used bytes"));
                 }
-                records.push(decode_record(&bytes[pos + 4..pos + 4 + len])?);
+                match decode_record(&bytes[pos + 4..pos + 4 + len]) {
+                    Ok(rec) => records.push(rec),
+                    // A checksum/shape failure of the *positionally final*
+                    // record of the last segment is a torn tail — the crash
+                    // interrupted the flush mid-record. Anywhere else it is
+                    // corruption of an already-acknowledged record.
+                    Err(_) if last_segment && pos + 4 + len == bytes.len() => break,
+                    Err(e) => return Err(e),
+                }
                 pos += 4 + len;
             }
             seg += self.segment_pages;
@@ -479,7 +512,10 @@ impl Wal {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, WalState> {
-        self.state.lock().expect("wal mutex poisoned")
+        // Recover from poisoning: WAL state is only mutated through
+        // panic-free counter/queue updates, so a poisoned mutex means some
+        // *caller* panicked — its op buffer is simply abandoned.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Captures `data` as the calling thread's after-image of `pid`,
@@ -541,7 +577,7 @@ impl Wal {
                         self.cond.notify_all();
                         return Ok(());
                     }
-                    st = self.cond.wait(st).expect("wal mutex poisoned");
+                    st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
@@ -593,6 +629,14 @@ impl Wal {
         st.device.flush();
         drop(st);
         self.cond.notify_all();
+    }
+
+    /// Crash-test hook: tears `bytes` record bytes off the end of the
+    /// durable log, as a crash that interrupted the final flush mid-record
+    /// would. Recovery treats the torn record as end-of-log.
+    #[doc(hidden)]
+    pub(crate) fn truncate_log_tail(&self, bytes: u32) {
+        self.lock().device.truncate_tail(bytes);
     }
 
     /// Simulated crash: volatile state (active op buffers, pending commits
@@ -772,6 +816,92 @@ mod tests {
         }
         let err = wal.recovered_images().unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_final_record_reads_as_end_of_log() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.commit().unwrap();
+        wal.note_page_write(PageId(1), &image(2));
+        wal.commit().unwrap();
+        // Tear into the second op's commit record: its page image stays
+        // staged-but-uncommitted, the first op survives intact.
+        wal.truncate_log_tail(10);
+        let got = wal.recovered_images().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, PageId(0));
+        assert_eq!(got[0].2[0], 1);
+    }
+
+    #[test]
+    fn corrupt_final_record_is_torn_tail_not_error() {
+        let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+        wal.note_page_write(PageId(0), &image(1));
+        wal.commit().unwrap();
+        {
+            // Flip a byte inside the positionally final (commit) record —
+            // a flush the crash cut mid-record, with the length prefix
+            // already down.
+            let mut st = wal.lock();
+            let off = SEGMENT_HEADER_SIZE + st.device.seg_used as usize - 2;
+            let page = st.device.seg_start as usize + off / PAGE_SIZE;
+            st.device.pages[page][off % PAGE_SIZE] ^= 0xFF;
+        }
+        let got = wal.recovered_images().unwrap();
+        assert!(got.is_empty(), "torn commit must not surface its op");
+    }
+
+    #[test]
+    fn torn_tolerance_is_limited_to_the_last_segment() {
+        // Corruption at the end of a *non-last* segment is real corruption:
+        // later segments prove the log continued past it.
+        let config = WalConfig {
+            enabled: true,
+            fsync: FsyncMode::PerCommit,
+            segment_pages: 2,
+        };
+        let wal = Wal::new(config);
+        for i in 0..3u8 {
+            wal.note_page_write(PageId(i as u32), &image(i + 1));
+            wal.commit().unwrap();
+        }
+        {
+            let mut st = wal.lock();
+            assert!(st.device.pages.len() > 4, "expected multiple segments");
+            let used = u32::from_le_bytes(st.device.pages[0][20..24].try_into().unwrap()) as usize;
+            let off = SEGMENT_HEADER_SIZE + used - 2;
+            st.device.pages[off / PAGE_SIZE][off % PAGE_SIZE] ^= 0xFF;
+        }
+        let err = wal.recovered_images().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn any_tail_truncation_yields_a_committed_prefix() {
+        let build = || {
+            let wal = Wal::new(WalConfig::enabled(FsyncMode::PerCommit));
+            for i in 0..3u32 {
+                wal.note_page_write(PageId(i), &image(i as u8 + 1));
+                wal.commit().unwrap();
+            }
+            wal
+        };
+        let full = build().lock().device.seg_used;
+        for cut in 0..=full {
+            let wal = build();
+            wal.truncate_log_tail(cut);
+            let got = wal
+                .recovered_images()
+                .unwrap_or_else(|e| panic!("cut {cut}: recovery errored: {e}"));
+            // Whatever survives is a prefix of the commit order, never an
+            // error and never an uncommitted or reordered image.
+            assert!(got.len() <= 3, "cut {cut}");
+            for (i, (pid, _, img)) in got.iter().enumerate() {
+                assert_eq!(*pid, PageId(i as u32), "cut {cut}");
+                assert_eq!(img[0], i as u8 + 1, "cut {cut}");
+            }
+        }
     }
 
     #[test]

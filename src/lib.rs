@@ -29,8 +29,8 @@ pub use starfish_workload as workload;
 /// Commonly used items, for examples and quick experiments.
 pub mod prelude {
     pub use starfish_core::{
-        make_shared_store, BufferConfig, ComplexObjectStore, ConcurrentObjectStore, ModelKind,
-        PolicyKind, StoreConfig,
+        make_shared_store, with_reactor, BufferConfig, ComplexObjectStore, ConcurrentObjectStore,
+        IoEngineConfig, ModelKind, PolicyKind, QueryRequest, QueryResponse, Reactor, StoreConfig,
     };
     pub use starfish_nf2::station::{station_schema, Station};
     pub use starfish_nf2::{Oid, Projection, Tuple, Value};

@@ -24,6 +24,12 @@
 //!    `tests/golden_io_calls.rs` counter for counter, reports all-zero log
 //!    counters, and recovers zero pages — the durability plumbing is
 //!    byte-invisible until switched on.
+//! 4. **Torn log tail**: after a crash, tear an arbitrary number of bytes
+//!    off the end of the durable log (a final flush the device never
+//!    completed). Recovery must *never* error — a truncated final record
+//!    reads as end-of-log — and the recovered disk must equal one of the
+//!    committed-prefix serial images, with the surviving prefix shrinking
+//!    monotonically as the tear grows.
 //!
 //! Set `CRASH_STREAM=<n>` to shift every dataset/tape seed — CI runs the
 //! suite under two streams so the random boundaries differ across runs.
@@ -197,6 +203,86 @@ fn concurrent_writers_survive_kill_after_commit() {
         assert!(
             names.iter().all(|n| n == &patch.new_name),
             "{kind}: committed update lost"
+        );
+    }
+}
+
+/// Buffer for battery 4: large enough that the update phase never evicts
+/// a dirty page, so the data disk holds exactly the post-load image until
+/// recovery overwrites it with the committed prefix. (Battery 1 runs the
+/// deliberately overflowing buffer; this battery isolates the *log* tear.)
+const TORN_BUFFER_PAGES: usize = 2048;
+
+/// Battery 4: tear `cut` bytes off the durable log after the crash, for a
+/// sweep of cuts from "nothing" to "past the whole log". Every recovery
+/// must succeed, land on a committed-prefix disk image, and larger tears
+/// must never resurrect ops a smaller tear already lost.
+#[test]
+fn torn_log_tail_recovers_a_committed_prefix() {
+    let db = dataset();
+    // Distinct objects and letters so every prefix image is distinct and
+    // the recovered checksum maps back to a unique prefix length.
+    let tape: Vec<(usize, u8)> = (0..6).map(|i| (i * 7 % N_OBJECTS, i as u8)).collect();
+    let big = || StoreConfig::with_buffer_pages(TORN_BUFFER_PAGES).policy(PolicyKind::Lru);
+    // Cut sizes in bytes: within the final record, across several records,
+    // and far past the log's used bytes (the device clamps).
+    let cuts: [u32; 9] = [0, 1, 9, 40, 300, 1_500, 4_000, 12_000, u32::MAX];
+    for kind in ModelKind::all() {
+        // Every committed-prefix image the torn log may legally land on.
+        let prefixes: Vec<u64> = (0..=tape.len())
+            .map(|k| {
+                let mut serial = make_store(kind, big());
+                let refs = serial.load(&db).expect("load");
+                for &(obj, letter) in &tape[..k] {
+                    serial
+                        .update_roots(&[refs[obj % refs.len()]], &patch_for(letter))
+                        .expect("serial update");
+                }
+                serial.flush().expect("flush");
+                serial.disk_checksum()
+            })
+            .collect();
+        for k in 0..prefixes.len() {
+            for j in 0..k {
+                assert_ne!(
+                    prefixes[k], prefixes[j],
+                    "{kind}: prefixes {j} and {k} collide; the tape is not discriminating"
+                );
+            }
+        }
+
+        let mut last_prefix = tape.len();
+        for cut in cuts {
+            let mut store =
+                make_shared_store(kind, big().wal(WalConfig::enabled(FsyncMode::PerCommit)), 1);
+            let refs = store.load(&db).expect("load");
+            store.shared_flush().expect("flush");
+            for &(obj, letter) in &tape {
+                store
+                    .shared_update_roots(&[refs[obj % refs.len()]], &patch_for(letter))
+                    .expect("update");
+            }
+            store.simulate_crash();
+            store.damage_log_tail(cut);
+            store
+                .recover()
+                .unwrap_or_else(|e| panic!("{kind} cut {cut}: torn tail broke recovery: {e}"));
+            let got = store.disk_checksum();
+            let prefix = prefixes.iter().position(|&p| p == got).unwrap_or_else(|| {
+                panic!("{kind} cut {cut}: recovered disk is not a committed prefix")
+            });
+            assert!(
+                prefix <= last_prefix,
+                "{kind} cut {cut}: a larger tear resurrected ops ({prefix} > {last_prefix})"
+            );
+            last_prefix = prefix;
+        }
+        // The device tears within the open (last) segment, which always
+        // holds the most recent record — so the maximal cut must at least
+        // lose the final op, however the earlier records were segmented.
+        assert!(
+            last_prefix < tape.len(),
+            "{kind}: the maximal tear left the final commit alive"
         );
     }
 }
