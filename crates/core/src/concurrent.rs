@@ -232,6 +232,9 @@ struct ReactorState {
     queue: VecDeque<(u64, QueryRequest)>,
     /// Completions not yet redeemed: ticket → result.
     done: HashMap<u64, Result<QueryResponse>>,
+    /// High-water mark of queued (not yet executing) requests — the
+    /// client-side analogue of the I/O engine's `max_queue_depth`.
+    max_depth: u64,
     shutdown: bool,
 }
 
@@ -253,13 +256,14 @@ pub struct Reactor<'a> {
 }
 
 impl<'a> Reactor<'a> {
-    fn new(store: &'a dyn ConcurrentObjectStore) -> Self {
+    pub(crate) fn new(store: &'a dyn ConcurrentObjectStore) -> Self {
         Reactor {
             store,
             state: Mutex::new(ReactorState {
                 next_ticket: 0,
                 queue: VecDeque::new(),
                 done: HashMap::new(),
+                max_depth: 0,
                 shutdown: false,
             }),
             work_cond: Condvar::new(),
@@ -277,9 +281,18 @@ impl<'a> Reactor<'a> {
         let t = st.next_ticket;
         st.next_ticket += 1;
         st.queue.push_back((t, req));
+        let depth = st.queue.len() as u64;
+        st.max_depth = st.max_depth.max(depth);
         drop(st);
         self.work_cond.notify_one();
         Ticket(t)
+    }
+
+    /// High-water mark of queued requests since the reactor was built —
+    /// how far clients ran ahead of the worker pool. Scheduling-dependent
+    /// under contention, like the engine's `max_queue_depth`.
+    pub fn queue_high_water(&self) -> u64 {
+        self.lock().max_depth
     }
 
     /// Redeems `ticket` if its request has completed; `None` while it is
@@ -327,7 +340,7 @@ impl<'a> Reactor<'a> {
 
     /// Worker loop: drain requests until shutdown *and* an empty queue —
     /// work submitted before shutdown always completes.
-    fn worker(&self) {
+    pub(crate) fn worker(&self) {
         loop {
             let (ticket, req) = {
                 let mut st = self.lock();
@@ -347,7 +360,7 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         self.lock().shutdown = true;
         self.work_cond.notify_all();
     }
@@ -355,7 +368,7 @@ impl<'a> Reactor<'a> {
 
 /// Signals reactor shutdown even if the client closure panics, so scoped
 /// workers never park forever on the work condvar.
-struct ShutdownGuard<'r, 'a>(&'r Reactor<'a>);
+pub(crate) struct ShutdownGuard<'r, 'a>(pub(crate) &'r Reactor<'a>);
 
 impl Drop for ShutdownGuard<'_, '_> {
     fn drop(&mut self) {

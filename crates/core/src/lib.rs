@@ -37,7 +37,9 @@ pub use direct::DirectStore;
 pub use error::CoreError;
 pub use nsm::NsmStore;
 pub use object_file::{subtuple_page_plan, ObjAddr, ObjectFile, ReadPayload};
-pub use partitioned::{PartitionedStore, Placement};
+pub use partitioned::{
+    with_cluster_router, ClusterRouter, ClusterTicket, PartitionedStore, Placement,
+};
 pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 
 // Buffer construction knobs and the counter snapshot, re-exported so

@@ -5,7 +5,7 @@
 //! starfish-repro [--fast] [--only <id>[,<id>…]] [--markdown] [--json]
 //!                [--seed N] [--policy <name>] [--threads N] [--fsync M]
 //!                [--queue-depth N] [--workload <file.json>|<builtin>]
-//!                [--list]
+//!                [--sweep] [--nodes N] [--list]
 //!
 //!   --fast       300 objects / 240-page buffer (same DB:buffer ratio)
 //!   --only       run a subset of experiments (ids from --list)
@@ -15,8 +15,9 @@
 //!   --policy P   buffer-replacement policy for every measurement:
 //!                lru (paper default), clock, mru, fifo, lru2.
 //!                ext-policy always sweeps all five.
-//!   --threads N  client count for ext-concurrency (default: sweep
-//!                1/2/4/8). With N=1 the experiment reproduces the serial
+//!   --threads N  client count for ext-concurrency and workers-per-node
+//!                for ext-distributed's serving sweep (default: sweep
+//!                1/2/4/8). With N=1 the experiments reproduce the serial
 //!                per-unit counters exactly. Combined with --workload, runs
 //!                the spec over the concurrent surface with N clients.
 //!   --fsync M    restrict ext-durability to one WAL flush mode: per
@@ -32,12 +33,21 @@
 //!                built-in name like deep-nav) across the five storage
 //!                models instead of the experiment suite; add --threads N
 //!                to serve it from N client threads
+//!   --sweep      with --workload: cross the spec with every replacement
+//!                policy × the client-count list through the shared
+//!                reporting path (concurrency, cluster and drift scenarios
+//!                render identically); add --nodes N to serve every cell
+//!                from a routed N-node cluster instead of the shared
+//!                surface
+//!   --nodes N    cluster size for --workload --sweep (requires --sweep)
 //!   --list       enumerate experiments, built-in queries and shipped
 //!                workload specs, then exit
 //! ```
 
 use starfish_harness::experiments;
-use starfish_harness::runner::{parse_fsync, parse_queue_depth, parse_threads, HarnessConfig};
+use starfish_harness::runner::{
+    parse_fsync, parse_nodes, parse_queue_depth, parse_threads, HarnessConfig,
+};
 use starfish_workload::WorkloadSpec;
 
 fn main() {
@@ -46,14 +56,15 @@ fn main() {
         println!(
             "starfish-repro [--fast] [--only <ids>] [--markdown] [--json] [--seed N] \
              [--policy lru|clock|mru|fifo|lru2] [--threads N] [--fsync per|group] \
-             [--queue-depth N] [--workload <file.json>|<name>] [--list]\n\
+             [--queue-depth N] [--workload <file.json>|<name>] [--sweep] \
+             [--nodes N] [--list]\n\
              regenerates the tables/figures of 'An Evaluation of Physical Disk \
              I/Os for Complex Object Processing' (ICDE 1993)\n\
              --policy selects the buffer-replacement policy behind every \
              measurement (default lru, the paper's §5.1 buffer); the \
              ext-policy experiment sweeps all five policies regardless\n\
-             --threads pins the ext-concurrency client count (default sweep: \
-             1/2/4/8 clients over the sharded pool)\n\
+             --threads pins the ext-concurrency client count and the \
+             ext-distributed workers-per-node (default sweep: 1/2/4/8)\n\
              --fsync restricts the ext-durability WAL sweep to one flush mode \
              (per = flush on every commit, group = leader flushes a batch; \
              default both)\n\
@@ -63,6 +74,9 @@ fn main() {
              --workload runs one declarative AccessPlan spec (JSON file or \
              built-in name) across the five storage models; with --threads N \
              it runs over the concurrent surface from N client threads\n\
+             --sweep crosses the --workload spec with every policy × the \
+             client-count list through one shared reporting path; --nodes N \
+             serves every sweep cell from a routed N-node cluster\n\
              --list shows every experiment id, built-in query and shipped \
              workload spec"
         );
@@ -120,6 +134,18 @@ fn main() {
         Some(n) => vec![n],
         None => experiments::ext_concurrency::THREADS.to_vec(),
     };
+    let nodes: Option<usize> = match parse_nodes(&args) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("starfish-repro: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let sweep = args.iter().any(|a| a == "--sweep");
+    if (sweep || nodes.is_some()) && !args.iter().any(|a| a == "--workload") {
+        eprintln!("starfish-repro: --sweep and --nodes require --workload <spec>");
+        std::process::exit(2);
+    }
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
 
@@ -135,11 +161,22 @@ fn main() {
             std::process::exit(2);
         };
         let spec = load_workload(arg);
-        let report = match threads {
-            // An explicit client count runs the spec over the concurrent
-            // surface (N threads × N shards); counters stay invariant.
-            Some(n) => experiments::ext_workload::report_for_spec_concurrent(&config, &spec, n),
-            None => experiments::ext_workload::report_for_spec(&config, &spec),
+        if nodes.is_some() && !sweep {
+            eprintln!("starfish-repro: --nodes requires --workload --sweep");
+            std::process::exit(2);
+        }
+        let report = if sweep {
+            // --sweep: policies × client counts through the shared
+            // reporting path; --nodes serves every cell from a routed
+            // cluster instead of the shared surface.
+            experiments::ext_workload::report_for_spec_sweep(&config, &spec, &thread_list, nodes)
+        } else {
+            match threads {
+                // An explicit client count runs the spec over the concurrent
+                // surface (N threads × N shards); counters stay invariant.
+                Some(n) => experiments::ext_workload::report_for_spec_concurrent(&config, &spec, n),
+                None => experiments::ext_workload::report_for_spec(&config, &spec),
+            }
         };
         vec![report.unwrap_or_else(die)]
     } else {

@@ -34,7 +34,8 @@
 
 use crate::report::{fmt_pages, ExperimentReport, Table};
 use crate::runner::{
-    measure_workload_concurrent_on, measure_workload_on, HarnessConfig, WorkloadRow,
+    measure_workload_cluster_on, measure_workload_concurrent_on, measure_workload_on,
+    HarnessConfig, WorkloadRow,
 };
 use crate::Result;
 use starfish_core::{ModelKind, PolicyKind};
@@ -180,6 +181,130 @@ pub fn report_for_spec_concurrent(
     spec_report(config, spec, &rows, Some(threads))
 }
 
+/// The `--workload <spec> --sweep` report: one declarative spec crossed
+/// with every replacement policy and every client count in `threads`,
+/// through one reporting path shared by the concurrency, cluster and
+/// drift scenarios. Without `nodes` each cell serves the spec from the
+/// shared surface (`threads[i]` clients over `threads[i]` shards); with
+/// `--nodes N` each cell serves it from a routed N-node cluster
+/// (`threads[i]` clients, `threads[i]` reactor workers per node). The
+/// model-invariant shape (units, per-hop navigation, scanned and update
+/// counts) must agree across **every** cell — policy, client count and
+/// cluster shape may move physical I/O only.
+pub fn report_for_spec_sweep(
+    config: &HarnessConfig,
+    spec: &WorkloadSpec,
+    threads: &[usize],
+    nodes: Option<usize>,
+) -> Result<ExperimentReport> {
+    let db = generate(&config.dataset());
+    let mut table = Table::new(vec![
+        "SCENARIO", "MODEL", "POLICY", "CLIENTS", "NODES", "units", "reads/u", "writes/u",
+        "pages/u", "calls/u", "fixes/u",
+    ]);
+    let mut shape: Option<(u64, Vec<u64>, u64, u64)> = None;
+    let mut drifted: Vec<String> = Vec::new();
+    for policy in PolicyKind::all() {
+        let cfg = HarnessConfig { policy, ..*config };
+        for &n in threads {
+            let n = n.max(1);
+            let rows = match nodes {
+                Some(k) => {
+                    measure_workload_cluster_on(&db, &cfg, &ModelKind::all(), spec, k, n, n)?
+                }
+                None => measure_workload_concurrent_on(&db, &cfg, &ModelKind::all(), spec, n)?,
+            };
+            for row in &rows {
+                match &row.cell {
+                    Some(cell) => table.push_row(vec![
+                        spec.name.clone(),
+                        row.model.paper_name().to_string(),
+                        policy.name().to_string(),
+                        n.to_string(),
+                        nodes.unwrap_or(1).to_string(),
+                        row.units.to_string(),
+                        fmt_pages(cell.reads),
+                        fmt_pages(cell.writes),
+                        fmt_pages(cell.pages),
+                        fmt_pages(cell.calls),
+                        fmt_pages(cell.fixes),
+                    ]),
+                    None => table.push_row(vec![
+                        spec.name.clone(),
+                        row.model.paper_name().to_string(),
+                        policy.name().to_string(),
+                        n.to_string(),
+                        nodes.unwrap_or(1).to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]),
+                }
+                if row.cell.is_none() {
+                    continue;
+                }
+                let got = (row.units, row.nav_seen.clone(), row.scanned, row.updates);
+                match &shape {
+                    None => shape = Some(got),
+                    Some(want) if *want != got => {
+                        drifted.push(format!("{}/{}/{}c", row.model, policy, n));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let mut notes = vec![
+        format!(
+            "{} objects, {}-page buffer; spec '{}' crossed with every \
+             replacement policy × client counts {threads:?}, served {}",
+            config.n_objects,
+            config.buffer_pages,
+            spec.name,
+            match nodes {
+                Some(k) => format!(
+                    "by a routed {k}-node cluster (clients = reactor workers \
+                     per node = the swept count, proportional buffer share \
+                     per node)"
+                ),
+                None => "from the shared surface (shards = clients)".to_string(),
+            }
+        ),
+        format!("spec JSON: {}", spec.to_json()),
+    ];
+    notes.push(if drifted.is_empty() {
+        "determinism check passed: units, per-hop navigation cardinalities, \
+         scanned-object and update counts are identical across every \
+         (model, policy, clients) cell — policy, concurrency and cluster \
+         shape move physical I/O only"
+            .to_string()
+    } else {
+        format!(
+            "WARNING: access sequences drifted across cells at {} — the \
+             executor's determinism contract is broken",
+            drifted.join(", ")
+        )
+    });
+
+    Ok(ExperimentReport {
+        id: format!("workload-sweep-{}", spec.name),
+        title: format!(
+            "Declarative workload sweep — {} × policies × clients{}",
+            spec.name,
+            match nodes {
+                Some(k) => format!(" on a {k}-node cluster"),
+                None => String::new(),
+            }
+        ),
+        table,
+        notes,
+    })
+}
+
 fn spec_report(
     config: &HarnessConfig,
     spec: &WorkloadSpec,
@@ -289,6 +414,37 @@ mod tests {
         assert!(report.notes.iter().any(|n| n.contains("spec JSON")));
         // Every model supports key lookups; all cells measured.
         assert!(report.table.rows.iter().all(|r| r[3] == "3"));
+    }
+
+    #[test]
+    fn sweep_report_shares_one_path_across_surfaces() {
+        // --sweep: policies × client counts; without --nodes the shared
+        // surface serves, with --nodes a routed cluster does. The
+        // model-invariant shape must agree across every cell of both.
+        let config = HarnessConfig::fast();
+        let spec = WorkloadSpec::for_query(starfish_cost::QueryId::Q2b);
+        for nodes in [None, Some(3)] {
+            let report = report_for_spec_sweep(&config, &spec, &[1, 2], nodes).unwrap();
+            let want = PolicyKind::all().len() * 2 * ModelKind::all().len();
+            assert_eq!(report.table.rows.len(), want);
+            assert!(
+                !report.notes.iter().any(|n| n.contains("WARNING")),
+                "determinism failed ({nodes:?} nodes): {:?}",
+                report.notes
+            );
+            let want_nodes = nodes.unwrap_or(1).to_string();
+            assert!(report.table.rows.iter().all(|r| r[4] == want_nodes));
+            // Units are cell-invariant wherever the model supports the plan.
+            let units: Vec<&String> = report
+                .table
+                .rows
+                .iter()
+                .map(|r| &r[5])
+                .filter(|u| *u != "-")
+                .collect();
+            assert!(!units.is_empty());
+            assert!(units.iter().all(|u| *u == units[0]));
+        }
     }
 
     #[test]

@@ -113,7 +113,11 @@ pub const REGISTRY: &[ExperimentInfo] = &[
     },
     ExperimentInfo {
         id: "ext-distributed",
-        summary: "shared-nothing distribution study (5.5)",
+        summary: "shared-nothing distribution study (5.5) + routed cluster serving sweep",
+    },
+    ExperimentInfo {
+        id: "ext-cluster-baseline",
+        summary: "deterministic cluster serving fingerprint (BENCH_cluster.json)",
     },
     ExperimentInfo {
         id: "ext-clustering",
@@ -171,7 +175,8 @@ pub fn run_one(
         "ext-buffer" => ext_buffer::run(config),
         "ext-policy" => ext_policy::run(config),
         "ext-concurrency" => ext_concurrency::run_with(config, threads),
-        "ext-distributed" => ext_distributed::run(config),
+        "ext-distributed" => ext_distributed::run_with(config, threads),
+        "ext-cluster-baseline" => ext_distributed::cluster_baseline(config),
         "ext-clustering" => ext_clustering::run(config),
         "ext-alignment" => ext_alignment::run(config),
         "ext-workload" => ext_workload::run(config),

@@ -4,13 +4,14 @@
 use crate::Result;
 use serde::Serialize;
 use starfish_core::{
-    make_shared_store, make_store, ComplexObjectStore, FsyncMode, ModelKind, PolicyKind,
-    StoreConfig,
+    make_shared_store, make_store, ComplexObjectStore, FsyncMode, ModelKind, PartitionedStore,
+    Placement, PolicyKind, StoreConfig,
 };
 use starfish_cost::QueryId;
 use starfish_nf2::station::Station;
 use starfish_workload::{
-    generate, DatasetParams, DatasetStats, PlanOutcome, QueryOutcome, QueryRunner, WorkloadSpec,
+    generate, DatasetParams, DatasetStats, Executor, PlanOutcome, QueryOutcome, QueryRunner,
+    WorkloadSpec,
 };
 
 /// Configuration for the experiment harness.
@@ -94,6 +95,27 @@ pub fn parse_threads(args: &[String]) -> std::result::Result<Option<usize>, Stri
             args[i + 1]
         )),
         None => Err("--threads needs a client count >= 1".into()),
+    }
+}
+
+/// Parses the `--nodes` argument out of a CLI argument list.
+///
+/// Returns `Ok(None)` when the flag is absent (workload runs use the
+/// single-store surfaces), `Ok(Some(n))` for a valid `--nodes n`, and
+/// `Err` with a user-facing message for a missing, non-numeric or
+/// **zero** value — a zero-node cluster can own no object.
+pub fn parse_nodes(args: &[String]) -> std::result::Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--nodes") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Ok(Some(n)),
+        Some(Ok(0)) => Err("--nodes needs a node count >= 1 (got 0)".into()),
+        Some(_) => Err(format!(
+            "--nodes needs a node count >= 1 (got '{}')",
+            args[i + 1]
+        )),
+        None => Err("--nodes needs a node count >= 1".into()),
     }
 }
 
@@ -366,6 +388,60 @@ pub fn measure_workload_concurrent_on(
     Ok(out)
 }
 
+/// [`measure_workload_on`] over a routed cluster: every model runs the
+/// plan on a [`PartitionedStore`] of `nodes` nodes (round-robin
+/// whole-object placement, a proportional buffer share per node,
+/// `workers_per_node` lock-striped shards each) served by
+/// `workers_per_node` reactor workers per node and `clients` client
+/// threads ([`Executor::run_cluster`]). Answers, fix counts and per-node
+/// disk bytes are (clients × workers)-invariant — the routed analogue of
+/// the shared surface's thread-count invariance.
+pub fn measure_workload_cluster_on(
+    db: &[Station],
+    config: &HarnessConfig,
+    models: &[ModelKind],
+    spec: &WorkloadSpec,
+    nodes: usize,
+    clients: usize,
+    workers_per_node: usize,
+) -> Result<Vec<WorkloadRow>> {
+    let nodes = nodes.max(1);
+    let per_node_buffer = (config.buffer_pages / nodes).max(16);
+    let mut out = Vec::with_capacity(models.len());
+    for &kind in models {
+        let mut cluster = PartitionedStore::with_shards(
+            kind,
+            nodes,
+            Placement::RoundRobin,
+            StoreConfig::with_buffer_pages(per_node_buffer).policy(config.policy),
+            workers_per_node.max(1),
+        );
+        let refs = cluster.load(db)?;
+        let exec = Executor::new(refs, config.query_seed);
+        let run = exec.run_cluster(&mut cluster, spec, clients, workers_per_node)?;
+        let row = match run.run.outcome {
+            PlanOutcome::Measured(run) => WorkloadRow {
+                model: kind,
+                cell: Some(MeasuredCell::per_unit(&run.snapshot, run.units)),
+                units: run.units,
+                nav_seen: run.nav_seen,
+                scanned: run.scanned,
+                updates: run.updates_applied,
+            },
+            PlanOutcome::Unsupported => WorkloadRow {
+                model: kind,
+                cell: None,
+                units: 0,
+                nav_seen: Vec::new(),
+                scanned: 0,
+                updates: 0,
+            },
+        };
+        out.push(row);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +480,19 @@ mod tests {
         assert!(parse_threads(&args(&["--threads"])).is_err());
         assert!(parse_threads(&args(&["--threads", "many"])).is_err());
         assert!(parse_threads(&args(&["--threads", "-2"])).is_err());
+    }
+
+    #[test]
+    fn parse_nodes_accepts_positive_counts_only() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_nodes(&args(&["--fast"])), Ok(None));
+        assert_eq!(parse_nodes(&args(&["--nodes", "3"])), Ok(Some(3)));
+        assert_eq!(parse_nodes(&args(&["--fast", "--nodes", "1"])), Ok(Some(1)));
+        let err = parse_nodes(&args(&["--nodes", "0"])).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        assert!(parse_nodes(&args(&["--nodes"])).is_err());
+        assert!(parse_nodes(&args(&["--nodes", "all"])).is_err());
+        assert!(parse_nodes(&args(&["--nodes", "-3"])).is_err());
     }
 
     #[test]

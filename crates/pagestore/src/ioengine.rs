@@ -25,8 +25,18 @@
 //!
 //! The engine is *only* a request/completion state machine plus counters —
 //! it owns no pages and takes no shard locks, which keeps the lock order
-//! acyclic: the engine mutex is never held while a shard mutex is
+//! acyclic: an engine mutex is never held while a shard mutex is
 //! acquired, and waiters hold nothing at all.
+//!
+//! The engine keeps **one queue per pool shard**: a drain leader working
+//! one shard's batch never serializes submissions for pages that hash to
+//! other shards — each queue elects its own leader and drains
+//! independently, so miss storms scale with the shard count instead of
+//! funnelling through a single submission lock. With one shard this
+//! degenerates to exactly the original single-queue protocol. Counters
+//! stay additive across queues ([`EngineCounters::accumulate`]); the
+//! queue-depth high-water is the max over queues, matching how the
+//! cluster folds per-node depths.
 //!
 //! Disabled (the default), the pool never constructs an engine and every
 //! code path and counter is byte-identical to the synchronous pool — the
@@ -88,8 +98,19 @@ pub(crate) struct EngineCounters {
     pub(crate) batched_read_calls: u64,
     /// Pages in drained runs that merged ≥ 2 distinct requested pages.
     pub(crate) coalesced_pages: u64,
-    /// High-water mark of queued requests.
+    /// High-water mark of queued requests (per queue; folds take the max).
     pub(crate) max_queue_depth: u64,
+}
+
+impl EngineCounters {
+    /// Folds one queue's counters into a total: read calls and coalesced
+    /// pages add, the queue-depth high-water keeps the max (depths on
+    /// different queues never stack).
+    fn accumulate(&mut self, c: &EngineCounters) {
+        self.batched_read_calls += c.batched_read_calls;
+        self.coalesced_pages += c.coalesced_pages;
+        self.max_queue_depth = self.max_queue_depth.max(c.max_queue_depth);
+    }
 }
 
 /// One queued read request: a unique completion token plus the page.
@@ -108,16 +129,15 @@ struct EngineState {
     counters: EngineCounters,
 }
 
-/// The submission/completion engine. See the [module docs](self).
-pub(crate) struct IoEngine {
+/// One independent submission queue (state machine + wakeup channel).
+struct EngineQueue {
     state: Mutex<EngineState>,
     cond: Condvar,
-    max_batch_pages: u32,
 }
 
-impl IoEngine {
-    pub(crate) fn new(config: IoEngineConfig) -> Self {
-        IoEngine {
+impl EngineQueue {
+    fn new() -> Self {
+        EngineQueue {
             state: Mutex::new(EngineState {
                 next_token: 0,
                 queue: Vec::new(),
@@ -126,25 +146,46 @@ impl IoEngine {
                 counters: EngineCounters::default(),
             }),
             cond: Condvar::new(),
+        }
+    }
+}
+
+/// The submission/completion engine. See the [module docs](self).
+///
+/// Holds one [`EngineQueue`] per pool shard so concurrent drains on
+/// different shards never serialize on each other; one shard is the
+/// original single-queue engine.
+pub(crate) struct IoEngine {
+    queues: Vec<EngineQueue>,
+    max_batch_pages: u32,
+}
+
+impl IoEngine {
+    pub(crate) fn new(config: IoEngineConfig, shards: usize) -> Self {
+        IoEngine {
+            queues: (0..shards.max(1)).map(|_| EngineQueue::new()).collect(),
             max_batch_pages: config.max_batch_pages.max(1),
         }
     }
 
-    /// Submits a read request for `pid` and blocks until a drain batch
-    /// containing it completes. `read_runs` is invoked by whichever
-    /// submitter drains the batch — with the engine lock **released** — and
-    /// must read each `(first, len)` run and install the frames (the
-    /// completion-driven fill). Returns that batch's result.
+    /// Submits a read request for `pid` on its owning shard's queue and
+    /// blocks until a drain batch containing it completes. `read_runs` is
+    /// invoked by whichever submitter drains the batch — with the engine
+    /// lock **released** — and must read each `(first, len)` run and
+    /// install the frames (the completion-driven fill). Returns that
+    /// batch's result.
     ///
     /// Completion does not guarantee residency: the installed frame can be
     /// evicted before the waiter re-locks its shard. Callers re-check and
     /// resubmit (the same loop the synchronous path needs for latch waits).
     pub(crate) fn read_page(
         &self,
+        shard: usize,
         pid: PageId,
         read_runs: impl FnOnce(&[(PageId, u32)]) -> Result<()>,
     ) -> Result<()> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let q = &self.queues[shard % self.queues.len()];
+        let mut st = q.state.lock().unwrap_or_else(|e| e.into_inner());
         let token = st.next_token;
         st.next_token += 1;
         st.queue.push(Request { token, pid });
@@ -155,17 +196,18 @@ impl IoEngine {
                 return result;
             }
             if !st.draining {
-                return self.drain(st, token, read_runs);
+                return self.drain(q, st, token, read_runs);
             }
-            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = q.cond.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Leader path: takes the queue (after one yield as a batching window),
-    /// coalesces it, runs the reads, posts completions, wakes waiters, and
-    /// returns `token`'s own result.
+    /// Leader path: takes one queue's batch (after one yield as a batching
+    /// window), coalesces it, runs the reads, posts completions, wakes that
+    /// queue's waiters, and returns `token`'s own result.
     fn drain<'a>(
         &'a self,
+        q: &'a EngineQueue,
         mut st: std::sync::MutexGuard<'a, EngineState>,
         token: u64,
         read_runs: impl FnOnce(&[(PageId, u32)]) -> Result<()>,
@@ -175,7 +217,7 @@ impl IoEngine {
         // Batching window: give concurrently-missing threads one scheduling
         // slot to enqueue behind us (the group-commit trick).
         std::thread::yield_now();
-        st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st = q.state.lock().unwrap_or_else(|e| e.into_inner());
         let batch = std::mem::take(&mut st.queue);
         let runs = coalesce(batch.iter().map(|r| r.pid), self.max_batch_pages);
         st.counters.batched_read_calls += runs.len() as u64;
@@ -186,7 +228,7 @@ impl IoEngine {
             .sum::<u64>();
         drop(st);
         let result = read_runs(&runs);
-        st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st = q.state.lock().unwrap_or_else(|e| e.into_inner());
         st.draining = false;
         for req in &batch {
             if req.token != token {
@@ -194,24 +236,26 @@ impl IoEngine {
             }
         }
         drop(st);
-        self.cond.notify_all();
+        q.cond.notify_all();
         result
     }
 
-    /// Current counter values.
+    /// Current counter totals over every queue (additive fields sum, the
+    /// queue-depth high-water is the max over queues).
     pub(crate) fn counters(&self) -> EngineCounters {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .counters
+        let mut total = EngineCounters::default();
+        for q in &self.queues {
+            total.accumulate(&q.state.lock().unwrap_or_else(|e| e.into_inner()).counters);
+        }
+        total
     }
 
-    /// Resets the counters (queued requests and completions are kept).
+    /// Resets every queue's counters (queued requests and completions are
+    /// kept).
     pub(crate) fn reset_counters(&self) {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .counters = EngineCounters::default();
+        for q in &self.queues {
+            q.state.lock().unwrap_or_else(|e| e.into_inner()).counters = EngineCounters::default();
+        }
     }
 }
 
@@ -268,9 +312,9 @@ mod tests {
 
     #[test]
     fn solo_submit_drains_itself_one_run() {
-        let e = IoEngine::new(IoEngineConfig::enabled());
+        let e = IoEngine::new(IoEngineConfig::enabled(), 1);
         let runs_seen = std::cell::RefCell::new(Vec::new());
-        e.read_page(PageId(5), |runs| {
+        e.read_page(0, PageId(5), |runs| {
             runs_seen.borrow_mut().extend_from_slice(runs);
             Ok(())
         })
@@ -286,14 +330,14 @@ mod tests {
 
     #[test]
     fn concurrent_submits_complete_and_count_depth() {
-        let e = IoEngine::new(IoEngineConfig::enabled());
+        let e = IoEngine::new(IoEngineConfig::enabled(), 1);
         let reads = AtomicU64::new(0);
         thread::scope(|s| {
             for t in 0u32..8 {
                 let (e, reads) = (&e, &reads);
                 s.spawn(move || {
                     for k in 0..16 {
-                        e.read_page(PageId(t * 16 + k), |runs| {
+                        e.read_page(0, PageId(t * 16 + k), |runs| {
                             reads.fetch_add(
                                 runs.iter().map(|&(_, n)| n as u64).sum::<u64>(),
                                 Ordering::Relaxed,
@@ -315,9 +359,9 @@ mod tests {
 
     #[test]
     fn batch_errors_fan_out_to_every_waiter() {
-        let e = IoEngine::new(IoEngineConfig::enabled());
+        let e = IoEngine::new(IoEngineConfig::enabled(), 1);
         let err = e
-            .read_page(PageId(0), |_| {
+            .read_page(0, PageId(0), |_| {
                 Err(crate::StoreError::PageOutOfBounds {
                     page: PageId(0),
                     allocated: 0,
@@ -326,6 +370,57 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, crate::StoreError::PageOutOfBounds { .. }));
         // The engine is reusable after a failed batch.
-        e.read_page(PageId(1), |_| Ok(())).unwrap();
+        e.read_page(0, PageId(1), |_| Ok(())).unwrap();
+    }
+
+    /// The per-shard queues drain independently: a leader stuck mid-drain
+    /// on shard 0 must not serialize a submission on shard 1. The shard-0
+    /// callback refuses to finish until the shard-1 read completes — a
+    /// single shared queue would deadlock here.
+    #[test]
+    fn drains_on_different_shards_do_not_serialize() {
+        use std::sync::mpsc;
+        let e = IoEngine::new(IoEngineConfig::enabled(), 2);
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        thread::scope(|s| {
+            let eng = &e;
+            s.spawn(move || {
+                eng.read_page(0, PageId(0), |_| {
+                    // Parked mid-drain on shard 0 until shard 1 finishes.
+                    done_rx
+                        .recv_timeout(std::time::Duration::from_secs(10))
+                        .expect("shard 1 was blocked behind shard 0's drain");
+                    Ok(())
+                })
+                .unwrap();
+            });
+            e.read_page(1, PageId(1), |_| Ok(())).unwrap();
+            done_tx.send(()).unwrap();
+        });
+        let c = e.counters();
+        assert_eq!(c.batched_read_calls, 2);
+        assert_eq!(c.max_queue_depth, 1, "each queue saw one solo request");
+    }
+
+    /// Counters stay additive across queues; the depth high-water folds as
+    /// a max, exactly like the cluster's per-node fold.
+    #[test]
+    fn counters_sum_across_shard_queues() {
+        let e = IoEngine::new(IoEngineConfig::enabled(), 4);
+        for shard in 0..4usize {
+            for k in 0..3u32 {
+                e.read_page(shard, PageId(shard as u32 * 8 + k), |_| Ok(()))
+                    .unwrap();
+            }
+        }
+        let c = e.counters();
+        assert_eq!(
+            c.batched_read_calls, 12,
+            "3 solo drains on each of 4 queues"
+        );
+        assert_eq!(c.coalesced_pages, 0);
+        assert_eq!(c.max_queue_depth, 1);
+        e.reset_counters();
+        assert_eq!(e.counters(), EngineCounters::default());
     }
 }

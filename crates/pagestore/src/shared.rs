@@ -298,6 +298,7 @@ impl SharedBufferPool {
             capacity >= shards,
             "capacity ({capacity}) must be >= shard count ({shards})"
         );
+        let shard_count = shards;
         let shards = (0..shards)
             .map(|i| {
                 let per = capacity / shards + usize::from(i < capacity % shards);
@@ -319,7 +320,7 @@ impl SharedBufferPool {
             policy,
             capacity,
             wal: wal.enabled.then(|| Wal::new(wal)),
-            engine: io.enabled.then(|| IoEngine::new(io)),
+            engine: io.enabled.then(|| IoEngine::new(io, shard_count)),
         }
     }
 
@@ -435,7 +436,7 @@ impl SharedBufferPool {
                 return Ok((st, slot));
             }
             drop(st);
-            engine.read_page(pid, |runs| self.install_runs(runs))?;
+            engine.read_page(self.shard_of(pid), pid, |runs| self.install_runs(runs))?;
             st = self.lock_for_mode(pid, write);
             if let Some(slot) = st.core.slot_of(pid) {
                 st.core.fix_engine_miss(slot, write);

@@ -142,6 +142,30 @@ impl IoSnapshot {
         self.read_calls + self.write_calls
     }
 
+    /// Field-wise accumulation (used when folding per-node snapshots into a
+    /// cluster total). Every counter adds; `max_queue_depth` is a high-water
+    /// mark, so the fold keeps the maximum across nodes instead of summing.
+    pub fn accumulate(&mut self, s: &IoSnapshot) {
+        self.read_calls += s.read_calls;
+        self.pages_read += s.pages_read;
+        self.write_calls += s.write_calls;
+        self.pages_written += s.pages_written;
+        self.fixes += s.fixes;
+        self.hits += s.hits;
+        self.misses += s.misses;
+        self.latch_shared += s.latch_shared;
+        self.latch_exclusive += s.latch_exclusive;
+        self.latch_waits += s.latch_waits;
+        self.log_write_calls += s.log_write_calls;
+        self.log_pages_written += s.log_pages_written;
+        self.log_read_calls += s.log_read_calls;
+        self.log_pages_read += s.log_pages_read;
+        self.commits += s.commits;
+        self.batched_read_calls += s.batched_read_calls;
+        self.coalesced_pages += s.coalesced_pages;
+        self.max_queue_depth = self.max_queue_depth.max(s.max_queue_depth);
+    }
+
     /// Per-loop normalization, e.g. for queries 2b/3b ("normalizing the
     /// results to a value per loop").
     pub fn per_loop(&self, loops: u64) -> PerLoop {
@@ -286,6 +310,36 @@ mod tests {
         assert_eq!(d.misses, 0);
         assert_eq!(d.pages_io(), 0);
         assert_eq!(d.io_calls(), 0);
+    }
+
+    /// Cluster folds add every counter but keep the *maximum* queue-depth
+    /// high-water mark — queue depths on different nodes never stack.
+    #[test]
+    fn accumulate_adds_counters_and_maxes_queue_depth() {
+        let mut total = IoSnapshot {
+            read_calls: 3,
+            fixes: 10,
+            commits: 1,
+            batched_read_calls: 2,
+            coalesced_pages: 4,
+            max_queue_depth: 5,
+            ..Default::default()
+        };
+        total.accumulate(&IoSnapshot {
+            read_calls: 2,
+            fixes: 7,
+            commits: 2,
+            batched_read_calls: 1,
+            coalesced_pages: 3,
+            max_queue_depth: 3,
+            ..Default::default()
+        });
+        assert_eq!(total.read_calls, 5);
+        assert_eq!(total.fixes, 17);
+        assert_eq!(total.commits, 3);
+        assert_eq!(total.batched_read_calls, 3);
+        assert_eq!(total.coalesced_pages, 7);
+        assert_eq!(total.max_queue_depth, 5, "high-water keeps the max");
     }
 
     #[test]

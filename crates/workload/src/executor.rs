@@ -34,7 +34,10 @@ use crate::plan::{Drift, Op, PatchSpec, WorkloadSpec, STREAM_STRIDE};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use starfish_core::{ComplexObjectStore, ConcurrentObjectStore, CoreError, ObjRef, RootPatch};
+use starfish_core::{
+    with_cluster_router, ClusterRouter, ComplexObjectStore, ConcurrentObjectStore, CoreError,
+    ObjRef, PartitionedStore, QueryResponse, RootPatch,
+};
 use starfish_nf2::{Oid, Tuple};
 use starfish_pagestore::IoSnapshot;
 use std::collections::{HashMap, VecDeque};
@@ -115,6 +118,34 @@ pub struct ConcurrentPlanRun {
     pub elapsed: Duration,
     /// Client threads that executed the plan.
     pub threads: usize,
+}
+
+/// The result of one routed cluster serving run ([`Executor::run_cluster`]):
+/// the usual concurrent measurement plus the router-level serving metrics.
+#[derive(Clone, Debug)]
+pub struct ClusterRun {
+    /// Counters, observations and read-phase wall-clock — exactly the
+    /// [`Executor::run_concurrent`] shape (`threads` is the client count).
+    pub run: ConcurrentPlanRun,
+    /// Reactor worker threads serving each node.
+    pub workers_per_node: usize,
+    /// Per-node submission-queue high-water marks, ascending node order.
+    pub queue_high_water: Vec<u64>,
+}
+
+impl ClusterRun {
+    /// Units served per second of the concurrent read phase.
+    pub fn units_per_sec(&self) -> f64 {
+        let secs = self.run.elapsed.as_secs_f64();
+        let units = match &self.run.outcome {
+            PlanOutcome::Measured(r) => r.units,
+            PlanOutcome::Unsupported => 0,
+        };
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        units as f64 / secs
+    }
 }
 
 /// The result of one mixed read/write serving run ([`Executor::run_stream`]).
@@ -203,6 +234,78 @@ impl Surface for SerialSurface<'_> {
     }
 }
 
+/// The two shareable (`&self`-callable) execution targets a dealt unit can
+/// stream over: a [`ConcurrentObjectStore`] called directly, or a
+/// [`ClusterRouter`] that dispatches every op to its owning node's worker
+/// pool through the ticket surface.
+#[derive(Clone, Copy)]
+enum ExecTarget<'a> {
+    /// Direct calls into one shared store (the single-pool protocol).
+    Shared(&'a dyn ConcurrentObjectStore),
+    /// Routed dispatch onto per-node reactors (the cluster protocol).
+    Routed(&'a ClusterRouter<'a>),
+}
+
+impl<'a> ExecTarget<'a> {
+    fn surface(self) -> TargetSurface<'a> {
+        match self {
+            ExecTarget::Shared(s) => TargetSurface::Shared(SharedSurface(s)),
+            ExecTarget::Routed(r) => TargetSurface::Routed(RoutedSurface(r)),
+        }
+    }
+}
+
+/// The [`Surface`] for either [`ExecTarget`] flavour.
+enum TargetSurface<'a> {
+    Shared(SharedSurface<'a>),
+    Routed(RoutedSurface<'a>),
+}
+
+impl Surface for TargetSurface<'_> {
+    fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        match self {
+            TargetSurface::Shared(s) => s.get_by_oid(r, proj),
+            TargetSurface::Routed(s) => s.get_by_oid(r, proj),
+        }
+    }
+    fn get_by_key(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        match self {
+            TargetSurface::Shared(s) => s.get_by_key(r, proj),
+            TargetSurface::Routed(s) => s.get_by_key(r, proj),
+        }
+    }
+    fn scan_count(&mut self) -> Result<u64> {
+        match self {
+            TargetSurface::Shared(s) => s.scan_count(),
+            TargetSurface::Routed(s) => s.scan_count(),
+        }
+    }
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        match self {
+            TargetSurface::Shared(s) => s.children_of(refs),
+            TargetSurface::Routed(s) => s.children_of(refs),
+        }
+    }
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        match self {
+            TargetSurface::Shared(s) => s.root_records(refs),
+            TargetSurface::Routed(s) => s.root_records(refs),
+        }
+    }
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        match self {
+            TargetSurface::Shared(s) => s.update_roots(refs, patch),
+            TargetSurface::Routed(s) => s.update_roots(refs, patch),
+        }
+    }
+    fn clear_cache(&mut self) -> Result<()> {
+        match self {
+            TargetSurface::Shared(s) => s.clear_cache(),
+            TargetSurface::Routed(s) => s.clear_cache(),
+        }
+    }
+}
+
 struct SharedSurface<'a>(&'a dyn ConcurrentObjectStore);
 
 impl Surface for SharedSurface<'_> {
@@ -228,6 +331,95 @@ impl Surface for SharedSurface<'_> {
     }
     fn clear_cache(&mut self) -> Result<()> {
         self.0.shared_clear_cache()
+    }
+}
+
+/// Completion-type mismatch guard for the routed surface — unreachable by
+/// construction (each submit pairs with exactly one response shape), kept
+/// as an error instead of a panic so a router bug cannot take down a
+/// worker pool.
+fn routed_mismatch(what: &str, got: &QueryResponse) -> CoreError {
+    CoreError::NotFound {
+        what: format!("router protocol violation: {what} completed with {got:?}"),
+    }
+}
+
+/// The routed [`Surface`]: every op becomes one ticket (or one per ref /
+/// per node) on the owning node's reactor, and waiting on the tickets in
+/// submission order rebuilds the serial answer — so dealt units stream
+/// over a cluster exactly like they stream over one shared store, while
+/// the per-node worker pools overlap execution across nodes.
+struct RoutedSurface<'a>(&'a ClusterRouter<'a>);
+
+impl Surface for RoutedSurface<'_> {
+    fn get_by_oid(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        let t = self.0.submit_get_by_oid(r.oid, proj_of(proj))?;
+        match self.0.wait(t)? {
+            QueryResponse::Tuple(tup) => Ok(tup),
+            other => Err(routed_mismatch("get_by_oid", &other)),
+        }
+    }
+    fn get_by_key(&mut self, r: ObjRef, proj: &Op) -> Result<Tuple> {
+        let t = self.0.submit_get_by_key(r.key, proj_of(proj))?;
+        match self.0.wait(t)? {
+            QueryResponse::Tuple(tup) => Ok(tup),
+            other => Err(routed_mismatch("get_by_key", &other)),
+        }
+    }
+    fn scan_count(&mut self) -> Result<u64> {
+        // Fan out to every node; waiting in ascending node order merges
+        // deterministically.
+        let mut n = 0u64;
+        for t in self.0.submit_scan_all() {
+            match self.0.wait(t)? {
+                QueryResponse::ScanCount(k) => n += k as u64,
+                other => return Err(routed_mismatch("scan_all", &other)),
+            }
+        }
+        Ok(n)
+    }
+    fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
+        // One ticket per parent, all in flight at once; waiting in input
+        // order preserves the serial answer order (responses are global
+        // refs, so the next hop routes directly).
+        let tickets: Vec<_> = refs
+            .iter()
+            .map(|r| self.0.submit_children_of(*r))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::new();
+        for t in tickets {
+            match self.0.wait(t)? {
+                QueryResponse::Refs(r) => out.extend(r),
+                other => return Err(routed_mismatch("children_of", &other)),
+            }
+        }
+        Ok(out)
+    }
+    fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
+        let tickets: Vec<_> = refs
+            .iter()
+            .map(|r| self.0.submit_root_record(*r))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::new();
+        for t in tickets {
+            match self.0.wait(t)? {
+                QueryResponse::Tuples(ts) => out.extend(ts),
+                other => return Err(routed_mismatch("root_records", &other)),
+            }
+        }
+        Ok(out)
+    }
+    fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        for t in self.0.submit_update_roots(refs, patch)? {
+            match self.0.wait(t)? {
+                QueryResponse::Done => {}
+                other => return Err(routed_mismatch("update_roots", &other)),
+            }
+        }
+        Ok(())
+    }
+    fn clear_cache(&mut self) -> Result<()> {
+        self.0.clear_cache_all()
     }
 }
 
@@ -736,9 +928,10 @@ struct UnitRun<'a> {
     record: bool,
 }
 
-/// Runs one dealt unit over the shared surface.
+/// Runs one dealt unit over a shareable target (direct shared store or
+/// routed cluster dispatch).
 fn run_unit(
-    store: &dyn ConcurrentObjectStore,
+    target: ExecTarget<'_>,
     refs: &[ObjRef],
     spec: &WorkloadSpec,
     run: UnitRun<'_>,
@@ -765,7 +958,7 @@ fn run_unit(
         depth,
         ..Ctx::default()
     };
-    let mut surf = SharedSurface(store);
+    let mut surf = target.surface();
     let mut picks = PickSource::Tape(&mut tape);
     let mut mode = if record {
         Mode::Record {
@@ -897,7 +1090,7 @@ impl Executor {
     /// the paper's "not relevant" marker (an op the model cannot execute).
     fn exec_shared(
         &self,
-        store: &dyn ConcurrentObjectStore,
+        target: ExecTarget<'_>,
         spec: &WorkloadSpec,
         threads: usize,
         record: bool,
@@ -931,7 +1124,7 @@ impl Executor {
                         init,
                         record,
                     };
-                    match run_unit(store, &self.refs, spec, unit) {
+                    match run_unit(target, &self.refs, spec, unit) {
                         Ok(o) => vec![o],
                         Err(CoreError::Unsupported { .. }) => return Ok(None),
                         Err(e) => return Err(e),
@@ -943,7 +1136,7 @@ impl Executor {
                     let units = &ps.units;
                     let exec_one = |i: usize| {
                         run_unit(
-                            store,
+                            target,
                             &self.refs,
                             spec,
                             UnitRun {
@@ -1037,7 +1230,7 @@ impl Executor {
         store.reset_stats();
         let before = store.snapshot();
 
-        let exec = match self.exec_shared(&*store, spec, threads, true)? {
+        let exec = match self.exec_shared(ExecTarget::Shared(&*store), spec, threads, true)? {
             Some(exec) => exec,
             // The model does not support an op of the plan (query 1a
             // under pure NSM) — the paper's "not relevant" marker.
@@ -1086,6 +1279,106 @@ impl Executor {
         })
     }
 
+    /// Runs `spec` against a [`PartitionedStore`] through the routed
+    /// dispatch front-end: `clients` client threads deal units exactly like
+    /// [`run_concurrent`](Self::run_concurrent), but every op is submitted
+    /// as a ticket to its owning node's reactor and served by
+    /// `workers_per_node` worker threads per node
+    /// ([`with_cluster_router`]). The measurement protocol is unchanged
+    /// (cold start, read phase, deferred updates in plan order, disconnect
+    /// flush), so:
+    ///
+    /// * answers, fix totals and per-node disk bytes are invariant across
+    ///   `clients` × `workers_per_node`, and equal to a serially-driven
+    ///   cluster's;
+    /// * with 1 node × 1 worker × 1 client the whole `Measurement` replays
+    ///   the serial run counter for counter (read-only plans; plans with
+    ///   updates defer them like `run_concurrent`, which can move physical
+    ///   write timing but never the final bytes).
+    pub fn run_cluster(
+        &self,
+        cluster: &mut PartitionedStore,
+        spec: &WorkloadSpec,
+        clients: usize,
+        workers_per_node: usize,
+    ) -> Result<ClusterRun> {
+        let clients = clients.max(1);
+        cluster.clear_cache()?;
+        cluster.reset_stats();
+        let before = cluster.snapshot();
+
+        let served = with_cluster_router(&*cluster, workers_per_node, |router| {
+            let exec = match self.exec_shared(ExecTarget::Routed(router), spec, clients, true)? {
+                Some(exec) => exec,
+                None => return Ok(None),
+            };
+
+            // Deferred write phase: each unit's updates in plan order.
+            // Waiting out every node's ticket before the next unit keeps
+            // same-object updates in unit order; within a unit the
+            // involved nodes apply their partitions in parallel.
+            let mut updates_applied = 0u64;
+            for (sel, patch, loop_nr) in &exec.deferred {
+                let patch = RootPatch {
+                    new_name: patch.materialize(*loop_nr),
+                };
+                for t in router.submit_update_roots(sel, &patch)? {
+                    match router.wait(t)? {
+                        QueryResponse::Done => {}
+                        other => return Err(routed_mismatch("update_roots", &other)),
+                    }
+                }
+                updates_applied += 1;
+            }
+
+            // Database disconnect through every node's queue.
+            for t in router.submit_flush() {
+                match router.wait(t)? {
+                    QueryResponse::Done => {}
+                    other => return Err(routed_mismatch("flush", &other)),
+                }
+            }
+            Ok(Some((exec, updates_applied, router.queue_high_water())))
+        })?;
+
+        let Some((exec, updates_applied, queue_high_water)) = served else {
+            // The model does not support an op of the plan — the paper's
+            // "not relevant" marker.
+            return Ok(ClusterRun {
+                run: ConcurrentPlanRun {
+                    outcome: PlanOutcome::Unsupported,
+                    observations: Vec::new(),
+                    elapsed: Duration::ZERO,
+                    threads: clients,
+                },
+                workers_per_node,
+                queue_high_water: vec![0; cluster.node_count()],
+            });
+        };
+
+        let snapshot = cluster.snapshot() - before;
+        let units = match spec.unit {
+            crate::plan::NormUnit::Loops => exec.top_iters.max(1),
+            crate::plan::NormUnit::ScannedObjects => exec.scanned.max(1),
+        };
+        Ok(ClusterRun {
+            run: ConcurrentPlanRun {
+                outcome: PlanOutcome::Measured(PlanRun {
+                    snapshot,
+                    units,
+                    nav_seen: exec.nav_seen,
+                    scanned: exec.scanned,
+                    updates_applied,
+                }),
+                observations: exec.observations,
+                elapsed: exec.elapsed,
+                threads: clients,
+            },
+            workers_per_node,
+            queue_high_water,
+        })
+    }
+
     /// Serves `spec` as a mixed read/write request stream from `threads`
     /// clients over `store`: same unit dealing as
     /// [`run_concurrent`](Self::run_concurrent), but updates run **inline**
@@ -1107,12 +1400,12 @@ impl Executor {
         store.reset_stats();
         let before = store.snapshot();
 
-        let exec =
-            self.exec_shared(&*store, spec, threads, false)?
-                .ok_or(CoreError::Unsupported {
-                    model: "plan executor",
-                    op: "mixed-stream execution of an op the storage model rejects",
-                })?;
+        let exec = self
+            .exec_shared(ExecTarget::Shared(&*store), spec, threads, false)?
+            .ok_or(CoreError::Unsupported {
+                model: "plan executor",
+                op: "mixed-stream execution of an op the storage model rejects",
+            })?;
 
         store.shared_flush()?;
         Ok(MixedRun {

@@ -41,7 +41,9 @@ pub mod reorder;
 mod stats;
 
 pub use concurrent::{ConcurrentRun, UnitAnswer};
-pub use executor::{ConcurrentPlanRun, Executor, MixedRun, PlanOutcome, PlanRun, UnitObservation};
+pub use executor::{
+    ClusterRun, ConcurrentPlanRun, Executor, MixedRun, PlanOutcome, PlanRun, UnitObservation,
+};
 pub use generator::{generate, DatasetParams};
 pub use plan::{
     Count, Drift, MixKind, NormUnit, Op, PatchSpec, ProjSpec, WorkloadSpec, Q1A_SAMPLE,
