@@ -115,6 +115,23 @@ pub trait ConcurrentObjectStore: ComplexObjectStore + Send + Sync {
     /// record as end-of-log. No-op with the WAL disabled.
     #[doc(hidden)]
     fn damage_log_tail(&self, bytes: u32);
+
+    /// Adaptive placement through the shared pool: runs the heat-ranked
+    /// rewrite of [`ComplexObjectStore::reorganize`] inside a **writer
+    /// quiesce window** (the pool's PR-4 gate): in-flight exclusive writers
+    /// drain, new ones wait, while concurrent *readers* keep running
+    /// throughout — they hold a snapshot of the old placement, whose
+    /// extents stay valid on disk, until the atomic swap publishes the new
+    /// one. Lock order inside the window: the pass may fix pages and take
+    /// shared latches, but must never enter an exclusive latch group (it
+    /// would self-deadlock behind its own gate). Defaults to
+    /// [`crate::CoreError::Unsupported`].
+    fn shared_reorganize(&self) -> Result<crate::placement::ReorgReport> {
+        Err(crate::CoreError::Unsupported {
+            model: self.model().paper_name(),
+            op: "reorganize (adaptive placement)",
+        })
+    }
 }
 
 /// Builds an empty store of `kind` over a [`SharedPoolHandle`] with

@@ -17,7 +17,8 @@
 //! kept memory-resident here exactly as the paper keeps it (its accesses are
 //! not counted — §5.1 excludes the address tables from the I/O counts).
 
-use crate::object_file::ObjectFile;
+use crate::object_file::{ObjAddr, ObjectFile};
+use crate::placement::{self, ObjectHeat, PlacementStats, ReorgReport};
 use crate::traits::{
     apply_station_proj, avg, key_of_oid, per_object, ComplexObjectStore, ObjRef, RelationInfo,
     RootPatch,
@@ -29,10 +30,11 @@ use starfish_nf2::{
     Value,
 };
 use starfish_pagestore::{
-    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, Rid, SharedPoolHandle,
-    SimDisk,
+    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, PageId, Rid,
+    SharedPoolHandle, SimDisk,
 };
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Schema of the flat `DASDBS-NSM-Station` relation.
 pub fn dnsm_station_schema() -> RelSchema {
@@ -132,18 +134,29 @@ struct TransEntry {
     ordinal: usize,
 }
 
+/// Everything a reorganization replaces in one shot: the root heap, the
+/// three nested object files and the transformation table that points into
+/// them. Bundled behind one `Arc` so the adaptive-placement pass can build
+/// a fresh copy off to the side and publish it atomically (racing readers
+/// keep their old `Arc`; the old extents stay on disk, merely orphaned).
+struct DnsmState {
+    station: HeapFile,
+    platform: ObjectFile,
+    connection: ObjectFile,
+    sightseeing: ObjectFile,
+    /// The transformation table: `key → tuple addresses` (memory-resident,
+    /// uncounted, exactly like the paper's).
+    trans: HashMap<Key, TransEntry>,
+}
+
 /// The DASDBS-NSM store, generic over the buffer pool it runs on
 /// ([`BufferPool`] by default; [`SharedPoolHandle`] for concurrent serving
 /// via [`crate::make_shared_store`]).
 pub struct DasdbsNsmStore<P: PageCache = BufferPool> {
     pool: P,
-    station: Option<HeapFile>,
-    platform: Option<ObjectFile>,
-    connection: Option<ObjectFile>,
-    sightseeing: Option<ObjectFile>,
-    /// The transformation table: `key → tuple addresses` (memory-resident,
-    /// uncounted, exactly like the paper's).
-    trans: HashMap<Key, TransEntry>,
+    /// Snapshot-swapped by `reorganize`; every op clones the `Arc` out once
+    /// and works against that consistent placement.
+    state: RwLock<Option<Arc<DnsmState>>>,
     refs: Vec<ObjRef>,
     station_bytes: u64,
 }
@@ -169,24 +182,15 @@ impl DnsmParts<'_> {
     }
 }
 
-/// Builds [`DnsmParts`] from (borrowed) fields, erroring on an empty store.
-fn dnsm_parts<'a>(
-    station: &'a Option<HeapFile>,
-    platform: &'a Option<ObjectFile>,
-    connection: &'a Option<ObjectFile>,
-    sightseeing: &'a Option<ObjectFile>,
-    trans: &'a HashMap<Key, TransEntry>,
-) -> Result<DnsmParts<'a>> {
-    let missing = || CoreError::NotFound {
-        what: "empty database".into(),
-    };
-    Ok(DnsmParts {
-        station: station.as_ref().ok_or_else(missing)?,
-        platform: platform.as_ref().ok_or_else(missing)?,
-        connection: connection.as_ref().ok_or_else(missing)?,
-        sightseeing: sightseeing.as_ref().ok_or_else(missing)?,
-        trans,
-    })
+/// Builds [`DnsmParts`] over one placement snapshot.
+fn dnsm_parts(state: &DnsmState) -> DnsmParts<'_> {
+    DnsmParts {
+        station: &state.station,
+        platform: &state.platform,
+        connection: &state.connection,
+        sightseeing: &state.sightseeing,
+        trans: &state.trans,
+    }
 }
 
 /// Reads and reassembles one full object through the transformation table:
@@ -361,39 +365,20 @@ impl<P: PageCache> DasdbsNsmStore<P> {
     pub fn with_pool(_config: &StoreConfig, pool: P) -> Self {
         DasdbsNsmStore {
             pool,
-            station: None,
-            platform: None,
-            connection: None,
-            sightseeing: None,
-            trans: HashMap::new(),
+            state: RwLock::new(None),
             refs: Vec::new(),
             station_bytes: 0,
         }
     }
 
-    fn loaded(&self) -> Result<()> {
-        if self.station.is_some() {
-            Ok(())
-        } else {
-            Err(CoreError::NotFound {
+    /// The current placement snapshot (cheap `Arc` clone), or the
+    /// empty-database error.
+    fn state(&self) -> Result<Arc<DnsmState>> {
+        placement::read_lock(&self.state)
+            .clone()
+            .ok_or_else(|| CoreError::NotFound {
                 what: "empty database".into(),
             })
-        }
-    }
-
-    /// Splits `&mut self` into read-path parts and the pool.
-    fn parts_and_pool(&mut self) -> Result<(DnsmParts<'_>, &mut P)> {
-        let DasdbsNsmStore {
-            pool,
-            station,
-            platform,
-            connection,
-            sightseeing,
-            trans,
-            ..
-        } = self;
-        let parts = dnsm_parts(station, platform, connection, sightseeing, trans)?;
-        Ok((parts, pool))
     }
 
     /// Builds the per-relation nested tuples for one station.
@@ -515,9 +500,154 @@ impl<P: PageCache> DasdbsNsmStore<P> {
     /// Reads and reassembles one full object through the transformation
     /// table: four addressed tuple reads (the paper's query-1a path).
     fn materialize(&mut self, key: Key) -> Result<Tuple> {
-        let (parts, pool) = self.parts_and_pool()?;
-        materialize_in(&parts, pool, key)
+        let state = self.state()?;
+        materialize_in(&dnsm_parts(&state), &mut self.pool, key)
     }
+}
+
+/// Per-object heat from the memory-resident transformation table alone: no
+/// I/O, the addresses already name every page each object touches. Packed
+/// cost: page-sharing tuples at their relation's current density, spanned
+/// tuples keeping their extents.
+fn dnsm_object_heats(
+    state: &DnsmState,
+    refs: &[ObjRef],
+    heat: &HashMap<PageId, u64>,
+) -> Result<Vec<ObjectHeat>> {
+    let st_density = if refs.is_empty() {
+        0.0
+    } else {
+        f64::from(state.station.page_count()) / refs.len() as f64
+    };
+    let files = [&state.platform, &state.connection, &state.sightseeing];
+    let heap_shares: Vec<f64> = files
+        .iter()
+        .map(|f| {
+            let residents = f.heap_resident_count();
+            if residents > 0 {
+                f64::from(f.heap_pages()) / residents as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    refs.iter()
+        .enumerate()
+        .map(|(ord, r)| {
+            let e = state
+                .trans
+                .get(&r.key)
+                .copied()
+                .ok_or_else(|| CoreError::NotFound {
+                    what: format!("key {}", r.key),
+                })?;
+            let mut pages = vec![e.station.page];
+            let mut packed = st_density;
+            for (f, share) in files.iter().zip(&heap_shares) {
+                pages.extend(f.latch_pages_of(e.ordinal)?);
+                packed += match f.addr(e.ordinal)? {
+                    ObjAddr::Heap(_) => *share,
+                    ObjAddr::Spanned(rec) => f64::from(rec.total_pages()),
+                };
+            }
+            Ok(ObjectHeat::new(ord, pages, heat, packed))
+        })
+        .collect()
+}
+
+/// The adaptive-placement rewrite: materializes every object's four tuples
+/// through the transformation table (counted reads), bulk-loads fresh
+/// extents with the hot set first, and rebuilds the table. The object
+/// files restore ordinal addressing afterwards, so old ordinals — and the
+/// `TransEntry` values racing readers hold — stay valid; the old extents
+/// stay on disk, orphaned.
+fn rebuild_dnsm(
+    state: &DnsmState,
+    refs: &[ObjRef],
+    pool: &mut impl PageCache,
+) -> Result<(DnsmState, ReorgReport)> {
+    let heat = placement::heat_map(pool.page_heat());
+    let objs = dnsm_object_heats(state, refs, &heat)?;
+    let ranking = placement::rank(&objs);
+    let before = pool.snapshot();
+    let mut st_recs = Vec::with_capacity(refs.len());
+    let mut pl_objs = Vec::with_capacity(refs.len());
+    let mut co_objs = Vec::with_capacity(refs.len());
+    let mut se_objs = Vec::with_capacity(refs.len());
+    for &ord in &ranking.order {
+        let e = state.trans[&refs[ord].key];
+        st_recs.push(state.station.read(pool, e.station)?);
+        for (file, schema, out) in [
+            (&state.platform, dnsm_platform_schema(), &mut pl_objs),
+            (&state.connection, dnsm_connection_schema(), &mut co_objs),
+            (&state.sightseeing, dnsm_sightseeing_schema(), &mut se_objs),
+        ] {
+            let bytes = file.read_full(pool, e.ordinal)?;
+            out.push(encode_with_layout(&decode(&bytes, &schema)?, &schema)?);
+        }
+    }
+    let (st, st_rids) = HeapFile::bulk_load(pool, "DASDBS-NSM-Station", &st_recs)?;
+    let mut pl = ObjectFile::bulk_load(pool, "DASDBS-NSM-Platform", &pl_objs)?;
+    let mut co = ObjectFile::bulk_load(pool, "DASDBS-NSM-Connection", &co_objs)?;
+    let mut se = ObjectFile::bulk_load(pool, "DASDBS-NSM-Sightseeing", &se_objs)?;
+    pl.restore_input_order(&ranking.order);
+    co.restore_input_order(&ranking.order);
+    se.restore_input_order(&ranking.order);
+    // Position i of the bulk load holds the object of (old) ordinal
+    // `order[i]`; the object files restored ordinal addressing above, so
+    // every entry keeps its old ordinal and only the station RID changes.
+    let trans: HashMap<Key, TransEntry> = ranking
+        .order
+        .iter()
+        .zip(&st_rids)
+        .map(|(&ord, rid)| {
+            (
+                refs[ord].key,
+                TransEntry {
+                    station: *rid,
+                    ordinal: ord,
+                },
+            )
+        })
+        .collect();
+    pool.flush_all()?;
+    let spent = pool.snapshot() - before;
+    let hot_after = {
+        let mut pages: Vec<Vec<PageId>> = Vec::new();
+        for &ord in ranking.hot_ordinals() {
+            let mut ps = vec![trans[&refs[ord].key].station.page];
+            ps.extend(pl.latch_pages_of(ord)?);
+            ps.extend(co.latch_pages_of(ord)?);
+            ps.extend(se.latch_pages_of(ord)?);
+            pages.push(ps);
+        }
+        placement::distinct_pages(pages.iter().map(Vec::as_slice))
+    };
+    let report = ReorgReport {
+        objects: refs.len(),
+        moved: ranking
+            .order
+            .iter()
+            .enumerate()
+            .filter(|&(i, &ord)| i != ord)
+            .count(),
+        heat_total: ranking.stats.heat_total,
+        hot_objects: ranking.stats.hot_objects,
+        hot_pages_before: ranking.stats.hot_pages,
+        hot_pages_after: hot_after,
+        pages_read: spent.pages_read,
+        pages_written: spent.pages_written,
+    };
+    Ok((
+        DnsmState {
+            station: st,
+            platform: pl,
+            connection: co,
+            sightseeing: se,
+            trans,
+        },
+        report,
+    ))
 }
 
 impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
@@ -547,7 +677,7 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
         let pl = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Platform", &pl_objs)?;
         let co = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Connection", &co_objs)?;
         let se = ObjectFile::bulk_load(&mut self.pool, "DASDBS-NSM-Sightseeing", &se_objs)?;
-        self.trans = stations
+        let trans = stations
             .iter()
             .enumerate()
             .zip(&st_rids)
@@ -561,10 +691,13 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
                 )
             })
             .collect();
-        self.station = Some(st);
-        self.platform = Some(pl);
-        self.connection = Some(co);
-        self.sightseeing = Some(se);
+        *placement::write_lock(&self.state) = Some(Arc::new(DnsmState {
+            station: st,
+            platform: pl,
+            connection: co,
+            sightseeing: se,
+            trans,
+        }));
         self.pool.clear_cache()?;
         self.pool.reset_stats();
         Ok(self.refs.clone())
@@ -575,37 +708,36 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     }
 
     fn get_by_oid(&mut self, oid: Oid, proj: &Projection) -> Result<Tuple> {
-        self.loaded()?;
         let key = key_of_oid(&self.refs, oid)?;
         let t = self.materialize(key)?;
         Ok(apply_station_proj(t, proj))
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
-        let (parts, pool) = self.parts_and_pool()?;
-        get_by_key_in(&parts, pool, key, proj)
+        let state = self.state()?;
+        get_by_key_in(&dnsm_parts(&state), &mut self.pool, key, proj)
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
         let refs = self.refs.clone();
-        let (parts, pool) = self.parts_and_pool()?;
-        scan_all_in(&parts, pool, &refs, f)
+        let state = self.state()?;
+        scan_all_in(&dnsm_parts(&state), &mut self.pool, &refs, f)
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        let (parts, pool) = self.parts_and_pool()?;
-        children_of_in(&parts, pool, refs)
+        let state = self.state()?;
+        children_of_in(&dnsm_parts(&state), &mut self.pool, refs)
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        let (parts, pool) = self.parts_and_pool()?;
-        root_records_in(&parts, pool, refs)
+        let state = self.state()?;
+        root_records_in(&dnsm_parts(&state), &mut self.pool, refs)
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
         // The replace-tuple path on the root relation only (§5.3).
-        let (parts, pool) = self.parts_and_pool()?;
-        update_roots_in(&parts, pool, refs, patch)
+        let state = self.state()?;
+        update_roots_in(&dnsm_parts(&state), &mut self.pool, refs, patch)
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -629,9 +761,12 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     }
 
     fn relation_info(&self) -> Vec<RelationInfo> {
+        let Ok(state) = self.state() else {
+            return Vec::new();
+        };
         let objects = self.refs.len();
         let mut out = Vec::new();
-        if let Some(st) = &self.station {
+        {
             let s_tuple = avg(self.station_bytes, objects as u64)
                 + starfish_pagestore::SLOT_ENTRY_SIZE as f64;
             out.push(RelationInfo {
@@ -641,13 +776,10 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
                 avg_tuple_bytes: s_tuple,
                 k: Some((starfish_pagestore::EFFECTIVE_PAGE_SIZE as f64 / s_tuple) as u32),
                 p: None,
-                m: st.page_count(),
+                m: state.station.page_count(),
             });
         }
-        for file in [&self.platform, &self.connection, &self.sightseeing]
-            .into_iter()
-            .flatten()
-        {
+        for file in [&state.platform, &state.connection, &state.sightseeing] {
             out.push(RelationInfo {
                 name: file.name().to_string(),
                 tuples_per_object: per_object(file.len() as u64, objects),
@@ -675,53 +807,60 @@ impl<P: PageCache> ComplexObjectStore for DasdbsNsmStore<P> {
     fn disk_checksum(&self) -> u64 {
         self.pool.disk_checksum()
     }
+
+    fn placement_stats(&mut self) -> Result<PlacementStats> {
+        // The transformation table names every page: metadata only, no I/O.
+        let state = self.state()?;
+        let heat = placement::heat_map(self.pool.page_heat());
+        Ok(placement::rank(&dnsm_object_heats(&state, &self.refs, &heat)?).stats)
+    }
+
+    fn reorganize(&mut self) -> Result<ReorgReport> {
+        let state = self.state()?;
+        let (new_state, report) = rebuild_dnsm(&state, &self.refs, &mut self.pool)?;
+        *placement::write_lock(&self.state) = Some(Arc::new(new_state));
+        Ok(report)
+    }
 }
 
 impl DasdbsNsmStore<SharedPoolHandle> {
-    /// Parts plus a cloned pool handle, for `&self` read paths.
-    fn parts_and_handle(&self) -> Result<(DnsmParts<'_>, SharedPoolHandle)> {
-        let parts = dnsm_parts(
-            &self.station,
-            &self.platform,
-            &self.connection,
-            &self.sightseeing,
-            &self.trans,
-        )?;
-        Ok((parts, self.pool.clone()))
+    /// State snapshot plus a cloned pool handle, for `&self` read paths.
+    fn parts_and_handle(&self) -> Result<(Arc<DnsmState>, SharedPoolHandle)> {
+        Ok((self.state()?, self.pool.clone()))
     }
 }
 
 impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
     fn shared_get_by_oid(&self, oid: Oid, proj: &Projection) -> Result<Tuple> {
         let key = key_of_oid(&self.refs, oid)?;
-        let (parts, mut pool) = self.parts_and_handle()?;
-        let t = materialize_in(&parts, &mut pool, key)?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let t = materialize_in(&dnsm_parts(&state), &mut pool, key)?;
         Ok(apply_station_proj(t, proj))
     }
 
     fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
-        let (parts, mut pool) = self.parts_and_handle()?;
-        get_by_key_in(&parts, &mut pool, key, proj)
+        let (state, mut pool) = self.parts_and_handle()?;
+        get_by_key_in(&dnsm_parts(&state), &mut pool, key, proj)
     }
 
     fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
-        let (parts, mut pool) = self.parts_and_handle()?;
-        scan_all_in(&parts, &mut pool, &self.refs, f)
+        let (state, mut pool) = self.parts_and_handle()?;
+        scan_all_in(&dnsm_parts(&state), &mut pool, &self.refs, f)
     }
 
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        let (parts, mut pool) = self.parts_and_handle()?;
-        children_of_in(&parts, &mut pool, refs)
+        let (state, mut pool) = self.parts_and_handle()?;
+        children_of_in(&dnsm_parts(&state), &mut pool, refs)
     }
 
     fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        let (parts, mut pool) = self.parts_and_handle()?;
-        root_records_in(&parts, &mut pool, refs)
+        let (state, mut pool) = self.parts_and_handle()?;
+        root_records_in(&dnsm_parts(&state), &mut pool, refs)
     }
 
     fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
-        let (parts, mut pool) = self.parts_and_handle()?;
-        update_roots_in(&parts, &mut pool, refs, patch)
+        let (state, mut pool) = self.parts_and_handle()?;
+        update_roots_in(&dnsm_parts(&state), &mut pool, refs, patch)
     }
 
     fn shared_flush(&self) -> Result<()> {
@@ -746,6 +885,20 @@ impl crate::ConcurrentObjectStore for DasdbsNsmStore<SharedPoolHandle> {
 
     fn damage_log_tail(&self, bytes: u32) {
         self.pool.pool().truncate_log_tail(bytes)
+    }
+
+    fn shared_reorganize(&self) -> Result<ReorgReport> {
+        let (state, mut pool) = self.parts_and_handle()?;
+        // Copy + swap under the writer gate: no root update can slip in
+        // between materializing an object and publishing its new home.
+        // Readers race on the old snapshot (addressed reads are plain fixes
+        // and pass the gate); the pass takes no exclusive latch group (see
+        // the trait's lock-order note).
+        self.pool.pool().with_writers_quiesced(|| {
+            let (new_state, report) = rebuild_dnsm(&state, &self.refs, &mut pool)?;
+            *placement::write_lock(&self.state) = Some(Arc::new(new_state));
+            Ok(report)
+        })
     }
 }
 
@@ -821,7 +974,7 @@ mod tests {
         let t = s.get_by_key(22, &Projection::All).unwrap();
         assert_eq!(Station::from_tuple(&t).unwrap(), db()[2]);
         let snap = s.snapshot();
-        let root_m = s.station.as_ref().unwrap().page_count() as u64;
+        let root_m = s.state().unwrap().station.page_count() as u64;
         // Scan of the root relation + a handful of addressed reads.
         assert!(snap.pages_read >= root_m);
         assert!(snap.pages_read <= root_m + 8);
@@ -928,5 +1081,32 @@ mod tests {
             s.get_by_oid(Oid(44), &Projection::All),
             Err(CoreError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn reorganize_is_logically_invisible() {
+        let mut s = DasdbsNsmStore::new(
+            StoreConfig::default().heat(starfish_pagestore::HeatConfig::enabled()),
+        );
+        s.load(&db()).unwrap();
+        // Skew the heat, check the stats are metadata-only, reorganize.
+        for _ in 0..8 {
+            s.get_by_oid(Oid(2), &Projection::All).unwrap();
+        }
+        s.reset_stats();
+        let stats = s.placement_stats().unwrap();
+        assert_eq!(s.snapshot().fixes, 0, "stats come from the table alone");
+        assert!(stats.heat_total > 0);
+        assert!(stats.hot_objects >= 1);
+        let report = s.reorganize().unwrap();
+        assert_eq!(report.objects, 4);
+        assert!(report.pages_written > 0, "fresh extents were written");
+        // Same answers, same OIDs, same keys, after the rewrite.
+        for (i, expect) in db().iter().enumerate() {
+            let t = s.get_by_oid(Oid(i as u32), &Projection::All).unwrap();
+            assert_eq!(&Station::from_tuple(&t).unwrap(), expect);
+        }
+        let t = s.get_by_key(22, &Projection::All).unwrap();
+        assert_eq!(Station::from_tuple(&t).unwrap(), db()[2]);
     }
 }

@@ -15,7 +15,8 @@
 //!   also allocates a one-page *page pool* whose pages are written per
 //!   operation — the write-amplification anomaly of §5.3.
 
-use crate::object_file::{ObjectFile, ReadPayload};
+use crate::object_file::{ObjAddr, ObjectFile, ReadPayload};
+use crate::placement::{self, PlacementStats, ReorgReport};
 use crate::traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 use crate::{CoreError, ModelKind, Result, StoreConfig};
 use starfish_nf2::station::{attr, child_refs, proj_navigation, proj_root_record, Station};
@@ -26,6 +27,7 @@ use starfish_pagestore::{
     BufferPool, BufferStats, IoSnapshot, LatchMode, PageCache, PageId, SharedPoolHandle, SimDisk,
 };
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Shared implementation of the two direct storage models, generic over the
 /// buffer pool it runs on: [`BufferPool`] (the default — every original
@@ -37,7 +39,12 @@ pub struct DirectStore<P: PageCache = BufferPool> {
     partial: bool,
     pool: P,
     schema: RelSchema,
-    file: Option<ObjectFile>,
+    /// The current placement, snapshot-swapped by [`reorganize`]
+    /// (`ComplexObjectStore::reorganize`): every operation clones the `Arc`
+    /// out once, so concurrent readers keep a consistent old placement
+    /// (whose extents stay valid on disk) while a reorganization publishes
+    /// a new one.
+    file: RwLock<Option<Arc<ObjectFile>>>,
     refs: Vec<ObjRef>,
     key_to_ord: HashMap<Key, usize>,
     /// Scratch extent for DASDBS-DSM's `change attribute` page pool.
@@ -378,7 +385,7 @@ impl<P: PageCache> DirectStore<P> {
             partial,
             pool,
             schema: starfish_nf2::station::station_schema(),
-            file: None,
+            file: RwLock::new(None),
             refs: Vec::new(),
             key_to_ord: HashMap::new(),
             scratch: None,
@@ -386,10 +393,13 @@ impl<P: PageCache> DirectStore<P> {
         }
     }
 
-    fn file(&self) -> Result<&ObjectFile> {
-        self.file.as_ref().ok_or_else(|| CoreError::NotFound {
-            what: "empty database".into(),
-        })
+    /// The current placement snapshot (cheap `Arc` clone).
+    fn file(&self) -> Result<Arc<ObjectFile>> {
+        placement::read_lock(&self.file)
+            .clone()
+            .ok_or_else(|| CoreError::NotFound {
+                what: "empty database".into(),
+            })
     }
 
     fn ord_of_oid(&self, oid: Oid) -> Result<usize> {
@@ -398,9 +408,90 @@ impl<P: PageCache> DirectStore<P> {
 
     /// Reads object `ord` under `proj` using the model's access path.
     fn read_object(&mut self, ord: usize, proj: &Projection) -> Result<Tuple> {
-        let file = self.file.as_ref().expect("checked by callers");
-        read_object_in(self.partial, file, &self.schema, &mut self.pool, ord, proj)
+        let file = self.file()?;
+        read_object_in(self.partial, &file, &self.schema, &mut self.pool, ord, proj)
     }
+}
+
+/// Per-object placement facts for the direct layout: the object's extent
+/// (or shared heap page) plus its packed-cost estimate — heap residents
+/// cost their current share of a heap page, spanned residents their extent.
+fn direct_object_heats(
+    file: &ObjectFile,
+    heat: &HashMap<starfish_pagestore::PageId, u64>,
+) -> Result<Vec<placement::ObjectHeat>> {
+    let residents = file.heap_resident_count();
+    let heap_share = if residents > 0 {
+        f64::from(file.heap_pages()) / residents as f64
+    } else {
+        0.0
+    };
+    (0..file.len())
+        .map(|ord| {
+            let packed = match file.addr(ord)? {
+                ObjAddr::Heap(_) => heap_share,
+                ObjAddr::Spanned(rec) => f64::from(rec.total_pages()),
+            };
+            Ok(placement::ObjectHeat::new(
+                ord,
+                file.latch_pages_of(ord)?,
+                heat,
+                packed,
+            ))
+        })
+        .collect()
+}
+
+/// The heat-ranked rewrite for the direct layout: materialize every object
+/// (counted reads), bulk-load a fresh file with objects in heat order
+/// (counted writes via the flush), and restore ordinal addressing so OIDs
+/// keep their meaning. The old extents are simply orphaned on disk —
+/// concurrent readers holding the old snapshot stay correct.
+fn rebuild_direct(
+    file: &ObjectFile,
+    schema: &RelSchema,
+    pool: &mut impl PageCache,
+    aligned: bool,
+) -> Result<(ObjectFile, ReorgReport)> {
+    let heat = placement::heat_map(pool.page_heat());
+    let objs = direct_object_heats(file, &heat)?;
+    let ranking = placement::rank(&objs);
+    let before = pool.snapshot();
+    let mut payloads = Vec::with_capacity(file.len());
+    for &ord in &ranking.order {
+        let bytes = file.read_full(pool, ord)?;
+        let t = decode(&bytes, schema)?;
+        payloads.push(encode_with_layout(&t, schema)?);
+    }
+    let mut new_file =
+        ObjectFile::bulk_load_opts(pool, file.name().to_string(), &payloads, aligned)?;
+    new_file.restore_input_order(&ranking.order);
+    pool.flush_all()?;
+    let spent = pool.snapshot() - before;
+    let hot_after = {
+        let pages: Vec<Vec<_>> = ranking
+            .hot_ordinals()
+            .iter()
+            .map(|&ord| new_file.latch_pages_of(ord))
+            .collect::<Result<_>>()?;
+        placement::distinct_pages(pages.iter().map(Vec::as_slice))
+    };
+    let report = ReorgReport {
+        objects: file.len(),
+        moved: ranking
+            .order
+            .iter()
+            .enumerate()
+            .filter(|&(i, &ord)| i != ord)
+            .count(),
+        heat_total: ranking.stats.heat_total,
+        hot_objects: ranking.stats.hot_objects,
+        hot_pages_before: ranking.stats.hot_pages,
+        hot_pages_after: hot_after,
+        pages_read: spent.pages_read,
+        pages_written: spent.pages_written,
+    };
+    Ok((new_file, report))
 }
 
 impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
@@ -429,12 +520,12 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
         } else {
             "DSM-Station"
         };
-        self.file = Some(ObjectFile::bulk_load_opts(
+        *placement::write_lock(&self.file) = Some(Arc::new(ObjectFile::bulk_load_opts(
             &mut self.pool,
             name,
             &payloads,
             self.aligned,
-        )?);
+        )?));
         if self.partial {
             self.scratch = Some(self.pool.alloc_extent(1));
         }
@@ -454,11 +545,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn get_by_key(&mut self, key: Key, proj: &Projection) -> Result<Tuple> {
-        self.file()?;
-        let file = self.file.as_ref().expect("checked");
+        let file = self.file()?;
         get_by_key_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut self.pool,
             self.refs.len(),
@@ -468,11 +558,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
-        self.file()?;
-        let file = self.file.as_ref().expect("checked");
+        let file = self.file()?;
         scan_all_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut self.pool,
             self.refs.len(),
@@ -481,11 +570,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        self.file()?;
-        let file = self.file.as_ref().expect("checked");
+        let file = self.file()?;
         children_of_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut self.pool,
             self.refs.len(),
@@ -494,11 +582,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        self.file()?;
-        let file = self.file.as_ref().expect("checked");
+        let file = self.file()?;
         root_records_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut self.pool,
             self.refs.len(),
@@ -507,10 +594,10 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
-        self.file()?;
+        let file = self.file()?;
         let parts = DirectUpdateParts {
             partial: self.partial,
-            file: self.file.as_ref().expect("checked"),
+            file: &file,
             schema: &self.schema,
             n_objects: self.refs.len(),
             scratch: self.scratch,
@@ -539,7 +626,7 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     }
 
     fn relation_info(&self) -> Vec<RelationInfo> {
-        let Some(file) = self.file.as_ref() else {
+        let Ok(file) = self.file() else {
             return Vec::new();
         };
         let total = file.len() as u64;
@@ -568,6 +655,19 @@ impl<P: PageCache> ComplexObjectStore for DirectStore<P> {
     fn disk_checksum(&self) -> u64 {
         self.pool.disk_checksum()
     }
+
+    fn placement_stats(&mut self) -> Result<PlacementStats> {
+        let file = self.file()?;
+        let heat = placement::heat_map(self.pool.page_heat());
+        Ok(placement::rank(&direct_object_heats(&file, &heat)?).stats)
+    }
+
+    fn reorganize(&mut self) -> Result<ReorgReport> {
+        let file = self.file()?;
+        let (new_file, report) = rebuild_direct(&file, &self.schema, &mut self.pool, self.aligned)?;
+        *placement::write_lock(&self.file) = Some(Arc::new(new_file));
+        Ok(report)
+    }
 }
 
 impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
@@ -575,7 +675,7 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let file = self.file()?;
         let ord = self.ord_of_oid(oid)?;
         let mut pool = self.pool.clone();
-        read_object_in(self.partial, file, &self.schema, &mut pool, ord, proj)
+        read_object_in(self.partial, &file, &self.schema, &mut pool, ord, proj)
     }
 
     fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
@@ -583,7 +683,7 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let mut pool = self.pool.clone();
         get_by_key_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut pool,
             self.refs.len(),
@@ -597,7 +697,7 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let mut pool = self.pool.clone();
         scan_all_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut pool,
             self.refs.len(),
@@ -610,7 +710,7 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let mut pool = self.pool.clone();
         children_of_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut pool,
             self.refs.len(),
@@ -623,7 +723,7 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
         let mut pool = self.pool.clone();
         root_records_in(
             self.partial,
-            file,
+            &file,
             &self.schema,
             &mut pool,
             self.refs.len(),
@@ -632,9 +732,10 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
     }
 
     fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
+        let file = self.file()?;
         let parts = DirectUpdateParts {
             partial: self.partial,
-            file: self.file()?,
+            file: &file,
             schema: &self.schema,
             n_objects: self.refs.len(),
             scratch: self.scratch,
@@ -665,6 +766,21 @@ impl crate::ConcurrentObjectStore for DirectStore<SharedPoolHandle> {
 
     fn damage_log_tail(&self, bytes: u32) {
         self.pool.pool().truncate_log_tail(bytes)
+    }
+
+    fn shared_reorganize(&self) -> Result<ReorgReport> {
+        let file = self.file()?;
+        let mut pool = self.pool.clone();
+        // The whole copy + swap runs with writers quiesced, so no update
+        // can slip between reading an object and publishing its new home.
+        // Readers keep racing on the old snapshot (shared latches and
+        // plain fixes pass the gate); the pass itself takes no exclusive
+        // latch group (see the trait's lock-order note).
+        self.pool.pool().with_writers_quiesced(|| {
+            let (new_file, report) = rebuild_direct(&file, &self.schema, &mut pool, self.aligned)?;
+            *placement::write_lock(&self.file) = Some(Arc::new(new_file));
+            Ok(report)
+        })
     }
 }
 

@@ -26,6 +26,7 @@ mod error;
 mod nsm;
 mod object_file;
 mod partitioned;
+mod placement;
 mod traits;
 
 pub use concurrent::{
@@ -40,6 +41,7 @@ pub use object_file::{subtuple_page_plan, ObjAddr, ObjectFile, ReadPayload};
 pub use partitioned::{
     with_cluster_router, ClusterRouter, ClusterTicket, PartitionedStore, Placement,
 };
+pub use placement::{PlacementStats, ReorgReport};
 pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 
 // Buffer construction knobs and the counter snapshot, re-exported so
@@ -47,7 +49,8 @@ pub use traits::{ComplexObjectStore, ObjRef, RelationInfo, RootPatch};
 // and consume measurements without depending on the substrate crate
 // directly.
 pub use starfish_pagestore::{
-    BufferConfig, FsyncMode, IoEngineConfig, IoSnapshot, PolicyKind, SharedPoolHandle, WalConfig,
+    BufferConfig, FsyncMode, HeatConfig, IoEngineConfig, IoSnapshot, PolicyKind, SharedPoolHandle,
+    WalConfig,
 };
 
 /// Result alias used throughout the crate.
@@ -163,6 +166,15 @@ impl StoreConfig {
     /// counters read zero.
     pub fn io_engine(mut self, io: IoEngineConfig) -> Self {
         self.buffer.io = io;
+        self
+    }
+
+    /// Sets the page-heat tracking configuration (adaptive placement's
+    /// access signal). Off by default: every golden counter stays
+    /// byte-identical and [`ComplexObjectStore::reorganize`] degenerates to
+    /// an identity rewrite.
+    pub fn heat(mut self, heat: HeatConfig) -> Self {
+        self.buffer.heat = heat;
         self
     }
 }

@@ -18,6 +18,7 @@
 //! memory-resident map `key → RIDs` lets NSM read a page "then and only then
 //! if a tuple it stores is requested" (§4).
 
+use crate::placement::{self, ObjectHeat, PlacementStats, ReorgReport};
 use crate::traits::{
     apply_station_proj, avg, key_of_oid, per_object, ComplexObjectStore, ObjRef, RelationInfo,
     RootPatch,
@@ -28,10 +29,11 @@ use starfish_nf2::{
     decode, encode, AttrDef, AttrType, Key, Oid, Projection, RelSchema, Tuple, Value,
 };
 use starfish_pagestore::{
-    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, Rid, SharedPoolHandle,
-    SimDisk,
+    BufferPool, BufferStats, HeapFile, IoSnapshot, LatchMode, PageCache, PageId, Rid,
+    SharedPoolHandle, SimDisk,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
 
 /// Flat schema of `NSM-Station`.
 pub fn nsm_station_schema() -> RelSchema {
@@ -105,22 +107,33 @@ struct RelationBytes {
     count: u64,
 }
 
-/// The NSM store (pure or indexed), generic over the buffer pool it runs
-/// on ([`BufferPool`] by default; [`SharedPoolHandle`] for concurrent
-/// serving via [`crate::make_shared_store`]).
-pub struct NsmStore<P: PageCache = BufferPool> {
-    indexed: bool,
-    pool: P,
-    station: Option<HeapFile>,
-    platform: Option<HeapFile>,
-    connection: Option<HeapFile>,
-    sightseeing: Option<HeapFile>,
+/// Everything a reorganization replaces in one shot: the four heap files
+/// plus the address tables that point into them. Bundled behind one
+/// `Arc` so the adaptive-placement pass can build a fresh copy off to the
+/// side and publish it atomically (racing readers keep their old `Arc`;
+/// the old extents stay on disk, merely orphaned).
+struct NsmState {
+    station: HeapFile,
+    platform: HeapFile,
+    connection: HeapFile,
+    sightseeing: HeapFile,
     /// Memory-resident addresses of root tuples, kept so updates can write
     /// back the tuples just read without a second scan (matching the paper's
     /// measured query-3 overheads); never used for *read* paths in pure NSM.
     station_rids: HashMap<Key, Rid>,
     /// NSM+index only: `key → RIDs of all the object's tuples`.
     index: HashMap<Key, ObjRids>,
+}
+
+/// The NSM store (pure or indexed), generic over the buffer pool it runs
+/// on ([`BufferPool`] by default; [`SharedPoolHandle`] for concurrent
+/// serving via [`crate::make_shared_store`]).
+pub struct NsmStore<P: PageCache = BufferPool> {
+    indexed: bool,
+    pool: P,
+    /// Snapshot-swapped by `reorganize`; every op clones the `Arc` out once
+    /// and works against that consistent placement.
+    state: RwLock<Option<Arc<NsmState>>>,
     refs: Vec<ObjRef>,
     sizes: Vec<RelationBytes>,
 }
@@ -137,26 +150,16 @@ struct NsmParts<'a> {
     index: &'a HashMap<Key, ObjRids>,
 }
 
-/// Builds [`NsmParts`] from (borrowed) fields, erroring on an empty store.
-fn nsm_parts<'a>(
-    indexed: bool,
-    station: &'a Option<HeapFile>,
-    platform: &'a Option<HeapFile>,
-    connection: &'a Option<HeapFile>,
-    sightseeing: &'a Option<HeapFile>,
-    index: &'a HashMap<Key, ObjRids>,
-) -> Result<NsmParts<'a>> {
-    let missing = || CoreError::NotFound {
-        what: "empty database".into(),
-    };
-    Ok(NsmParts {
+/// Builds [`NsmParts`] over one placement snapshot.
+fn nsm_parts(indexed: bool, state: &NsmState) -> NsmParts<'_> {
+    NsmParts {
         indexed,
-        station: station.as_ref().ok_or_else(missing)?,
-        platform: platform.as_ref().ok_or_else(missing)?,
-        connection: connection.as_ref().ok_or_else(missing)?,
-        sightseeing: sightseeing.as_ref().ok_or_else(missing)?,
-        index,
-    })
+        station: &state.station,
+        platform: &state.platform,
+        connection: &state.connection,
+        sightseeing: &state.sightseeing,
+        index: &state.index,
+    }
 }
 
 impl NsmStore {
@@ -173,42 +176,20 @@ impl<P: PageCache> NsmStore<P> {
         NsmStore {
             indexed,
             pool,
-            station: None,
-            platform: None,
-            connection: None,
-            sightseeing: None,
-            station_rids: HashMap::new(),
-            index: HashMap::new(),
+            state: RwLock::new(None),
             refs: Vec::new(),
             sizes: Vec::new(),
         }
     }
 
-    fn loaded(&self) -> Result<()> {
-        if self.station.is_some() {
-            Ok(())
-        } else {
-            Err(CoreError::NotFound {
+    /// The current placement snapshot (cheap `Arc` clone), or the
+    /// empty-database error.
+    fn state(&self) -> Result<Arc<NsmState>> {
+        placement::read_lock(&self.state)
+            .clone()
+            .ok_or_else(|| CoreError::NotFound {
                 what: "empty database".into(),
             })
-        }
-    }
-
-    /// Splits `&mut self` into read-path parts and the pool, so the parts
-    /// (immutable) and the pool (mutable) can be borrowed simultaneously.
-    fn parts_and_pool(&mut self) -> Result<(NsmParts<'_>, &mut P)> {
-        let NsmStore {
-            indexed,
-            pool,
-            station,
-            platform,
-            connection,
-            sightseeing,
-            index,
-            ..
-        } = self;
-        let parts = nsm_parts(*indexed, station, platform, connection, sightseeing, index)?;
-        Ok((parts, pool))
     }
 }
 
@@ -352,8 +333,9 @@ impl<P: PageCache> NsmStore<P> {
     /// NSM+index reads the root by scan/index depending on `root_by_scan`
     /// and the sub-tuples by RID.
     fn materialize(&mut self, key: Key, root_by_scan: bool) -> Result<Tuple> {
-        let (parts, pool) = self.parts_and_pool()?;
-        materialize_in(&parts, pool, key, root_by_scan)
+        let state = self.state()?;
+        let parts = nsm_parts(self.indexed, &state);
+        materialize_in(&parts, &mut self.pool, key, root_by_scan)
     }
 }
 
@@ -572,6 +554,227 @@ fn root_key_offset(bytes: &[u8]) -> Result<usize> {
     Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
 }
 
+/// Rebuilds the NSM+index map from per-relation `(owner key, RID)` pairs —
+/// shared by `load` and the reorganization pass so the two can never drift.
+/// Empty for pure NSM.
+fn build_index(
+    indexed: bool,
+    owners: [&Vec<Key>; 4],
+    rids: [&Vec<Rid>; 4],
+) -> HashMap<Key, ObjRids> {
+    let mut index: HashMap<Key, ObjRids> = HashMap::new();
+    if indexed {
+        for (k, rid) in owners[0].iter().zip(rids[0]) {
+            index.entry(*k).or_default().station = Some(*rid);
+        }
+        for (k, rid) in owners[1].iter().zip(rids[1]) {
+            index.entry(*k).or_default().platforms.push(*rid);
+        }
+        for (k, rid) in owners[2].iter().zip(rids[2]) {
+            index.entry(*k).or_default().connections.push(*rid);
+        }
+        for (k, rid) in owners[3].iter().zip(rids[3]) {
+            index.entry(*k).or_default().sightseeings.push(*rid);
+        }
+    }
+    index
+}
+
+/// One relation's raw records grouped per root key (encounter order within
+/// a key), plus the pages each key's records sit on — the reorganization's
+/// working set, collected in one counted sequential scan.
+#[derive(Default)]
+struct GroupedRelation {
+    recs: HashMap<Key, Vec<Vec<u8>>>,
+    pages: HashMap<Key, Vec<PageId>>,
+}
+
+fn scan_grouped(pool: &mut impl PageCache, file: &HeapFile) -> Result<GroupedRelation> {
+    let mut g = GroupedRelation::default();
+    let mut err = None;
+    file.scan(pool, |rid, bytes| {
+        if err.is_some() {
+            return;
+        }
+        match peek_root_key(bytes) {
+            Ok(k) => {
+                g.recs.entry(k).or_default().push(bytes.to_vec());
+                g.pages.entry(k).or_default().push(rid.page);
+            }
+            Err(e) => err = Some(e),
+        }
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(g),
+    }
+}
+
+/// Current pages-per-tuple density of each relation — what one tuple costs
+/// inside a packed region (`1/k` of a page for these page-sharing tuples).
+fn densities(state: &NsmState, sizes: &[RelationBytes]) -> [f64; 4] {
+    let files = [
+        &state.station,
+        &state.platform,
+        &state.connection,
+        &state.sightseeing,
+    ];
+    std::array::from_fn(|i| match sizes.get(i) {
+        Some(sz) if sz.count > 0 => files[i].page_count() as f64 / sz.count as f64,
+        _ => 0.0,
+    })
+}
+
+/// Per-object heat from the memory-resident index alone (NSM+index): no
+/// I/O, the addresses already name every page each object touches.
+fn object_heats_indexed(
+    state: &NsmState,
+    refs: &[ObjRef],
+    dens: [f64; 4],
+    heat: &HashMap<PageId, u64>,
+) -> Vec<ObjectHeat> {
+    refs.iter()
+        .enumerate()
+        .map(|(ord, r)| {
+            let rids = state.index.get(&r.key).cloned().unwrap_or_default();
+            let mut pages: Vec<PageId> = Vec::new();
+            pages.extend(rids.station.iter().map(|x| x.page));
+            pages.extend(rids.platforms.iter().map(|x| x.page));
+            pages.extend(rids.connections.iter().map(|x| x.page));
+            pages.extend(rids.sightseeings.iter().map(|x| x.page));
+            let packed = dens[0]
+                + dens[1] * rids.platforms.len() as f64
+                + dens[2] * rids.connections.len() as f64
+                + dens[3] * rids.sightseeings.len() as f64;
+            ObjectHeat::new(ord, pages, heat, packed)
+        })
+        .collect()
+}
+
+/// Per-object heat from grouped relation scans (pure NSM has no addresses,
+/// so locating tuples costs the usual counted relation scans).
+fn object_heats_grouped(
+    groups: &[GroupedRelation; 4],
+    refs: &[ObjRef],
+    dens: [f64; 4],
+    heat: &HashMap<PageId, u64>,
+) -> Vec<ObjectHeat> {
+    refs.iter()
+        .enumerate()
+        .map(|(ord, r)| {
+            let mut pages: Vec<PageId> = Vec::new();
+            let mut packed = 0.0;
+            for (g, d) in groups.iter().zip(dens) {
+                if let Some(ps) = g.pages.get(&r.key) {
+                    pages.extend(ps.iter().copied());
+                }
+                packed += d * g.recs.get(&r.key).map(Vec::len).unwrap_or(0) as f64;
+            }
+            ObjectHeat::new(ord, pages, heat, packed)
+        })
+        .collect()
+}
+
+/// The adaptive-placement rewrite: scans all four relations (counted I/O),
+/// ranks objects by tracked heat, bulk-loads fresh extents with the hot set
+/// first, and rebuilds the address tables. Logically invisible — within an
+/// object every record keeps its encounter order, so grouped answers are
+/// bit-for-bit what they were; only the page placement changes. The old
+/// extents stay on disk, orphaned, so concurrent readers holding the old
+/// [`NsmState`] snapshot stay correct.
+fn rebuild_nsm(
+    indexed: bool,
+    state: &NsmState,
+    refs: &[ObjRef],
+    sizes: &[RelationBytes],
+    pool: &mut impl PageCache,
+) -> Result<(NsmState, ReorgReport)> {
+    let before = pool.snapshot();
+    let heat = placement::heat_map(pool.page_heat());
+    let dens = densities(state, sizes);
+    let files = [
+        &state.station,
+        &state.platform,
+        &state.connection,
+        &state.sightseeing,
+    ];
+    let mut groups: [GroupedRelation; 4] = Default::default();
+    for (g, f) in groups.iter_mut().zip(files) {
+        *g = scan_grouped(pool, f)?;
+    }
+    let heats = object_heats_grouped(&groups, refs, dens, &heat);
+    let ranking = placement::rank(&heats);
+
+    // Re-emit every relation with whole objects in heat order.
+    let mut recs: [Vec<Vec<u8>>; 4] = Default::default();
+    let mut owners: [Vec<Key>; 4] = Default::default();
+    for &ord in &ranking.order {
+        let key = refs[ord].key;
+        for ((g, out), own) in groups.iter().zip(recs.iter_mut()).zip(owners.iter_mut()) {
+            if let Some(rs) = g.recs.get(&key) {
+                out.extend(rs.iter().cloned());
+                own.extend(std::iter::repeat_n(key, rs.len()));
+            }
+        }
+    }
+    let (st, st_rids) = HeapFile::bulk_load(pool, "NSM-Station", &recs[0])?;
+    let (pl, pl_rids) = HeapFile::bulk_load(pool, "NSM-Platform", &recs[1])?;
+    let (co, co_rids) = HeapFile::bulk_load(pool, "NSM-Connection", &recs[2])?;
+    let (se, se_rids) = HeapFile::bulk_load(pool, "NSM-Sightseeing", &recs[3])?;
+    pool.flush_all()?;
+    let spent = pool.snapshot() - before;
+
+    let new_rids = [&st_rids, &pl_rids, &co_rids, &se_rids];
+    let mut pages_after: HashMap<Key, Vec<PageId>> = HashMap::new();
+    for (own, rids) in owners.iter().zip(new_rids) {
+        for (k, rid) in own.iter().zip(rids) {
+            pages_after.entry(*k).or_default().push(rid.page);
+        }
+    }
+    let hot_pages_after = placement::distinct_pages(ranking.hot_ordinals().iter().map(|&o| {
+        pages_after
+            .get(&refs[o].key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }));
+    let report = ReorgReport {
+        objects: refs.len(),
+        moved: ranking
+            .order
+            .iter()
+            .enumerate()
+            .filter(|&(i, &o)| i != o)
+            .count(),
+        heat_total: ranking.stats.heat_total,
+        hot_objects: ranking.stats.hot_objects,
+        hot_pages_before: ranking.stats.hot_pages,
+        hot_pages_after,
+        pages_read: spent.pages_read,
+        pages_written: spent.pages_written,
+    };
+    let station_rids: HashMap<Key, Rid> = owners[0]
+        .iter()
+        .zip(&st_rids)
+        .map(|(k, r)| (*k, *r))
+        .collect();
+    let index = build_index(
+        indexed,
+        [&owners[0], &owners[1], &owners[2], &owners[3]],
+        [&st_rids, &pl_rids, &co_rids, &se_rids],
+    );
+    Ok((
+        NsmState {
+            station: st,
+            platform: pl,
+            connection: co,
+            sightseeing: se,
+            station_rids,
+            index,
+        },
+        report,
+    ))
+}
+
 impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     fn model(&self) -> ModelKind {
         if self.indexed {
@@ -652,26 +855,17 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
         let (pl, pl_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Platform", &pl_recs)?;
         let (co, co_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Connection", &co_recs)?;
         let (se, se_rids) = HeapFile::bulk_load(&mut self.pool, "NSM-Sightseeing", &se_recs)?;
-        self.station_rids = stations
+        let station_rids: HashMap<Key, Rid> = stations
             .iter()
             .zip(&st_rids)
             .map(|(s, r)| (s.key, *r))
             .collect();
-        self.index.clear();
-        if self.indexed {
-            for (s, rid) in stations.iter().zip(&st_rids) {
-                self.index.entry(s.key).or_default().station = Some(*rid);
-            }
-            for (k, rid) in pl_owner.iter().zip(&pl_rids) {
-                self.index.entry(*k).or_default().platforms.push(*rid);
-            }
-            for (k, rid) in co_owner.iter().zip(&co_rids) {
-                self.index.entry(*k).or_default().connections.push(*rid);
-            }
-            for (k, rid) in se_owner.iter().zip(&se_rids) {
-                self.index.entry(*k).or_default().sightseeings.push(*rid);
-            }
-        }
+        let owner_keys: Vec<Key> = stations.iter().map(|s| s.key).collect();
+        let index = build_index(
+            self.indexed,
+            [&owner_keys, &pl_owner, &co_owner, &se_owner],
+            [&st_rids, &pl_rids, &co_rids, &se_rids],
+        );
         self.sizes = [&st_recs, &pl_recs, &co_recs, &se_recs]
             .iter()
             .map(|recs| RelationBytes {
@@ -679,10 +873,14 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
                 count: recs.len() as u64,
             })
             .collect();
-        self.station = Some(st);
-        self.platform = Some(pl);
-        self.connection = Some(co);
-        self.sightseeing = Some(se);
+        *placement::write_lock(&self.state) = Some(Arc::new(NsmState {
+            station: st,
+            platform: pl,
+            connection: co,
+            sightseeing: se,
+            station_rids,
+            index,
+        }));
         self.pool.clear_cache()?;
         self.pool.reset_stats();
         Ok(self.refs.clone())
@@ -714,24 +912,32 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
 
     fn scan_all(&mut self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
         let refs = self.refs.clone();
-        let (parts, pool) = self.parts_and_pool()?;
-        scan_all_in(&parts, pool, &refs, f)
+        let state = self.state()?;
+        let parts = nsm_parts(self.indexed, &state);
+        scan_all_in(&parts, &mut self.pool, &refs, f)
     }
 
     fn children_of(&mut self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        let (parts, pool) = self.parts_and_pool()?;
-        children_of_in(&parts, pool, refs)
+        let state = self.state()?;
+        let parts = nsm_parts(self.indexed, &state);
+        children_of_in(&parts, &mut self.pool, refs)
     }
 
     fn root_records(&mut self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        let (parts, pool) = self.parts_and_pool()?;
-        root_records_in(&parts, pool, refs)
+        let state = self.state()?;
+        let parts = nsm_parts(self.indexed, &state);
+        root_records_in(&parts, &mut self.pool, refs)
     }
 
     fn update_roots(&mut self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
-        self.loaded()?;
-        let file = self.station.as_ref().expect("loaded");
-        update_roots_in(file, &self.station_rids, &mut self.pool, refs, patch)
+        let state = self.state()?;
+        update_roots_in(
+            &state.station,
+            &state.station_rids,
+            &mut self.pool,
+            refs,
+            patch,
+        )
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -755,21 +961,23 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     }
 
     fn relation_info(&self) -> Vec<RelationInfo> {
+        let Ok(state) = self.state() else {
+            return Vec::new();
+        };
         let files = [
-            self.station.as_ref(),
-            self.platform.as_ref(),
-            self.connection.as_ref(),
-            self.sightseeing.as_ref(),
+            &state.station,
+            &state.platform,
+            &state.connection,
+            &state.sightseeing,
         ];
         let objects = self.refs.len();
         files
             .iter()
             .zip(&self.sizes)
-            .filter_map(|(f, sz)| {
-                let f = (*f)?;
+            .map(|(f, sz)| {
                 let s_tuple =
                     avg(sz.total_bytes, sz.count) + starfish_pagestore::SLOT_ENTRY_SIZE as f64;
-                Some(RelationInfo {
+                RelationInfo {
                     name: f.name().trim_end_matches("-heap").to_string(),
                     tuples_per_object: per_object(sz.count, objects),
                     total_tuples: sz.count,
@@ -781,7 +989,7 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
                     },
                     p: None,
                     m: f.page_count(),
-                })
+                }
             })
             .collect()
     }
@@ -793,20 +1001,50 @@ impl<P: PageCache> ComplexObjectStore for NsmStore<P> {
     fn disk_checksum(&self) -> u64 {
         self.pool.disk_checksum()
     }
+
+    fn placement_stats(&mut self) -> Result<PlacementStats> {
+        let state = self.state()?;
+        let heat = placement::heat_map(self.pool.page_heat());
+        let dens = densities(&state, &self.sizes);
+        let heats = if self.indexed {
+            // The memory-resident index names every page: metadata only.
+            object_heats_indexed(&state, &self.refs, dens, &heat)
+        } else {
+            // Pure NSM has no addresses: locating tuples costs the usual
+            // counted relation scans.
+            let files = [
+                &state.station,
+                &state.platform,
+                &state.connection,
+                &state.sightseeing,
+            ];
+            let mut groups: [GroupedRelation; 4] = Default::default();
+            for (g, f) in groups.iter_mut().zip(files) {
+                *g = scan_grouped(&mut self.pool, f)?;
+            }
+            object_heats_grouped(&groups, &self.refs, dens, &heat)
+        };
+        Ok(placement::rank(&heats).stats)
+    }
+
+    fn reorganize(&mut self) -> Result<ReorgReport> {
+        let state = self.state()?;
+        let (new_state, report) = rebuild_nsm(
+            self.indexed,
+            &state,
+            &self.refs,
+            &self.sizes,
+            &mut self.pool,
+        )?;
+        *placement::write_lock(&self.state) = Some(Arc::new(new_state));
+        Ok(report)
+    }
 }
 
 impl NsmStore<SharedPoolHandle> {
-    /// Parts plus a cloned pool handle, for `&self` read paths.
-    fn parts_and_handle(&self) -> Result<(NsmParts<'_>, SharedPoolHandle)> {
-        let parts = nsm_parts(
-            self.indexed,
-            &self.station,
-            &self.platform,
-            &self.connection,
-            &self.sightseeing,
-            &self.index,
-        )?;
-        Ok((parts, self.pool.clone()))
+    /// State snapshot plus a cloned pool handle, for `&self` read paths.
+    fn parts_and_handle(&self) -> Result<(Arc<NsmState>, SharedPoolHandle)> {
+        Ok((self.state()?, self.pool.clone()))
     }
 }
 
@@ -820,37 +1058,40 @@ impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
             });
         }
         let key = key_of_oid(&self.refs, oid)?;
-        let (parts, mut pool) = self.parts_and_handle()?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let parts = nsm_parts(self.indexed, &state);
         let t = materialize_in(&parts, &mut pool, key, false)?;
         Ok(apply_station_proj(t, proj))
     }
 
     fn shared_get_by_key(&self, key: Key, proj: &Projection) -> Result<Tuple> {
-        let (parts, mut pool) = self.parts_and_handle()?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let parts = nsm_parts(self.indexed, &state);
         let t = materialize_in(&parts, &mut pool, key, true)?;
         Ok(apply_station_proj(t, proj))
     }
 
     fn shared_scan_all(&self, f: &mut dyn FnMut(&Tuple)) -> Result<()> {
-        let (parts, mut pool) = self.parts_and_handle()?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let parts = nsm_parts(self.indexed, &state);
         scan_all_in(&parts, &mut pool, &self.refs, f)
     }
 
     fn shared_children_of(&self, refs: &[ObjRef]) -> Result<Vec<ObjRef>> {
-        let (parts, mut pool) = self.parts_and_handle()?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let parts = nsm_parts(self.indexed, &state);
         children_of_in(&parts, &mut pool, refs)
     }
 
     fn shared_root_records(&self, refs: &[ObjRef]) -> Result<Vec<Tuple>> {
-        let (parts, mut pool) = self.parts_and_handle()?;
+        let (state, mut pool) = self.parts_and_handle()?;
+        let parts = nsm_parts(self.indexed, &state);
         root_records_in(&parts, &mut pool, refs)
     }
 
     fn shared_update_roots(&self, refs: &[ObjRef], patch: &RootPatch) -> Result<()> {
-        self.loaded()?;
-        let file = self.station.as_ref().expect("loaded");
-        let mut pool = self.pool.clone();
-        update_roots_in(file, &self.station_rids, &mut pool, refs, patch)
+        let (state, mut pool) = self.parts_and_handle()?;
+        update_roots_in(&state.station, &state.station_rids, &mut pool, refs, patch)
     }
 
     fn shared_flush(&self) -> Result<()> {
@@ -875,6 +1116,21 @@ impl crate::ConcurrentObjectStore for NsmStore<SharedPoolHandle> {
 
     fn damage_log_tail(&self, bytes: u32) {
         self.pool.pool().truncate_log_tail(bytes)
+    }
+
+    fn shared_reorganize(&self) -> Result<ReorgReport> {
+        let (state, mut pool) = self.parts_and_handle()?;
+        // Copy + swap under the writer gate: no root update can slip in
+        // between scanning a relation and publishing its new extents.
+        // Readers race on the old snapshot (scans are plain fixes and pass
+        // the gate); the pass takes no exclusive latch group (see the
+        // trait's lock-order note).
+        self.pool.pool().with_writers_quiesced(|| {
+            let (new_state, report) =
+                rebuild_nsm(self.indexed, &state, &self.refs, &self.sizes, &mut pool)?;
+            *placement::write_lock(&self.state) = Some(Arc::new(new_state));
+            Ok(report)
+        })
     }
 }
 
@@ -1015,7 +1271,7 @@ mod tests {
             key: 10,
         }])
         .unwrap();
-        let m = s.connection.as_ref().unwrap().page_count() as u64;
+        let m = s.state().unwrap().connection.page_count() as u64;
         let snap = s.snapshot();
         assert_eq!(snap.pages_read, m, "whole connection relation scanned");
         assert_eq!(snap.fixes, m);
@@ -1031,7 +1287,7 @@ mod tests {
             key: 10,
         }])
         .unwrap();
-        let m = s.connection.as_ref().unwrap().page_count() as u64;
+        let m = s.state().unwrap().connection.page_count() as u64;
         let snap = s.snapshot();
         assert!(snap.pages_read <= m);
         assert!(snap.pages_read >= 1);
@@ -1105,5 +1361,50 @@ mod tests {
             s.get_by_key(999, &Projection::All),
             Err(CoreError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn reorganize_is_logically_invisible() {
+        for indexed in [false, true] {
+            let mut s = NsmStore::new(
+                indexed,
+                StoreConfig::default().heat(starfish_pagestore::HeatConfig::enabled()),
+            );
+            s.load(&db()).unwrap();
+            // Skew the heat towards one object, then reorganize.
+            for _ in 0..8 {
+                s.get_by_key(12, &Projection::All).unwrap();
+            }
+            let stats = s.placement_stats().unwrap();
+            assert!(stats.heat_total > 0, "indexed={indexed}: heat tracked");
+            assert!(stats.hot_objects >= 1);
+            let report = s.reorganize().unwrap();
+            assert_eq!(report.objects, 4);
+            assert!(report.pages_written > 0, "fresh extents were written");
+            // Same answers, same OIDs, same keys, after the rewrite.
+            let mut seen = Vec::new();
+            s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+                .unwrap();
+            assert_eq!(seen, db(), "indexed={indexed}");
+            let t = s.get_by_key(12, &Projection::All).unwrap();
+            assert_eq!(Station::from_tuple(&t).unwrap(), db()[2]);
+            if indexed {
+                let t = s.get_by_oid(Oid(1), &Projection::All).unwrap();
+                assert_eq!(Station::from_tuple(&t).unwrap(), db()[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn reorganize_without_heat_is_identity_rewrite() {
+        let mut s = make(true);
+        let report = s.reorganize().unwrap();
+        assert_eq!(report.moved, 0, "no heat: placement order is unchanged");
+        assert_eq!(report.heat_total, 0);
+        assert_eq!(report.hot_objects, 0);
+        let mut seen = Vec::new();
+        s.scan_all(&mut |t| seen.push(Station::from_tuple(t).unwrap()))
+            .unwrap();
+        assert_eq!(seen, db());
     }
 }

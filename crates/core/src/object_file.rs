@@ -139,6 +139,37 @@ impl ObjectFile {
         self.page_plans.get(ord).and_then(|p| p.as_deref())
     }
 
+    /// Restores ordinal addressing after a reordered rebuild: the file was
+    /// bulk-loaded with the object at position `i` being original ordinal
+    /// `order[i]` (a permutation), and afterwards `addr(ord)` must again
+    /// resolve the *original* ordinal — so a reorganization changes where
+    /// objects live, never what an OID means.
+    pub fn restore_input_order(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.addrs.len(), "order must be a permutation");
+        let mut paired: Vec<(usize, ObjAddr, Option<Vec<u32>>)> = order
+            .iter()
+            .copied()
+            .zip(std::mem::take(&mut self.addrs))
+            .zip(std::mem::take(&mut self.page_plans))
+            .map(|((ord, addr), plan)| (ord, addr, plan))
+            .collect();
+        paired.sort_by_key(|&(ord, _, _)| ord);
+        for (i, (ord, addr, plan)) in paired.into_iter().enumerate() {
+            assert_eq!(ord, i, "order must be a permutation of 0..len");
+            self.addrs.push(addr);
+            self.page_plans.push(plan);
+        }
+    }
+
+    /// Pages of the shared heap extent (0 when every object is spanned).
+    pub fn heap_pages(&self) -> u32 {
+        if self.heap_resident_count() > 0 {
+            self.heap.page_count()
+        } else {
+            0
+        }
+    }
+
     /// Relation name.
     pub fn name(&self) -> &str {
         &self.name
@@ -568,6 +599,23 @@ mod tests {
         p.clear_cache().unwrap();
         assert_eq!(&f.read_full(&mut p, 0).unwrap()[30..34], &[1, 2, 3, 4]);
         assert_eq!(&f.read_full(&mut p, 1).unwrap()[30..34], &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn restore_input_order_keeps_ordinals_meaningful() {
+        let mut p = pool();
+        let stations = [small_station(1), big_station(2), small_station(3)];
+        let objs = encode_all(&stations);
+        // Rebuild in the order 2, 0, 1 (as a heat-ranked pass would), then
+        // restore: addr(ord) must resolve the original object again.
+        let order = [2usize, 0, 1];
+        let reordered: Vec<_> = order.iter().map(|&i| objs[i].clone()).collect();
+        let mut f = ObjectFile::bulk_load(&mut p, "x", &reordered).unwrap();
+        f.restore_input_order(&order);
+        p.clear_cache().unwrap();
+        for (ord, (bytes, _)) in objs.iter().enumerate() {
+            assert_eq!(&f.read_full(&mut p, ord).unwrap(), bytes, "ordinal {ord}");
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::placement::{PlacementStats, ReorgReport};
 use crate::{ModelKind, Result};
 use starfish_nf2::station::Station;
 use starfish_nf2::{Key, Oid, Projection, Tuple};
@@ -126,6 +127,35 @@ pub trait ComplexObjectStore {
     /// it to prove that multi-writer runs leave byte-identical databases
     /// behind, whatever the thread count.
     fn disk_checksum(&self) -> u64;
+
+    /// Adaptive placement: statistics of the current heat-tracked placement
+    /// (hot-set size and page spans), the inputs of the cost-model
+    /// reorganization trigger. Models whose tuple addresses are
+    /// memory-resident answer from metadata alone; pure NSM has to scan its
+    /// relations (counted I/O) to locate tuples. All-zero with heat
+    /// tracking off. Defaults to [`crate::CoreError::Unsupported`] for
+    /// stores without a placement pass.
+    fn placement_stats(&mut self) -> Result<PlacementStats> {
+        Err(crate::CoreError::Unsupported {
+            model: self.model().paper_name(),
+            op: "placement statistics (adaptive placement)",
+        })
+    }
+
+    /// Adaptive placement: rewrite the store's relations with objects in
+    /// heat order (hottest first), co-locating the hot set and pushing cold
+    /// extents behind it. Logically invisible — OIDs, keys and all query
+    /// answers are unchanged — and its I/O is counted like any other
+    /// access (reported in the [`ReorgReport`]). With heat tracking off the
+    /// pass degenerates to an identity rewrite. Defaults to
+    /// [`crate::CoreError::Unsupported`] for stores without a placement
+    /// pass.
+    fn reorganize(&mut self) -> Result<ReorgReport> {
+        Err(crate::CoreError::Unsupported {
+            model: self.model().paper_name(),
+            op: "reorganize (adaptive placement)",
+        })
+    }
 }
 
 /// Resolves an OID to its logical key via the loaded refs (OIDs are dense

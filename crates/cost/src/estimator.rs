@@ -142,12 +142,29 @@ pub fn estimate(
     query: QueryId,
     inputs: &EstimatorInputs,
 ) -> Option<QueryCost> {
+    let loops = query.loops(inputs.profile.n_objects) as f64;
+    estimate_loops(variant, query, inputs, loops)
+}
+
+/// Like [`estimate`] but amortizing the loop queries (2b/3b) over an
+/// explicit `loops` count instead of [`QueryId::loops`]'s Table 3 default.
+///
+/// This is what the workload plan-walker ([`crate::planwalk`]) uses: a
+/// `WorkloadSpec` navigates some arbitrary number of times, and Equation
+/// 8's distinct-object amortization depends on that count. With
+/// `loops = query.loops(n)` this is exactly [`estimate`].
+pub fn estimate_loops(
+    variant: ModelVariant,
+    query: QueryId,
+    inputs: &EstimatorInputs,
+    loops: f64,
+) -> Option<QueryCost> {
     let p = &inputs.profile;
     let n = p.n_objects as f64;
     let c1 = p.avg_children();
     let c2 = p.avg_grandchildren();
     let draws = 1.0 + c1 + c2;
-    let loops = query.loops(p.n_objects) as f64;
+    let loops = loops.max(1.0);
     // Equation 8: distinct objects per loop for reads / for updates.
     let dist_per_loop = |per_loop: f64| distinct_selected(n, loops * per_loop) / loops;
 
@@ -162,10 +179,10 @@ pub fn estimate(
             draws,
             dist_per_loop,
         )),
-        ModelVariant::Nsm => nsm_estimate(false, query, inputs),
-        ModelVariant::NsmIndexed => nsm_estimate(true, query, inputs),
-        ModelVariant::DasdbsNsm => Some(dasdbs_nsm_estimate(false, query, inputs)),
-        ModelVariant::DasdbsNsmPrime => Some(dasdbs_nsm_estimate(true, query, inputs)),
+        ModelVariant::Nsm => nsm_estimate(false, query, inputs, loops),
+        ModelVariant::NsmIndexed => nsm_estimate(true, query, inputs, loops),
+        ModelVariant::DasdbsNsm => Some(dasdbs_nsm_estimate(false, query, inputs, loops)),
+        ModelVariant::DasdbsNsmPrime => Some(dasdbs_nsm_estimate(true, query, inputs, loops)),
     }
 }
 
@@ -266,14 +283,18 @@ fn direct_estimate(
 }
 
 /// NSM estimates (pure and indexed).
-fn nsm_estimate(indexed: bool, query: QueryId, inputs: &EstimatorInputs) -> Option<QueryCost> {
+fn nsm_estimate(
+    indexed: bool,
+    query: QueryId,
+    inputs: &EstimatorInputs,
+    loops: f64,
+) -> Option<QueryCost> {
     let p = &inputs.profile;
     let [st, pl, co, se] = &inputs.table2.nsm;
     let n = p.n_objects as f64;
     let c1 = p.avg_children();
     let c2 = p.avg_grandchildren();
     let total_m = st.m + pl.m + co.m + se.m;
-    let loops = query.loops(p.n_objects) as f64;
 
     // Per-object clustered sub-tuple reads (index path): Eq. 6 per relation.
     let k_of = |r: &RelParams| r.k.expect("flat NSM relations share pages") as f64;
@@ -349,13 +370,17 @@ fn nsm_q2b_reads(indexed: bool, inputs: &EstimatorInputs, loops: f64, q2a_read: 
 }
 
 /// DASDBS-NSM estimates.
-fn dasdbs_nsm_estimate(prime: bool, query: QueryId, inputs: &EstimatorInputs) -> QueryCost {
+fn dasdbs_nsm_estimate(
+    prime: bool,
+    query: QueryId,
+    inputs: &EstimatorInputs,
+    loops: f64,
+) -> QueryCost {
     let p = &inputs.profile;
     let [st, pl, co, se] = &inputs.table2.dasdbs_nsm;
     let n = p.n_objects as f64;
     let c1 = p.avg_children();
     let c2 = p.avg_grandchildren();
-    let loops = query.loops(p.n_objects) as f64;
 
     // Pages for one tuple of a relation (they are one-per-object here).
     let tuple_pages = |r: &RelParams| -> f64 {

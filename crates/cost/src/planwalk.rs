@@ -1,0 +1,485 @@
+//! A `WorkloadSpec` plan-walker: per-plan page-I/O estimates built from the
+//! Table 3 estimators.
+//!
+//! [`estimate`](crate::estimate) prices the seven fixed benchmark queries.
+//! The workload IR of `starfish-workload` composes the same primitive
+//! accesses (pick an object, navigate, fetch roots, update roots, scan)
+//! into arbitrary loops and mixes, so a spec's expected I/O is a *walk*
+//! over a neutral plan IR ([`PlanOp`]) that maps each primitive back onto
+//! the Table 3 machinery via [`estimate_loops`] — navigation inside an
+//! `L`-iteration loop is priced as query 2b amortized over `L`, a single
+//! navigation as query 2a, updates as the write part of queries 3a/3b,
+//! and so on. `starfish-workload` provides the lowering from
+//! `WorkloadSpec` to `Vec<PlanOp>` (the dependency points that way:
+//! workload → cost).
+//!
+//! # The hot-span miss model
+//!
+//! Table 3 assumes a large cache and uniform random picks. Drifting
+//! workloads break both: most picks land in a *hot set* whose physical
+//! span decides whether it fits the buffer. When a [`PlanOp::Pick`]
+//! carries [`HotInfo`] and the [`PlanContext`] supplies the hot set's
+//! physical span `S`, the hot fraction of the loop's accesses is priced
+//! with a span-aware model instead of the uniform amortization:
+//!
+//! * `A_h` hot accesses touching `r` pages each want `A_h·r` page reads;
+//! * at most the span can fault in cold: `S_touched = min(S, A_h·r)`;
+//! * if `S ≤ B` (buffer pages) the hot set stays resident after warm-up
+//!   and the cost is just `S_touched`;
+//! * if `S > B`, revisits re-miss in proportion to the overhang:
+//!   `S_touched + (A_h·r − S_touched)·(S − B)/S`.
+//!
+//! The model is monotone non-decreasing in `S`, so packing the same hot
+//! set into fewer pages can never *increase* the estimate — the predicted
+//! reorganization win always has the right sign. Pure NSM navigation is
+//! scan-based (span-independent), so the hot model does not apply there
+//! and the predicted win is zero — consistent with a reorganizer that
+//! never fires for it.
+
+use crate::estimator::{estimate_loops, EstimatorInputs, ModelVariant, QueryCost};
+use crate::formulas::distinct_selected;
+use crate::QueryId;
+
+/// Skew information for a [`PlanOp::Pick`]: which fraction of picks lands
+/// in the hot set and how many distinct objects that set covers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HotInfo {
+    /// Fraction of picks (0.0–1.0) that hit the hot set.
+    pub pct_hot: f64,
+    /// Number of distinct objects the hot set covers over the whole plan
+    /// (drift widens this beyond the instantaneous window).
+    pub coverage_objects: u64,
+}
+
+/// One operator of the neutral plan IR.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanOp {
+    /// Chooses the current object. Free by itself; its skew shapes the
+    /// cost of the accesses that follow it in the same loop body.
+    Pick {
+        /// Universe size picked from.
+        n: u64,
+        /// Skew of the pick distribution; `None` = uniform.
+        hot: Option<HotInfo>,
+    },
+    /// Full scan of every relation (query 1c over all objects).
+    Scan,
+    /// Reads the current object entirely by OID (query 1a). Not priceable
+    /// under pure NSM ("with NSM we have no identifiers").
+    GetByOid,
+    /// Reads one object selected by key value (query 1b).
+    GetByKey,
+    /// Navigates from the current object: children, then grand-children,
+    /// `depth` hops (query 2a cold / 2b amortized; `depth` 2 is the
+    /// benchmark's, other depths scale by expected draw counts).
+    Navigate {
+        /// Navigation depth in hops.
+        depth: u32,
+    },
+    /// Fetches the root records of the objects the navigation reached.
+    /// Free in the walk: the query 2/3 cells already include the
+    /// grand-children root draws (the lowering emits it after
+    /// [`PlanOp::Navigate`], never standalone).
+    FetchRoots,
+    /// Updates the fetched root records on `fraction` of iterations
+    /// (write part of queries 3a/3b).
+    UpdateRoots {
+        /// Fraction of loop iterations (0.0–1.0) that apply the update.
+        fraction: f64,
+    },
+    /// Flush + drop the cache. Priced as free: its flush writes belong to
+    /// the dirty pages already accounted to the updates.
+    ColdRestart,
+    /// Runs `body` `count` times, amortizing repeated accesses (Eq. 8).
+    Loop {
+        /// Iteration count.
+        count: u64,
+        /// Operators run each iteration.
+        body: Vec<PlanOp>,
+    },
+}
+
+/// Environment the plan runs in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanContext {
+    /// Buffer-pool capacity in pages.
+    pub buffer_pages: f64,
+    /// Physical span (pages) over which the hot set's pages are spread —
+    /// scattered placement makes this large, a reorganized layout packs
+    /// it. `None` disables the hot-span model (uniform Table 3 pricing).
+    pub hot_span_pages: Option<f64>,
+}
+
+/// Estimated page I/Os for a whole plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanEstimate {
+    /// Expected pages read over the whole plan.
+    pub pages_read: f64,
+    /// Expected pages written over the whole plan.
+    pub pages_written: f64,
+}
+
+impl PlanEstimate {
+    /// Total page I/Os.
+    pub fn total(&self) -> f64 {
+        self.pages_read + self.pages_written
+    }
+
+    fn add(&mut self, read: f64, written: f64) {
+        self.pages_read += read;
+        self.pages_written += written;
+    }
+}
+
+/// Walks `ops` and returns the expected page I/Os of the plan under
+/// `variant`, or `None` if the plan uses a primitive the model cannot
+/// execute (OID access under pure NSM).
+pub fn estimate_plan(
+    variant: ModelVariant,
+    inputs: &EstimatorInputs,
+    ctx: &PlanContext,
+    ops: &[PlanOp],
+) -> Option<PlanEstimate> {
+    let mut est = PlanEstimate::default();
+    for op in ops {
+        let part = match op {
+            PlanOp::Loop { count, body } => loop_cost(variant, inputs, ctx, *count, body)?,
+            single => loop_cost(variant, inputs, ctx, 1, std::slice::from_ref(single))?,
+        };
+        est.add(part.pages_read, part.pages_written);
+    }
+    Some(est)
+}
+
+/// Prices one loop of `count` iterations over `body`.
+fn loop_cost(
+    variant: ModelVariant,
+    inputs: &EstimatorInputs,
+    ctx: &PlanContext,
+    count: u64,
+    body: &[PlanOp],
+) -> Option<PlanEstimate> {
+    let l = (count.max(1)) as f64;
+    let n = inputs.profile.n_objects as f64;
+    // A cold restart inside the body drops the cache every iteration —
+    // nothing amortizes across the loop (the query-1a sample protocol).
+    let restarts = body.iter().any(|op| matches!(op, PlanOp::ColdRestart));
+    let mut est = PlanEstimate::default();
+    let mut hot: Option<HotInfo> = None;
+
+    for op in body {
+        match op {
+            PlanOp::Pick { hot: h, .. } => hot = *h,
+            PlanOp::FetchRoots | PlanOp::ColdRestart => {}
+            PlanOp::Scan => {
+                let scan = cell(variant, QueryId::Q1c, inputs, 1.0)?.pages_read * n;
+                est.add(rescan_cost(scan, l, ctx, restarts), 0.0);
+            }
+            PlanOp::GetByKey => {
+                let one = cell(variant, QueryId::Q1b, inputs, 1.0)?.pages_read;
+                est.add(rescan_cost(one, l, ctx, restarts), 0.0);
+            }
+            PlanOp::GetByOid => {
+                // Distinct picked objects each cost a cold full read;
+                // revisits stay cached (large-cache best case, Eq. 8) —
+                // unless a restart re-chills the cache each iteration.
+                let one = cell(variant, QueryId::Q1a, inputs, 1.0)?.pages_read;
+                let per_loop = |loops: f64| {
+                    if restarts {
+                        one
+                    } else {
+                        distinct_selected(n, loops) / loops * one
+                    }
+                };
+                est.add(hot_adjusted(variant, ctx, hot, l, one, per_loop), 0.0);
+            }
+            PlanOp::Navigate { depth } => {
+                let f = depth_factor(inputs, *depth);
+                let cold = cell(variant, QueryId::Q2a, inputs, 1.0)?.pages_read * f;
+                let per_loop = |loops: f64| -> f64 {
+                    let q = if loops > 1.0 && !restarts {
+                        QueryId::Q2b
+                    } else {
+                        QueryId::Q2a
+                    };
+                    // `cell` cannot fail here: the Q2 cells exist for every
+                    // variant (only Q1a under pure NSM is missing).
+                    estimate_loops(variant, q, inputs, loops)
+                        .expect("query 2 cells exist for every variant")
+                        .pages_read
+                        * f
+                };
+                est.add(hot_adjusted(variant, ctx, hot, l, cold, per_loop), 0.0);
+            }
+            PlanOp::UpdateRoots { fraction } => {
+                // Write part of queries 3a/3b; root-page writes go to
+                // random distinct objects, span-insensitive.
+                let q = if l > 1.0 { QueryId::Q3b } else { QueryId::Q3a };
+                let w = cell(variant, q, inputs, l)?.pages_written;
+                est.add(0.0, l * fraction.clamp(0.0, 1.0) * w);
+            }
+            PlanOp::Loop { count, body } => {
+                let inner = loop_cost(variant, inputs, ctx, *count, body)?;
+                est.add(l * inner.pages_read, l * inner.pages_written);
+            }
+        }
+    }
+    Some(est)
+}
+
+fn cell(
+    variant: ModelVariant,
+    query: QueryId,
+    inputs: &EstimatorInputs,
+    loops: f64,
+) -> Option<QueryCost> {
+    estimate_loops(variant, query, inputs, loops)
+}
+
+/// Repeated set-oriented accesses (scans, key lookups): the first pass is
+/// cold; re-runs stay cached only if the touched pages fit the buffer and
+/// no per-iteration restart empties it.
+fn rescan_cost(one_pass: f64, l: f64, ctx: &PlanContext, restarts: bool) -> f64 {
+    if !restarts && (l <= 1.0 || one_pass <= ctx.buffer_pages) {
+        one_pass
+    } else {
+        l * one_pass
+    }
+}
+
+/// Expected draw count of a `depth`-hop navigation relative to the
+/// benchmark's 2-hop loop: hop 1 draws `c1` children, hop 2 `c2`
+/// grand-children, deeper hops fan out by `c1` per hop.
+fn depth_factor(inputs: &EstimatorInputs, depth: u32) -> f64 {
+    let c1 = inputs.profile.avg_children();
+    let c2 = inputs.profile.avg_grandchildren();
+    let draws = |d: u32| -> f64 {
+        let mut total = 1.0;
+        if d >= 1 {
+            total += c1;
+        }
+        let mut hop = c2;
+        for _ in 2..=d {
+            total += hop;
+            hop *= c1;
+        }
+        total
+    };
+    draws(depth) / draws(2)
+}
+
+/// Total reads of `l` accesses whose per-access cold footprint is `r`
+/// pages: uniform Table 3 amortization when no skew applies, the module's
+/// hot-span miss model when it does.
+fn hot_adjusted(
+    variant: ModelVariant,
+    ctx: &PlanContext,
+    hot: Option<HotInfo>,
+    l: f64,
+    r: f64,
+    per_loop: impl Fn(f64) -> f64,
+) -> f64 {
+    let span_sensitive = variant != ModelVariant::Nsm;
+    match (hot, ctx.hot_span_pages) {
+        (Some(h), Some(span)) if span_sensitive && h.pct_hot > 0.0 => {
+            let a_hot = l * h.pct_hot.clamp(0.0, 1.0);
+            let want = a_hot * r;
+            let s_touched = span.min(want);
+            let hot_cost = if span <= ctx.buffer_pages {
+                s_touched
+            } else {
+                s_touched + (want - s_touched) * (span - ctx.buffer_pages) / span
+            };
+            let cold_loops = l - a_hot;
+            let cold_cost = if cold_loops >= 1.0 {
+                cold_loops * per_loop(cold_loops)
+            } else {
+                0.0
+            };
+            hot_cost + cold_cost
+        }
+        _ => l * per_loop(l),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate;
+    use crate::profile::BenchProfile;
+
+    fn inputs() -> EstimatorInputs {
+        EstimatorInputs::new(BenchProfile::default())
+    }
+
+    fn ctx() -> PlanContext {
+        PlanContext {
+            buffer_pages: 1200.0,
+            hot_span_pages: None,
+        }
+    }
+
+    fn pick() -> PlanOp {
+        PlanOp::Pick { n: 1500, hot: None }
+    }
+
+    fn nav_loop(count: u64, update: bool) -> Vec<PlanOp> {
+        let mut body = vec![pick(), PlanOp::Navigate { depth: 2 }, PlanOp::FetchRoots];
+        if update {
+            body.push(PlanOp::UpdateRoots { fraction: 1.0 });
+        }
+        vec![PlanOp::Loop { count, body }]
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn walker_matches_table3_cells_for_all_variants() {
+        let inputs = inputs();
+        let n = inputs.profile.n_objects;
+        for v in ModelVariant::all() {
+            // Query 1a: one OID read.
+            let plan = vec![pick(), PlanOp::GetByOid];
+            let walked = estimate_plan(v, &inputs, &ctx(), &plan);
+            match estimate(v, QueryId::Q1a, &inputs) {
+                None => assert!(walked.is_none(), "{v}: Q1a should be unpriceable"),
+                Some(c) => {
+                    let w = walked.expect("priceable").pages_read;
+                    assert!(close(w, c.pages_read, 1e-9), "{v} Q1a: {w} vs {c:?}");
+                }
+            }
+            // Query 1b: one key select.
+            let w = estimate_plan(v, &inputs, &ctx(), &[PlanOp::GetByKey])
+                .unwrap()
+                .pages_read;
+            let c = estimate(v, QueryId::Q1b, &inputs).unwrap().pages_read;
+            assert!(close(w, c, 1e-9), "{v} Q1b: {w} vs {c}");
+            // Query 1c: the scan op covers all n objects; the cell is per
+            // object.
+            let w = estimate_plan(v, &inputs, &ctx(), &[PlanOp::Scan])
+                .unwrap()
+                .pages_read;
+            let c = estimate(v, QueryId::Q1c, &inputs).unwrap().pages_read * n as f64;
+            assert!(close(w, c, 1e-9), "{v} Q1c: {w} vs {c}");
+            // Query 2a: a single navigation loop.
+            let w = estimate_plan(v, &inputs, &ctx(), &nav_loop(1, false))
+                .unwrap()
+                .pages_read;
+            let c = estimate(v, QueryId::Q2a, &inputs).unwrap().pages_read;
+            assert!(close(w, c, 1e-9), "{v} Q2a: {w} vs {c}");
+            // Query 2b: the paper's n/5-iteration loop; the cell is per
+            // loop.
+            let loops = QueryId::Q2b.loops(n);
+            let w = estimate_plan(v, &inputs, &ctx(), &nav_loop(loops, false))
+                .unwrap()
+                .pages_read;
+            let c = estimate(v, QueryId::Q2b, &inputs).unwrap().pages_read * loops as f64;
+            assert!(close(w, c, 1e-9), "{v} Q2b: {w} vs {c}");
+            // Queries 3a/3b: navigation reads + root-update writes.
+            for (count, q) in [(1, QueryId::Q3a), (QueryId::Q3b.loops(n), QueryId::Q3b)] {
+                let w = estimate_plan(v, &inputs, &ctx(), &nav_loop(count, true)).unwrap();
+                let c = estimate(v, q, &inputs).unwrap();
+                assert!(
+                    close(w.pages_read, c.pages_read * count as f64, 1e-9),
+                    "{v} {q} reads: {} vs {}",
+                    w.pages_read,
+                    c.pages_read * count as f64
+                );
+                assert!(
+                    close(w.pages_written, c.pages_written * count as f64, 1e-9),
+                    "{v} {q} writes: {} vs {}",
+                    w.pages_written,
+                    c.pages_written * count as f64
+                );
+            }
+        }
+    }
+
+    fn hot_plan(pct_hot: f64) -> Vec<PlanOp> {
+        vec![PlanOp::Loop {
+            count: 400,
+            body: vec![
+                PlanOp::Pick {
+                    n: 1500,
+                    hot: Some(HotInfo {
+                        pct_hot,
+                        coverage_objects: 32,
+                    }),
+                },
+                PlanOp::Navigate { depth: 2 },
+                PlanOp::FetchRoots,
+            ],
+        }]
+    }
+
+    fn at_span(v: ModelVariant, span: f64) -> f64 {
+        let ctx = PlanContext {
+            buffer_pages: 100.0,
+            hot_span_pages: Some(span),
+        };
+        estimate_plan(v, &inputs(), &ctx, &hot_plan(0.9))
+            .unwrap()
+            .pages_read
+    }
+
+    #[test]
+    fn hot_span_cost_is_monotone_in_the_span() {
+        for v in [
+            ModelVariant::Dsm,
+            ModelVariant::NsmIndexed,
+            ModelVariant::DasdbsNsm,
+        ] {
+            let mut prev = 0.0;
+            for span in [20.0, 80.0, 100.0, 400.0, 2000.0, 6000.0] {
+                let cost = at_span(v, span);
+                assert!(
+                    cost >= prev - 1e-9,
+                    "{v}: cost at span {span} fell: {cost} < {prev}"
+                );
+                prev = cost;
+            }
+            // A hot set that fits the buffer is far cheaper than one
+            // scattered over a span much larger than the buffer.
+            assert!(at_span(v, 80.0) < 0.5 * at_span(v, 6000.0), "{v}");
+        }
+    }
+
+    #[test]
+    fn pure_nsm_navigation_is_span_independent() {
+        assert!(
+            (at_span(ModelVariant::Nsm, 20.0) - at_span(ModelVariant::Nsm, 6000.0)).abs() < 1e-9,
+            "pure NSM scans; packing the hot set cannot help it"
+        );
+    }
+
+    #[test]
+    fn depth_scaling_brackets_the_benchmark_loop() {
+        let inputs = inputs();
+        assert!(close(depth_factor(&inputs, 2), 1.0, 1e-12));
+        assert!(depth_factor(&inputs, 1) < 1.0);
+        assert!(depth_factor(&inputs, 3) > 1.0);
+    }
+
+    #[test]
+    fn uniform_pick_reduces_to_table3_amortization() {
+        // With no hot info the span must not matter at all.
+        let with_span = PlanContext {
+            buffer_pages: 100.0,
+            hot_span_pages: Some(5000.0),
+        };
+        let a = estimate_plan(
+            ModelVariant::Dsm,
+            &inputs(),
+            &with_span,
+            &nav_loop(300, false),
+        )
+        .unwrap()
+        .pages_read;
+        let b = estimate_plan(ModelVariant::Dsm, &inputs(), &ctx(), &nav_loop(300, false))
+            .unwrap()
+            .pages_read;
+        assert!(close(a, b, 1e-12));
+    }
+}

@@ -39,7 +39,49 @@ use crate::runner::{
 };
 use crate::Result;
 use starfish_core::{ModelKind, PolicyKind};
-use starfish_workload::{generate, WorkloadSpec};
+use starfish_cost::{estimate_plan, EstimatorInputs, ModelVariant, PlanContext, PlanOp};
+use starfish_workload::{generate, lower_spec, WorkloadSpec};
+
+/// The cost-model variant that prices each measured model. The primed
+/// (no-waste) variants don't arise: the walker prices the layouts the
+/// harness builds.
+fn variant_of(kind: ModelKind) -> ModelVariant {
+    match kind {
+        ModelKind::Dsm => ModelVariant::Dsm,
+        ModelKind::DasdbsDsm => ModelVariant::DasdbsDsm,
+        ModelKind::Nsm => ModelVariant::Nsm,
+        ModelKind::NsmIndexed => ModelVariant::NsmIndexed,
+        ModelKind::DasdbsNsm => ModelVariant::DasdbsNsm,
+    }
+}
+
+/// The plan's own unit count (summed top-level loop counts), mirroring
+/// `Executor::units_of` so predicted and measured cells share the
+/// denominator even on rows the model cannot execute.
+fn plan_units(ops: &[PlanOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            PlanOp::Loop { count, .. } => *count,
+            _ => 0,
+        })
+        .sum::<u64>()
+        .max(1)
+}
+
+/// Expected page I/Os per unit for `spec` under `kind` from the cost
+/// model's plan-walker (uniform Table 3 pricing — no placement feedback),
+/// or `None` where the model cannot price an op of the plan, the same
+/// rows the executor reports as unsupported.
+fn predicted_pages(config: &HarnessConfig, spec: &WorkloadSpec, kind: ModelKind) -> Option<f64> {
+    let inputs = EstimatorInputs::new(config.dataset().profile());
+    let ctx = PlanContext {
+        buffer_pages: config.buffer_pages as f64,
+        hot_span_pages: None,
+    };
+    let ops = lower_spec(spec, config.n_objects);
+    estimate_plan(variant_of(kind), &inputs, &ctx, &ops)
+        .map(|est| est.total() / plan_units(&ops) as f64)
+}
 
 /// Pushes one measured row; returns the model-invariant shape for the
 /// determinism check.
@@ -48,7 +90,9 @@ fn push_row(
     scenario: &str,
     policy: PolicyKind,
     row: &WorkloadRow,
+    predicted: Option<f64>,
 ) -> (u64, Vec<u64>, u64, u64) {
+    let pred_cell = predicted.map(fmt_pages).unwrap_or_else(|| "-".to_string());
     match &row.cell {
         Some(cell) => {
             table.push_row(vec![
@@ -61,6 +105,7 @@ fn push_row(
                 fmt_pages(cell.pages),
                 fmt_pages(cell.calls),
                 fmt_pages(cell.fixes),
+                pred_cell,
             ]);
         }
         None => {
@@ -74,6 +119,7 @@ fn push_row(
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                pred_cell,
             ]);
         }
     }
@@ -82,8 +128,16 @@ fn push_row(
 
 fn headers() -> Vec<&'static str> {
     vec![
-        "SCENARIO", "MODEL", "POLICY", "units", "reads/u", "writes/u", "pages/u", "calls/u",
+        "SCENARIO",
+        "MODEL",
+        "POLICY",
+        "units",
+        "reads/u",
+        "writes/u",
+        "pages/u",
+        "calls/u",
         "fixes/u",
+        "pred pg/u",
     ]
 }
 
@@ -99,7 +153,8 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
             let cfg = HarnessConfig { policy, ..*config };
             let rows = measure_workload_on(&db, &cfg, &ModelKind::all(), &spec)?;
             for row in &rows {
-                let got = push_row(&mut table, &spec.name, policy, row);
+                let predicted = predicted_pages(config, &spec, row.model);
+                let got = push_row(&mut table, &spec.name, policy, row, predicted);
                 if row.cell.is_none() {
                     continue;
                 }
@@ -132,6 +187,12 @@ pub fn run(config: &HarnessConfig) -> Result<ExperimentReport> {
          at 2 hops; hot-set is where replacement policies separate (compare \
          the LRU and MRU fixes/u columns at equal access counts); \
          scan-then-update shows the scan-flood regime LRU-2 was built for"
+            .to_string(),
+        "pred pg/u is the cost plan-walker's expected page I/Os per unit \
+         (lower_spec → estimate_plan, uniform Table 3 pricing, no placement \
+         feedback) — compare against the measured pages/u column; '-' marks \
+         plans the model cannot price, the same rows the executor reports \
+         as unsupported"
             .to_string(),
     ];
     notes.push(if drifted.is_empty() {
@@ -315,7 +376,8 @@ fn spec_report(
     let mut shape: Option<(u64, Vec<u64>, u64, u64)> = None;
     let mut drifted = false;
     for row in rows {
-        let got = push_row(&mut table, &spec.name, config.policy, row);
+        let predicted = predicted_pages(config, spec, row.model);
+        let got = push_row(&mut table, &spec.name, config.policy, row, predicted);
         if row.cell.is_none() {
             continue;
         }
@@ -389,6 +451,18 @@ mod tests {
             }
             if row[0] == "scan-then-update" {
                 assert_ne!(row[5], "0", "scan-then-update must write: {row:?}");
+            }
+            // The predicted column prices exactly the plans the executor
+            // can run: '-' in one means '-' in the other.
+            assert_eq!(row.len(), headers().len());
+            assert_eq!(
+                row[9] == "-",
+                row[4] == "-",
+                "predicted/measured support must agree: {row:?}"
+            );
+            if row[9] != "-" {
+                let pred: f64 = row[9].parse().unwrap();
+                assert!(pred.is_finite() && pred >= 0.0, "bad prediction: {row:?}");
             }
         }
     }

@@ -1,4 +1,5 @@
 use crate::disk::DiskOps;
+use crate::heat::{HeatConfig, HeatTracker};
 use crate::ioengine::IoEngineConfig;
 use crate::latch::{distinct_pids, LatchMode};
 use crate::policy::{PolicyKind, ReplacementPolicy};
@@ -35,6 +36,10 @@ pub struct BufferConfig {
     /// WAL, only the shared pool acts on it: the exclusive [`BufferPool`]
     /// serves exactly one client and has nothing to batch across.
     pub io: IoEngineConfig,
+    /// Page-heat tracking configuration (default: disabled). Honored by
+    /// *both* pool flavours — heat is observation-only bookkeeping, so it
+    /// changes no counter the paper's tables report.
+    pub heat: HeatConfig,
 }
 
 impl Default for BufferConfig {
@@ -44,6 +49,7 @@ impl Default for BufferConfig {
             policy: PolicyKind::Lru,
             wal: WalConfig::default(),
             io: IoEngineConfig::default(),
+            heat: HeatConfig::default(),
         }
     }
 }
@@ -75,9 +81,17 @@ impl BufferConfig {
         self
     }
 
+    /// Sets the heat-tracking configuration.
+    pub fn heat(mut self, heat: HeatConfig) -> Self {
+        self.heat = heat;
+        self
+    }
+
     /// Builds a [`BufferPool`] over `disk` with this configuration.
     pub fn build(self, disk: SimDisk) -> BufferPool {
-        BufferPool::with_policy(disk, self.pages, self.policy)
+        let mut pool = BufferPool::with_policy(disk, self.pages, self.policy);
+        pool.core.set_heat(self.heat);
+        pool
     }
 }
 
@@ -110,6 +124,8 @@ pub(crate) struct PoolCore {
     table: HashMap<PageId, usize>,
     policy: Box<dyn ReplacementPolicy>,
     pub(crate) stats: BufferStats,
+    /// Per-page heat counters; `None` while tracking is disabled.
+    heat: Option<HeatTracker>,
 }
 
 impl PoolCore {
@@ -122,6 +138,27 @@ impl PoolCore {
             table: HashMap::with_capacity(capacity.min(1 << 20)),
             policy: policy.build(),
             stats: BufferStats::default(),
+            heat: None,
+        }
+    }
+
+    /// Enables heat tracking per `config` (a no-op config disables it).
+    pub(crate) fn set_heat(&mut self, config: HeatConfig) {
+        self.heat = config.track.then(|| HeatTracker::new(config));
+    }
+
+    /// The tracked heat map, sorted by page id; empty with tracking off.
+    pub(crate) fn page_heat(&self) -> Vec<(PageId, u64)> {
+        self.heat.as_ref().map(|h| h.snapshot()).unwrap_or_default()
+    }
+
+    /// Records one counted access in the heat tracker, if enabled.
+    fn record_heat(&mut self, pid: PageId) {
+        if let Some(heat) = self.heat.as_mut() {
+            self.stats.heat_records += 1;
+            if heat.record(pid) {
+                self.stats.heat_decays += 1;
+            }
         }
     }
 
@@ -182,6 +219,7 @@ impl PoolCore {
         dirty: bool,
     ) -> Result<usize> {
         self.stats.fixes += 1;
+        self.record_heat(pid);
         let slot = match self.table.get(&pid) {
             Some(&slot) => {
                 self.stats.hits += 1;
@@ -209,6 +247,8 @@ impl PoolCore {
     pub(crate) fn fix_engine_miss(&mut self, slot: usize, dirty: bool) {
         self.stats.fixes += 1;
         self.stats.misses += 1;
+        let pid = self.frame(slot).pid;
+        self.record_heat(pid);
         if dirty {
             self.frame_mut(slot).dirty = true;
         }
@@ -574,6 +614,15 @@ impl BufferPool {
     /// FNV-1a checksum of the underlying disk's page array (uncounted).
     pub fn disk_checksum(&self) -> u64 {
         self.disk.checksum()
+    }
+
+    /// The tracked per-page heat map, sorted by page id. Empty unless the
+    /// pool was built with [`HeatConfig::track`] on. Uncounted: reading
+    /// heat is metadata access, not page access. The map survives
+    /// [`BufferPool::reset_stats`] and [`BufferPool::clear_cache`] — it is
+    /// workload state (like cache content), not a measurement counter.
+    pub fn page_heat(&self) -> Vec<(PageId, u64)> {
+        self.core.page_heat()
     }
 }
 

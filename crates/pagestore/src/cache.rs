@@ -141,6 +141,14 @@ pub trait PageCache {
     /// possibly buffering images, so a failed op cannot leak into the next
     /// commit. A no-op on pools without a WAL.
     fn log_abort(&mut self) {}
+
+    /// The tracked per-page heat map, sorted by page id (summed over shards
+    /// for sharded pools). Empty unless the pool was built with
+    /// [`crate::HeatConfig::track`] on. Uncounted metadata access: reading
+    /// heat issues no I/O and bumps no counter.
+    fn page_heat(&self) -> Vec<(PageId, u64)> {
+        Vec::new()
+    }
 }
 
 impl PageCache for BufferPool {
@@ -221,5 +229,9 @@ impl PageCache for BufferPool {
 
     fn disk_checksum(&self) -> u64 {
         BufferPool::disk_checksum(self)
+    }
+
+    fn page_heat(&self) -> Vec<(PageId, u64)> {
+        BufferPool::page_heat(self)
     }
 }

@@ -64,6 +64,13 @@
 //!   (wait for in-flight exclusive groups to finish and hold off new ones),
 //!   then take the shard mutexes — they never wait on a latch while holding
 //!   a mutex another writer needs.
+//! * The adaptive-placement reorganizer
+//!   ([`crate::SharedBufferPool::with_writers_quiesced`]) holds the gate
+//!   for its whole rewrite. Inside the window it may fix pages, take
+//!   *shared* latch groups and flush — the gate is **re-entrant per
+//!   thread**, so the pass's own `flush_all` nests instead of
+//!   self-deadlocking — but it must never take an **exclusive** latch
+//!   group: exclusive groups wait on the very drain the pass holds.
 //!
 //! # Accounting
 //!

@@ -50,7 +50,12 @@
 //!   multi-page log segments, per-commit or group-commit flushing, and
 //!   recovery-on-open replaying the committed tail past the last
 //!   checkpoint. Disabled by default; off, every counter and code path is
-//!   byte-identical to the pre-WAL pool.
+//!   byte-identical to the pre-WAL pool;
+//! * [`heat`](crate::HeatConfig) — opt-in per-page access-heat counters
+//!   with count-driven decay, feeding the adaptive-placement reorganizer
+//!   in `starfish-core`. Disabled by default; off, every counter stays
+//!   byte-identical (the additive `heat_records` / `heat_decays` fields
+//!   are provably zero).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -60,6 +65,7 @@ mod cache;
 mod disk;
 mod error;
 mod heap;
+mod heat;
 mod ioengine;
 pub mod latch;
 pub mod policy;
@@ -74,6 +80,7 @@ pub use cache::PageCache;
 pub use disk::SimDisk;
 pub use error::StoreError;
 pub use heap::{HeapFile, Rid};
+pub use heat::HeatConfig;
 pub use ioengine::{IoEngineConfig, DEFAULT_MAX_BATCH_PAGES};
 pub use latch::LatchMode;
 pub use policy::{PolicyKind, ReplacementPolicy};

@@ -76,6 +76,7 @@
 use crate::buffer::{PoolCore, MAX_PAGES_PER_WRITE_CALL};
 use crate::cache::PageCache;
 use crate::disk::DiskOps;
+use crate::heat::HeatConfig;
 use crate::ioengine::{IoEngine, IoEngineConfig};
 use crate::latch::{distinct_pids, LatchMode, LatchTable};
 use crate::stats::{BufferStats, DiskStats, IoSnapshot};
@@ -234,12 +235,20 @@ struct ShardState {
 
 /// The writer gate: flushes and cold restarts quiesce in-flight exclusive
 /// latch groups through this before touching any shard mutex.
+///
+/// The gate is **re-entrant per thread**: the thread holding the drain may
+/// quiesce again (depth counts up) without waiting on itself. The
+/// reorganizer relies on this — its rewrite runs inside
+/// [`SharedBufferPool::with_writers_quiesced`] and ends with a
+/// [`SharedBufferPool::flush_all`], which quiesces on its own.
 #[derive(Default)]
 struct GateState {
     /// Exclusive latch groups currently between latch and unlatch.
     active_exclusive: usize,
-    /// A flush/restart is draining writers; new exclusive groups wait.
-    draining: bool,
+    /// Nesting depth of the drain; 0 = nobody is draining.
+    draining: u32,
+    /// The thread holding the drain (set iff `draining > 0`).
+    owner: Option<std::thread::ThreadId>,
 }
 
 /// A thread-safe buffer pool sharded by `PageId` hash into K lock-striped
@@ -322,6 +331,29 @@ impl SharedBufferPool {
             wal: wal.enabled.then(|| Wal::new(wal)),
             engine: io.enabled.then(|| IoEngine::new(io, shard_count)),
         }
+    }
+
+    /// Installs (or disables) heat tracking on every shard, replacing any
+    /// existing tracker. Call right after construction — swapping trackers
+    /// mid-run discards the accumulated heat map.
+    pub fn set_heat(&self, heat: HeatConfig) {
+        for i in 0..self.shards.len() {
+            self.shard(i).core.set_heat(heat);
+        }
+    }
+
+    /// The tracked per-page heat map merged over all shards, sorted by page
+    /// id. Empty unless [`Self::set_heat`] enabled tracking. Uncounted
+    /// metadata access: no I/O, no counter changes.
+    pub fn page_heat(&self) -> Vec<(PageId, u64)> {
+        let mut all: Vec<(PageId, u64)> = Vec::new();
+        for i in 0..self.shards.len() {
+            all.extend(self.shard(i).core.page_heat());
+        }
+        // Shards partition the page-id space, so concatenation has no
+        // duplicate keys — a sort yields the global map.
+        all.sort_unstable_by_key(|&(p, _)| p);
+        all
     }
 
     /// Number of shards.
@@ -623,7 +655,7 @@ impl SharedBufferPool {
 
     fn enter_exclusive_group(&self) {
         let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        while g.draining {
+        while g.draining > 0 {
             g = self.gate_cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         g.active_exclusive += 1;
@@ -641,12 +673,20 @@ impl SharedBufferPool {
     /// holds off new ones until [`Self::release_quiesce`]. Never called
     /// while holding a shard mutex, so draining writers can complete.
     fn quiesce_writers(&self) {
+        let me = std::thread::current().id();
         let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        while g.draining {
+        if g.draining > 0 && g.owner == Some(me) {
+            // Re-entrant: this thread already holds the drain (a flush
+            // inside a reorganization window) — writers are quiesced.
+            g.draining += 1;
+            return;
+        }
+        while g.draining > 0 {
             // Another flush/restart is draining; take over afterwards.
             g = self.gate_cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
-        g.draining = true;
+        g.draining = 1;
+        g.owner = Some(me);
         let mut waited = false;
         while g.active_exclusive > 0 {
             if !waited {
@@ -659,10 +699,34 @@ impl SharedBufferPool {
 
     fn release_quiesce(&self) {
         let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        debug_assert!(g.draining, "unbalanced quiesce");
-        g.draining = false;
+        debug_assert!(g.draining > 0, "unbalanced quiesce");
+        g.draining = g.draining.saturating_sub(1);
+        if g.draining > 0 {
+            return;
+        }
+        g.owner = None;
         drop(g);
         self.gate_cond.notify_all();
+    }
+
+    /// Runs `f` inside a writer-quiesce window: in-flight exclusive latch
+    /// groups drain first, and no new one starts until `f` returns. This is
+    /// the reorganizer's hook — a physically consistent window in which it
+    /// can rewrite extents while plain reads keep flowing.
+    ///
+    /// Lock order: the closure may fix pages, take *shared* latch groups,
+    /// flush, and allocate freely — none of those touch the gate. It must
+    /// **not** acquire an exclusive latch group ([`LatchMode::Exclusive`]
+    /// via `latch_pages`/`with_latched`): exclusive groups wait on the very
+    /// drain this window holds, which would self-deadlock.
+    pub fn with_writers_quiesced<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.quiesce_writers();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        self.release_quiesce();
+        match r {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 
     /// [`Self::lock_for_read`] or [`Self::lock_for_write`], by flag.
@@ -1110,14 +1174,16 @@ impl SharedPoolHandle {
     /// Builds a fresh shared pool from a buffer configuration (including
     /// its [`WalConfig`] and [`IoEngineConfig`]) and a shard count.
     pub fn new(config: BufferConfig, shards: usize) -> Self {
+        let pool = SharedBufferPool::with_config(
+            config.pages,
+            config.policy,
+            shards,
+            config.wal,
+            config.io,
+        );
+        pool.set_heat(config.heat);
         SharedPoolHandle {
-            pool: Arc::new(SharedBufferPool::with_config(
-                config.pages,
-                config.policy,
-                shards,
-                config.wal,
-                config.io,
-            )),
+            pool: Arc::new(pool),
         }
     }
 
@@ -1214,6 +1280,10 @@ impl PageCache for SharedPoolHandle {
 
     fn log_abort(&mut self) {
         self.pool.log_abort()
+    }
+
+    fn page_heat(&self) -> Vec<(PageId, u64)> {
+        self.pool.page_heat()
     }
 }
 

@@ -43,6 +43,12 @@ pub struct BufferStats {
     /// Times an access or latch acquisition had to wait for a conflicting
     /// latch (or for writer quiescence at flush). Scheduling-dependent.
     pub latch_waits: u64,
+    /// Page accesses recorded by the heat tracker. Zero whenever heat
+    /// tracking is disabled, so pre-placement measurements are
+    /// byte-identical.
+    pub heat_records: u64,
+    /// Heat-counter decay sweeps performed (zero with tracking off).
+    pub heat_decays: u64,
 }
 
 impl BufferStats {
@@ -56,6 +62,8 @@ impl BufferStats {
         self.latch_shared += s.latch_shared;
         self.latch_exclusive += s.latch_exclusive;
         self.latch_waits += s.latch_waits;
+        self.heat_records += s.heat_records;
+        self.heat_decays += s.heat_decays;
     }
 }
 
@@ -109,6 +117,11 @@ pub struct IoSnapshot {
     /// once; zero with batching off). Scheduling-dependent under
     /// contention, like `latch_waits`.
     pub max_queue_depth: u64,
+    /// Page accesses recorded by the heat tracker (zero with tracking off,
+    /// so paper measurements are byte-identical).
+    pub heat_records: u64,
+    /// Heat-counter decay sweeps performed (zero with tracking off).
+    pub heat_decays: u64,
 }
 
 impl IoSnapshot {
@@ -127,6 +140,8 @@ impl IoSnapshot {
             latch_shared: buf.latch_shared,
             latch_exclusive: buf.latch_exclusive,
             latch_waits: buf.latch_waits,
+            heat_records: buf.heat_records,
+            heat_decays: buf.heat_decays,
             ..Default::default()
         }
     }
@@ -164,6 +179,8 @@ impl IoSnapshot {
         self.batched_read_calls += s.batched_read_calls;
         self.coalesced_pages += s.coalesced_pages;
         self.max_queue_depth = self.max_queue_depth.max(s.max_queue_depth);
+        self.heat_records += s.heat_records;
+        self.heat_decays += s.heat_decays;
     }
 
     /// Per-loop normalization, e.g. for queries 2b/3b ("normalizing the
@@ -212,6 +229,8 @@ impl Sub for IoSnapshot {
             // A high-water mark is not additive; deltas clamp like the rest
             // so `after - before` stays well-defined.
             max_queue_depth: self.max_queue_depth.saturating_sub(rhs.max_queue_depth),
+            heat_records: self.heat_records.saturating_sub(rhs.heat_records),
+            heat_decays: self.heat_decays.saturating_sub(rhs.heat_decays),
         }
     }
 }

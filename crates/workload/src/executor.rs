@@ -75,6 +75,10 @@ impl PlanRun {
 /// A plan run, or the paper's "not relevant" marker (an op the storage
 /// model cannot execute — query 1a's OID access under pure NSM).
 #[derive(Clone, Debug, PartialEq)]
+// `Measured` dwarfs the unit variant, but outcomes are created once per
+// plan run and immediately destructured — never stored in bulk — so the
+// indirection a `Box` buys is pure overhead here.
+#[allow(clippy::large_enum_variant)]
 pub enum PlanOutcome {
     /// The plan ran and was measured.
     Measured(PlanRun),

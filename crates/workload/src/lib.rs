@@ -35,6 +35,7 @@
 mod concurrent;
 mod executor;
 mod generator;
+mod lower;
 mod plan;
 mod queries;
 pub mod reorder;
@@ -45,6 +46,7 @@ pub use executor::{
     ClusterRun, ConcurrentPlanRun, Executor, MixedRun, PlanOutcome, PlanRun, UnitObservation,
 };
 pub use generator::{generate, DatasetParams};
+pub use lower::lower_spec;
 pub use plan::{
     Count, Drift, MixKind, NormUnit, Op, PatchSpec, ProjSpec, WorkloadSpec, Q1A_SAMPLE,
 };

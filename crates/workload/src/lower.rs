@@ -1,0 +1,299 @@
+//! Lowering [`WorkloadSpec`] plans onto the cost model's neutral plan IR.
+//!
+//! `starfish-cost` knows how to price a [`PlanOp`] tree
+//! ([`starfish_cost::estimate_plan`]) but deliberately knows nothing about
+//! the workload vocabulary — the dependency points workload → cost. This
+//! module is the bridge: [`lower_spec`] resolves the spec's
+//! database-scaled counts, collapses drift and phase cycling into the
+//! walker's [`HotInfo`] skew summary, and turns the spec's [`MixKind`]
+//! gate into the walker's update fraction.
+//!
+//! Drift widens the hot set rather than moving the walker's window: a
+//! window of `hot` objects sliding `shift` objects every `period`
+//! iterations covers `hot + shift·⌊(L−1)/period⌋` distinct objects over an
+//! `L`-iteration run (capped at the database size), which is exactly the
+//! set a placement pass would have to co-locate to serve the whole run
+//! from packed pages. Phases cycle uniformly, so the blended hot fraction
+//! is the phase mean and the blended coverage the union bound (sum,
+//! capped).
+
+use crate::plan::{MixKind, Op, WorkloadSpec};
+use starfish_cost::{HotInfo, PlanOp};
+
+/// Lowers `spec` for a database of `n_objects` onto the cost model's plan
+/// IR. Infallible: every workload op has a plan-IR counterpart (whether
+/// the *model* can price it — OID access under pure NSM — is decided by
+/// the walker).
+pub fn lower_spec(spec: &WorkloadSpec, n_objects: usize) -> Vec<PlanOp> {
+    let fraction = match spec.mix {
+        None => 1.0,
+        Some(MixKind::ReadOnly) => 0.0,
+        Some(MixKind::Mixed5050) => 0.5,
+        // 3 of 4 requests update (see `MixKind::is_update`).
+        Some(MixKind::UpdateHeavy) => 0.75,
+    };
+    lower_ops(&spec.ops, n_objects, 1, fraction)
+}
+
+fn lower_ops(ops: &[Op], n_objects: usize, loops: u64, fraction: f64) -> Vec<PlanOp> {
+    ops.iter()
+        .map(|op| lower_op(op, n_objects, loops, fraction))
+        .collect()
+}
+
+fn lower_op(op: &Op, n_objects: usize, loops: u64, fraction: f64) -> PlanOp {
+    let n = n_objects as u64;
+    match op {
+        Op::PickRandom { .. } => PlanOp::Pick { n, hot: None },
+        Op::PickSkewed {
+            hot,
+            pct_hot,
+            drift,
+        } => PlanOp::Pick {
+            n,
+            hot: skew_info(*hot, *pct_hot, drift.as_ref(), loops, n),
+        },
+        Op::Phase { picks, .. } => PlanOp::Pick {
+            n,
+            hot: blend_phases(picks, loops, n),
+        },
+        Op::ScanAll => PlanOp::Scan,
+        Op::GetByOid { .. } => PlanOp::GetByOid,
+        Op::GetByKey { .. } => PlanOp::GetByKey,
+        Op::NavigateChildren { depth } => PlanOp::Navigate { depth: *depth },
+        Op::FetchRoots => PlanOp::FetchRoots,
+        Op::UpdateRoots { .. } => PlanOp::UpdateRoots { fraction },
+        Op::ColdRestart => PlanOp::ColdRestart,
+        Op::Loop { count, body } => {
+            let resolved = count.resolve(n_objects);
+            PlanOp::Loop {
+                count: resolved,
+                body: lower_ops(body, n_objects, resolved, fraction),
+            }
+        }
+    }
+}
+
+/// The walker-facing skew summary of one `pick_skewed`: the hot window's
+/// run-wide coverage under drift, `None` when the pick is effectively
+/// uniform.
+fn skew_info(
+    hot: u64,
+    pct_hot: u8,
+    drift: Option<&crate::plan::Drift>,
+    loops: u64,
+    n_objects: u64,
+) -> Option<HotInfo> {
+    if pct_hot == 0 {
+        return None;
+    }
+    let steps = drift
+        .map(|d| loops.saturating_sub(1) / d.period.max(1))
+        .unwrap_or(0);
+    let shift = drift.map(|d| d.shift).unwrap_or(0);
+    let coverage = hot
+        .saturating_add(shift.saturating_mul(steps))
+        .min(n_objects.max(1));
+    Some(HotInfo {
+        pct_hot: f64::from(pct_hot) / 100.0,
+        coverage_objects: coverage,
+    })
+}
+
+/// Blends a phase cycle into one skew summary: phases run equal shares of
+/// the loop, so the hot fraction is the mean and the coverage the union
+/// bound. A phase set with no skewed pick is uniform (`None`).
+fn blend_phases(picks: &[Op], loops: u64, n_objects: u64) -> Option<HotInfo> {
+    let mut pct_sum = 0.0;
+    let mut coverage: u64 = 0;
+    let mut any_hot = false;
+    for pick in picks {
+        if let Op::PickSkewed {
+            hot,
+            pct_hot,
+            drift,
+        } = pick
+        {
+            if let Some(info) = skew_info(*hot, *pct_hot, drift.as_ref(), loops, n_objects) {
+                any_hot = true;
+                pct_sum += info.pct_hot;
+                coverage = coverage.saturating_add(info.coverage_objects);
+            }
+        }
+    }
+    if !any_hot || picks.is_empty() {
+        return None;
+    }
+    Some(HotInfo {
+        pct_hot: pct_sum / picks.len() as f64,
+        coverage_objects: coverage.min(n_objects.max(1)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_cost::{
+        estimate, estimate_plan, EstimatorInputs, ModelVariant, PlanContext, QueryId,
+    };
+
+    const N: usize = 1500;
+
+    fn inputs() -> EstimatorInputs {
+        EstimatorInputs::new(Default::default())
+    }
+
+    fn uniform_ctx() -> PlanContext {
+        PlanContext {
+            buffer_pages: 1200.0,
+            hot_span_pages: None,
+        }
+    }
+
+    #[test]
+    fn builtin_queries_lower_to_their_table3_cells() {
+        // The walker over the lowered built-in spec must reproduce the
+        // Table 3 estimate times the unit count, for every variant that
+        // can run the query.
+        let inputs = inputs();
+        for q in QueryId::all() {
+            let spec = WorkloadSpec::for_query(q);
+            let plan = lower_spec(&spec, N);
+            let units = match q {
+                QueryId::Q1c => 1, // the cell is per object; Scan covers all
+                _ => spec
+                    .ops
+                    .iter()
+                    .map(|op| match op {
+                        Op::Loop { count, .. } => count.resolve(N),
+                        _ => 1,
+                    })
+                    .max()
+                    .unwrap_or(1),
+            };
+            for v in ModelVariant::all() {
+                let walked = estimate_plan(v, &inputs, &uniform_ctx(), &plan);
+                let cell = estimate(v, q, &inputs);
+                match (walked, cell) {
+                    (None, None) => {}
+                    (Some(w), Some(c)) => {
+                        let scale = if q == QueryId::Q1c {
+                            N as f64
+                        } else {
+                            units as f64
+                        };
+                        let expect = c.pages_read * scale;
+                        assert!(
+                            (w.pages_read - expect).abs() <= 1e-6 * expect.max(1.0),
+                            "{v} {q}: walked {} vs cell {}",
+                            w.pages_read,
+                            expect
+                        );
+                    }
+                    (w, c) => panic!("{v} {q}: walker {w:?} disagrees with cell {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_widens_the_hot_coverage() {
+        let spec = WorkloadSpec::drift_gradual();
+        let plan = lower_spec(&spec, N);
+        let PlanOp::Loop { count, body } = &plan[0] else {
+            panic!("drift spec lowers to a loop");
+        };
+        assert_eq!(*count, 120);
+        let PlanOp::Pick {
+            hot: Some(info), ..
+        } = &body[0]
+        else {
+            panic!("skewed pick lowers to a hot pick");
+        };
+        // 16-object window sliding 4 every 4 loops: 16 + 4·⌊119/4⌋ = 132.
+        assert_eq!(info.coverage_objects, 132);
+        assert!((info.pct_hot - 0.9).abs() < 1e-12);
+        // The drift-free hot-set spec keeps its static coverage.
+        let plan = lower_spec(&WorkloadSpec::hot_set(), N);
+        let PlanOp::Loop { body, .. } = &plan[0] else {
+            panic!()
+        };
+        let PlanOp::Pick {
+            hot: Some(info), ..
+        } = &body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(info.coverage_objects, 16);
+    }
+
+    #[test]
+    fn phases_blend_to_mean_share_and_union_coverage() {
+        let spec = WorkloadSpec::drift_cycle();
+        let plan = lower_spec(&spec, N);
+        let PlanOp::Loop { body, .. } = &plan[0] else {
+            panic!()
+        };
+        let PlanOp::Pick {
+            hot: Some(info), ..
+        } = &body[0]
+        else {
+            panic!("phase cycle with skewed picks lowers to a hot pick");
+        };
+        assert!(info.pct_hot > 0.0 && info.pct_hot < 1.0);
+        assert!(info.coverage_objects >= 16);
+    }
+
+    #[test]
+    fn mix_gates_become_update_fractions() {
+        for (mix, want) in [
+            (MixKind::ReadOnly, 0.0),
+            (MixKind::Mixed5050, 0.5),
+            (MixKind::UpdateHeavy, 0.75),
+        ] {
+            let spec = WorkloadSpec::mixed(mix);
+            let plan = lower_spec(&spec, N);
+            fn find_fraction(ops: &[PlanOp]) -> Option<f64> {
+                ops.iter().find_map(|op| match op {
+                    PlanOp::UpdateRoots { fraction } => Some(*fraction),
+                    PlanOp::Loop { body, .. } => find_fraction(body),
+                    _ => None,
+                })
+            }
+            assert_eq!(find_fraction(&plan), Some(want), "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn predicted_win_is_nonnegative_for_the_drift_specs() {
+        let inputs = inputs();
+        for name in ["drift-gradual", "drift-sudden", "drift-cycle"] {
+            let spec = WorkloadSpec::builtin(name).expect("shipped spec");
+            let plan = lower_spec(&spec, N);
+            for v in [
+                ModelVariant::Dsm,
+                ModelVariant::NsmIndexed,
+                ModelVariant::DasdbsNsm,
+            ] {
+                let scattered = PlanContext {
+                    buffer_pages: 150.0,
+                    hot_span_pages: Some(4000.0),
+                };
+                let packed = PlanContext {
+                    buffer_pages: 150.0,
+                    hot_span_pages: Some(60.0),
+                };
+                let before = estimate_plan(v, &inputs, &scattered, &plan).unwrap();
+                let after = estimate_plan(v, &inputs, &packed, &plan).unwrap();
+                assert!(
+                    before.pages_read >= after.pages_read - 1e-9,
+                    "{name} {v}: packing the hot set must not cost reads"
+                );
+                assert!(
+                    before.pages_read > after.pages_read + 1.0,
+                    "{name} {v}: a scattered hot span should predict a real win"
+                );
+            }
+        }
+    }
+}

@@ -82,3 +82,15 @@ pub fn golden_io_calls(kind: ModelKind, q: QueryId) -> Option<u64> {
         .unwrap_or_else(|| panic!("golden table misses {kind}/{q}"))
         .2
 }
+
+/// Asserts the heat counters are provably zero — the adaptive-placement
+/// fields of [`starfish::core::IoSnapshot`] are purely additive, so with
+/// tracking off (every golden run) they must read exactly 0 and the
+/// golden tables stay byte-identical to the pre-heat era.
+pub fn assert_heat_silent(snap: &starfish::core::IoSnapshot, context: &str) {
+    assert_eq!(
+        (snap.heat_records, snap.heat_decays),
+        (0, 0),
+        "{context}: heat counters must be zero with tracking off"
+    );
+}

@@ -315,7 +315,12 @@ fn wal_off_shared_pool_matches_golden_io_calls() {
                     .unwrap(),
             };
             let got = match outcome {
-                QueryOutcome::Measured(m) => Some(m.snapshot.io_calls()),
+                QueryOutcome::Measured(m) => {
+                    // Golden identity also covers adaptive placement: heat
+                    // tracking is off, so its additive counters read zero.
+                    golden::assert_heat_silent(&m.snapshot, &format!("{kind}/{q}"));
+                    Some(m.snapshot.io_calls())
+                }
                 QueryOutcome::Unsupported => None,
             };
             let expect = golden_io_calls(kind, q);

@@ -23,7 +23,7 @@ use starfish::workload::{generate, DatasetParams, QueryOutcome, QueryRunner};
 
 #[path = "common/golden.rs"]
 mod golden;
-use golden::{golden_io_calls, GOLDEN_IO_CALLS_FAST};
+use golden::{assert_heat_silent, golden_io_calls, GOLDEN_IO_CALLS_FAST};
 
 #[test]
 fn io_call_counts_match_golden_table_fast_scale() {
@@ -40,7 +40,13 @@ fn io_call_counts_match_golden_table_fast_scale() {
         for q in QueryId::all() {
             let expect = golden_io_calls(kind, q);
             let got = match runner.run(store.as_mut(), q).unwrap() {
-                QueryOutcome::Measured(m) => Some(m.snapshot.io_calls()),
+                QueryOutcome::Measured(m) => {
+                    // Heat tracking is off by default: its additive
+                    // counters must be provably zero, or the golden
+                    // tables would no longer pin the pre-heat protocol.
+                    assert_heat_silent(&m.snapshot, &format!("{kind}/{q}"));
+                    Some(m.snapshot.io_calls())
+                }
                 QueryOutcome::Unsupported => None,
             };
             if got != expect {
@@ -52,6 +58,46 @@ fn io_call_counts_match_golden_table_fast_scale() {
         mismatches.is_empty(),
         "I/O-call grouping regressed:\n{}",
         mismatches.join("\n")
+    );
+}
+
+/// Heat tracking is observation-only: with tracking **on**, every
+/// model × query cell must still reproduce the golden `io_calls` exactly
+/// (and the page counters too) — only the additive `heat_*` counters may
+/// move, and they must actually move (the signal exists).
+#[test]
+fn heat_tracking_on_leaves_golden_io_calls_identical() {
+    let db = generate(&DatasetParams {
+        n_objects: 300,
+        seed: 4242,
+        ..Default::default()
+    });
+    let mut heat_records = 0u64;
+    for kind in ModelKind::all() {
+        let mut store = make_store(
+            kind,
+            StoreConfig::with_buffer_pages(240).heat(starfish::core::HeatConfig::enabled()),
+        );
+        let refs = store.load(&db).unwrap();
+        let runner = QueryRunner::new(refs, 1993);
+        for q in QueryId::all() {
+            let expect = golden_io_calls(kind, q);
+            let got = match runner.run(store.as_mut(), q).unwrap() {
+                QueryOutcome::Measured(m) => {
+                    heat_records += m.snapshot.heat_records;
+                    Some(m.snapshot.io_calls())
+                }
+                QueryOutcome::Unsupported => None,
+            };
+            assert_eq!(
+                got, expect,
+                "{kind}/{q}: heat tracking perturbed the I/O-call protocol"
+            );
+        }
+    }
+    assert!(
+        heat_records > 0,
+        "tracking was on but recorded no accesses — the heat signal is dead"
     );
 }
 

@@ -66,6 +66,7 @@ fn engine_on_single_client_matches_golden_io_calls() {
                     // mark cannot exceed one.
                     assert_eq!(m.snapshot.coalesced_pages, 0, "{kind}/{q}: solo coalesce");
                     assert!(m.snapshot.max_queue_depth <= 1, "{kind}/{q}: solo depth");
+                    golden::assert_heat_silent(&m.snapshot, &format!("{kind}/{q}"));
                     engine_rows += m.snapshot.batched_read_calls;
                     Some(m.snapshot.io_calls())
                 }
